@@ -1,0 +1,49 @@
+//! `cargo bench -p ecl-bench --bench paper_tables` — regenerates every table
+//! and figure of the paper's evaluation section:
+//!
+//! - Tables IV–VII: speedups of the race-free CC/GC/MIS/MST on the 17
+//!   undirected inputs, one table per GPU;
+//! - Table VIII: speedups of the race-free SCC on the 10 directed inputs;
+//! - Table IX: Pearson correlations between input properties and speedups;
+//! - Fig. 6: geometric-mean speedup per algorithm per GPU.
+//!
+//! This is a custom (`harness = false`) bench target because the measurement
+//! unit is *simulated GPU cycles*, not wall time; Criterion-based wall-time
+//! microbenchmarks live in the sibling `micro` bench.
+//!
+//! Environment knobs: `ECL_SCALE` (default 0.5), `ECL_RUNS` (default 3;
+//! the paper used 9).
+
+use ecl_bench::{format_fig6, format_table9, Matrix};
+use ecl_simt::GpuConfig;
+use std::time::Instant;
+
+fn main() {
+    // `cargo bench` passes --bench; ignore any harness flags.
+    let scale: f64 = std::env::var("ECL_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let runs: usize = std::env::var("ECL_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let gpus = GpuConfig::paper_gpus();
+    let matrix = Matrix::quick().scale(scale).runs(runs);
+
+    eprintln!("paper_tables: scale {scale}, {runs} run(s)/config, 4 GPUs");
+    let t0 = Instant::now();
+    let undirected = matrix.run_undirected();
+    let directed = matrix.run_directed();
+    eprintln!("matrix complete in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    for gpu in &gpus {
+        // Tables IV, V, VI, VII (one per GPU) and the per-GPU slice of VIII.
+        println!("{}", undirected.table(gpu));
+        println!("{}", directed.table(gpu));
+    }
+    let names: Vec<&str> = gpus.iter().map(|g| g.name).collect();
+    println!("{}", format_table9(&undirected, &directed, &names));
+    println!();
+    println!("{}", format_fig6(&undirected, &directed, &names));
+}

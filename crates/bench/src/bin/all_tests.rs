@@ -1,0 +1,132 @@
+//! The analogue of the paper artifact's `all_tests.sh`: runs every baseline
+//! and race-free code on every appropriate input on all four GPUs, then
+//! writes the speedup tables, CSVs, correlation table, and the Fig. 6 chart.
+//!
+//! ```text
+//! cargo run --release -p ecl-bench --bin all_tests -- [options]
+//!
+//! --scale <f64>   input scale multiplier        (default 1.0)
+//! --runs <n>      runs per configuration        (default 3; paper used 9)
+//! --gpu <name>    restrict to one GPU           (default: all four)
+//! --out <dir>     output directory              (default ./output)
+//! --list-gpus     print Table I and exit
+//! --list-inputs   print Tables II and III and exit
+//! ```
+
+use ecl_bench::{format_fig6, format_table9, to_csv, Matrix};
+use ecl_graph::inputs::{directed_catalog, undirected_catalog};
+use ecl_graph::props::properties;
+use ecl_simt::GpuConfig;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    if args.iter().any(|a| a == "--list-gpus") {
+        print_gpus();
+        return;
+    }
+    if args.iter().any(|a| a == "--list-inputs") {
+        print_inputs();
+        return;
+    }
+
+    let scale: f64 = get("--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let runs: usize = get("--runs").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let out_dir = PathBuf::from(get("--out").unwrap_or_else(|| "output".into()));
+    let gpus: Vec<GpuConfig> = match get("--gpu") {
+        Some(name) => GpuConfig::paper_gpus()
+            .into_iter()
+            .filter(|g| g.name.eq_ignore_ascii_case(&name))
+            .collect(),
+        None => GpuConfig::paper_gpus(),
+    };
+    assert!(!gpus.is_empty(), "unknown GPU; try --list-gpus");
+
+    let matrix = Matrix::quick().scale(scale).runs(runs).gpus(gpus.clone());
+    eprintln!(
+        "running the full matrix: scale {scale}, {runs} run(s) per config, {} GPU(s)…",
+        gpus.len()
+    );
+
+    let t0 = Instant::now();
+    let undirected = matrix.run_undirected();
+    eprintln!("undirected matrix done in {:.1}s", t0.elapsed().as_secs_f64());
+    let t1 = Instant::now();
+    let directed = matrix.run_directed();
+    eprintln!("directed matrix done in {:.1}s", t1.elapsed().as_secs_f64());
+
+    // Tables IV-VII (undirected) and VIII (directed), per GPU.
+    for gpu in &gpus {
+        println!("{}", undirected.table(gpu));
+        println!("{}", directed.table(gpu));
+    }
+    let gpu_names: Vec<&str> = gpus.iter().map(|g| g.name).collect();
+    println!("{}", format_table9(&undirected, &directed, &gpu_names));
+    println!();
+    println!("{}", format_fig6(&undirected, &directed, &gpu_names));
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    std::fs::write(out_dir.join("undirected_speedups.csv"), to_csv(&undirected))
+        .expect("write undirected csv");
+    std::fs::write(out_dir.join("directed_speedups.csv"), to_csv(&directed))
+        .expect("write directed csv");
+    let mut fig = String::new();
+    fig.push_str(&format_fig6(&undirected, &directed, &gpu_names));
+    std::fs::write(out_dir.join("geometric_means.txt"), fig).expect("write fig6");
+    eprintln!("CSV and chart written to {}", out_dir.display());
+}
+
+fn print_gpus() {
+    println!(
+        "{:<12} {:<14} {:>6} {:>6} {:>8} {:>8}",
+        "GPU", "Architecture", "SMs", "Cores", "L1 KiB", "L2 KiB"
+    );
+    for g in GpuConfig::paper_gpus() {
+        println!(
+            "{:<12} {:<14} {:>6} {:>6} {:>8} {:>8}",
+            g.name,
+            g.architecture,
+            g.num_sms,
+            g.num_sms * g.cores_per_sm,
+            g.l1_kib,
+            g.l2_kib
+        );
+    }
+}
+
+fn print_inputs() {
+    for (title, catalog) in [
+        ("Table II: undirected inputs (scaled stand-ins at --scale 1.0)", undirected_catalog()),
+        ("Table III: directed inputs", directed_catalog()),
+    ] {
+        println!("{title}");
+        println!(
+            "{:<18} {:>10} {:>10} {:>8} {:>8}   paper: V/E",
+            "Name", "Vertices", "Edges", "d-avg", "d-max"
+        );
+        for input in catalog {
+            let g = input.build(1.0, 1);
+            let p = properties(&g);
+            let meta = input.paper_meta();
+            println!(
+                "{:<18} {:>10} {:>10} {:>8.1} {:>8}   {}/{}",
+                input.name(),
+                p.num_vertices,
+                p.num_edges,
+                p.avg_degree,
+                p.max_degree,
+                meta.vertices,
+                meta.edges
+            );
+        }
+        println!();
+    }
+}

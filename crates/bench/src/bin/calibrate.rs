@@ -1,0 +1,66 @@
+//! Calibration helper: prints per-algorithm geomean speedups per GPU on a
+//! few representative inputs, plus wall-clock cost per simulated run —
+//! used to tune the GPU timing parameters against the paper's Fig. 6.
+
+use ecl_bench::{geomean, Matrix};
+use ecl_core::suite::Algorithm;
+use ecl_graph::inputs::GraphInput;
+use ecl_graph::props::properties;
+use ecl_simt::GpuConfig;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let names: Vec<&str> = vec![
+        "2d-2e20.sym",
+        "rmat16.sym",
+        "soc-LiveJournal1",
+        "USA-road-d.NY",
+        "coPapersDBLP",
+    ];
+    let directed: Vec<&str> = vec!["star", "toroid-hex", "web-Google", "wikipedia"];
+    let matrix = Matrix::quick().runs(1);
+
+    for gpu in GpuConfig::paper_gpus() {
+        println!("== {} ==", gpu.name);
+        for alg in [Algorithm::Cc, Algorithm::Gc, Algorithm::Mis, Algorithm::Mst] {
+            let mut speedups = Vec::new();
+            let t0 = Instant::now();
+            for name in &names {
+                let input = GraphInput::by_name(name).unwrap();
+                let g = input.build(scale, 1);
+                let props = properties(&g);
+                let cell = matrix.measure(input.name(), alg, &g, &gpu, props);
+                speedups.push(cell.speedup);
+                print!("{:>6.2}", cell.speedup);
+            }
+            println!(
+                "  | {} geomean {:.3} ({:.1}s wall)",
+                alg.name(),
+                geomean(&speedups),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        let mut speedups = Vec::new();
+        let t0 = Instant::now();
+        for name in &directed {
+            let input = GraphInput::by_name(name).unwrap();
+            let g = input.build(scale, 1);
+            let props = properties(&g);
+            let cell = matrix.measure(input.name(), Algorithm::Scc, &g, &gpu, props);
+            speedups.push(cell.speedup);
+            print!("{:>6.2}", cell.speedup);
+        }
+        println!(
+            "                    | SCC geomean {:.3} ({:.1}s wall)",
+            geomean(&speedups),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Temporary debugging aid for MIS baseline failures.
+
+use ecl_core::mis;
+use ecl_core::primitives::VolatileReadPlainWrite;
+use ecl_simt::{GpuConfig, StoreVisibility};
+
+fn main() {
+    for n in [60, 120, 250, 550] {
+        let g = ecl_graph::gen::clique_overlay(n, n / 2, 10, 1);
+        for gpu in GpuConfig::paper_gpus() {
+            let r = mis::run::<VolatileReadPlainWrite>(&g, &gpu, 1, StoreVisibility::DeferUntilYield);
+            let ok = mis::verify_mis(&g, &r.in_set);
+            if !ok {
+                println!("n={n} gpu={} INVALID", gpu.name);
+                // Find the violation.
+                for v in 0..g.num_vertices() {
+                    if r.in_set[v] {
+                        for &u in g.neighbors(v) {
+                            if r.in_set[u as usize] && (u as usize) > v {
+                                println!("  adjacent IN pair: {v} and {u}");
+                            }
+                        }
+                    } else if !g.neighbors(v).iter().any(|&u| r.in_set[u as usize]) {
+                        println!("  not maximal at {v} (deg {})", g.degree(v));
+                    }
+                }
+                return;
+            }
+        }
+    }
+    println!("all valid");
+}

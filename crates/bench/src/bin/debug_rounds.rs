@@ -1,0 +1,27 @@
+//! Inspect MIS round/step/access counts for baseline vs race-free.
+
+use ecl_core::mis;
+use ecl_core::primitives::{Atomic, VolatileReadPlainWrite};
+use ecl_simt::{GpuConfig, StoreVisibility};
+
+fn main() {
+    let g = ecl_graph::gen::rmat(4096, 28672, 0.45, 0.22, 0.22, true, 1);
+    let gpu = GpuConfig::titan_v();
+    let base = mis::run::<VolatileReadPlainWrite>(&g, &gpu, 1, StoreVisibility::DeferBounded { every: 2, eighths: 3 });
+    let free = mis::run::<Atomic>(&g, &gpu, 1, StoreVisibility::Immediate);
+    for (name, r) in [("base", &base), ("free", &free)] {
+        let compute = &r.stats.launches[1];
+        println!(
+            "{name}: cycles={} steps={} plain={} volatile={} atomic={} coalesced={} l1hit={:.2} l2hit={:.2}",
+            r.cycles,
+            compute.steps,
+            compute.plain_accesses,
+            compute.volatile_accesses,
+            compute.atomic_accesses,
+            compute.coalesced_stores,
+            compute.l1.hit_rate(),
+            compute.l2.hit_rate(),
+        );
+    }
+    println!("speedup {:.3}", base.cycles as f64 / free.cycles as f64);
+}

@@ -1,0 +1,45 @@
+//! The analogue of the artifact's `download_inputs.sh`: materializes every
+//! catalog graph into `inputs-undirected/` and `inputs-directed/` as binary
+//! CSR files, so experiments can re-load identical graphs from disk.
+//!
+//! ```text
+//! cargo run --release -p ecl-bench --bin make_inputs -- [--scale 1.0] [--seed 1] [--out .]
+//! ```
+
+use ecl_graph::inputs::{directed_catalog, undirected_catalog};
+use ecl_graph::props::properties;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let scale: f64 = get("--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let root = PathBuf::from(get("--out").unwrap_or_else(|| ".".into()));
+
+    for (dir, catalog) in [
+        ("inputs-undirected", undirected_catalog()),
+        ("inputs-directed", directed_catalog()),
+    ] {
+        let dir = root.join(dir);
+        std::fs::create_dir_all(&dir).expect("create input dir");
+        for input in catalog {
+            let g = input.build(scale, seed);
+            let p = properties(&g);
+            let path = dir.join(format!("{}.eclr", input.name()));
+            ecl_graph::io::save(&g, &path).expect("write graph");
+            println!(
+                "{:<40} {:>9} vertices {:>10} edges (d-avg {:.1})",
+                path.display(),
+                p.num_vertices,
+                p.num_edges,
+                p.avg_degree
+            );
+        }
+    }
+}

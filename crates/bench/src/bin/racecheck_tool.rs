@@ -1,0 +1,80 @@
+//! A Compute-Sanitizer-style command-line race checker for the suite: runs
+//! one algorithm/variant/input combination under tracing and prints every
+//! detected data race.
+//!
+//! ```text
+//! cargo run --release -p ecl-bench --bin racecheck_tool -- \
+//!     --alg cc --variant baseline --input rmat16.sym [--scale 0.25] \
+//!     [--mode precise|shared-only|no-launch-barrier|happens-before] [--profile]
+//! ```
+
+use ecl_core::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
+use ecl_core::{cc, gc, mis, mst, scc};
+use ecl_racecheck::{access_profile, check_races_hb, check_races_with_mode, format_profile, format_summary, DetectorMode};
+use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+
+    let alg = get("--alg", "cc").to_lowercase();
+    let variant = get("--variant", "baseline").to_lowercase();
+    let input_name = get("--input", "rmat16.sym");
+    let scale: f64 = get("--scale", "0.25").parse().expect("bad --scale");
+    let mode = get("--mode", "precise");
+
+    let input = ecl_graph::inputs::GraphInput::by_name(&input_name)
+        .unwrap_or_else(|| panic!("unknown input '{input_name}' (see all_tests --list-inputs)"));
+    let mut graph = input.build(scale, 1);
+    if matches!(alg.as_str(), "mst") && graph.weights().is_none() {
+        graph = graph.with_random_weights(1000, 0xec1);
+    }
+
+    let mut gpu = Gpu::new(GpuConfig::rtx2070_super());
+    gpu.enable_tracing();
+    let racefree = variant == "race-free" || variant == "racefree";
+    let deferred = StoreVisibility::DeferUntilYield;
+    let immediate = StoreVisibility::Immediate;
+    match (alg.as_str(), racefree) {
+        ("cc", false) => drop(cc::run_traced::<Plain>(&mut gpu, &graph, deferred)),
+        ("cc", true) => drop(cc::run_traced::<Atomic>(&mut gpu, &graph, immediate)),
+        ("gc", false) => drop(gc::run_traced::<Volatile, Plain>(&mut gpu, &graph, deferred)),
+        ("gc", true) => drop(gc::run_traced::<Atomic, Atomic>(&mut gpu, &graph, immediate)),
+        ("mis", false) => drop(mis::run_traced::<VolatileReadPlainWrite>(
+            &mut gpu,
+            &graph,
+            StoreVisibility::DeferBounded { every: 2, eighths: 4 },
+        )),
+        ("mis", true) => drop(mis::run_traced::<Atomic>(&mut gpu, &graph, immediate)),
+        ("mst", false) => drop(mst::run_traced::<Volatile>(&mut gpu, &graph, deferred)),
+        ("mst", true) => drop(mst::run_traced::<Atomic>(&mut gpu, &graph, immediate)),
+        ("scc", false) => drop(scc::run_traced::<Plain>(&mut gpu, &graph, deferred)),
+        ("scc", true) => drop(scc::run_traced::<Atomic>(&mut gpu, &graph, immediate)),
+        _ => panic!("unknown algorithm '{alg}' (cc|gc|mis|mst|scc)"),
+    }
+
+    let trace_len = gpu.trace().map(|t| t.len()).unwrap_or(0);
+    let reports = match mode.as_str() {
+        "precise" => check_races_with_mode(&gpu, DetectorMode::Precise),
+        "shared-only" => check_races_with_mode(&gpu, DetectorMode::SharedOnly),
+        "no-launch-barrier" => check_races_with_mode(&gpu, DetectorMode::NoLaunchBarrier),
+        "happens-before" | "hb" => check_races_hb(&gpu),
+        other => panic!("unknown detector mode '{other}'"),
+    };
+    println!(
+        "{alg} {variant} on {input_name} (scale {scale}): {trace_len} traced accesses\n"
+    );
+    print!("{}", format_summary(&reports));
+    if args.iter().any(|a| a == "--profile") {
+        // §VI-C: which shared arrays carry the traffic (and how racy it is).
+        println!("\naccess profile:");
+        print!("{}", format_profile(&access_profile(&gpu)));
+    }
+    std::process::exit(if reports.is_empty() { 0 } else { 1 });
+}

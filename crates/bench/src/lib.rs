@@ -1,0 +1,27 @@
+//! The experiment harness: reproduces the paper's Tables IV–IX and Fig. 6.
+//!
+//! The paper's methodology (§V): run every baseline and race-free code on
+//! every appropriate input on each of four GPUs, nine times each, and report
+//! the speedup `baseline_time / racefree_time` from the median runtimes.
+//! This crate drives the same matrix on the simulator (default 3 seeds,
+//! `runs(9)` restores the paper's count), computes the per-input speedups,
+//! the min/geomean/max summary rows, the Fig. 6 geomean chart, and the
+//! Table IX Pearson correlations against graph properties.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ecl_bench::{Experiment, Matrix};
+//!
+//! let matrix = Matrix::quick().scale(0.25);
+//! let undirected = matrix.run_undirected();
+//! println!("{}", undirected.table(&ecl_simt::GpuConfig::a100()));
+//! ```
+
+mod matrix;
+mod stats;
+mod tables;
+
+pub use matrix::{relative_deviation, Experiment, Matrix, MeasuredCell, MeasuredTable, VariantArg};
+pub use stats::{geomean, median, pearson};
+pub use tables::{format_fig6, format_speedup_table, format_table9, to_csv};

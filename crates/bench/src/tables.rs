@@ -1,0 +1,284 @@
+//! Text rendering of the paper's tables and figure.
+
+use crate::matrix::MeasuredTable;
+use crate::stats::{geomean, pearson};
+use ecl_core::suite::Algorithm;
+
+/// Renders a per-GPU speedup table in the layout of Tables IV–VIII: one row
+/// per input, one column per algorithm, with Min/Geomean/Max summary rows.
+pub fn format_speedup_table(table: &MeasuredTable, gpu: &str) -> String {
+    let cells = table.for_gpu(gpu);
+    if cells.is_empty() {
+        return format!("(no measurements for {gpu})\n");
+    }
+    let mut algorithms: Vec<Algorithm> = Vec::new();
+    let mut inputs: Vec<&'static str> = Vec::new();
+    for c in &cells {
+        if !algorithms.contains(&c.algorithm) {
+            algorithms.push(c.algorithm);
+        }
+        if !inputs.contains(&c.input) {
+            inputs.push(c.input);
+        }
+    }
+    let lookup = |input: &str, alg: Algorithm| -> Option<f64> {
+        cells
+            .iter()
+            .find(|c| c.input == input && c.algorithm == alg)
+            .map(|c| c.speedup)
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("Speedups of race-free codes on {gpu}\n"));
+    out.push_str(&format!("{:<18}", "Input"));
+    for alg in &algorithms {
+        out.push_str(&format!("{:>8}", alg.name()));
+    }
+    out.push('\n');
+    for input in &inputs {
+        out.push_str(&format!("{input:<18}"));
+        for alg in &algorithms {
+            match lookup(input, *alg) {
+                Some(s) => out.push_str(&format!("{s:>8.2}")),
+                None => out.push_str(&format!("{:>8}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    for label in ["Min Speedup", "Geomean Speedup", "Max Speedup"] {
+        out.push_str(&format!("{label:<18}"));
+        for alg in &algorithms {
+            let col = table.column(gpu, *alg);
+            let v = match label {
+                "Min Speedup" => col.iter().copied().fold(f64::INFINITY, f64::min),
+                "Max Speedup" => col.iter().copied().fold(0.0, f64::max),
+                _ => geomean(&col),
+            };
+            out.push_str(&format!("{v:>8.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Fig. 6: geometric-mean speedup per algorithm per GPU as a text
+/// bar chart.
+pub fn format_fig6(undirected: &MeasuredTable, directed: &MeasuredTable, gpus: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 6: geometric-mean speedup of race-free codes (1.00 = baseline)\n\n");
+    for alg in [
+        Algorithm::Cc,
+        Algorithm::Gc,
+        Algorithm::Mis,
+        Algorithm::Mst,
+        Algorithm::Scc,
+    ] {
+        out.push_str(&format!("{}\n", alg.name()));
+        for gpu in gpus {
+            let source = if alg == Algorithm::Scc { directed } else { undirected };
+            let col = source.column(gpu, alg);
+            if col.is_empty() {
+                continue;
+            }
+            let g = geomean(&col);
+            let bar_len = (g * 40.0).round() as usize;
+            out.push_str(&format!(
+                "  {gpu:<12} {g:>5.2} |{}{}\n",
+                "#".repeat(bar_len.min(60)),
+                if g > 1.0 { " (race-free faster)" } else { "" },
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table IX: Pearson correlations between graph properties (edge
+/// count, vertex count, average degree) and the observed speedups, per GPU
+/// and algorithm.
+pub fn format_table9(
+    undirected: &MeasuredTable,
+    directed: &MeasuredTable,
+    gpus: &[&str],
+) -> String {
+    let algorithms = [
+        Algorithm::Cc,
+        Algorithm::Gc,
+        Algorithm::Mis,
+        Algorithm::Mst,
+        Algorithm::Scc,
+    ];
+    let mut out = String::new();
+    out.push_str("Table IX: correlation of input properties with race-free speedup\n");
+    for gpu in gpus {
+        out.push_str(&format!("\n{gpu}\n{:<16}", "Correlated with"));
+        for alg in &algorithms {
+            out.push_str(&format!("{:>8}", alg.name()));
+        }
+        out.push('\n');
+        for (label, extract) in [
+            ("Edge Count", 0usize),
+            ("Vertex Count", 1),
+            ("Average Degree", 2),
+        ] {
+            out.push_str(&format!("{label:<16}"));
+            for alg in &algorithms {
+                let source = if *alg == Algorithm::Scc { directed } else { undirected };
+                let cells: Vec<_> = source
+                    .cells
+                    .iter()
+                    .filter(|c| c.gpu == *gpu && c.algorithm == *alg)
+                    .collect();
+                if cells.len() < 2 {
+                    out.push_str(&format!("{:>8}", "-"));
+                    continue;
+                }
+                let xs: Vec<f64> = cells
+                    .iter()
+                    .map(|c| match extract {
+                        0 => c.props.num_edges as f64,
+                        1 => c.props.num_vertices as f64,
+                        _ => c.props.avg_degree,
+                    })
+                    .collect();
+                let ys: Vec<f64> = cells.iter().map(|c| c.speedup).collect();
+                out.push_str(&format!("{:>8.2}", pearson(&xs, &ys)));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes a CSV of per-input speedups, matching the artifact's
+/// `undirected_speedups.csv` / `directed_speedups.csv` outputs.
+pub fn to_csv(table: &MeasuredTable) -> String {
+    let mut out = String::from("gpu,input,algorithm,baseline_cycles,racefree_cycles,speedup\n");
+    for c in &table.cells {
+        out.push_str(&format!(
+            "{},{},{},{:.0},{:.0},{:.4}\n",
+            c.gpu, c.input, c.algorithm, c.baseline_cycles, c.racefree_cycles, c.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MeasuredCell;
+    use ecl_graph::props::GraphProperties;
+
+    fn fake_table() -> MeasuredTable {
+        let props = GraphProperties {
+            num_vertices: 10,
+            num_edges: 20,
+            avg_degree: 2.0,
+            max_degree: 4,
+            min_degree: 1,
+        };
+        MeasuredTable {
+            cells: vec![
+                MeasuredCell {
+                    input: "a",
+                    algorithm: Algorithm::Cc,
+                    gpu: "A100",
+                    baseline_cycles: 100.0,
+                    racefree_cycles: 200.0,
+                    speedup: 0.5,
+                    props,
+                },
+                MeasuredCell {
+                    input: "b",
+                    algorithm: Algorithm::Cc,
+                    gpu: "A100",
+                    baseline_cycles: 300.0,
+                    racefree_cycles: 150.0,
+                    speedup: 2.0,
+                    props,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_includes_summary_rows() {
+        let s = format_speedup_table(&fake_table(), "A100");
+        assert!(s.contains("Min Speedup"));
+        assert!(s.contains("Geomean Speedup"));
+        assert!(s.contains("0.50"));
+        assert!(s.contains("2.00"));
+        // geomean(0.5, 2.0) = 1.0
+        assert!(s.contains("1.00"));
+    }
+
+    #[test]
+    fn empty_gpu_renders_placeholder() {
+        let s = format_speedup_table(&fake_table(), "Titan V");
+        assert!(s.contains("no measurements"));
+    }
+
+    #[test]
+    fn fig6_renders_bars_and_winner_note() {
+        let t = fake_table();
+        let s = format_fig6(&t, &MeasuredTable::default(), &["A100"]);
+        assert!(s.contains("CC"));
+        assert!(s.contains("A100"));
+        // geomean(0.5, 2.0) = 1.00, no winner note at exactly 1.0.
+        assert!(s.contains("1.00 |"));
+    }
+
+    #[test]
+    fn table9_renders_correlations() {
+        let props_small = GraphProperties {
+            num_vertices: 10,
+            num_edges: 20,
+            avg_degree: 2.0,
+            max_degree: 4,
+            min_degree: 1,
+        };
+        let props_large = GraphProperties {
+            num_vertices: 100,
+            num_edges: 400,
+            avg_degree: 4.0,
+            max_degree: 9,
+            min_degree: 1,
+        };
+        let t = MeasuredTable {
+            cells: vec![
+                MeasuredCell {
+                    input: "a",
+                    algorithm: Algorithm::Cc,
+                    gpu: "A100",
+                    baseline_cycles: 100.0,
+                    racefree_cycles: 200.0,
+                    speedup: 0.5,
+                    props: props_small,
+                },
+                MeasuredCell {
+                    input: "b",
+                    algorithm: Algorithm::Cc,
+                    gpu: "A100",
+                    baseline_cycles: 300.0,
+                    racefree_cycles: 150.0,
+                    speedup: 2.0,
+                    props: props_large,
+                },
+            ],
+        };
+        let s = format_table9(&t, &MeasuredTable::default(), &["A100"]);
+        // Speedup grows with size: perfect positive correlation on all
+        // three properties for CC; SCC column has no data.
+        assert!(s.contains("Edge Count"));
+        assert!(s.contains("1.00"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&fake_table());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("gpu,input,"));
+        assert!(csv.contains("A100,a,CC,100,200,0.5000"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The three blocked Floyd-Warshall phase kernels.
+//!
+//! Each block owns one 16×16 tile; its 256 threads each own one element.
+//! Tiles are staged through shared memory, with block barriers separating
+//! the per-`kk` dependency steps exactly like the CUDA original.
+
+use super::{INF, TILE};
+use ecl_simt::{Ctx, DeviceBuffer, Gpu, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo};
+
+/// Shared-memory byte offset of the second staged tile.
+const TILE_BYTES: u32 = (TILE * TILE * 4) as u32;
+
+/// Runs all rounds of blocked Floyd-Warshall on the padded matrix.
+pub(super) fn run_on(gpu: &mut Gpu, dist: DeviceBuffer<u32>, padded: usize) {
+    let tiles = padded / TILE;
+    for k in 0..tiles {
+        gpu.launch(phase_launch(1), Phase1 {
+            dist,
+            padded: padded as u32,
+            k: k as u32,
+        });
+        if tiles > 1 {
+            gpu.launch(phase_launch(2 * (tiles as u32 - 1)), Phase2 {
+                dist,
+                padded: padded as u32,
+                k: k as u32,
+                tiles: tiles as u32,
+            });
+            gpu.launch(
+                phase_launch((tiles as u32 - 1) * (tiles as u32 - 1)),
+                Phase3 {
+                    dist,
+                    padded: padded as u32,
+                    k: k as u32,
+                    tiles: tiles as u32,
+                },
+            );
+        }
+    }
+}
+
+fn phase_launch(blocks: u32) -> LaunchConfig {
+    LaunchConfig {
+        grid_blocks: blocks,
+        block_threads: (TILE * TILE) as u32,
+        store_visibility: StoreVisibility::Immediate,
+        shared_bytes: 2 * TILE_BYTES,
+        exact_geometry: true,
+    }
+}
+
+/// Per-thread coordinates within its tile.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    ti: u32,
+    tj: u32,
+    /// Next dependency step: 0 = load, 1..=TILE = compute kk, TILE+1 = store.
+    stage: u32,
+}
+
+fn lane(info: ThreadInfo) -> Lane {
+    Lane {
+        ti: info.thread_in_block / TILE as u32,
+        tj: info.thread_in_block % TILE as u32,
+        stage: 0,
+    }
+}
+
+/// Global matrix index of element `(ti, tj)` of tile `(bi, bj)`.
+#[inline]
+fn gidx(padded: u32, bi: u32, bj: u32, ti: u32, tj: u32) -> usize {
+    ((bi * TILE as u32 + ti) * padded + bj * TILE as u32 + tj) as usize
+}
+
+/// Shared-memory byte offset of element `(i, j)` of staged tile `slot`.
+#[inline]
+fn sidx(slot: u32, i: u32, j: u32) -> u32 {
+    slot * TILE_BYTES + (i * TILE as u32 + j) * 4
+}
+
+/// Relaxation of one element against the pivot pair, in shared memory.
+#[inline]
+fn relax(ctx: &mut Ctx<'_>, cur: u32, a_slot: u32, b_slot: u32, l: Lane, kk: u32) -> u32 {
+    let via_a: u32 = ctx.shared_read(sidx(a_slot, l.ti, kk));
+    let via_b: u32 = ctx.shared_read(sidx(b_slot, kk, l.tj));
+    ctx.compute(2);
+    cur.min(via_a.saturating_add(via_b).min(INF))
+}
+
+/// Phase 1: the diagonal tile relaxes against itself, one `kk` per barrier.
+struct Phase1 {
+    dist: DeviceBuffer<u32>,
+    padded: u32,
+    k: u32,
+}
+
+impl Kernel for Phase1 {
+    type State = Lane;
+
+    fn name(&self) -> &str {
+        "apsp_phase1"
+    }
+
+    fn init(&self, info: ThreadInfo) -> Lane {
+        lane(info)
+    }
+
+    fn step(&self, l: &mut Lane, ctx: &mut Ctx<'_>) -> Step {
+        let stage = l.stage;
+        l.stage += 1;
+        if stage == 0 {
+            let v = ctx.load(self.dist.at(gidx(self.padded, self.k, self.k, l.ti, l.tj)));
+            ctx.shared_write(sidx(0, l.ti, l.tj), v);
+            return Step::Barrier;
+        }
+        if stage <= TILE as u32 {
+            let kk = stage - 1;
+            let cur: u32 = ctx.shared_read(sidx(0, l.ti, l.tj));
+            let new = relax(ctx, cur, 0, 0, *l, kk);
+            if new < cur {
+                ctx.shared_write(sidx(0, l.ti, l.tj), new);
+            }
+            return Step::Barrier;
+        }
+        let v: u32 = ctx.shared_read(sidx(0, l.ti, l.tj));
+        ctx.store(self.dist.at(gidx(self.padded, self.k, self.k, l.ti, l.tj)), v);
+        Step::Done
+    }
+}
+
+/// Phase 2: the pivot row and column tiles relax against the (final)
+/// diagonal tile; the updated tile is staged in slot 0, the pivot in slot 1.
+struct Phase2 {
+    dist: DeviceBuffer<u32>,
+    padded: u32,
+    k: u32,
+    tiles: u32,
+}
+
+impl Phase2 {
+    /// Decodes a block index into (tile coordinates, is-row-tile).
+    fn tile_of(&self, block: u32) -> (u32, u32, bool) {
+        let half = self.tiles - 1;
+        let skip = |idx: u32| if idx >= self.k { idx + 1 } else { idx };
+        if block < half {
+            (self.k, skip(block), true) // row tile (k, j)
+        } else {
+            (skip(block - half), self.k, false) // column tile (i, k)
+        }
+    }
+}
+
+impl Kernel for Phase2 {
+    type State = (Lane, u32);
+
+    fn name(&self) -> &str {
+        "apsp_phase2"
+    }
+
+    fn init(&self, info: ThreadInfo) -> (Lane, u32) {
+        (lane(info), info.block)
+    }
+
+    fn step(&self, state: &mut (Lane, u32), ctx: &mut Ctx<'_>) -> Step {
+        let l = state.0;
+        let block = state.1;
+        let (bi, bj, is_row) = self.tile_of(block);
+        let stage = l.stage;
+        state.0.stage += 1;
+        if stage == 0 {
+            let v = ctx.load(self.dist.at(gidx(self.padded, bi, bj, l.ti, l.tj)));
+            ctx.shared_write(sidx(0, l.ti, l.tj), v);
+            let p = ctx.load(self.dist.at(gidx(self.padded, self.k, self.k, l.ti, l.tj)));
+            ctx.shared_write(sidx(1, l.ti, l.tj), p);
+            return Step::Barrier;
+        }
+        if stage <= TILE as u32 {
+            let kk = stage - 1;
+            let cur: u32 = ctx.shared_read(sidx(0, l.ti, l.tj));
+            // Row tiles relax via pivot rows, column tiles via pivot columns.
+            let new = if is_row {
+                relax(ctx, cur, 1, 0, l, kk)
+            } else {
+                relax(ctx, cur, 0, 1, l, kk)
+            };
+            if new < cur {
+                ctx.shared_write(sidx(0, l.ti, l.tj), new);
+            }
+            return Step::Barrier;
+        }
+        let v: u32 = ctx.shared_read(sidx(0, l.ti, l.tj));
+        ctx.store(self.dist.at(gidx(self.padded, bi, bj, l.ti, l.tj)), v);
+        Step::Done
+    }
+}
+
+/// Phase 3: all remaining tiles relax against the finished pivot row and
+/// column tiles; one load barrier, then the whole `kk` loop in one step.
+struct Phase3 {
+    dist: DeviceBuffer<u32>,
+    padded: u32,
+    k: u32,
+    tiles: u32,
+}
+
+impl Phase3 {
+    fn tile_of(&self, block: u32) -> (u32, u32) {
+        let side = self.tiles - 1;
+        let skip = |idx: u32| if idx >= self.k { idx + 1 } else { idx };
+        (skip(block / side), skip(block % side))
+    }
+}
+
+impl Kernel for Phase3 {
+    type State = (Lane, u32);
+
+    fn name(&self) -> &str {
+        "apsp_phase3"
+    }
+
+    fn init(&self, info: ThreadInfo) -> (Lane, u32) {
+        (lane(info), info.block)
+    }
+
+    fn step(&self, state: &mut (Lane, u32), ctx: &mut Ctx<'_>) -> Step {
+        let l = state.0;
+        let block = state.1;
+        let (bi, bj) = self.tile_of(block);
+        let stage = l.stage;
+        state.0.stage += 1;
+        if stage == 0 {
+            // Stage the pivot-column tile (bi, k) and pivot-row tile (k, bj).
+            let a = ctx.load(self.dist.at(gidx(self.padded, bi, self.k, l.ti, l.tj)));
+            ctx.shared_write(sidx(0, l.ti, l.tj), a);
+            let b = ctx.load(self.dist.at(gidx(self.padded, self.k, bj, l.ti, l.tj)));
+            ctx.shared_write(sidx(1, l.ti, l.tj), b);
+            return Step::Barrier;
+        }
+        let idx = gidx(self.padded, bi, bj, l.ti, l.tj);
+        let mut cur = ctx.load(self.dist.at(idx));
+        for kk in 0..TILE as u32 {
+            cur = relax(ctx, cur, 0, 1, l, kk);
+        }
+        ctx.store(self.dist.at(idx), cur);
+        Step::Done
+    }
+}

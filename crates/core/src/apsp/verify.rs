@@ -1,0 +1,86 @@
+//! Dijkstra reference and validation for all-pairs shortest paths.
+
+use super::INF;
+use ecl_graph::Csr;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes the full distance matrix with one Dijkstra per source.
+///
+/// # Panics
+///
+/// Panics if the graph has no weights.
+pub fn reference_apsp(g: &Csr) -> Vec<u32> {
+    let weights = g.weights().expect("weighted graph required");
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n * n];
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    for s in 0..n {
+        let row = &mut dist[s * n..(s + 1) * n];
+        row[s] = 0;
+        heap.clear();
+        heap.push(Reverse((0, s as u32)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > row[v as usize] {
+                continue;
+            }
+            let begin = g.row_offsets()[v as usize] as usize;
+            let end = g.row_offsets()[v as usize + 1] as usize;
+            for (e, &u) in g.col_indices()[begin..end].iter().enumerate() {
+                let u = u as usize;
+                let nd = d + weights[begin + e];
+                if nd < row[u] {
+                    row[u] = nd;
+                    heap.push(Reverse((nd, u as u32)));
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Checks a distance matrix against the Dijkstra reference.
+pub fn verify_apsp(g: &Csr, dist: &[u32]) -> bool {
+    let n = g.num_vertices();
+    dist.len() == n * n && dist == reference_apsp(g).as_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::CsrBuilder;
+
+    fn weighted_path() -> Csr {
+        let mut b = CsrBuilder::new(3).symmetric(true);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        Csr::from_raw(
+            g.row_offsets().to_vec(),
+            g.col_indices().to_vec(),
+            Some(vec![4; g.num_edges()]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reference_on_path() {
+        let d = reference_apsp(&weighted_path());
+        assert_eq!(d[2], 8); // dist(0, 2)
+        assert_eq!(d[2 * 3], 8); // dist(2, 0)
+        assert_eq!(d[3 + 1], 0); // dist(1, 1)
+    }
+
+    #[test]
+    fn verify_rejects_wrong_entry() {
+        let g = weighted_path();
+        let mut d = reference_apsp(&g);
+        assert!(verify_apsp(&g, &d));
+        d[2] = 7;
+        assert!(!verify_apsp(&g, &d));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_size() {
+        assert!(!verify_apsp(&weighted_path(), &[0, 1]));
+    }
+}

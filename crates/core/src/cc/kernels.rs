@@ -1,0 +1,180 @@
+//! The ECL-CC kernels: init, degree-dispatched compute (hooking), and
+//! flatten.
+//!
+//! ECL-CC processes vertices at thread, warp, or block granularity
+//! depending on their degree to keep the load balanced (paper §II-B-2). The
+//! simulator reproduces this with a two-level dispatch: light vertices are
+//! hooked directly by their owning thread, heavy vertices are pushed to a
+//! device worklist whose *edges* are then processed edge-parallel by a
+//! second kernel.
+
+use crate::common::{union_find_hook, union_find_rep, DeviceGraph};
+use crate::primitives::AccessPolicy;
+use ecl_simt::{DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+
+/// Degree above which a vertex's edges are processed edge-parallel rather
+/// than by a single thread (ECL-CC's granularity switch).
+const HEAVY_DEGREE: u32 = 32;
+
+/// Launches the full ECL-CC pipeline; returns the device label array.
+pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u32> {
+    let n = dg.n;
+    let labels = gpu.alloc_named::<u32>(n as usize, "label");
+    // Worklist of heavy vertices plus its append cursor.
+    let heavy = gpu.alloc::<u32>(n as usize);
+    let heavy_count = gpu.alloc::<u32>(1);
+    let g = *dg;
+
+    // Init: label[v] = the first neighbor smaller than v, else v. This
+    // "hooking shortcut" seeds the union-find with cheap initial merges.
+    gpu.launch(
+        LaunchConfig::for_items(n).with_visibility(visibility),
+        ForEach::new("cc_init", n, move |ctx, v| {
+            let begin = ctx.load(g.row_offsets.at(v as usize));
+            let end = ctx.load(g.row_offsets.at(v as usize + 1));
+            let mut label = v;
+            for e in begin..end {
+                let u = ctx.load(g.col_indices.at(e as usize));
+                if u < v {
+                    label = u;
+                    break;
+                }
+            }
+            P::write_u32(ctx, labels.at(v as usize), label);
+        }),
+    );
+
+    // Compute, level 1: light vertices hook their own edges; heavy vertices
+    // are deferred to the edge-parallel pass (ECL-CC's load balancing).
+    // Processing each undirected edge once (u < v) halves the work.
+    gpu.launch(
+        LaunchConfig::for_items(n).with_visibility(visibility),
+        ForEach::new("cc_compute_light", n, move |ctx, v| {
+            let begin = ctx.load(g.row_offsets.at(v as usize));
+            let end = ctx.load(g.row_offsets.at(v as usize + 1));
+            if end - begin > HEAVY_DEGREE {
+                let slot = ctx.atomic_add_u32(heavy_count.at(0), 1);
+                ctx.store(heavy.at(slot as usize), v);
+                return;
+            }
+            for e in begin..end {
+                let u = ctx.load(g.col_indices.at(e as usize));
+                if u < v {
+                    union_find_hook::<P>(ctx, labels, v, u);
+                }
+            }
+        })
+        .with_chunk(4),
+    );
+
+    // Compute, level 2: the heavy vertices' adjacency lists, edge-parallel.
+    let num_heavy = gpu.read_scalar(&heavy_count, 0);
+    if num_heavy > 0 {
+        // An upper bound on the work: iterate (heavy index, edge slot) pairs
+        // with a grid-stride kernel over the concatenated heavy edge count.
+        let heavy_ids: Vec<u32> = gpu.download(&heavy)[..num_heavy as usize].to_vec();
+        let offsets: Vec<u32> = {
+            let host_offsets = gpu.download(&dg.row_offsets);
+            let mut acc = 0u32;
+            let mut out = Vec::with_capacity(heavy_ids.len() + 1);
+            out.push(0);
+            for &v in &heavy_ids {
+                acc += host_offsets[v as usize + 1] - host_offsets[v as usize];
+                out.push(acc);
+            }
+            out
+        };
+        let total_heavy_edges = *offsets.last().unwrap();
+        let heavy_offsets = gpu.alloc::<u32>(offsets.len());
+        gpu.upload(&heavy_offsets, &offsets);
+        let heavy_list = heavy;
+        gpu.launch(
+            LaunchConfig::for_items(total_heavy_edges).with_visibility(visibility),
+            ForEach::new("cc_compute_heavy", total_heavy_edges, move |ctx, i| {
+                // Binary-search the heavy vertex owning edge slot i.
+                let mut lo = 0u32;
+                let mut hi = num_heavy;
+                while lo + 1 < hi {
+                    let mid = (lo + hi) / 2;
+                    ctx.compute(1);
+                    if ctx.load(heavy_offsets.at(mid as usize)) <= i {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let v = ctx.load(heavy_list.at(lo as usize));
+                let local = i - ctx.load(heavy_offsets.at(lo as usize));
+                let begin = ctx.load(g.row_offsets.at(v as usize));
+                let u = ctx.load(g.col_indices.at((begin + local) as usize));
+                if u < v {
+                    union_find_hook::<P>(ctx, labels, v, u);
+                }
+            })
+            .with_chunk(8),
+        );
+    }
+
+    // Flatten: every vertex records its final representative.
+    gpu.launch(
+        LaunchConfig::for_items(n).with_visibility(visibility),
+        ForEach::new("cc_flatten", n, move |ctx, v| {
+            let r = union_find_rep::<P>(ctx, labels, v);
+            P::write_u32(ctx, labels.at(v as usize), r);
+        }),
+    );
+
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::verify_components;
+    use crate::primitives::{Atomic, Plain};
+    use ecl_simt::GpuConfig;
+
+    /// A hub graph exercises the heavy path: the center's degree far
+    /// exceeds `HEAVY_DEGREE`.
+    #[test]
+    fn heavy_dispatch_handles_hubs() {
+        let n = 300;
+        let mut b = ecl_graph::CsrBuilder::new(n).symmetric(true);
+        for v in 1..n as u32 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        for visibility in [StoreVisibility::Immediate, StoreVisibility::DeferUntilYield] {
+            let mut gpu = Gpu::new(GpuConfig::test_tiny());
+            let dg = DeviceGraph::upload(&mut gpu, &g);
+            let labels = run_on::<Plain>(&mut gpu, &dg, visibility);
+            let host = gpu.download(&labels);
+            assert!(verify_components(&g, &host));
+            // All of the star is one component.
+            assert!(host.iter().all(|&l| l == host[0]));
+        }
+    }
+
+    #[test]
+    fn mixed_light_and_heavy_vertices() {
+        // A hub plus a long path: exercises both dispatch levels at once.
+        let n = 200;
+        let mut b = ecl_graph::CsrBuilder::new(n).symmetric(true);
+        for v in 1..100u32 {
+            b.add_edge(0, v);
+        }
+        for v in 100..n as u32 - 1 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build();
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let dg = DeviceGraph::upload(&mut gpu, &g);
+        let labels = run_on::<Atomic>(&mut gpu, &dg, StoreVisibility::Immediate);
+        let host = gpu.download(&labels);
+        assert!(verify_components(&g, &host));
+    }
+}

@@ -1,0 +1,47 @@
+//! Validation for graph colorings.
+
+use super::NO_COLOR;
+use ecl_graph::Csr;
+
+/// Checks that every vertex is colored and no edge connects equal colors.
+pub fn verify_coloring(g: &Csr, colors: &[u32]) -> bool {
+    if colors.len() != g.num_vertices() {
+        return false;
+    }
+    if colors.contains(&NO_COLOR) {
+        return false;
+    }
+    g.edges().all(|(v, u)| colors[v as usize] != colors[u as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::CsrBuilder;
+
+    fn triangle() -> Csr {
+        let mut b = CsrBuilder::new(3).symmetric(true);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn accepts_proper_coloring() {
+        assert!(verify_coloring(&triangle(), &[0, 1, 2]));
+    }
+
+    #[test]
+    fn rejects_conflicting_colors() {
+        assert!(!verify_coloring(&triangle(), &[0, 0, 1]));
+    }
+
+    #[test]
+    fn rejects_uncolored_vertex() {
+        assert!(!verify_coloring(&triangle(), &[0, 1, NO_COLOR]));
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        assert!(!verify_coloring(&triangle(), &[0, 1]));
+    }
+}

@@ -1,0 +1,66 @@
+//! Validation for maximal independent sets.
+
+use ecl_graph::Csr;
+
+/// Checks independence (no two set members are adjacent) and maximality
+/// (every non-member has a member neighbor).
+pub fn verify_mis(g: &Csr, in_set: &[bool]) -> bool {
+    if in_set.len() != g.num_vertices() {
+        return false;
+    }
+    for v in 0..g.num_vertices() {
+        if in_set[v] {
+            // Independence.
+            if g.neighbors(v).iter().any(|&u| in_set[u as usize]) {
+                return false;
+            }
+        } else {
+            // Maximality: v must be excluded for a reason.
+            if !g.neighbors(v).iter().any(|&u| in_set[u as usize]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::CsrBuilder;
+
+    fn path4() -> Csr {
+        let mut b = CsrBuilder::new(4).symmetric(true);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn accepts_valid_mis() {
+        assert!(verify_mis(&path4(), &[true, false, true, false]));
+        assert!(verify_mis(&path4(), &[false, true, false, true]));
+    }
+
+    #[test]
+    fn rejects_adjacent_members() {
+        assert!(!verify_mis(&path4(), &[true, true, false, true]));
+    }
+
+    #[test]
+    fn rejects_non_maximal_set() {
+        // Vertex 3 could be added: not maximal.
+        assert!(!verify_mis(&path4(), &[true, false, false, false]));
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        assert!(!verify_mis(&path4(), &[true, false]));
+    }
+
+    #[test]
+    fn isolated_vertices_must_be_in() {
+        let g = CsrBuilder::new(3).build(); // no edges
+        assert!(verify_mis(&g, &[true, true, true]));
+        assert!(!verify_mis(&g, &[true, false, true]));
+    }
+}

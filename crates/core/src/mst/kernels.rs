@@ -1,0 +1,130 @@
+//! The ECL-MST kernels: per-round best-edge reduction and component merging.
+
+use crate::common::{union_find_rep, DeviceGraph};
+use crate::primitives::AccessPolicy;
+use ecl_graph::Csr;
+use ecl_simt::{DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+
+/// Packs `(weight, edge)` into the `u64` key minimized per component.
+/// 26 bits of edge index keep keys unique for graphs up to 67 M edges.
+#[inline]
+fn pack(weight: u32, edge: u32) -> u64 {
+    ((weight as u64) << 26) | edge as u64
+}
+
+/// Extracts the edge index from a packed key.
+#[inline]
+fn unpack_edge(key: u64) -> u32 {
+    (key & ((1 << 26) - 1)) as u32
+}
+
+/// Launches the Borůvka rounds; returns the per-edge MST membership flags.
+pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    g: &Csr,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u8> {
+    let n = dg.n;
+    let m = dg.m;
+    assert!(m < (1 << 26), "edge index overflows the packed key");
+    let parent = gpu.alloc_named::<u32>(n as usize, "parent");
+    let best = gpu.alloc_named::<u64>(n as usize, "best");
+    // Padded to a word multiple for the race-free byte writes (Fig. 4).
+    let in_mst = gpu.alloc::<u8>(((m as usize).max(1) + 3) & !3);
+    let changed = gpu.alloc::<u32>(1);
+
+    // The edge-centric kernels need each edge's source vertex.
+    let edge_src_host: Vec<u32> = g.edges().map(|(s, _)| s).collect();
+    let edge_src = gpu.alloc::<u32>((m as usize).max(1));
+    gpu.upload(&edge_src, &edge_src_host);
+    let graph = *dg;
+    let weights = dg.weights.expect("weights uploaded");
+
+    gpu.launch(
+        LaunchConfig::for_items(n).with_visibility(visibility),
+        ForEach::new("mst_init", n, move |ctx, v| {
+            ctx.store(parent.at(v as usize), v);
+            ctx.store(best.at(v as usize), u64::MAX);
+        }),
+    );
+
+    loop {
+        gpu.write_scalar(&changed, 0, 0u32);
+
+        // Round part 1: every cross-component edge bids for both of its
+        // endpoint components' best-edge slots (atomicMin in both variants,
+        // as in ECL-MST — the races are in the parent/best *reads*).
+        gpu.launch(
+            LaunchConfig::for_items(m).with_visibility(visibility),
+            ForEach::new("mst_find_min", m, move |ctx, e| {
+                let u = ctx.load(edge_src.at(e as usize));
+                let v = ctx.load(graph.col_indices.at(e as usize));
+                if u >= v {
+                    // Process each undirected edge once.
+                    return;
+                }
+                let ru = union_find_rep::<P>(ctx, parent, u);
+                let rv = union_find_rep::<P>(ctx, parent, v);
+                if ru == rv {
+                    return;
+                }
+                let w = ctx.load(weights.at(e as usize));
+                let key = pack(w, e);
+                ctx.atomic_min_u64(best.at(ru as usize), key);
+                ctx.atomic_min_u64(best.at(rv as usize), key);
+            })
+            .with_chunk(8),
+        );
+
+        // Round part 2: each component adopts its best edge and merges.
+        gpu.launch(
+            LaunchConfig::for_items(n).with_visibility(visibility),
+            ForEach::new("mst_connect", n, move |ctx, v| {
+                let key = P::read_u64(ctx, best.at(v as usize));
+                if key == u64::MAX {
+                    return;
+                }
+                // Reset for the next round (own slot, single writer).
+                ctx.store(best.at(v as usize), u64::MAX);
+                let e = unpack_edge(key);
+                let a = ctx.load(edge_src.at(e as usize));
+                let b = ctx.load(graph.col_indices.at(e as usize));
+                loop {
+                    let ra = union_find_rep::<P>(ctx, parent, a);
+                    let rb = union_find_rep::<P>(ctx, parent, b);
+                    if ra == rb {
+                        break;
+                    }
+                    let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+                    if ctx.atomic_cas_u32(parent.at(hi as usize), hi, lo) == hi {
+                        // This call performed the merge: the edge joins the
+                        // MST exactly once, so no cycle can form.
+                        P::write_byte(ctx, in_mst.as_ptr(), e, 1);
+                        P::raise_flag(ctx, changed.at(0));
+                        break;
+                    }
+                }
+            })
+            .with_chunk(8),
+        );
+
+        if gpu.read_scalar(&changed, 0) == 0 {
+            break;
+        }
+    }
+
+    in_mst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_orders_by_weight_then_edge() {
+        assert!(pack(5, 100) < pack(6, 0));
+        assert!(pack(5, 1) < pack(5, 2));
+        assert_eq!(unpack_edge(pack(123, 4567)), 4567);
+    }
+}

@@ -1,0 +1,102 @@
+//! The ECL-SCC kernels: pair init, edge-centric max-ID propagation, and
+//! settlement.
+
+use crate::common::DeviceGraph;
+use crate::primitives::AccessPolicy;
+use ecl_graph::Csr;
+use ecl_simt::{DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+
+/// Launches the outer settle loop; returns the per-vertex SCC pivot ids.
+pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    g: &Csr,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u32> {
+    let n = dg.n;
+    let m = dg.m;
+    // pairs[v]: (forward max-ID, backward max-ID) as the two int halves of a
+    // long long — the paper's int2 conversion target. IDs are v+1 so 0 means
+    // "none".
+    let pairs = gpu.alloc_named::<u64>(n as usize, "max_id_pair");
+    // scc_ids[v]: 0 = unsettled, otherwise pivot id + 1.
+    let scc_ids = gpu.alloc::<u32>(n as usize);
+    // The global "repeat" flag: a plain bool in the baseline, an int with
+    // atomic accesses in the race-free code (paper §IV-C).
+    let repeat = gpu.alloc_named::<u32>(1, "repeat_flag");
+    let settled_count = gpu.alloc::<u32>(1);
+
+    let edge_src_host: Vec<u32> = g.edges().map(|(s, _)| s).collect();
+    let edge_src = gpu.alloc::<u32>((m as usize).max(1));
+    gpu.upload(&edge_src, &edge_src_host);
+    let graph = *dg;
+
+    let mut unsettled = n;
+    while unsettled > 0 {
+        // Re-seed every unsettled vertex's pair with its own id.
+        gpu.launch(
+            LaunchConfig::for_items(n).with_visibility(visibility),
+            ForEach::new("scc_init", n, move |ctx, v| {
+                if ctx.load(scc_ids.at(v as usize)) == 0 {
+                    let id = (v + 1) as u64;
+                    ctx.store(pairs.at(v as usize), (id << 32) | id);
+                }
+            }),
+        );
+
+        // Propagate max IDs forward and backward until a fixed point. The
+        // monotone max updates are exactly where the baseline races.
+        loop {
+            gpu.write_scalar(&repeat, 0, 0u32);
+            gpu.launch(
+                LaunchConfig::for_items(m).with_visibility(visibility),
+                ForEach::new("scc_propagate", m, move |ctx, e| {
+                    let u = ctx.load(edge_src.at(e as usize));
+                    let v = ctx.load(graph.col_indices.at(e as usize));
+                    if ctx.load(scc_ids.at(u as usize)) != 0
+                        || ctx.load(scc_ids.at(v as usize)) != 0
+                    {
+                        return;
+                    }
+                    // Forward: the max ID reaching u also reaches v.
+                    let fw = P::read_pair_first(ctx, pairs.at(u as usize));
+                    if P::max_pair_first(ctx, pairs.at(v as usize), fw) {
+                        P::raise_flag(ctx, repeat.at(0));
+                    }
+                    // Backward: whatever v reaches, u reaches too.
+                    let bw = P::read_pair_second(ctx, pairs.at(v as usize));
+                    if P::max_pair_second(ctx, pairs.at(u as usize), bw) {
+                        P::raise_flag(ctx, repeat.at(0));
+                    }
+                })
+                .with_chunk(16),
+            );
+            if gpu.read_scalar(&repeat, 0) == 0 {
+                break;
+            }
+        }
+
+        // Settle: a vertex whose forward and backward maxima agree belongs
+        // to the SCC pivoted by that ID.
+        gpu.write_scalar(&settled_count, 0, 0u32);
+        gpu.launch(
+            LaunchConfig::for_items(n).with_visibility(visibility),
+            ForEach::new("scc_settle", n, move |ctx, v| {
+                if ctx.load(scc_ids.at(v as usize)) != 0 {
+                    return;
+                }
+                let fw = P::read_pair_first(ctx, pairs.at(v as usize));
+                let bw = P::read_pair_second(ctx, pairs.at(v as usize));
+                if fw == bw {
+                    ctx.store(scc_ids.at(v as usize), fw);
+                    ctx.atomic_add_u32(settled_count.at(0), 1);
+                }
+            }),
+        );
+        let settled = gpu.read_scalar(&settled_count, 0);
+        assert!(settled > 0, "SCC made no progress (algorithm bug)");
+        unsettled -= settled;
+    }
+
+    scc_ids
+}

@@ -1,0 +1,145 @@
+//! Serial Tarjan reference and validation for strongly connected components.
+
+use ecl_graph::Csr;
+
+/// Computes SCC membership with an iterative Tarjan; returns the label per
+/// vertex and the number of components.
+pub fn reference_sccs(g: &Csr) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut labels = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_sccs = 0usize;
+
+    // Explicit DFS frames: (vertex, next-edge-offset).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while !frames.is_empty() {
+            let fi = frames.len() - 1;
+            let v = frames[fi].0;
+            let begin = g.row_offsets()[v as usize];
+            let end = g.row_offsets()[v as usize + 1];
+            let mut descended = false;
+            while begin + frames[fi].1 < end {
+                let u = g.col_indices()[(begin + frames[fi].1) as usize];
+                frames[fi].1 += 1;
+                if index[u as usize] == UNVISITED {
+                    index[u as usize] = next_index;
+                    lowlink[u as usize] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u as usize] = true;
+                    frames.push((u, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[u as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[u as usize]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished: close its SCC if v is a root.
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+            }
+            if lowlink[v as usize] == index[v as usize] {
+                num_sccs += 1;
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    labels[w as usize] = v;
+                    if w == v {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (labels, num_sccs)
+}
+
+/// Checks that a labeling induces exactly the SCC partition computed by the
+/// serial reference.
+pub fn verify_sccs(g: &Csr, labels: &[u32]) -> bool {
+    if labels.len() != g.num_vertices() {
+        return false;
+    }
+    let (reference, _) = reference_sccs(g);
+    crate::common::canonical_partition(labels) == crate::common::canonical_partition(&reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::CsrBuilder;
+
+    #[test]
+    fn cycle_is_one_scc() {
+        let mut b = CsrBuilder::new(5);
+        for v in 0..5u32 {
+            b.add_edge(v, (v + 1) % 5);
+        }
+        let (labels, count) = reference_sccs(&b.build());
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn dag_is_all_singletons() {
+        let mut b = CsrBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 3);
+        let (_, count) = reference_sccs(&b.build());
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // 0->1->2->0 cycle plus a tail 2->3.
+        let mut b = CsrBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).add_edge(2, 3);
+        let (labels, count) = reference_sccs(&b.build());
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[3], labels[0]);
+    }
+
+    #[test]
+    fn verify_matches_reference_only() {
+        let mut b = CsrBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(2, 3).add_edge(3, 2);
+        let g = b.build();
+        assert!(verify_sccs(&g, &[9, 9, 4, 4]));
+        assert!(!verify_sccs(&g, &[9, 9, 9, 9]));
+        assert!(!verify_sccs(&g, &[1, 2, 3, 4]));
+        assert!(!verify_sccs(&g, &[1, 1]));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // 20k-vertex path: recursive Tarjan would blow the stack.
+        let n = 20_000;
+        let mut b = CsrBuilder::new(n);
+        for v in 0..(n as u32 - 1) {
+            b.add_edge(v, v + 1);
+        }
+        let (_, count) = reference_sccs(&b.build());
+        assert_eq!(count, n);
+    }
+}

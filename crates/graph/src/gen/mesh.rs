@@ -1,0 +1,188 @@
+//! Directed mesh topologies used by the SCC experiments
+//! (`cold-flow`, `klein-bottle`, `star`, `toroid-hex`, `toroid-wedge`).
+//!
+//! The ECL-SCC paper evaluates on meshes whose strongly connected components
+//! follow the mesh's cyclic structure. These generators build directed
+//! meshes whose edges wrap, so large SCCs exist, and whose degrees match the
+//! published d-avg/d-max (all between 2.0 and 3.0).
+
+use crate::{Csr, CsrBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A directed 3D mesh (`cold-flow` family): vertices on a `w × h × d` box,
+/// each with directed edges to +x/+y/+z neighbors (wrapping in x only), which
+/// yields d-avg ≈ 3 and long directed cycles along x.
+///
+/// # Panics
+///
+/// Panics if any dimension is < 2.
+pub fn mesh3d_directed(w: usize, h: usize, d: usize) -> Csr {
+    assert!(w >= 2 && h >= 2 && d >= 2, "all mesh dimensions must be >= 2");
+    let n = w * h * d;
+    let mut b = CsrBuilder::new(n);
+    let idx = |x: usize, y: usize, z: usize| (z * h + y) * w + x;
+    for z in 0..d {
+        for y in 0..h {
+            for x in 0..w {
+                let v = idx(x, y, z) as u32;
+                b.add_edge(v, idx((x + 1) % w, y, z) as u32);
+                if y + 1 < h {
+                    b.add_edge(v, idx(x, y + 1, z) as u32);
+                } else {
+                    b.add_edge(idx(x, y, z) as u32, idx(x, 0, z) as u32);
+                }
+                if z + 1 < d {
+                    b.add_edge(v, idx(x, y, z + 1) as u32);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A directed Klein-bottle mesh (`klein-bottle` family): a `w × h` grid where
+/// rows wrap normally but columns wrap with a flip. Roughly 2 out-edges per
+/// vertex (d-avg ≈ 2.24 in the paper).
+///
+/// # Panics
+///
+/// Panics if `w < 2` or `h < 2`.
+pub fn klein_bottle(w: usize, h: usize, seed: u64) -> Csr {
+    assert!(w >= 2 && h >= 2, "klein bottle needs at least 2x2 cells");
+    let n = w * h;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n);
+    let idx = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            let v = idx(x, y) as u32;
+            b.add_edge(v, idx((x + 1) % w, y) as u32);
+            // Vertical edges wrap with the Klein-bottle x-flip on the top row.
+            if y + 1 < h {
+                b.add_edge(v, idx(x, y + 1) as u32);
+            } else {
+                b.add_edge(v, idx(w - 1 - x, 0) as u32);
+            }
+            // Sparse diagonals push d-avg to ≈ 2.25 as published.
+            if rng.random_bool(0.25) {
+                b.add_edge(v, idx((x + 1) % w, (y + 1) % h) as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `star` mesh: a star polygon `{n/k}` overlay — every vertex has exactly
+/// two out-edges, to its cycle successor and to the vertex `k` steps ahead
+/// (d-avg = d-max = 2 in the paper).
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `step` is not in `2..n`.
+pub fn star_polygon(n: usize, step: usize) -> Csr {
+    assert!(n >= 4, "need at least four vertices");
+    assert!((2..n).contains(&step), "step must be in 2..n");
+    let mut b = CsrBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v as u32, ((v + 1) % n) as u32);
+        b.add_edge(v as u32, ((v + step) % n) as u32);
+    }
+    b.build()
+}
+
+/// A hexagonal torus mesh (`toroid-hex` family): each vertex points to three
+/// wrapped neighbors (d-avg ≈ 3).
+///
+/// # Panics
+///
+/// Panics if `w < 2` or `h < 2`.
+pub fn toroid_hex(w: usize, h: usize) -> Csr {
+    assert!(w >= 2 && h >= 2, "torus needs at least 2x2 cells");
+    let n = w * h;
+    let mut b = CsrBuilder::new(n);
+    let idx = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            let v = idx(x, y) as u32;
+            b.add_edge(v, idx((x + 1) % w, y) as u32);
+            b.add_edge(v, idx(x, (y + 1) % h) as u32);
+            // The hex diagonal.
+            b.add_edge(v, idx((x + 1) % w, (y + 1) % h) as u32);
+        }
+    }
+    b.build()
+}
+
+/// A wedge-shaped torus mesh (`toroid-wedge` family): a torus where half the
+/// vertices have two out-edges and half have three (d-avg ≈ 2.5).
+///
+/// # Panics
+///
+/// Panics if `w < 2` or `h < 2`.
+pub fn toroid_wedge(w: usize, h: usize) -> Csr {
+    assert!(w >= 2 && h >= 2, "torus needs at least 2x2 cells");
+    let n = w * h;
+    let mut b = CsrBuilder::new(n);
+    let idx = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            let v = idx(x, y) as u32;
+            b.add_edge(v, idx((x + 1) % w, y) as u32);
+            b.add_edge(v, idx(x, (y + 1) % h) as u32);
+            if (x + y) % 2 == 0 {
+                b.add_edge(v, idx((x + w - 1) % w, y) as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::properties;
+
+    #[test]
+    fn mesh3d_degree_near_three() {
+        let g = mesh3d_directed(16, 8, 8);
+        let p = properties(&g);
+        assert!((2.0..=3.2).contains(&p.avg_degree));
+        assert!(p.max_degree <= 5);
+    }
+
+    #[test]
+    fn klein_bottle_degree_near_two() {
+        let g = klein_bottle(64, 64, 1);
+        let p = properties(&g);
+        assert!((1.9..=2.6).contains(&p.avg_degree), "avg {}", p.avg_degree);
+    }
+
+    #[test]
+    fn star_polygon_is_two_regular() {
+        let g = star_polygon(320, 7);
+        let p = properties(&g);
+        assert_eq!(p.max_degree, 2);
+        assert!((p.avg_degree - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toroid_hex_is_three_regular() {
+        let g = toroid_hex(32, 32);
+        let p = properties(&g);
+        assert_eq!(p.max_degree, 3);
+    }
+
+    #[test]
+    fn toroid_wedge_degree_near_two_and_a_half() {
+        let g = toroid_wedge(32, 24);
+        let p = properties(&g);
+        assert!((2.2..=2.8).contains(&p.avg_degree));
+    }
+
+    #[test]
+    fn meshes_are_directed() {
+        assert!(!mesh3d_directed(4, 4, 4).is_symmetric());
+        assert!(!star_polygon(16, 3).is_symmetric());
+    }
+}

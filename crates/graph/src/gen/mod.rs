@@ -1,0 +1,41 @@
+//! Synthetic graph generators for the paper's input families.
+//!
+//! Each generator is deterministic for a given seed and produces graphs whose
+//! *structural class* (degree distribution shape, diameter class, directed
+//! topology) matches one of the paper's inputs, at configurable scale.
+//!
+//! | Generator | Paper inputs covered |
+//! |---|---|
+//! | [`grid2d_torus`] | `2d-2e20.sym` |
+//! | [`random_uniform`] | `r4-2e23.sym` |
+//! | [`rmat`] | `rmat16.sym`, `rmat22.sym`, `kron_g500-logn21` |
+//! | [`pref_attach`] | `amazon0601`, `citationCiteseer`, `cit-Patents`, `in-2004`, `internet`, `as-skitter`, `soc-LiveJournal1` |
+//! | [`clique_overlay`] | `coPapersDBLP` |
+//! | [`road_network`] | `europe_osm`, `USA-road-d.NY`, `USA-road-d.USA` |
+//! | [`delaunay_like`] | `delaunay_n24` |
+//! | [`pref_attach_directed`] | `flickr`, `web-Google`, `wikipedia` |
+//! | [`near_regular_directed`] | `cage14` |
+//! | [`hub_directed`] | `circuit5M` |
+//! | [`mesh3d_directed`] | `cold-flow` |
+//! | [`klein_bottle`] | `klein-bottle` |
+//! | [`star_polygon`] | `star` |
+//! | [`toroid_hex`] | `toroid-hex` |
+//! | [`toroid_wedge`] | `toroid-wedge` |
+
+mod delaunay;
+mod grid;
+mod mesh;
+mod prefattach;
+mod random;
+mod rmat;
+mod road;
+mod special;
+
+pub use delaunay::delaunay_like;
+pub use grid::grid2d_torus;
+pub use mesh::{klein_bottle, mesh3d_directed, star_polygon, toroid_hex, toroid_wedge};
+pub use prefattach::{pref_attach, pref_attach_directed};
+pub use random::random_uniform;
+pub use rmat::rmat;
+pub use road::road_network;
+pub use special::{clique_overlay, hub_directed, near_regular_directed};

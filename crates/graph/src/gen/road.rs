@@ -1,0 +1,78 @@
+//! Road-network generator (`europe_osm`, `USA-road-d.*` families).
+
+use crate::{Csr, CsrBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a road-network-like graph: vertices are embedded in a square
+/// lattice, connected by a spanning backbone of lattice paths plus a small
+/// fraction `extra_frac` of short-range shortcut edges. The result has the
+/// low, narrow degree distribution (d-avg ≈ 2–3, tiny d-max) and the very
+/// large diameter characteristic of the paper's OSM/USA-road inputs.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `extra_frac` is negative.
+pub fn road_network(n: usize, extra_frac: f64, seed: u64) -> Csr {
+    assert!(n >= 4, "need at least four vertices");
+    assert!(extra_frac >= 0.0, "extra_frac must be non-negative");
+    let width = (n as f64).sqrt().ceil() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n).symmetric(true);
+
+    // Backbone: serpentine path through the lattice guarantees connectivity
+    // with degree 2, like a long road.
+    for v in 1..n {
+        b.add_edge(v as u32 - 1, v as u32);
+    }
+    // Cross streets: connect a random subset of vertical lattice neighbors.
+    for v in 0..n.saturating_sub(width) {
+        if rng.random_bool(0.35) {
+            b.add_edge(v as u32, (v + width) as u32);
+        }
+    }
+    // Shortcuts: a few short-range extra edges (ramps, bridges).
+    let extras = (n as f64 * extra_frac) as usize;
+    for _ in 0..extras {
+        let v = rng.random_range(0..n);
+        let span = rng.random_range(2..=width.max(3));
+        let u = (v + span).min(n - 1);
+        if u != v {
+            b.add_edge(v as u32, u as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::properties;
+
+    #[test]
+    fn road_degrees_are_low_and_narrow() {
+        let g = road_network(4096, 0.05, 2);
+        let p = properties(&g);
+        assert!(p.avg_degree < 3.5, "avg degree {} too high", p.avg_degree);
+        assert!(p.max_degree <= 16, "max degree {} too high", p.max_degree);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn road_is_connected_via_backbone() {
+        let g = road_network(256, 0.0, 1);
+        // BFS from 0 must reach everything.
+        let mut seen = vec![false; g.num_vertices()];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push(u as usize);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

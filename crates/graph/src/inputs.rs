@@ -1,0 +1,406 @@
+//! The input catalog: every row of the paper's Table II (undirected) and
+//! Table III (directed), mapped to a scaled synthetic generator.
+//!
+//! The `scale` parameter multiplies the default (scale = 1.0) vertex budget;
+//! the defaults are chosen so the full experiment matrix completes in minutes
+//! on one CPU core (the paper's originals are 250–5000× larger — see
+//! DESIGN.md §2 for the substitution rationale).
+
+use crate::{gen, Csr};
+
+/// Whether an input is an undirected (Table II) or directed (Table III) graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Directedness {
+    /// Symmetric CSR; used by CC, GC, MIS, and MST.
+    Undirected,
+    /// Directed CSR; used by SCC.
+    Directed,
+}
+
+/// Metadata published in the paper's input tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperMeta {
+    /// Edge count from Table II/III.
+    pub edges: u64,
+    /// Vertex count from Table II/III.
+    pub vertices: u64,
+    /// The "Type" column.
+    pub kind: &'static str,
+    /// Average degree column.
+    pub d_avg: f64,
+    /// Maximum degree column.
+    pub d_max: u64,
+}
+
+/// One row of the input catalog.
+#[derive(Clone, Copy)]
+pub struct GraphInput {
+    name: &'static str,
+    directedness: Directedness,
+    paper: PaperMeta,
+    builder: fn(f64, u64) -> Csr,
+}
+
+impl std::fmt::Debug for GraphInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphInput")
+            .field("name", &self.name)
+            .field("directedness", &self.directedness)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GraphInput {
+    /// The input's name, identical to the paper's tables.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether this is a Table II (undirected) or Table III (directed) input.
+    pub fn directedness(&self) -> Directedness {
+        self.directedness
+    }
+
+    /// The metadata the paper publishes for the original input.
+    pub fn paper_meta(&self) -> PaperMeta {
+        self.paper
+    }
+
+    /// Builds the scaled synthetic stand-in.
+    ///
+    /// `scale` multiplies the default vertex budget (1.0 = the repo default);
+    /// `seed` controls all randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive or is small enough to underflow a
+    /// generator's minimum size.
+    pub fn build(&self, scale: f64, seed: u64) -> Csr {
+        assert!(scale > 0.0, "scale must be positive");
+        (self.builder)(scale, seed)
+    }
+
+    /// Looks up a catalog entry by its paper name.
+    pub fn by_name(name: &str) -> Option<GraphInput> {
+        undirected_catalog()
+            .iter()
+            .chain(directed_catalog().iter())
+            .find(|i| i.name == name)
+            .copied()
+    }
+}
+
+/// Scales a vertex budget, keeping at least `min`.
+fn sv(base: usize, scale: f64, min: usize) -> usize {
+    ((base as f64 * scale) as usize).max(min)
+}
+
+/// The 17 undirected inputs of Table II (used by CC, GC, MIS, MST).
+pub fn undirected_catalog() -> &'static [GraphInput] {
+    macro_rules! meta {
+        ($e:expr, $v:expr, $k:expr, $da:expr, $dm:expr) => {
+            PaperMeta {
+                edges: $e,
+                vertices: $v,
+                kind: $k,
+                d_avg: $da,
+                d_max: $dm,
+            }
+        };
+    }
+    const CATALOG: &[GraphInput] = &[
+        GraphInput {
+            name: "2d-2e20.sym",
+            directedness: Directedness::Undirected,
+            paper: meta!(4_190_208, 1_048_576, "grid", 4.0, 4),
+            builder: |s, _| {
+                let side = (sv(4096, s, 64) as f64).sqrt() as usize;
+                gen::grid2d_torus(side, side)
+            },
+        },
+        GraphInput {
+            name: "amazon0601",
+            directedness: Directedness::Undirected,
+            paper: meta!(4_886_816, 403_394, "co-purchases", 12.1, 2_752),
+            builder: |s, seed| gen::pref_attach(sv(4000, s, 64), 6, 0.02, seed),
+        },
+        GraphInput {
+            name: "as-skitter",
+            directedness: Directedness::Undirected,
+            paper: meta!(22_190_596, 1_696_415, "Internet topology", 13.1, 35_455),
+            builder: |s, seed| gen::pref_attach(sv(6000, s, 64), 6, 0.12, seed),
+        },
+        GraphInput {
+            name: "citationCiteseer",
+            directedness: Directedness::Undirected,
+            paper: meta!(2_313_294, 268_495, "publication citations", 8.6, 1_318),
+            builder: |s, seed| gen::pref_attach(sv(2700, s, 64), 4, 0.03, seed),
+        },
+        GraphInput {
+            name: "cit-Patents",
+            directedness: Directedness::Undirected,
+            paper: meta!(33_037_894, 3_774_768, "patent citations", 8.8, 793),
+            builder: |s, seed| gen::pref_attach(sv(15000, s, 64), 4, 0.005, seed),
+        },
+        GraphInput {
+            name: "coPapersDBLP",
+            directedness: Directedness::Undirected,
+            paper: meta!(30_491_458, 540_486, "publication citations", 56.4, 3_299),
+            builder: |s, seed| {
+                let n = sv(2200, s, 64);
+                gen::clique_overlay(n, n / 2, 10, seed)
+            },
+        },
+        GraphInput {
+            name: "delaunay_n24",
+            directedness: Directedness::Undirected,
+            paper: meta!(100_663_202, 16_777_216, "triangulation", 6.0, 26),
+            builder: |s, seed| gen::delaunay_like(sv(16384, s, 64), seed),
+        },
+        GraphInput {
+            name: "europe_osm",
+            directedness: Directedness::Undirected,
+            paper: meta!(108_109_320, 50_912_018, "roadmap", 2.1, 13),
+            builder: |s, seed| gen::road_network(sv(32768, s, 64), 0.02, seed),
+        },
+        GraphInput {
+            name: "in-2004",
+            directedness: Directedness::Undirected,
+            paper: meta!(27_182_946, 1_382_908, "weblinks", 19.7, 21_869),
+            builder: |s, seed| gen::pref_attach(sv(5500, s, 64), 9, 0.10, seed),
+        },
+        GraphInput {
+            name: "internet",
+            directedness: Directedness::Undirected,
+            paper: meta!(387_240, 124_651, "Internet topology", 3.1, 151),
+            builder: |s, seed| gen::pref_attach(sv(2000, s, 64), 2, 0.01, seed),
+        },
+        GraphInput {
+            name: "kron_g500-logn21",
+            directedness: Directedness::Undirected,
+            paper: meta!(182_081_864, 2_097_152, "Kronecker", 86.8, 213_904),
+            builder: |s, seed| {
+                let n = sv(8192, s, 64);
+                gen::rmat(n, n * 20, 0.57, 0.19, 0.19, true, seed)
+            },
+        },
+        GraphInput {
+            name: "r4-2e23.sym",
+            directedness: Directedness::Undirected,
+            paper: meta!(67_108_846, 8_388_608, "random", 8.0, 26),
+            builder: |s, seed| {
+                let n = sv(16384, s, 64);
+                gen::random_uniform(n, n * 4, true, seed)
+            },
+        },
+        GraphInput {
+            name: "rmat16.sym",
+            directedness: Directedness::Undirected,
+            paper: meta!(967_866, 65_536, "RMAT", 14.8, 569),
+            builder: |s, seed| {
+                let n = sv(4096, s, 64);
+                gen::rmat(n, n * 7, 0.45, 0.22, 0.22, true, seed)
+            },
+        },
+        GraphInput {
+            name: "rmat22.sym",
+            directedness: Directedness::Undirected,
+            paper: meta!(65_660_814, 4_194_304, "RMAT", 15.7, 3_687),
+            builder: |s, seed| {
+                let n = sv(16384, s, 64);
+                gen::rmat(n, n * 8, 0.45, 0.22, 0.22, true, seed)
+            },
+        },
+        GraphInput {
+            name: "soc-LiveJournal1",
+            directedness: Directedness::Undirected,
+            paper: meta!(85_702_474, 4_847_571, "community", 17.7, 20_333),
+            builder: |s, seed| gen::pref_attach(sv(16384, s, 64), 8, 0.03, seed),
+        },
+        GraphInput {
+            name: "USA-road-d.NY",
+            directedness: Directedness::Undirected,
+            paper: meta!(730_100, 264_346, "roadmap", 2.8, 8),
+            builder: |s, seed| gen::road_network(sv(4096, s, 64), 0.08, seed),
+        },
+        GraphInput {
+            name: "USA-road-d.USA",
+            directedness: Directedness::Undirected,
+            paper: meta!(57_708_624, 23_947_347, "roadmap", 2.4, 9),
+            builder: |s, seed| gen::road_network(sv(24576, s, 64), 0.04, seed),
+        },
+    ];
+    CATALOG
+}
+
+/// The 10 directed inputs of Table III (used by SCC).
+pub fn directed_catalog() -> &'static [GraphInput] {
+    macro_rules! meta {
+        ($e:expr, $v:expr, $k:expr, $da:expr, $dm:expr) => {
+            PaperMeta {
+                edges: $e,
+                vertices: $v,
+                kind: $k,
+                d_avg: $da,
+                d_max: $dm,
+            }
+        };
+    }
+    const CATALOG: &[GraphInput] = &[
+        GraphInput {
+            name: "cage14",
+            directedness: Directedness::Directed,
+            paper: meta!(27_130_349, 1_505_785, "power-law", 18.02, 41),
+            builder: |s, seed| gen::near_regular_directed(sv(5000, s, 64), 16, seed),
+        },
+        GraphInput {
+            name: "circuit5M",
+            directedness: Directedness::Directed,
+            paper: meta!(59_524_291, 5_558_326, "power-law", 10.71, 1_290_501),
+            builder: |s, seed| gen::hub_directed(sv(8192, s, 64), 8, 0.23, seed),
+        },
+        GraphInput {
+            name: "cold-flow",
+            directedness: Directedness::Directed,
+            paper: meta!(6_295_941, 2_112_512, "mesh", 2.98, 5),
+            builder: |s, _| {
+                let side = ((sv(8192, s, 64) as f64).powf(1.0 / 3.0)) as usize;
+                gen::mesh3d_directed(side.max(2) * 2, side.max(2), side.max(2))
+            },
+        },
+        GraphInput {
+            name: "flickr",
+            directedness: Directedness::Directed,
+            paper: meta!(9_837_214, 820_878, "power-law", 11.98, 10_272),
+            builder: |s, seed| gen::pref_attach_directed(sv(3300, s, 64), 8, 0.08, seed),
+        },
+        GraphInput {
+            name: "klein-bottle",
+            directedness: Directedness::Directed,
+            paper: meta!(18_793_715, 8_388_608, "mesh", 2.24, 4),
+            builder: |s, seed| {
+                let side = (sv(16384, s, 64) as f64).sqrt() as usize;
+                gen::klein_bottle(side, side, seed)
+            },
+        },
+        GraphInput {
+            name: "star",
+            directedness: Directedness::Directed,
+            paper: meta!(654_080, 327_680, "mesh", 2.00, 2),
+            builder: |s, _| gen::star_polygon(sv(1280, s, 64), 37),
+        },
+        GraphInput {
+            name: "toroid-hex",
+            directedness: Directedness::Directed,
+            paper: meta!(4_684_142, 1_572_864, "mesh", 2.98, 4),
+            builder: |s, _| {
+                let side = (sv(6144, s, 64) as f64).sqrt() as usize;
+                gen::toroid_hex(side, side)
+            },
+        },
+        GraphInput {
+            name: "toroid-wedge",
+            directedness: Directedness::Directed,
+            paper: meta!(487_798, 196_608, "mesh", 2.48, 4),
+            builder: |s, _| {
+                let side = (sv(768, s, 16) as f64).sqrt() as usize;
+                gen::toroid_wedge(side.max(4), side.max(4))
+            },
+        },
+        GraphInput {
+            name: "web-Google",
+            directedness: Directedness::Directed,
+            paper: meta!(5_105_039, 916_428, "power-law", 5.57, 456),
+            builder: |s, seed| gen::pref_attach_directed(sv(3600, s, 64), 4, 0.01, seed),
+        },
+        GraphInput {
+            name: "wikipedia",
+            directedness: Directedness::Directed,
+            paper: meta!(39_383_235, 3_148_440, "power-law", 12.51, 6_576),
+            builder: |s, seed| gen::pref_attach_directed(sv(12288, s, 64), 8, 0.03, seed),
+        },
+    ];
+    CATALOG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::properties;
+
+    #[test]
+    fn catalog_sizes_match_paper_tables() {
+        assert_eq!(undirected_catalog().len(), 17);
+        assert_eq!(directed_catalog().len(), 10);
+    }
+
+    #[test]
+    fn all_names_unique() {
+        let mut names: Vec<_> = undirected_catalog()
+            .iter()
+            .chain(directed_catalog())
+            .map(|i| i.name())
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn by_name_finds_entries() {
+        assert!(GraphInput::by_name("rmat16.sym").is_some());
+        assert!(GraphInput::by_name("wikipedia").is_some());
+        assert!(GraphInput::by_name("no-such-graph").is_none());
+    }
+
+    #[test]
+    fn undirected_inputs_build_symmetric_graphs() {
+        for input in undirected_catalog() {
+            let g = input.build(0.1, 1);
+            assert!(g.num_vertices() >= 16, "{} too small", input.name());
+            assert!(
+                g.is_symmetric(),
+                "{} should be symmetric",
+                input.name()
+            );
+        }
+    }
+
+    #[test]
+    fn directed_inputs_build_nonempty_graphs() {
+        for input in directed_catalog() {
+            let g = input.build(0.1, 1);
+            assert!(g.num_edges() > 0, "{} empty", input.name());
+        }
+    }
+
+    #[test]
+    fn degree_classes_roughly_match_paper() {
+        // Spot-check that each scaled stand-in lands in the right degree
+        // class (mesh vs power-law vs road).
+        let road = properties(&GraphInput::by_name("europe_osm").unwrap().build(0.25, 1));
+        assert!(road.avg_degree < 3.5);
+        let kron = properties(
+            &GraphInput::by_name("kron_g500-logn21")
+                .unwrap()
+                .build(0.25, 1),
+        );
+        assert!(kron.max_degree as f64 > 20.0 * kron.avg_degree);
+        let star = properties(&GraphInput::by_name("star").unwrap().build(1.0, 1));
+        assert_eq!(star.max_degree, 2);
+    }
+
+    #[test]
+    fn scale_changes_size() {
+        let small = GraphInput::by_name("r4-2e23.sym").unwrap().build(0.1, 1);
+        let large = GraphInput::by_name("r4-2e23.sym").unwrap().build(0.5, 1);
+        assert!(large.num_vertices() > 3 * small.num_vertices());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let _ = GraphInput::by_name("star").unwrap().build(0.0, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Graph substrate for the ECL-Suite reproduction.
+//!
+//! This crate provides:
+//!
+//! - [`Csr`]: the compressed-sparse-row representation every ECL code
+//!   operates on (row offsets, column indices, optional edge weights);
+//! - [`gen`]: synthetic generators for all topology families used by the
+//!   paper's input catalog (grids, RMAT/Kronecker, preferential attachment,
+//!   road networks, triangulations, directed meshes, …);
+//! - [`inputs`]: the catalog mapping every row of the paper's Tables II and
+//!   III to a generator with scaled-down parameters;
+//! - [`props`]: degree statistics and other structural properties;
+//! - [`io`]: a compact binary CSR file format (ECLgraph-style).
+//!
+//! # Example
+//!
+//! ```
+//! use ecl_graph::{gen, props};
+//!
+//! let g = gen::rmat(1 << 10, 8 * (1 << 10), 0.57, 0.19, 0.19, true, 1);
+//! assert!(g.num_vertices() == 1 << 10);
+//! let p = props::properties(&g);
+//! assert!(p.avg_degree > 0.0);
+//! ```
+
+mod csr;
+pub mod gen;
+pub mod inputs;
+pub mod io;
+pub mod mtx;
+pub mod props;
+pub mod transform;
+
+pub use csr::{Csr, CsrBuilder, GraphError};

@@ -1,0 +1,197 @@
+//! Structural graph properties (Table II/III metadata columns).
+
+use crate::Csr;
+
+/// Degree statistics and sizes of a graph, as reported in the paper's input
+/// tables and used for the Table IX correlation study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphProperties {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of stored (directed) edges.
+    pub num_edges: usize,
+    /// Average out-degree (`num_edges / num_vertices`).
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+}
+
+/// Computes [`GraphProperties`] for a graph.
+///
+/// # Example
+///
+/// ```
+/// let g = ecl_graph::gen::grid2d_torus(8, 8);
+/// let p = ecl_graph::props::properties(&g);
+/// assert_eq!(p.max_degree, 4);
+/// ```
+pub fn properties(g: &Csr) -> GraphProperties {
+    let n = g.num_vertices();
+    let mut max_degree = 0usize;
+    let mut min_degree = usize::MAX;
+    for v in 0..n {
+        let d = g.degree(v);
+        max_degree = max_degree.max(d);
+        min_degree = min_degree.min(d);
+    }
+    if n == 0 {
+        min_degree = 0;
+    }
+    GraphProperties {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            g.num_edges() as f64 / n as f64
+        },
+        max_degree,
+        min_degree,
+    }
+}
+
+/// Counts the connected components of a graph, treating edges as
+/// undirected (used to sanity-check generators and the CC reference).
+pub fn component_count(g: &Csr) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    let mut count = 0;
+    // For directed graphs, reach both ways via the transpose.
+    let transpose = if g.is_symmetric() { None } else { Some(g.transpose()) };
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        count += 1;
+        seen[s] = true;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u as usize);
+                }
+            }
+            if let Some(t) = &transpose {
+                for &u in t.neighbors(v) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        stack.push(u as usize);
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Estimates the diameter with a double-sweep BFS from `start`: runs one BFS
+/// to find a far vertex, then a second BFS from it, returning the larger
+/// eccentricity. Exact on trees, a good lower bound in general — enough to
+/// separate mesh-class inputs (huge diameter) from power-law ones (tiny).
+pub fn pseudo_diameter(g: &Csr, start: usize) -> usize {
+    let (far, _) = bfs_far(g, start);
+    let (_, dist) = bfs_far(g, far);
+    dist
+}
+
+/// BFS helper: returns the farthest reachable vertex and its distance.
+fn bfs_far(g: &Csr, start: usize) -> (usize, usize) {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start] = 0;
+    queue.push_back(start);
+    let mut far = (start, 0);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                if dist[u] > far.1 {
+                    far = (u, dist[u]);
+                }
+                queue.push_back(u);
+            }
+        }
+    }
+    far
+}
+
+/// Returns the degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let p = properties(g);
+    let mut hist = vec![0usize; p.max_degree + 1];
+    for v in 0..g.num_vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    #[test]
+    fn properties_of_path() {
+        let mut b = CsrBuilder::new(3).symmetric(true);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        let p = properties(&g);
+        assert_eq!(p.num_vertices, 3);
+        assert_eq!(p.num_edges, 4);
+        assert_eq!(p.max_degree, 2);
+        assert_eq!(p.min_degree, 1);
+        assert!((p.avg_degree - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_count_on_forest() {
+        let mut b = CsrBuilder::new(7).symmetric(true);
+        b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+        let g = b.build();
+        assert_eq!(component_count(&g), 4); // {0,1} {2,3,4} {5} {6}
+    }
+
+    #[test]
+    fn component_count_treats_directed_as_undirected() {
+        let mut b = CsrBuilder::new(4);
+        b.add_edge(0, 1).add_edge(2, 1); // weakly connected: {0,1,2}, {3}
+        let g = b.build();
+        assert_eq!(component_count(&g), 2);
+    }
+
+    #[test]
+    fn pseudo_diameter_separates_topology_classes() {
+        // Road-class graphs have large diameter, power-law graphs tiny.
+        let road = crate::gen::road_network(1024, 0.0, 1);
+        let hub = crate::gen::pref_attach(1024, 4, 0.2, 1);
+        let d_road = pseudo_diameter(&road, 0);
+        let d_hub = pseudo_diameter(&hub, 0);
+        assert!(
+            d_road > 4 * d_hub,
+            "road diameter {d_road} should dwarf power-law {d_hub}"
+        );
+    }
+
+    #[test]
+    fn pseudo_diameter_exact_on_path() {
+        let mut b = CsrBuilder::new(10).symmetric(true);
+        for v in 0..9u32 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build();
+        assert_eq!(pseudo_diameter(&g, 5), 9);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = crate::gen::rmat(512, 2048, 0.57, 0.19, 0.19, true, 1);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+    }
+}

@@ -1,0 +1,93 @@
+//! Fidelity checks: each catalog stand-in must land in the same structural
+//! class as the paper's original input (Tables II/III), and the published
+//! metadata must round-trip through the API.
+
+use ecl_graph::inputs::{directed_catalog, undirected_catalog, Directedness, GraphInput};
+use ecl_graph::props::{properties, pseudo_diameter};
+
+#[test]
+fn paper_metadata_matches_tables() {
+    // Spot-check the published numbers the harness prints.
+    let kron = GraphInput::by_name("kron_g500-logn21").unwrap().paper_meta();
+    assert_eq!(kron.edges, 182_081_864);
+    assert_eq!(kron.vertices, 2_097_152);
+    assert_eq!(kron.d_max, 213_904);
+    let circuit = GraphInput::by_name("circuit5M").unwrap().paper_meta();
+    assert_eq!(circuit.d_max, 1_290_501);
+    assert_eq!(circuit.kind, "power-law");
+    let osm = GraphInput::by_name("europe_osm").unwrap().paper_meta();
+    assert!((osm.d_avg - 2.1).abs() < 1e-9);
+}
+
+#[test]
+fn directedness_matches_tables() {
+    for input in undirected_catalog() {
+        assert_eq!(input.directedness(), Directedness::Undirected, "{}", input.name());
+    }
+    for input in directed_catalog() {
+        assert_eq!(input.directedness(), Directedness::Directed, "{}", input.name());
+    }
+}
+
+/// The average degree of every stand-in should be within a factor of ~2.5
+/// of the paper's (exact matching is impossible at 1000x smaller scale, but
+/// the degree *class* must be right for the Table IX correlations to mean
+/// anything).
+#[test]
+fn average_degrees_track_the_paper() {
+    for input in undirected_catalog().iter().chain(directed_catalog()) {
+        let g = input.build(1.0, 1);
+        let p = properties(&g);
+        let paper = input.paper_meta().d_avg;
+        let ratio = p.avg_degree / paper;
+        assert!(
+            (0.25..=2.5).contains(&ratio),
+            "{}: stand-in d-avg {:.1} vs paper {:.1} (ratio {:.2})",
+            input.name(),
+            p.avg_degree,
+            paper,
+            ratio
+        );
+    }
+}
+
+#[test]
+fn mesh_inputs_have_large_diameter_power_law_small() {
+    let klein = GraphInput::by_name("klein-bottle").unwrap().build(1.0, 1);
+    let wiki = GraphInput::by_name("wikipedia").unwrap().build(1.0, 1);
+    // Directed pseudo-diameter along out-edges.
+    let d_klein = pseudo_diameter(&klein, 0);
+    let d_wiki = pseudo_diameter(&wiki, 0);
+    assert!(
+        d_klein > 3 * d_wiki.max(1),
+        "mesh diameter {d_klein} should dwarf power-law {d_wiki}"
+    );
+}
+
+#[test]
+fn heavy_tail_inputs_have_heavy_tails() {
+    for name in ["kron_g500-logn21", "as-skitter", "circuit5M", "soc-LiveJournal1"] {
+        let input = GraphInput::by_name(name).unwrap();
+        let p = properties(&input.build(1.0, 1));
+        assert!(
+            p.max_degree as f64 > 8.0 * p.avg_degree,
+            "{name}: d-max {} vs d-avg {:.1} — tail too thin",
+            p.max_degree,
+            p.avg_degree
+        );
+    }
+}
+
+#[test]
+fn low_degree_inputs_stay_low_degree() {
+    for name in ["europe_osm", "USA-road-d.NY", "USA-road-d.USA", "star", "toroid-wedge"] {
+        let input = GraphInput::by_name(name).unwrap();
+        let p = properties(&input.build(1.0, 1));
+        assert!(
+            p.avg_degree < 3.6,
+            "{name}: d-avg {:.1} too high for its class",
+            p.avg_degree
+        );
+        assert!(p.max_degree <= 24, "{name}: d-max {}", p.max_degree);
+    }
+}

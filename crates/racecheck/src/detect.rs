@@ -1,0 +1,369 @@
+//! The detection engine.
+
+use crate::report::{RaceClass, RaceReport, RaceSite};
+use ecl_simt::{AccessKind, AccessMode, Gpu, Scope, Space};
+use std::collections::HashMap;
+
+/// Which tool the detector imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorMode {
+    /// Full-precision detection: global and shared memory, aware of the
+    /// implicit barrier between kernel launches and of block barriers.
+    Precise,
+    /// Compute-Sanitizer-like: only *shared-memory* races are examined
+    /// (the paper notes "Compute Sanitizer does not check for races in
+    /// global memory"), so the ECL codes' global-array races go unreported.
+    SharedOnly,
+    /// iGuard-like: ignores the implicit barrier between kernel launches
+    /// (the paper: "iGuard seems to ignore the implicit barrier between
+    /// kernel launches, causing false positive reports").
+    NoLaunchBarrier,
+}
+
+/// One remembered access to a byte location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AccessRec {
+    launch: u32,
+    thread: u32,
+    block: u32,
+    phase: u32,
+    mode: AccessMode,
+    kind: AccessKind,
+    scope: Scope,
+}
+
+/// Cap on distinct remembered accesses per byte; once two accesses conflict
+/// the location is fully reported, so the cap only bounds memory on hot
+/// non-conflicting locations (e.g. all-atomic counters).
+const RECS_PER_BYTE: usize = 64;
+
+/// Runs [`DetectorMode::Precise`] detection over the GPU's recorded trace.
+///
+/// # Panics
+///
+/// Panics if tracing was not enabled on the GPU before the kernels ran
+/// (call [`Gpu::enable_tracing`] first).
+pub fn check_races(gpu: &Gpu) -> Vec<RaceReport> {
+    check_races_with_mode(gpu, DetectorMode::Precise)
+}
+
+/// Runs race detection in the given mode. See [`check_races`].
+///
+/// # Panics
+///
+/// Panics if tracing was not enabled on the GPU.
+pub fn check_races_with_mode(gpu: &Gpu, mode: DetectorMode) -> Vec<RaceReport> {
+    let trace = gpu
+        .trace()
+        .expect("race checking needs a trace: call Gpu::enable_tracing() before launching");
+
+    // Per-byte location state. Shared-memory offsets are block-local, so the
+    // block index is part of a shared location's identity.
+    type LocKey = (Space, u32, u32, u32); // (space, byte, block-or-0, launch-or-0)
+    let mut locations: HashMap<LocKey, Vec<AccessRec>> = HashMap::new();
+    // Deduplicated findings.
+    let mut reports: HashMap<(String, Space, u32, RaceClass), RaceReport> = HashMap::new();
+
+    for e in trace.events() {
+        if mode == DetectorMode::SharedOnly && e.space != Space::Global {
+            // fallthrough: SharedOnly *keeps* shared events; skip global.
+        }
+        if mode == DetectorMode::SharedOnly && e.space == Space::Global {
+            continue;
+        }
+        let launch_key = match mode {
+            // Treating every launch as one epoch merges locations across
+            // launches, which is exactly iGuard's false-positive behavior.
+            DetectorMode::NoLaunchBarrier => 0,
+            _ => e.launch,
+        };
+        let rec = AccessRec {
+            launch: e.launch,
+            thread: e.thread,
+            block: e.block,
+            phase: e.phase,
+            mode: e.mode,
+            kind: e.kind,
+            scope: e.scope,
+        };
+        for byte in e.addr..e.addr + e.width {
+            let block_key = if e.space == Space::Shared { e.block } else { 0 };
+            let key = (e.space, byte, block_key, launch_key);
+            let recs = locations.entry(key).or_default();
+            for prev in recs.iter() {
+                if conflicts(prev, &rec) {
+                    let class = RaceReport::classify((prev.mode, prev.kind), (rec.mode, rec.kind));
+                    let kernel = trace
+                        .kernel_name(e.launch)
+                        .unwrap_or("<unknown>")
+                        .to_string();
+                    let (allocation, allocation_name) = match e.space {
+                        Space::Global => (
+                            gpu.memory()
+                                .allocation_of(byte)
+                                .map(|(base, _)| base)
+                                .unwrap_or(byte),
+                            gpu.memory().allocation_name(byte).map(str::to_string),
+                        ),
+                        Space::Shared => (byte, None),
+                    };
+                    reports
+                        .entry((kernel.clone(), e.space, allocation, class))
+                        .and_modify(|r| r.occurrences += 1)
+                        .or_insert_with(|| RaceReport {
+                            kernel,
+                            space: e.space,
+                            allocation,
+                            allocation_name,
+                            example_addr: byte,
+                            class,
+                            first: RaceSite {
+                                thread: prev.thread,
+                                mode: prev.mode,
+                                kind: prev.kind,
+                            },
+                            second: RaceSite {
+                                thread: rec.thread,
+                                mode: rec.mode,
+                                kind: rec.kind,
+                            },
+                            occurrences: 1,
+                        });
+                    break;
+                }
+            }
+            if recs.len() < RECS_PER_BYTE && !recs.contains(&rec) {
+                recs.push(rec);
+            }
+        }
+    }
+
+    let mut out: Vec<RaceReport> = reports.into_values().collect();
+    out.sort_by(|a, b| {
+        (&a.kernel, a.allocation, a.example_addr).cmp(&(&b.kernel, b.allocation, b.example_addr))
+    });
+    out
+}
+
+/// Two accesses to the same byte conflict and are unordered.
+fn conflicts(a: &AccessRec, b: &AccessRec) -> bool {
+    if a.thread == b.thread {
+        return false;
+    }
+    if !(a.kind.writes() || b.kind.writes()) {
+        return false;
+    }
+    if a.mode == AccessMode::Atomic && b.mode == AccessMode::Atomic {
+        // Two atomics only synchronize when their scopes cover each other:
+        // block-scoped atomics from *different* blocks still race (the
+        // paper's §II-A scope discussion).
+        let block_scoped =
+            a.scope == Scope::Block || b.scope == Scope::Block;
+        if !(block_scoped && a.block != b.block) {
+            return false;
+        }
+    }
+    if a.launch != b.launch {
+        // Only reachable in NoLaunchBarrier mode (keys separate launches
+        // otherwise); the inter-launch barrier is deliberately ignored there.
+        return true;
+    }
+    // Same launch: different blocks never synchronize; same block is ordered
+    // only across barrier phases.
+    a.block != b.block || a.phase == b.phase
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_simt::{ForEach, GpuConfig, LaunchConfig};
+
+    fn racy_gpu() -> Gpu {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let cell = gpu.alloc::<u32>(1);
+        gpu.launch(
+            LaunchConfig::for_items(32),
+            ForEach::new("racy", 32, move |ctx, _| {
+                let v = ctx.load(cell.at(0));
+                ctx.store(cell.at(0), v + 1);
+            }),
+        );
+        gpu
+    }
+
+    #[test]
+    fn detects_plain_race() {
+        let reports = check_races(&racy_gpu());
+        assert!(!reports.is_empty());
+        assert!(reports.iter().any(|r| r.kernel == "racy"));
+    }
+
+    #[test]
+    fn atomic_version_is_clean() {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let cell = gpu.alloc::<u32>(1);
+        gpu.launch(
+            LaunchConfig::for_items(32),
+            ForEach::new("clean", 32, move |ctx, _| {
+                ctx.atomic_add_u32(cell.at(0), 1);
+            }),
+        );
+        assert!(check_races(&gpu).is_empty());
+    }
+
+    #[test]
+    fn volatile_is_still_a_race() {
+        // The paper's central point: volatile does not make code race-free.
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let cell = gpu.alloc::<u32>(1);
+        gpu.launch(
+            LaunchConfig::for_items(32),
+            ForEach::new("volatile-racy", 32, move |ctx, i| {
+                if i % 2 == 0 {
+                    ctx.store_volatile(cell.at(0), i);
+                } else {
+                    let _ = ctx.load_volatile(cell.at(0));
+                }
+            }),
+        );
+        let reports = check_races(&gpu);
+        assert!(!reports.is_empty());
+    }
+
+    #[test]
+    fn mixed_atomic_nonatomic_is_a_race() {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let cell = gpu.alloc::<u32>(1);
+        gpu.launch(
+            LaunchConfig::for_items(32),
+            ForEach::new("mixed", 32, move |ctx, i| {
+                if i % 2 == 0 {
+                    ctx.atomic_add_u32(cell.at(0), 1);
+                } else {
+                    let _ = ctx.load(cell.at(0));
+                }
+            }),
+        );
+        let reports = check_races(&gpu);
+        assert!(reports.iter().any(|r| r.class == RaceClass::MixedAtomic));
+    }
+
+    #[test]
+    fn disjoint_bytes_do_not_conflict() {
+        // Two threads writing different chars inside the same word: no race.
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let bytes = gpu.alloc::<u8>(64);
+        gpu.launch(
+            LaunchConfig::for_items(64),
+            ForEach::new("disjoint", 64, move |ctx, i| {
+                ctx.store(bytes.at(i as usize), i as u8);
+            }),
+        );
+        assert!(check_races(&gpu).is_empty());
+    }
+
+    #[test]
+    fn launch_boundary_orders_accesses() {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let cell = gpu.alloc::<u32>(64);
+        // Writer kernel then reader kernel: ordered by the implicit barrier.
+        gpu.launch(
+            LaunchConfig::for_items(64),
+            ForEach::new("writer", 64, move |ctx, i| {
+                ctx.store(cell.at(i as usize), i)
+            }),
+        );
+        gpu.launch(
+            LaunchConfig::for_items(64),
+            ForEach::new("reader", 64, move |ctx, i| {
+                // Read a different element than this thread wrote.
+                let _ = ctx.load(cell.at(((i + 1) % 64) as usize));
+            }),
+        );
+        assert!(check_races(&gpu).is_empty());
+        // iGuard-mode ignores the launch barrier and reports false positives.
+        let fp = check_races_with_mode(&gpu, DetectorMode::NoLaunchBarrier);
+        assert!(!fp.is_empty());
+    }
+
+    #[test]
+    fn shared_only_mode_misses_global_races() {
+        // Compute-Sanitizer-mode sees nothing: the race is in global memory.
+        let gpu = racy_gpu();
+        assert!(check_races_with_mode(&gpu, DetectorMode::SharedOnly).is_empty());
+        assert!(!check_races(&gpu).is_empty());
+    }
+
+    #[test]
+    fn block_scoped_atomics_race_across_blocks() {
+        use ecl_simt::{MemOrder, Scope as ThreadScope, StoreVisibility};
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let cell = gpu.alloc::<u32>(1);
+        // 4 blocks of 8 threads, all hammering one counter with
+        // *block-scoped* atomics: atomic within a block, racy across blocks.
+        gpu.launch(
+            ecl_simt::LaunchConfig {
+                grid_blocks: 4,
+                block_threads: 8,
+                store_visibility: StoreVisibility::Immediate,
+                shared_bytes: 0,
+                exact_geometry: true,
+            },
+            ecl_simt::ForEach::new("blockscope", 32, move |ctx, _| {
+                ctx.atomic_rmw_explicit(
+                    cell.at(0),
+                    MemOrder::Relaxed,
+                    ThreadScope::Block,
+                    |v| v + 1,
+                );
+            }),
+        );
+        let reports = check_races(&gpu);
+        assert!(
+            !reports.is_empty(),
+            "block-scoped atomics from different blocks must race"
+        );
+    }
+
+    #[test]
+    fn device_scoped_atomics_do_not_race_across_blocks() {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let cell = gpu.alloc::<u32>(1);
+        gpu.launch(
+            ecl_simt::LaunchConfig {
+                grid_blocks: 4,
+                block_threads: 8,
+                store_visibility: ecl_simt::StoreVisibility::Immediate,
+                shared_bytes: 0,
+                exact_geometry: true,
+            },
+            ecl_simt::ForEach::new("devscope", 32, move |ctx, _| {
+                ctx.atomic_add_u32(cell.at(0), 1);
+            }),
+        );
+        assert!(check_races(&gpu).is_empty());
+    }
+
+    #[test]
+    fn occurrences_are_aggregated() {
+        let reports = check_races(&racy_gpu());
+        // 32 threads all colliding on one counter fold into few reports.
+        assert!(reports.len() <= 2);
+        assert!(reports.iter().map(|r| r.occurrences).sum::<u64>() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_tracing")]
+    fn untraced_gpu_panics() {
+        let gpu = Gpu::new(GpuConfig::test_tiny());
+        let _ = check_races(&gpu);
+    }
+}

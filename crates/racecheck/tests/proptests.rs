@@ -1,0 +1,120 @@
+//! Property-based tests for the race detectors: soundness invariants that
+//! must hold for arbitrary generated device programs.
+
+use ecl_racecheck::{check_races, check_races_hb, check_races_with_mode, DetectorMode};
+use ecl_simt::{ForEach, Gpu, GpuConfig, LaunchConfig, StoreVisibility};
+use proptest::prelude::*;
+
+/// One synthetic access in a generated program.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    slot: u8,
+    write: bool,
+    atomic: bool,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..16, any::<bool>(), any::<bool>()).prop_map(|(slot, write, atomic)| Op {
+            slot,
+            write,
+            atomic,
+        }),
+        1..24,
+    )
+}
+
+/// Runs a grid of threads that all execute the same op list over a shared
+/// 16-word buffer.
+fn run_program(ops: Vec<Op>, threads: u32, seed: u64) -> Gpu {
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.set_seed(seed);
+    gpu.enable_tracing();
+    let buf = gpu.alloc::<u32>(16);
+    gpu.launch(
+        LaunchConfig::for_items(threads).with_visibility(StoreVisibility::DeferUntilYield),
+        ForEach::new("generated", threads, move |ctx, tid| {
+            for op in &ops {
+                let p = buf.at(op.slot as usize);
+                match (op.write, op.atomic) {
+                    (false, false) => {
+                        let _ = ctx.load(p);
+                    }
+                    (false, true) => {
+                        let _ = ctx.atomic_load(p);
+                    }
+                    (true, false) => ctx.store(p, tid),
+                    (true, true) => ctx.atomic_store(p, tid),
+                }
+            }
+        }),
+    );
+    gpu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All-atomic programs never race, under any detector.
+    #[test]
+    fn all_atomic_programs_are_clean(mut program in ops(), seed in any::<u64>()) {
+        for op in &mut program {
+            op.atomic = true;
+        }
+        let gpu = run_program(program, 16, seed);
+        prop_assert!(check_races(&gpu).is_empty());
+        prop_assert!(check_races_hb(&gpu).is_empty());
+    }
+
+    /// Read-only programs never race, even with plain loads.
+    #[test]
+    fn read_only_programs_are_clean(mut program in ops(), seed in any::<u64>()) {
+        for op in &mut program {
+            op.write = false;
+        }
+        let gpu = run_program(program, 16, seed);
+        prop_assert!(check_races(&gpu).is_empty());
+        prop_assert!(check_races_hb(&gpu).is_empty());
+    }
+
+    /// A program with any non-atomic write to a slot that another thread
+    /// also touches must race (all threads run the same op list).
+    #[test]
+    fn shared_plain_writes_always_race(program in ops(), seed in any::<u64>()) {
+        let has_plain_write = program.iter().any(|op| op.write && !op.atomic);
+        let gpu = run_program(program.clone(), 16, seed);
+        let reports = check_races(&gpu);
+        if has_plain_write {
+            prop_assert!(
+                !reports.is_empty(),
+                "plain write shared by 16 threads must race: {program:?}"
+            );
+        }
+        // The HB detector must agree: no release/acquire edges exist here
+        // (all atomics are relaxed).
+        prop_assert_eq!(reports.is_empty(), check_races_hb(&gpu).is_empty());
+    }
+
+    /// Detection is deterministic in the trace: same program + seed gives
+    /// the same findings; and single-threaded programs never race.
+    #[test]
+    fn detection_is_stable_and_single_thread_is_clean(program in ops(), seed in any::<u64>()) {
+        let a = check_races(&run_program(program.clone(), 16, seed)).len();
+        let b = check_races(&run_program(program.clone(), 16, seed)).len();
+        prop_assert_eq!(a, b);
+        let solo = run_program(program, 1, seed);
+        prop_assert!(check_races(&solo).is_empty());
+    }
+
+    /// The Compute-Sanitizer-like mode never reports more than Precise for
+    /// these (global-memory-only) programs — its blind spot only removes
+    /// findings.
+    #[test]
+    fn shared_only_mode_is_a_subset(program in ops(), seed in any::<u64>()) {
+        let gpu = run_program(program, 8, seed);
+        let precise = check_races(&gpu).len();
+        let shared_only = check_races_with_mode(&gpu, DetectorMode::SharedOnly).len();
+        prop_assert!(shared_only <= precise);
+        prop_assert_eq!(shared_only, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! GPU configuration presets (the paper's Table I).
+//!
+//! Cycle costs are *throughput* (occupancy) costs per access at each service
+//! point, not raw latencies: with enough resident warps a GPU hides latency,
+//! so what remains visible in end-to-end runtime is how many cycles of
+//! bandwidth each access consumes at the level that serves it. The relative
+//! cost of an atomic (always served at the L2 coherence point, plus a
+//! read-modify-write charge) versus a plain L1-served access is what drives
+//! the paper's slowdown results; that ratio grows on newer generations,
+//! producing the Fig. 6 trend.
+
+/// Specification of a simulated GPU, mirroring one row of the paper's
+/// Table I plus the timing parameters of the performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Marketing name ("Titan V", "A100", …).
+    pub name: &'static str,
+    /// Architecture generation ("Volta", "Turing", "Ampere", "Ada Lovelace").
+    pub architecture: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// CUDA cores per SM (informational; Table I's core count / SMs).
+    pub cores_per_sm: u32,
+    /// Threads per warp (32 on every NVIDIA generation).
+    pub warp_size: u32,
+    /// Maximum concurrently resident threads per SM.
+    pub max_threads_per_sm: u32,
+
+    /// L1 cache size per SM, in KiB.
+    pub l1_kib: u32,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// Unified L2 cache size, in KiB.
+    pub l2_kib: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// Cache sector/line size in bytes (32 B sectors on all four GPUs).
+    pub line_bytes: u32,
+
+    /// Throughput cost of an access served by L1 (cycles).
+    pub l1_cycles: u32,
+    /// Throughput cost of an access served by L2 (cycles).
+    pub l2_cycles: u32,
+    /// Throughput cost of an access served by DRAM (cycles).
+    pub dram_cycles: u32,
+    /// Additional cost of an atomic operation at the coherence point.
+    pub atomic_extra_cycles: u32,
+    /// Fixed cost per kernel launch (host → device round trip).
+    pub launch_overhead_cycles: u64,
+    /// Arithmetic cost charged per [`crate::Ctx::compute`] unit.
+    pub alu_cycles: u32,
+
+    /// SM clock in GHz; only used to convert cycles to nanoseconds for
+    /// reporting.
+    pub clock_ghz: f64,
+    /// Whether the device performs plain 64-bit loads/stores as a single
+    /// access. When `false`, plain 64-bit accesses split into two 32-bit
+    /// halves and can tear (paper §II-A / Fig. 1). All four modeled GPUs
+    /// support native 64-bit accesses; set this to `false` to emulate the
+    /// 32-bit hardware the paper warns about.
+    pub native_64bit: bool,
+}
+
+impl GpuConfig {
+    /// NVIDIA Titan V (Volta, sm_70): 80 SMs, 96 KiB L1, 4.5 MiB L2.
+    pub fn titan_v() -> Self {
+        GpuConfig {
+            name: "Titan V",
+            architecture: "Volta",
+            num_sms: 80,
+            cores_per_sm: 64,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            l1_kib: 96,
+            l1_ways: 4,
+            l2_kib: 4608,
+            l2_ways: 16,
+            line_bytes: 32,
+            l1_cycles: 4,
+            l2_cycles: 13,
+            dram_cycles: 36,
+            atomic_extra_cycles: 3,
+            launch_overhead_cycles: 6_000,
+            alu_cycles: 1,
+            clock_ghz: 1.455,
+            native_64bit: true,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 2070 Super (Turing, sm_75): 40 SMs, 96 KiB L1,
+    /// 4 MiB L2. Turing's L2 slice design keeps atomics comparatively cheap,
+    /// which is why the paper sees the smallest race-free penalty here.
+    pub fn rtx2070_super() -> Self {
+        GpuConfig {
+            name: "2070 Super",
+            architecture: "Turing",
+            num_sms: 40,
+            cores_per_sm: 64,
+            warp_size: 32,
+            max_threads_per_sm: 1024,
+            l1_kib: 96,
+            l1_ways: 4,
+            l2_kib: 4096,
+            l2_ways: 16,
+            line_bytes: 32,
+            l1_cycles: 4,
+            l2_cycles: 6,
+            dram_cycles: 28,
+            atomic_extra_cycles: 2,
+            launch_overhead_cycles: 5_000,
+            alu_cycles: 1,
+            clock_ghz: 1.77,
+            native_64bit: true,
+        }
+    }
+
+    /// NVIDIA A100 40 GB (Ampere, sm_80): 108 SMs, 192 KiB L1, 40 MiB L2.
+    pub fn a100() -> Self {
+        GpuConfig {
+            name: "A100",
+            architecture: "Ampere",
+            num_sms: 108,
+            cores_per_sm: 64,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            l1_kib: 192,
+            l1_ways: 4,
+            l2_kib: 40_960,
+            l2_ways: 16,
+            line_bytes: 32,
+            l1_cycles: 4,
+            l2_cycles: 14,
+            dram_cycles: 32,
+            atomic_extra_cycles: 16,
+            launch_overhead_cycles: 6_000,
+            alu_cycles: 1,
+            clock_ghz: 1.41,
+            native_64bit: true,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 4090 (Ada Lovelace, sm_89): 128 SMs, 128 KiB L1,
+    /// 72 MiB L2. Ada's very fast L1/SM fabric makes the *relative* cost of
+    /// going to the (physically distant) L2 for atomics the highest of the
+    /// four GPUs — the paper's "more slowdown on newer GPUs" trend.
+    pub fn rtx4090() -> Self {
+        GpuConfig {
+            name: "4090",
+            architecture: "Ada Lovelace",
+            num_sms: 128,
+            cores_per_sm: 128,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            l1_kib: 128,
+            l1_ways: 4,
+            l2_kib: 73_728,
+            l2_ways: 16,
+            line_bytes: 32,
+            l1_cycles: 3,
+            l2_cycles: 20,
+            dram_cycles: 42,
+            atomic_extra_cycles: 10,
+            launch_overhead_cycles: 5_000,
+            alu_cycles: 1,
+            clock_ghz: 2.52,
+            native_64bit: true,
+        }
+    }
+
+    /// All four GPU presets, in the paper's Table I order.
+    pub fn paper_gpus() -> Vec<GpuConfig> {
+        vec![
+            Self::titan_v(),
+            Self::rtx2070_super(),
+            Self::a100(),
+            Self::rtx4090(),
+        ]
+    }
+
+    /// A tiny 4-SM device for unit tests: small caches make hit/miss
+    /// behavior easy to exercise deterministically.
+    pub fn test_tiny() -> Self {
+        GpuConfig {
+            name: "TestTiny",
+            architecture: "Test",
+            num_sms: 4,
+            cores_per_sm: 32,
+            warp_size: 32,
+            max_threads_per_sm: 256,
+            l1_kib: 2,
+            l1_ways: 2,
+            l2_kib: 16,
+            l2_ways: 4,
+            line_bytes: 32,
+            l1_cycles: 4,
+            l2_cycles: 12,
+            dram_cycles: 40,
+            atomic_extra_cycles: 8,
+            launch_overhead_cycles: 100,
+            alu_cycles: 1,
+            clock_ghz: 1.0,
+            native_64bit: true,
+        }
+    }
+
+    /// Converts a cycle count to nanoseconds using the SM clock.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_ghz
+    }
+
+    /// Maximum number of concurrently resident threads on the whole device.
+    pub fn max_resident_threads(&self) -> u32 {
+        self.num_sms * self.max_threads_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_i() {
+        let t = GpuConfig::titan_v();
+        assert_eq!(t.num_sms, 80);
+        assert_eq!(t.l1_kib, 96);
+        let a = GpuConfig::a100();
+        assert_eq!(a.num_sms, 108);
+        assert_eq!(a.l2_kib, 40_960);
+        let r = GpuConfig::rtx4090();
+        assert_eq!(r.num_sms, 128);
+        assert_eq!(r.cores_per_sm * r.num_sms, 16_384);
+    }
+
+    #[test]
+    fn newer_gpus_have_costlier_atomics_relative_to_l1() {
+        let ratio = |g: &GpuConfig| {
+            (g.l2_cycles + g.atomic_extra_cycles) as f64 / g.l1_cycles as f64
+        };
+        let turing = ratio(&GpuConfig::rtx2070_super());
+        let volta = ratio(&GpuConfig::titan_v());
+        let ampere = ratio(&GpuConfig::a100());
+        let ada = ratio(&GpuConfig::rtx4090());
+        assert!(turing < volta);
+        assert!(volta <= ampere);
+        assert!(ampere < ada);
+    }
+
+    #[test]
+    fn cycles_to_ns_uses_clock() {
+        let g = GpuConfig::test_tiny();
+        assert_eq!(g.cycles_to_ns(1000), 1000.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The host side: device construction, memory management, kernel launches,
+//! and timing/profiling queries — the simulator's `cudaMalloc`/`cudaMemcpy`/
+//! `<<<grid, block>>>` surface.
+
+use crate::config::GpuConfig;
+use crate::exec::{run_kernel, Kernel, LaunchConfig};
+use crate::mem::{DeviceBuffer, DeviceValue, MemSystem, Memory};
+use crate::metrics::{KernelStats, RunStats};
+use crate::trace::Trace;
+
+/// A simulated GPU: configuration, device memory, cache hierarchy, and the
+/// accumulated launch history.
+///
+/// # Example
+///
+/// ```
+/// use ecl_simt::{ForEach, Gpu, GpuConfig, LaunchConfig};
+///
+/// let mut gpu = Gpu::new(GpuConfig::rtx2070_super());
+/// let data = gpu.alloc::<u32>(256);
+/// gpu.upload(&data, &(0..256).collect::<Vec<u32>>());
+/// let sum = gpu.alloc::<u32>(1);
+/// gpu.launch(
+///     LaunchConfig::for_items(256),
+///     ForEach::new("sum", 256, move |ctx, i| {
+///         let v = ctx.load(data.at(i as usize));
+///         ctx.atomic_add_u32(sum.at(0), v);
+///     }),
+/// );
+/// assert_eq!(gpu.download(&sum)[0], 255 * 256 / 2);
+/// ```
+pub struct Gpu {
+    config: GpuConfig,
+    memory: Memory,
+    msys: MemSystem,
+    trace: Option<Trace>,
+    seed: u64,
+    launches: RunStats,
+    total_cycles: u64,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("config", &self.config.name)
+            .field("launches", &self.launches.num_launches())
+            .field("total_cycles", &self.total_cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gpu {
+    /// Creates a device from a configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        let msys = MemSystem::new(&config);
+        Gpu {
+            config,
+            memory: Memory::new(),
+            msys,
+            trace: None,
+            seed: 0,
+            launches: RunStats::default(),
+            total_cycles: 0,
+        }
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Sets the scheduler-interleaving seed (the paper's repeated runs map to
+    /// distinct seeds here).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// Enables access tracing for race detection. Tracing is off by default
+    /// because traces grow with every access.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Allocates `len` zero-initialized elements in device memory.
+    pub fn alloc<T: DeviceValue>(&mut self, len: usize) -> DeviceBuffer<T> {
+        self.memory.alloc(len)
+    }
+
+    /// Allocates like [`Gpu::alloc`] and names the allocation so race
+    /// reports can identify the array (e.g. `node_stat`, `label`).
+    pub fn alloc_named<T: DeviceValue>(&mut self, len: usize, name: &str) -> DeviceBuffer<T> {
+        let buf = self.memory.alloc(len);
+        self.memory.set_allocation_name(buf.as_ptr().addr(), name);
+        buf
+    }
+
+    /// Copies host data into a device buffer (`cudaMemcpyHostToDevice`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() > buf.len()`.
+    pub fn upload<T: DeviceValue>(&mut self, buf: &DeviceBuffer<T>, data: &[T]) {
+        assert!(data.len() <= buf.len(), "upload larger than buffer");
+        for (i, &v) in data.iter().enumerate() {
+            self.memory.write(buf.at(i), v);
+        }
+    }
+
+    /// Copies a device buffer back to the host (`cudaMemcpyDeviceToHost`).
+    pub fn download<T: DeviceValue>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        (0..buf.len()).map(|i| self.memory.read(buf.at(i))).collect()
+    }
+
+    /// Reads a single element without a full download.
+    pub fn read_scalar<T: DeviceValue>(&self, buf: &DeviceBuffer<T>, index: usize) -> T {
+        self.memory.read(buf.at(index))
+    }
+
+    /// Writes a single element from the host.
+    pub fn write_scalar<T: DeviceValue>(&mut self, buf: &DeviceBuffer<T>, index: usize, v: T) {
+        self.memory.write(buf.at(index), v);
+    }
+
+    /// Launches a kernel and runs it to completion, accumulating its cycles
+    /// into the device timeline. Returns the launch's stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics on barrier divergence, scheduler livelock, or an exact-geometry
+    /// launch exceeding device residency (all undefined behavior or launch
+    /// failures on real hardware).
+    pub fn launch<K: Kernel>(&mut self, launch: LaunchConfig, kernel: K) -> &KernelStats {
+        let id = self.launches.num_launches() as u32;
+        let stats = run_kernel(
+            &self.config,
+            &mut self.memory,
+            &mut self.msys,
+            self.trace.as_mut(),
+            id,
+            self.seed,
+            launch,
+            &kernel,
+        );
+        self.total_cycles += stats.cycles;
+        self.launches.launches.push(stats);
+        self.launches.launches.last().unwrap()
+    }
+
+    /// Total simulated cycles across all launches so far.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total simulated time in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.config.cycles_to_ns(self.total_cycles)
+    }
+
+    /// Stats of the most recent launch.
+    pub fn last_stats(&self) -> Option<&KernelStats> {
+        self.launches.launches.last()
+    }
+
+    /// The full launch history.
+    pub fn run_stats(&self) -> &RunStats {
+        &self.launches
+    }
+
+    /// Resets the timeline and launch history but keeps memory contents and
+    /// cache state (like `cudaEventRecord` bracketing only the timed region).
+    pub fn reset_timing(&mut self) {
+        self.total_cycles = 0;
+        self.launches = RunStats::default();
+    }
+
+    /// Direct access to device memory for host-side verification code.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ForEach;
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let buf = gpu.alloc::<u64>(8);
+        let data: Vec<u64> = (0..8).map(|i| i * 1000).collect();
+        gpu.upload(&buf, &data);
+        assert_eq!(gpu.download(&buf), data);
+        assert_eq!(gpu.read_scalar(&buf, 3), 3000);
+    }
+
+    #[test]
+    fn elapsed_accumulates_across_launches() {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let buf = gpu.alloc::<u32>(64);
+        gpu.launch(
+            LaunchConfig::for_items(64),
+            ForEach::new("a", 64, move |ctx, i| ctx.store(buf.at(i as usize), 1)),
+        );
+        let after_one = gpu.elapsed_cycles();
+        assert!(after_one > 0);
+        gpu.launch(
+            LaunchConfig::for_items(64),
+            ForEach::new("b", 64, move |ctx, i| ctx.store(buf.at(i as usize), 2)),
+        );
+        assert!(gpu.elapsed_cycles() > after_one);
+        assert_eq!(gpu.run_stats().num_launches(), 2);
+        gpu.reset_timing();
+        assert_eq!(gpu.elapsed_cycles(), 0);
+        // Memory survives the timing reset.
+        assert_eq!(gpu.download(&buf)[0], 2);
+    }
+
+    #[test]
+    fn tracing_records_accesses() {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let buf = gpu.alloc::<u32>(16);
+        gpu.launch(
+            LaunchConfig::for_items(16),
+            ForEach::new("t", 16, move |ctx, i| ctx.store(buf.at(i as usize), i)),
+        );
+        let trace = gpu.trace().unwrap();
+        assert_eq!(trace.len(), 16);
+        assert_eq!(trace.kernel_name(0), Some("t"));
+    }
+
+    #[test]
+    fn seeds_change_interleaving_but_not_results() {
+        let run = |seed: u64| -> (Vec<u32>, u64) {
+            let mut gpu = Gpu::new(GpuConfig::test_tiny());
+            gpu.set_seed(seed);
+            let buf = gpu.alloc::<u32>(512);
+            gpu.launch(
+                LaunchConfig::for_items(512),
+                ForEach::new("w", 512, move |ctx, i| {
+                    ctx.store(buf.at(i as usize), i * 3)
+                }),
+            );
+            (gpu.download(&buf), gpu.elapsed_cycles())
+        };
+        let (r1, _) = run(1);
+        let (r2, _) = run(2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "upload larger")]
+    fn oversized_upload_panics() {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        let buf = gpu.alloc::<u32>(2);
+        gpu.upload(&buf, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,161 @@
+//! A set-associative cache model with LRU replacement.
+//!
+//! Caches in this simulator are *timing-only*: they never hold data, they
+//! only decide which level of the hierarchy serves an access. Functional
+//! values always come from the arena (plus the compiler-model store buffers),
+//! which keeps timing and semantics cleanly separated.
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses served by this cache.
+    pub hits: u64,
+    /// Accesses that had to go to the next level.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `0.0..=1.0`; zero when the cache was never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, LRU, timing-only cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// `tags[set * ways + way]`; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    num_sets: u32,
+    ways: u32,
+    line_shift: u32,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `size_kib` KiB with `ways`-way associativity and
+    /// `line_bytes`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two or the geometry doesn't
+    /// yield at least one set.
+    pub fn new(size_kib: u32, ways: u32, line_bytes: u32) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "need at least one way");
+        let lines = size_kib * 1024 / line_bytes;
+        let num_sets = (lines / ways).max(1);
+        let slots = (num_sets * ways) as usize;
+        Cache {
+            tags: vec![u64::MAX; slots],
+            stamps: vec![0; slots],
+            num_sets,
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up the line containing `addr`, allocating it on a miss.
+    /// Returns `true` on a hit.
+    #[inline]
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line = (addr as u64) >> self.line_shift;
+        let set = (line % self.num_sets as u64) as usize;
+        let base = set * self.ways as usize;
+        self.clock += 1;
+        let ways = self.ways as usize;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for slot in base..base + ways {
+            if self.tags[slot] == line {
+                self.stamps[slot] = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+            if self.stamps[slot] < victim_stamp {
+                victim_stamp = self.stamps[slot];
+                victim = slot;
+            }
+        }
+        self.tags[victim] = line;
+        self.stamps[victim] = self.clock;
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Checks for the line without allocating or counting (probe).
+    pub fn probe(&self, addr: u32) -> bool {
+        let line = (addr as u64) >> self.line_shift;
+        let set = (line % self.num_sets as u64) as usize;
+        let base = set * self.ways as usize;
+        self.tags[base..base + self.ways as usize].contains(&line)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(2, 2, 32);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(31)); // same 32-byte line
+        assert!(!c.access(32)); // next line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2 KiB, 2-way, 32 B lines -> 32 sets. Three lines mapping to set 0:
+        // line numbers 0, 32, 64 -> addrs 0, 32*32, 64*32.
+        let mut c = Cache::new(2, 2, 32);
+        assert!(!c.access(0));
+        assert!(!c.access(32 * 32));
+        assert!(c.access(0)); // refresh line 0
+        assert!(!c.access(64 * 32)); // evicts line 32 (LRU)
+        assert!(c.access(0));
+        assert!(!c.access(32 * 32)); // was evicted
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let mut c = Cache::new(2, 2, 32);
+        assert!(!c.probe(0));
+        assert!(!c.access(0));
+        assert!(c.probe(0));
+        assert_eq!(c.stats().hits + c.stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut c = Cache::new(2, 2, 32);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

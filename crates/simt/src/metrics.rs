@@ -1,0 +1,109 @@
+//! Per-kernel performance counters (the simulator's profiler).
+
+use crate::mem::CacheStats;
+
+/// Counters collected for one kernel launch — the simulator's equivalent of
+/// an Nsight Compute profile, used to back the paper's §VI cache-hit-rate
+/// observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Simulated elapsed cycles for this launch (including launch overhead).
+    pub cycles: u64,
+    /// L1 hit/miss counters (summed over SMs).
+    pub l1: CacheStats,
+    /// L2 hit/miss counters.
+    pub l2: CacheStats,
+    /// DRAM transactions.
+    pub dram_accesses: u64,
+    /// Plain loads + stores issued.
+    pub plain_accesses: u64,
+    /// Volatile loads + stores issued.
+    pub volatile_accesses: u64,
+    /// Atomic loads, stores, and RMWs issued.
+    pub atomic_accesses: u64,
+    /// Plain stores that were coalesced away by the compiler model (deferred
+    /// store overwritten before draining).
+    pub coalesced_stores: u64,
+    /// Scheduler steps executed (coroutine resumptions).
+    pub steps: u64,
+    /// Threads launched.
+    pub threads: u64,
+}
+
+impl KernelStats {
+    /// Total device memory accesses of any mode.
+    pub fn total_accesses(&self) -> u64 {
+        self.plain_accesses + self.volatile_accesses + self.atomic_accesses
+    }
+}
+
+/// Aggregates launch stats across a whole run (e.g. one algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// One entry per kernel launch, in launch order.
+    pub launches: Vec<KernelStats>,
+}
+
+impl RunStats {
+    /// Total simulated cycles across all launches.
+    pub fn total_cycles(&self) -> u64 {
+        self.launches.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Aggregate L1 hit rate across launches.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let (h, m) = self
+            .launches
+            .iter()
+            .fold((0u64, 0u64), |(h, m), l| (h + l.l1.hits, m + l.l1.misses));
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Aggregate atomic-access count.
+    pub fn atomic_accesses(&self) -> u64 {
+        self.launches.iter().map(|l| l.atomic_accesses).sum()
+    }
+
+    /// Number of kernel launches.
+    pub fn num_launches(&self) -> usize {
+        self.launches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut run = RunStats::default();
+        run.launches.push(KernelStats {
+            name: "a".into(),
+            cycles: 100,
+            l1: CacheStats { hits: 3, misses: 1 },
+            atomic_accesses: 5,
+            ..Default::default()
+        });
+        run.launches.push(KernelStats {
+            name: "b".into(),
+            cycles: 50,
+            l1: CacheStats { hits: 1, misses: 3 },
+            ..Default::default()
+        });
+        assert_eq!(run.total_cycles(), 150);
+        assert_eq!(run.atomic_accesses(), 5);
+        assert!((run.l1_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(run.num_launches(), 2);
+    }
+
+    #[test]
+    fn empty_run_hit_rate_is_zero() {
+        assert_eq!(RunStats::default().l1_hit_rate(), 0.0);
+    }
+}

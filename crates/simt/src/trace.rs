@@ -1,0 +1,131 @@
+//! Access-event tracing for dynamic race detection.
+//!
+//! When tracing is enabled on a [`crate::Gpu`], every device memory access
+//! is appended to the trace together with enough ordering information
+//! (launch id, block, barrier phase) for `ecl-racecheck` to decide which
+//! pairs of accesses are concurrent.
+
+use crate::access::{AccessKind, AccessMode, MemOrder, Scope as ThreadScope};
+
+/// Which address space an access touched.
+///
+/// Global memory is shared by the whole grid; shared memory is private to a
+/// block (and is the only space the Compute-Sanitizer-like detector mode
+/// checks — see `ecl-racecheck`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Device-global memory.
+    Global,
+    /// Per-block shared memory (addresses are block-local offsets).
+    Shared,
+}
+
+/// One recorded device memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Global vs per-block shared memory.
+    pub space: Space,
+    /// Kernel launch this access belongs to (kernel boundaries synchronize).
+    pub launch: u32,
+    /// Global thread id of the accessor.
+    pub thread: u32,
+    /// Block the thread belongs to.
+    pub block: u32,
+    /// Barrier phase within the block (incremented at each `__syncthreads`).
+    pub phase: u32,
+    /// Byte address of the access.
+    pub addr: u32,
+    /// Width in bytes (1, 4, or 8).
+    pub width: u32,
+    /// Plain / volatile / atomic.
+    pub mode: AccessMode,
+    /// Load / store / read-modify-write.
+    pub kind: AccessKind,
+    /// Thread scope of an atomic access (`Device` for everything else).
+    pub scope: ThreadScope,
+    /// Memory ordering of an atomic access (`Relaxed` for everything else).
+    /// Only acquire/release/seq_cst atomics establish happens-before edges
+    /// for the vector-clock detector.
+    pub order: MemOrder,
+}
+
+/// A growable list of [`AccessEvent`]s plus per-launch kernel names.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<AccessEvent>,
+    kernel_names: Vec<String>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one event.
+    #[inline]
+    pub fn record(&mut self, event: AccessEvent) {
+        self.events.push(event);
+    }
+
+    /// Registers the name of launch `id`; called once per kernel launch.
+    pub fn name_launch(&mut self, id: u32, name: &str) {
+        debug_assert_eq!(id as usize, self.kernel_names.len());
+        self.kernel_names.push(name.to_string());
+    }
+
+    /// All recorded events, in execution order.
+    pub fn events(&self) -> &[AccessEvent] {
+        &self.events
+    }
+
+    /// The kernel name for a launch id, if known.
+    pub fn kernel_name(&self, launch: u32) -> Option<&str> {
+        self.kernel_names.get(launch as usize).map(|s| s.as_str())
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops all recorded events and names.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.kernel_names.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let mut t = Trace::new();
+        t.name_launch(0, "init");
+        t.record(AccessEvent {
+            space: Space::Global,
+            launch: 0,
+            thread: 3,
+            block: 0,
+            phase: 0,
+            addr: 128,
+            width: 4,
+            mode: AccessMode::Plain,
+            kind: AccessKind::Store,
+            scope: ThreadScope::Device,
+            order: MemOrder::Relaxed,
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.kernel_name(0), Some("init"));
+        assert_eq!(t.kernel_name(1), None);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Model a hypothetical future GPU and ask the paper's closing question:
+//! does the race-free penalty keep growing on newer architectures (§VII)?
+//!
+//! The paper observes more slowdown on newer GPUs and hopes vendors will
+//! "add more support for fast atomics in future GPUs". Here we sweep the
+//! atomic read-modify-write surcharge on a 4090-like device and watch the
+//! CC and SCC speedups respond — and then model a device with *fast*
+//! atomics to see the gap close.
+//!
+//! ```text
+//! cargo run --release --example custom_gpu
+//! ```
+
+use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_simt::GpuConfig;
+use ecl_suite::prelude::*;
+
+fn main() {
+    let cc_graph = GraphInput::by_name("citationCiteseer").unwrap().build(0.5, 5);
+    let scc_graph = GraphInput::by_name("toroid-hex").unwrap().build(0.5, 5);
+
+    println!("sweeping the atomic RMW surcharge on a 4090-class device:\n");
+    println!("{:>12} {:>10} {:>10}", "rmw extra", "CC", "SCC");
+    for extra in [0u32, 5, 10, 20, 40] {
+        let mut gpu = GpuConfig::rtx4090();
+        gpu.name = "custom";
+        gpu.atomic_extra_cycles = extra;
+        let cc = speedup(Algorithm::Cc, &cc_graph, &gpu);
+        let scc = speedup(Algorithm::Scc, &scc_graph, &gpu);
+        println!("{extra:>12} {cc:>10.2} {scc:>10.2}");
+    }
+
+    // A hypothetical future device where atomics are served as cheaply as
+    // L1 hits — the hardware the paper asks for.
+    let mut fast_atomics = GpuConfig::rtx4090();
+    fast_atomics.name = "future";
+    fast_atomics.atomic_extra_cycles = 0;
+    fast_atomics.l2_cycles = fast_atomics.l1_cycles + 1;
+    let cc = speedup(Algorithm::Cc, &cc_graph, &fast_atomics);
+    let scc = speedup(Algorithm::Scc, &scc_graph, &fast_atomics);
+    println!(
+        "\nwith near-L1 atomics (the paper's wish): CC {cc:.2}, SCC {scc:.2} — \
+         the race-free penalty nearly vanishes."
+    );
+}
+
+fn speedup(alg: Algorithm, graph: &ecl_graph::Csr, gpu: &GpuConfig) -> f64 {
+    let base = run_algorithm(alg, Variant::Baseline, graph, gpu, 1);
+    let free = run_algorithm(alg, Variant::RaceFree, graph, gpu, 1);
+    assert!(base.valid && free.valid);
+    base.cycles as f64 / free.cycles as f64
+}

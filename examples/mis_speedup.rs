@@ -1,0 +1,45 @@
+//! The paper's headline result: the race-free maximal-independent-set code
+//! is *faster* than its racy baseline — 5–11% geomean across four GPU
+//! generations — because the atomics publish status updates immediately,
+//! where the baseline's compiler-deferred plain stores leave other threads
+//! polling stale bytes for extra rounds (§VI-A).
+//!
+//! ```text
+//! cargo run --release --example mis_speedup
+//! ```
+
+use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_suite::prelude::*;
+
+fn main() {
+    let inputs = ["amazon0601", "as-skitter", "rmat16.sym", "2d-2e20.sym"];
+    println!("MIS: baseline (racy) vs race-free, speedup = baseline/racefree\n");
+    println!("{:<18} {:>9} {:>12} {:>9} {:>9}", "input", "GPU", "baseline", "racefree", "speedup");
+
+    for gpu in ecl_simt::GpuConfig::paper_gpus() {
+        let mut product = 1.0f64;
+        let mut count = 0u32;
+        for name in inputs {
+            let graph = GraphInput::by_name(name).expect("catalog entry").build(0.5, 3);
+            let base = run_algorithm(Algorithm::Mis, Variant::Baseline, &graph, &gpu, 1);
+            let free = run_algorithm(Algorithm::Mis, Variant::RaceFree, &graph, &gpu, 1);
+            assert!(base.valid && free.valid);
+            // The priority order fixes a unique MIS: same set either way.
+            assert_eq!(base.solution_digest, free.solution_digest);
+            let speedup = base.cycles as f64 / free.cycles as f64;
+            product *= speedup;
+            count += 1;
+            println!(
+                "{:<18} {:>9} {:>12} {:>9} {:>9.2}",
+                name, gpu.name, base.cycles, free.cycles, speedup
+            );
+        }
+        let geomean = product.powf(1.0 / count as f64);
+        println!("{:<18} {:>9} {:>34}{:.2}\n", "geomean", gpu.name, "", geomean);
+    }
+
+    println!(
+        "The race-free MIS wins on every GPU: removing the \"benign\" races\n\
+         sped the code up, the paper's central surprising finding."
+    );
+}

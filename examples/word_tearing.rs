@@ -1,0 +1,122 @@
+//! Reproduces the paper's Fig. 1: word tearing of a shared 64-bit variable
+//! on hardware without native 64-bit accesses.
+//!
+//! Four threads share `long val = -1`:
+//! - T1 stores 0 with a plain 64-bit store,
+//! - T2 prints whatever it reads,
+//! - T3 performs `atomicAdd(&val, 6)`,
+//! - T4 spins until the value changes.
+//!
+//! On a device whose plain 64-bit stores split into two 32-bit machine
+//! stores, T2 can observe the chimera `0xffffffff00000000`, and T3's atomic
+//! add can execute between the halves — both outcomes the paper warns about.
+//!
+//! ```text
+//! cargo run --release --example word_tearing
+//! ```
+
+use ecl_simt::{Ctx, DeviceBuffer, Gpu, GpuConfig, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo};
+
+struct Fig1 {
+    val: DeviceBuffer<u64>,
+    seen: DeviceBuffer<u64>,
+}
+
+impl Kernel for Fig1 {
+    type State = (u32, u8);
+
+    fn name(&self) -> &str {
+        "fig1"
+    }
+
+    fn init(&self, info: ThreadInfo) -> Self::State {
+        (info.global_id, 0)
+    }
+
+    fn step(&self, state: &mut Self::State, ctx: &mut Ctx<'_>) -> Step {
+        let (tid, stage) = *state;
+        state.1 += 1;
+        match (tid, stage) {
+            // T1: `val = 0;` — one source-level store, two machine stores.
+            (0, 0) => {
+                ctx.store(self.val.at(0), 0u64);
+                Step::Yield
+            }
+            (0, _) => Step::Done,
+            // T2: `printf("%ld", val);`
+            (1, _) => {
+                let v = ctx.load(self.val.at(0));
+                ctx.store_volatile(self.seen.at(1), v);
+                Step::Done
+            }
+            // T3: `atomicAdd(&val, 6);` — atomic, but tearing in T1 still bites.
+            (2, _) => {
+                ctx.atomic_add_u64(self.val.at(0), 6);
+                Step::Done
+            }
+            // T4: spin until the value changes from -1 (volatile read so the
+            // "compiler" cannot hoist the load out of the loop).
+            (3, _) => {
+                let v = ctx.load_volatile(self.val.at(0));
+                if v == u64::MAX {
+                    Step::Yield
+                } else {
+                    ctx.store_volatile(self.seen.at(3), v);
+                    Step::Done
+                }
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+fn run(native_64bit: bool) -> (u64, u64) {
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.native_64bit = native_64bit;
+    let mut gpu = Gpu::new(cfg);
+    let val = gpu.alloc::<u64>(1);
+    let seen = gpu.alloc::<u64>(4);
+    gpu.upload(&val, &[u64::MAX]); // long val = -1;
+    gpu.launch(
+        LaunchConfig {
+            grid_blocks: 1,
+            block_threads: 4,
+            store_visibility: StoreVisibility::DeferUntilDone,
+            shared_bytes: 0,
+            exact_geometry: true,
+        },
+        Fig1 { val, seen },
+    );
+    (gpu.download(&seen)[1], gpu.download(&val)[0])
+}
+
+fn main() {
+    println!("shared variable: long val = -1;  T1 stores 0, T3 atomicAdd(6)\n");
+
+    let (t2_native, final_native) = run(true);
+    println!("64-bit-native device:   T2 printed {t2_native:#018x}, final val {final_native:#x}");
+
+    let (t2_split, final_split) = run(false);
+    println!("32-bit-split device:    T2 printed {t2_split:#018x}, final val {final_split:#x}");
+
+    if t2_split != 0 && t2_split != u64::MAX {
+        println!(
+            "\nT2 observed a CHIMERA: half the bits from the initialization (-1),\n\
+             half from T1's store of 0 — the exact failure of the paper's Fig. 1.\n\
+             The same source code was fine on the 64-bit device: 'benign' races\n\
+             are not portable."
+        );
+    }
+    if final_native != final_split {
+        println!(
+            "\nEven the FINAL value differs across devices ({final_native:#x} vs \
+             {final_split:#x}):\nT3's atomic add executed between T1's two half-stores \
+             on the split device,\nproducing the paper's 'nonsensical' outcome."
+        );
+    }
+    // On the native device T2 can only see full values: -1 or 0.
+    assert!(
+        t2_native == u64::MAX || t2_native == 0,
+        "native-64 read must never tear, saw {t2_native:#x}"
+    );
+}

@@ -1,0 +1,46 @@
+//! Every catalog input builds and runs its table's algorithms end to end.
+
+use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_graph::inputs::{directed_catalog, undirected_catalog};
+use ecl_simt::GpuConfig;
+
+#[test]
+fn every_undirected_input_runs_cc_and_mis() {
+    let gpu = GpuConfig::test_tiny();
+    for input in undirected_catalog() {
+        let g = input.build(0.05, 1);
+        for alg in [Algorithm::Cc, Algorithm::Mis] {
+            for variant in [Variant::Baseline, Variant::RaceFree] {
+                let r = run_algorithm(alg, variant, &g, &gpu, 1);
+                assert!(r.valid, "{alg} {variant} invalid on {}", input.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_directed_input_runs_scc() {
+    let gpu = GpuConfig::test_tiny();
+    for input in directed_catalog() {
+        let g = input.build(0.05, 1);
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            let r = run_algorithm(Algorithm::Scc, variant, &g, &gpu, 1);
+            assert!(r.valid, "SCC {variant} invalid on {}", input.name());
+        }
+    }
+}
+
+#[test]
+fn catalog_io_roundtrip() {
+    // The binary graph format preserves every catalog structure.
+    let dir = std::env::temp_dir().join("ecl_suite_catalog_io_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for input in undirected_catalog().iter().take(3) {
+        let g = input.build(0.05, 1);
+        let path = dir.join(format!("{}.eclr", input.name()));
+        ecl_graph::io::save(&g, &path).unwrap();
+        let loaded = ecl_graph::io::load(&path).unwrap();
+        assert_eq!(g, loaded, "{} did not roundtrip", input.name());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,83 @@
+//! Cross-variant agreement: the baseline's "benign" races must never change
+//! the answer, so baseline and race-free solutions (and all scheduler seeds)
+//! must agree on every deterministic solution property.
+
+use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_graph::inputs::GraphInput;
+use ecl_simt::GpuConfig;
+
+const SEEDS: [u64; 3] = [1, 17, 4242];
+
+fn check_deterministic(alg: Algorithm, graph: &ecl_graph::Csr) {
+    let gpu = GpuConfig::test_tiny();
+    let mut digests = Vec::new();
+    for variant in [Variant::Baseline, Variant::RaceFree] {
+        for seed in SEEDS {
+            let r = run_algorithm(alg, variant, graph, &gpu, seed);
+            assert!(r.valid, "{alg} {variant} seed {seed} invalid");
+            digests.push(r.solution_digest);
+        }
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "{alg}: digests diverge across variants/seeds: {digests:x?}"
+    );
+}
+
+#[test]
+fn cc_partition_is_invariant() {
+    let g = GraphInput::by_name("internet").unwrap().build(0.1, 3);
+    check_deterministic(Algorithm::Cc, &g);
+}
+
+#[test]
+fn mis_set_is_invariant() {
+    let g = GraphInput::by_name("rmat16.sym").unwrap().build(0.1, 3);
+    check_deterministic(Algorithm::Mis, &g);
+}
+
+#[test]
+fn mst_weight_is_invariant() {
+    let g = GraphInput::by_name("2d-2e20.sym").unwrap().build(0.1, 3);
+    check_deterministic(Algorithm::Mst, &g);
+}
+
+#[test]
+fn scc_partition_is_invariant() {
+    let g = GraphInput::by_name("web-Google").unwrap().build(0.1, 3);
+    check_deterministic(Algorithm::Scc, &g);
+}
+
+#[test]
+fn apsp_distances_are_invariant() {
+    let g = ecl_graph::gen::grid2d_torus(8, 8).with_random_weights(50, 2);
+    check_deterministic(Algorithm::Apsp, &g);
+}
+
+#[test]
+fn gc_is_always_a_proper_coloring() {
+    // GC's exact colors are timing-dependent (the ECL-GC shortcuts), so we
+    // check validity and quality instead of digest equality.
+    let g = GraphInput::by_name("citationCiteseer").unwrap().build(0.1, 3);
+    let gpu = GpuConfig::test_tiny();
+    for variant in [Variant::Baseline, Variant::RaceFree] {
+        for seed in SEEDS {
+            let r = run_algorithm(Algorithm::Gc, variant, &g, &gpu, seed);
+            assert!(r.valid, "GC {variant} seed {seed} produced a bad coloring");
+            assert!(r.quality >= 1.0);
+        }
+    }
+}
+
+#[test]
+fn quality_matches_across_variants() {
+    // MIS size, MST weight, and component counts are part of the paper's
+    // validation story: the conversion must not change result quality.
+    let gpu = GpuConfig::test_tiny();
+    let und = GraphInput::by_name("amazon0601").unwrap().build(0.1, 3);
+    for alg in [Algorithm::Cc, Algorithm::Mis, Algorithm::Mst] {
+        let b = run_algorithm(alg, Variant::Baseline, &und, &gpu, 1);
+        let f = run_algorithm(alg, Variant::RaceFree, &und, &gpu, 1);
+        assert_eq!(b.quality, f.quality, "{alg} quality changed");
+    }
+}

@@ -1,0 +1,108 @@
+//! The paper's §IV claim, end to end: every baseline code except APSP
+//! contains data races; every converted code is race-free. Verified with
+//! the dynamic detector over full traces of real runs.
+
+use ecl_core::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
+use ecl_core::{cc, gc, mis, mst, scc};
+use ecl_racecheck::{check_races, check_races_hb};
+use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+
+fn traced_gpu() -> Gpu {
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.enable_tracing();
+    gpu
+}
+
+fn undirected() -> ecl_graph::Csr {
+    ecl_graph::gen::rmat(192, 768, 0.5, 0.2, 0.2, true, 11)
+}
+
+fn directed() -> ecl_graph::Csr {
+    ecl_graph::gen::toroid_wedge(8, 8)
+}
+
+#[test]
+fn baseline_cc_races_racefree_does_not() {
+    let g = undirected();
+    let mut gpu = traced_gpu();
+    cc::run_traced::<Plain>(&mut gpu, &g, StoreVisibility::DeferUntilYield);
+    assert!(!check_races(&gpu).is_empty(), "baseline CC must race");
+
+    let mut gpu = traced_gpu();
+    cc::run_traced::<Atomic>(&mut gpu, &g, StoreVisibility::Immediate);
+    assert!(check_races(&gpu).is_empty(), "race-free CC must be clean");
+}
+
+#[test]
+fn baseline_mis_races_racefree_does_not() {
+    let g = undirected();
+    let mut gpu = traced_gpu();
+    mis::run_traced::<VolatileReadPlainWrite>(
+        &mut gpu,
+        &g,
+        StoreVisibility::DeferBounded { every: 2, eighths: 4 },
+    );
+    assert!(!check_races(&gpu).is_empty(), "baseline MIS must race");
+
+    let mut gpu = traced_gpu();
+    mis::run_traced::<Atomic>(&mut gpu, &g, StoreVisibility::Immediate);
+    assert!(check_races(&gpu).is_empty(), "race-free MIS must be clean");
+}
+
+#[test]
+fn baseline_gc_races_racefree_does_not() {
+    let g = undirected();
+    // GC has no run_traced helper; drive the suite-level kernels through a
+    // traced GPU by replicating the policy pair used by the suite.
+    let mut gpu = traced_gpu();
+    gc::run_traced::<Volatile, Plain>(&mut gpu, &g, StoreVisibility::DeferUntilYield);
+    assert!(!check_races(&gpu).is_empty(), "baseline GC must race");
+
+    let mut gpu = traced_gpu();
+    gc::run_traced::<Atomic, Atomic>(&mut gpu, &g, StoreVisibility::Immediate);
+    assert!(check_races(&gpu).is_empty(), "race-free GC must be clean");
+}
+
+#[test]
+fn baseline_mst_races_racefree_does_not() {
+    let g = undirected().with_random_weights(100, 1);
+    let mut gpu = traced_gpu();
+    mst::run_traced::<Volatile>(&mut gpu, &g, StoreVisibility::DeferUntilYield);
+    assert!(!check_races(&gpu).is_empty(), "baseline MST must race");
+
+    let mut gpu = traced_gpu();
+    mst::run_traced::<Atomic>(&mut gpu, &g, StoreVisibility::Immediate);
+    assert!(check_races(&gpu).is_empty(), "race-free MST must be clean");
+}
+
+#[test]
+fn epoch_and_happens_before_detectors_agree_on_ecl_codes() {
+    // The ECL codes use only *relaxed* atomics, which establish no
+    // happens-before edges — so the precise vector-clock detector finds
+    // races exactly where the epoch detector does, on both variants.
+    let g = undirected();
+    let mut gpu = traced_gpu();
+    cc::run_traced::<Plain>(&mut gpu, &g, StoreVisibility::DeferUntilYield);
+    assert_eq!(check_races(&gpu).is_empty(), check_races_hb(&gpu).is_empty());
+    assert!(!check_races_hb(&gpu).is_empty());
+
+    let mut gpu = traced_gpu();
+    cc::run_traced::<Atomic>(&mut gpu, &g, StoreVisibility::Immediate);
+    assert!(check_races_hb(&gpu).is_empty());
+
+    let mut gpu = traced_gpu();
+    mis::run_traced::<Atomic>(&mut gpu, &g, StoreVisibility::Immediate);
+    assert!(check_races_hb(&gpu).is_empty());
+}
+
+#[test]
+fn baseline_scc_races_racefree_does_not() {
+    let g = directed();
+    let mut gpu = traced_gpu();
+    scc::run_traced::<Plain>(&mut gpu, &g, StoreVisibility::DeferUntilYield);
+    assert!(!check_races(&gpu).is_empty(), "baseline SCC must race");
+
+    let mut gpu = traced_gpu();
+    scc::run_traced::<Atomic>(&mut gpu, &g, StoreVisibility::Immediate);
+    assert!(check_races(&gpu).is_empty(), "race-free SCC must be clean");
+}
