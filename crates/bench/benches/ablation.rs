@@ -51,7 +51,11 @@ impl AccessPolicy for SeqCstAtomic {
     }
     fn read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8 {
         let words: DevicePtr<u32> = base.cast();
-        let w = ctx.atomic_load_explicit(words.offset((i / 4) as usize), MemOrder::SeqCst, Scope::Device);
+        let w = ctx.atomic_load_explicit(
+            words.offset((i / 4) as usize),
+            MemOrder::SeqCst,
+            Scope::Device,
+        );
         ((w >> ((i % 4) * 8)) & 0xff) as u8
     }
     fn write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8) {
@@ -151,7 +155,8 @@ fn main() {
 
     println!("\n=== Ablation 6: SCC propagation engine (full-scan vs data-driven) ===");
     let scan = ecl_core::scc::run::<Atomic>(&scc_graph, &gpu, 1, StoreVisibility::Immediate);
-    let wl = ecl_core::scc::run_data_driven::<Atomic>(&scc_graph, &gpu, 1, StoreVisibility::Immediate);
+    let wl =
+        ecl_core::scc::run_data_driven::<Atomic>(&scc_graph, &gpu, 1, StoreVisibility::Immediate);
     assert_eq!(scan.digest, wl.digest);
     let accesses = |r: &ecl_core::scc::SccResult| -> u64 {
         r.stats.launches.iter().map(|l| l.total_accesses()).sum()

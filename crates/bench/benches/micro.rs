@@ -86,5 +86,10 @@ fn bench_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_access_modes, bench_byte_tricks, bench_algorithms);
+criterion_group!(
+    benches,
+    bench_access_modes,
+    bench_byte_tricks,
+    bench_algorithms
+);
 criterion_main!(benches);

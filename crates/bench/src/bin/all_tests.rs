@@ -58,7 +58,10 @@ fn main() {
 
     let t0 = Instant::now();
     let undirected = matrix.run_undirected();
-    eprintln!("undirected matrix done in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "undirected matrix done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
     let t1 = Instant::now();
     let directed = matrix.run_directed();
     eprintln!("directed matrix done in {:.1}s", t1.elapsed().as_secs_f64());
@@ -104,7 +107,10 @@ fn print_gpus() {
 
 fn print_inputs() {
     for (title, catalog) in [
-        ("Table II: undirected inputs (scaled stand-ins at --scale 1.0)", undirected_catalog()),
+        (
+            "Table II: undirected inputs (scaled stand-ins at --scale 1.0)",
+            undirected_catalog(),
+        ),
         ("Table III: directed inputs", directed_catalog()),
     ] {
         println!("{title}");

@@ -8,7 +8,8 @@ fn main() {
     for n in [60, 120, 250, 550] {
         let g = ecl_graph::gen::clique_overlay(n, n / 2, 10, 1);
         for gpu in GpuConfig::paper_gpus() {
-            let r = mis::run::<VolatileReadPlainWrite>(&g, &gpu, 1, StoreVisibility::DeferUntilYield);
+            let r =
+                mis::run::<VolatileReadPlainWrite>(&g, &gpu, 1, StoreVisibility::DeferUntilYield);
             let ok = mis::verify_mis(&g, &r.in_set);
             if !ok {
                 println!("n={n} gpu={} INVALID", gpu.name);

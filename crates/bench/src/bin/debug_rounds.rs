@@ -7,7 +7,15 @@ use ecl_simt::{GpuConfig, StoreVisibility};
 fn main() {
     let g = ecl_graph::gen::rmat(4096, 28672, 0.45, 0.22, 0.22, true, 1);
     let gpu = GpuConfig::titan_v();
-    let base = mis::run::<VolatileReadPlainWrite>(&g, &gpu, 1, StoreVisibility::DeferBounded { every: 2, eighths: 3 });
+    let base = mis::run::<VolatileReadPlainWrite>(
+        &g,
+        &gpu,
+        1,
+        StoreVisibility::DeferBounded {
+            every: 2,
+            eighths: 3,
+        },
+    );
     let free = mis::run::<Atomic>(&g, &gpu, 1, StoreVisibility::Immediate);
     for (name, r) in [("base", &base), ("free", &free)] {
         let compute = &r.stats.launches[1];

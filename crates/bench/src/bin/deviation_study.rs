@@ -26,7 +26,10 @@ fn main() {
         "median relative deviation across {runs} seeded runs ({}):\n",
         gpu.name
     );
-    println!("{:<18} {:>6} {:>10} {:>10}", "input", "algo", "baseline", "race-free");
+    println!(
+        "{:<18} {:>6} {:>10} {:>10}",
+        "input", "algo", "baseline", "race-free"
+    );
 
     let mut all = Vec::new();
     for name in inputs {

@@ -16,13 +16,18 @@ use ecl_simt::GpuConfig;
 fn main() {
     let gpu = GpuConfig::titan_v();
 
-    println!("§VI-A profile on {} — per-variant cache behaviour\n", gpu.name);
+    println!(
+        "§VI-A profile on {} — per-variant cache behaviour\n",
+        gpu.name
+    );
     println!(
         "{:<5} {:<10} {:>10} {:>8} {:>8} {:>9} {:>9} {:>9}",
         "algo", "variant", "cycles", "L1 hit", "L2 hit", "plain", "volatile", "atomic"
     );
 
-    let cc_graph = GraphInput::by_name("citationCiteseer").unwrap().build(1.0, 1);
+    let cc_graph = GraphInput::by_name("citationCiteseer")
+        .unwrap()
+        .build(1.0, 1);
     let mis_graph = GraphInput::by_name("amazon0601").unwrap().build(1.0, 1);
 
     let mut cc_l1 = Vec::new();
@@ -85,6 +90,12 @@ fn main() {
          rounds, the §VI-A explanation of the race-free MIS speedup.",
         mis_rounds[0], mis_rounds[1]
     );
-    assert!(cc_l1[0] > cc_l1[1] + 0.1, "baseline CC must lean on the L1 far more");
-    assert!(mis_rounds[0] > mis_rounds[1], "baseline MIS must need more rounds");
+    assert!(
+        cc_l1[0] > cc_l1[1] + 0.1,
+        "baseline CC must lean on the L1 far more"
+    );
+    assert!(
+        mis_rounds[0] > mis_rounds[1],
+        "baseline MIS must need more rounds"
+    );
 }

@@ -5,15 +5,29 @@
 //! ```text
 //! cargo run --release -p ecl-bench --bin racecheck_tool -- \
 //!     --alg cc --variant baseline --input rmat16.sym [--scale 0.25] \
+//!     [--mtx path/to/graph.mtx] \
 //!     [--mode precise|shared-only|no-launch-barrier|happens-before] [--profile]
 //! ```
+//!
+//! Exit codes (for CI gating): 0 = no races, 1 = races detected, 2 = usage
+//! or I/O error (unknown algorithm/input/mode, unreadable `--mtx` file).
 
 use ecl_core::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
 use ecl_core::{cc, gc, mis, mst, scc};
-use ecl_racecheck::{access_profile, check_races_hb, check_races_with_mode, format_profile, format_summary, DetectorMode};
+use ecl_racecheck::{
+    access_profile, check_races_hb, check_races_with_mode, format_profile, format_summary,
+    DetectorMode,
+};
 use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+use std::process::ExitCode;
 
-fn main() {
+/// Prints a diagnostic to stderr and exits with the usage/I/O error code.
+fn usage_error(message: String) -> ExitCode {
+    eprintln!("racecheck_tool: {message}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str, default: &str| -> String {
         args.iter()
@@ -26,12 +40,33 @@ fn main() {
     let alg = get("--alg", "cc").to_lowercase();
     let variant = get("--variant", "baseline").to_lowercase();
     let input_name = get("--input", "rmat16.sym");
-    let scale: f64 = get("--scale", "0.25").parse().expect("bad --scale");
+    let scale: f64 = match get("--scale", "0.25").parse() {
+        Ok(s) => s,
+        Err(_) => return usage_error(format!("bad --scale '{}'", get("--scale", "0.25"))),
+    };
     let mode = get("--mode", "precise");
+    let mtx_path = get("--mtx", "");
 
-    let input = ecl_graph::inputs::GraphInput::by_name(&input_name)
-        .unwrap_or_else(|| panic!("unknown input '{input_name}' (see all_tests --list-inputs)"));
-    let mut graph = input.build(scale, 1);
+    // Input: a real .mtx file when given, else a catalog stand-in.
+    let (mut graph, input_label) = if mtx_path.is_empty() {
+        let input = match ecl_graph::inputs::GraphInput::by_name(&input_name) {
+            Some(i) => i,
+            None => {
+                return usage_error(format!(
+                    "unknown input '{input_name}' (see all_tests --list-inputs)"
+                ))
+            }
+        };
+        match input.try_build(scale, 1) {
+            Ok(g) => (g, format!("{input_name} (scale {scale})")),
+            Err(e) => return usage_error(e.to_string()),
+        }
+    } else {
+        match ecl_graph::mtx::load_mtx(&mtx_path) {
+            Ok(g) => (g, mtx_path.clone()),
+            Err(e) => return usage_error(e.to_string()),
+        }
+    };
     if matches!(alg.as_str(), "mst") && graph.weights().is_none() {
         graph = graph.with_random_weights(1000, 0xec1);
     }
@@ -44,19 +79,26 @@ fn main() {
     match (alg.as_str(), racefree) {
         ("cc", false) => drop(cc::run_traced::<Plain>(&mut gpu, &graph, deferred)),
         ("cc", true) => drop(cc::run_traced::<Atomic>(&mut gpu, &graph, immediate)),
-        ("gc", false) => drop(gc::run_traced::<Volatile, Plain>(&mut gpu, &graph, deferred)),
-        ("gc", true) => drop(gc::run_traced::<Atomic, Atomic>(&mut gpu, &graph, immediate)),
+        ("gc", false) => drop(gc::run_traced::<Volatile, Plain>(
+            &mut gpu, &graph, deferred,
+        )),
+        ("gc", true) => drop(gc::run_traced::<Atomic, Atomic>(
+            &mut gpu, &graph, immediate,
+        )),
         ("mis", false) => drop(mis::run_traced::<VolatileReadPlainWrite>(
             &mut gpu,
             &graph,
-            StoreVisibility::DeferBounded { every: 2, eighths: 4 },
+            StoreVisibility::DeferBounded {
+                every: 2,
+                eighths: 4,
+            },
         )),
         ("mis", true) => drop(mis::run_traced::<Atomic>(&mut gpu, &graph, immediate)),
         ("mst", false) => drop(mst::run_traced::<Volatile>(&mut gpu, &graph, deferred)),
         ("mst", true) => drop(mst::run_traced::<Atomic>(&mut gpu, &graph, immediate)),
         ("scc", false) => drop(scc::run_traced::<Plain>(&mut gpu, &graph, deferred)),
         ("scc", true) => drop(scc::run_traced::<Atomic>(&mut gpu, &graph, immediate)),
-        _ => panic!("unknown algorithm '{alg}' (cc|gc|mis|mst|scc)"),
+        _ => return usage_error(format!("unknown algorithm '{alg}' (cc|gc|mis|mst|scc)")),
     }
 
     let trace_len = gpu.trace().map(|t| t.len()).unwrap_or(0);
@@ -65,16 +107,18 @@ fn main() {
         "shared-only" => check_races_with_mode(&gpu, DetectorMode::SharedOnly),
         "no-launch-barrier" => check_races_with_mode(&gpu, DetectorMode::NoLaunchBarrier),
         "happens-before" | "hb" => check_races_hb(&gpu),
-        other => panic!("unknown detector mode '{other}'"),
+        other => return usage_error(format!("unknown detector mode '{other}'")),
     };
-    println!(
-        "{alg} {variant} on {input_name} (scale {scale}): {trace_len} traced accesses\n"
-    );
+    println!("{alg} {variant} on {input_label}: {trace_len} traced accesses\n");
     print!("{}", format_summary(&reports));
     if args.iter().any(|a| a == "--profile") {
         // §VI-C: which shared arrays carry the traffic (and how racy it is).
         println!("\naccess profile:");
         print!("{}", format_profile(&access_profile(&gpu)));
     }
-    std::process::exit(if reports.is_empty() { 0 } else { 1 });
+    if reports.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }

@@ -244,9 +244,7 @@ mod tests {
 
     #[test]
     fn single_cell_measures_and_validates() {
-        let matrix = Matrix::quick()
-            .runs(1)
-            .gpus(vec![GpuConfig::test_tiny()]);
+        let matrix = Matrix::quick().runs(1).gpus(vec![GpuConfig::test_tiny()]);
         let g = ecl_graph::gen::rmat(256, 1024, 0.57, 0.19, 0.19, true, 1);
         let props = properties(&g);
         let cell = matrix.measure("test", Algorithm::Cc, &g, &GpuConfig::test_tiny(), props);

@@ -75,7 +75,11 @@ pub fn format_fig6(undirected: &MeasuredTable, directed: &MeasuredTable, gpus: &
     ] {
         out.push_str(&format!("{}\n", alg.name()));
         for gpu in gpus {
-            let source = if alg == Algorithm::Scc { directed } else { undirected };
+            let source = if alg == Algorithm::Scc {
+                directed
+            } else {
+                undirected
+            };
             let col = source.column(gpu, alg);
             if col.is_empty() {
                 continue;
@@ -123,7 +127,11 @@ pub fn format_table9(
         ] {
             out.push_str(&format!("{label:<16}"));
             for alg in &algorithms {
-                let source = if *alg == Algorithm::Scc { directed } else { undirected };
+                let source = if *alg == Algorithm::Scc {
+                    directed
+                } else {
+                    undirected
+                };
                 let cells: Vec<_> = source
                     .cells
                     .iter()

@@ -14,18 +14,24 @@ const TILE_BYTES: u32 = (TILE * TILE * 4) as u32;
 pub(super) fn run_on(gpu: &mut Gpu, dist: DeviceBuffer<u32>, padded: usize) {
     let tiles = padded / TILE;
     for k in 0..tiles {
-        gpu.launch(phase_launch(1), Phase1 {
-            dist,
-            padded: padded as u32,
-            k: k as u32,
-        });
-        if tiles > 1 {
-            gpu.launch(phase_launch(2 * (tiles as u32 - 1)), Phase2 {
+        gpu.launch(
+            phase_launch(1),
+            Phase1 {
                 dist,
                 padded: padded as u32,
                 k: k as u32,
-                tiles: tiles as u32,
-            });
+            },
+        );
+        if tiles > 1 {
+            gpu.launch(
+                phase_launch(2 * (tiles as u32 - 1)),
+                Phase2 {
+                    dist,
+                    padded: padded as u32,
+                    k: k as u32,
+                    tiles: tiles as u32,
+                },
+            );
             gpu.launch(
                 phase_launch((tiles as u32 - 1) * (tiles as u32 - 1)),
                 Phase3 {
@@ -123,7 +129,10 @@ impl Kernel for Phase1 {
             return Step::Barrier;
         }
         let v: u32 = ctx.shared_read(sidx(0, l.ti, l.tj));
-        ctx.store(self.dist.at(gidx(self.padded, self.k, self.k, l.ti, l.tj)), v);
+        ctx.store(
+            self.dist.at(gidx(self.padded, self.k, self.k, l.ti, l.tj)),
+            v,
+        );
         Step::Done
     }
 }

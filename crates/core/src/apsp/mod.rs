@@ -17,9 +17,9 @@ mod verify;
 
 pub use verify::{reference_apsp, verify_apsp};
 
-use crate::common::Digest;
+use crate::common::{Digest, SimOptions};
 use ecl_graph::Csr;
-use ecl_simt::{Gpu, GpuConfig};
+use ecl_simt::{catch_sim, GpuConfig, SimError};
 
 /// "No path" distance. Small enough that `INF + weight` cannot overflow.
 pub const INF: u32 = 0x3f3f_3f3f;
@@ -51,6 +51,11 @@ pub struct ApspResult {
 /// than 2048 vertices (the dense O(n²) matrix is meant for the small inputs
 /// the quickstart and tests use).
 pub fn run(g: &Csr, cfg: &GpuConfig, seed: u64) -> ApspResult {
+    run_with(g, cfg, seed, &SimOptions::default())
+}
+
+/// [`run`] with simulator options (watchdog budget, fault injection).
+pub fn run_with(g: &Csr, cfg: &GpuConfig, seed: u64, opts: &SimOptions) -> ApspResult {
     assert!(g.num_vertices() > 0, "empty graph");
     assert!(
         g.num_vertices() <= 2048,
@@ -72,8 +77,7 @@ pub fn run(g: &Csr, cfg: &GpuConfig, seed: u64) -> ApspResult {
         *slot = (*slot).min(weights[e]);
     }
 
-    let mut gpu = Gpu::new(cfg.clone());
-    gpu.set_seed(seed);
+    let mut gpu = opts.make_gpu(cfg, seed);
     let dist = gpu.alloc::<u32>(padded * padded);
     gpu.upload(&dist, &init);
     kernels::run_on(&mut gpu, dist, padded);
@@ -95,6 +99,18 @@ pub fn run(g: &Csr, cfg: &GpuConfig, seed: u64) -> ApspResult {
         digest: digest.finish(),
         dist: out,
     }
+}
+
+/// [`run_with`], catching launch failures (watchdog timeout, out-of-bounds
+/// access, livelock, barrier divergence, fault budget) as typed errors
+/// instead of panicking.
+pub fn run_checked(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    opts: &SimOptions,
+) -> Result<ApspResult, SimError> {
+    catch_sim(|| run_with(g, cfg, seed, opts))
 }
 
 #[cfg(test)]

@@ -12,10 +12,10 @@ mod verify;
 
 pub use verify::{reference_components, verify_components};
 
-use crate::common::{partition_digest, DeviceGraph};
+use crate::common::{partition_digest, DeviceGraph, SimOptions};
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+use ecl_simt::{catch_sim, GpuConfig, SimError, StoreVisibility};
 
 /// Outcome of a CC run.
 #[derive(Debug, Clone)]
@@ -47,9 +47,19 @@ pub fn run<P: AccessPolicy>(
     seed: u64,
     visibility: StoreVisibility,
 ) -> CcResult {
+    run_with::<P>(g, cfg, seed, visibility, &SimOptions::default())
+}
+
+/// [`run`] with simulator options (watchdog budget, fault injection).
+pub fn run_with<P: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> CcResult {
     assert!(g.num_vertices() > 0, "empty graph");
-    let mut gpu = Gpu::new(cfg.clone());
-    gpu.set_seed(seed);
+    let mut gpu = opts.make_gpu(cfg, seed);
     let dg = DeviceGraph::upload(&mut gpu, g);
     let labels = kernels::run_on::<P>(&mut gpu, &dg, visibility);
     let host_labels = gpu.download(&labels);
@@ -63,6 +73,19 @@ pub fn run<P: AccessPolicy>(
         stats: gpu.run_stats().clone(),
         labels: host_labels,
     }
+}
+
+/// [`run_with`], catching launch failures (watchdog timeout, out-of-bounds
+/// access, livelock, barrier divergence, fault budget) as typed errors
+/// instead of panicking.
+pub fn run_checked<P: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> Result<CcResult, SimError> {
+    catch_sim(|| run_with::<P>(g, cfg, seed, visibility, opts))
 }
 
 /// Runs the ECL-CC kernels on a caller-provided GPU — use this instead of
@@ -93,8 +116,14 @@ mod tests {
         let cfg = GpuConfig::test_tiny();
         let base = run::<Plain>(g, &cfg, 1, StoreVisibility::DeferUntilYield);
         let free = run::<Atomic>(g, &cfg, 1, StoreVisibility::Immediate);
-        assert!(verify_components(g, &base.labels), "baseline labels invalid");
-        assert!(verify_components(g, &free.labels), "race-free labels invalid");
+        assert!(
+            verify_components(g, &base.labels),
+            "baseline labels invalid"
+        );
+        assert!(
+            verify_components(g, &free.labels),
+            "race-free labels invalid"
+        );
         assert_eq!(base.digest, free.digest, "variants disagree");
         let reference = reference_components(g);
         assert_eq!(base.num_components, reference, "wrong component count");
@@ -132,8 +161,18 @@ mod tests {
     #[test]
     fn seeds_do_not_change_the_partition() {
         let g = gen::pref_attach(300, 3, 0.0, 5);
-        let a = run::<Plain>(&g, &GpuConfig::test_tiny(), 1, StoreVisibility::DeferUntilYield);
-        let b = run::<Plain>(&g, &GpuConfig::test_tiny(), 99, StoreVisibility::DeferUntilYield);
+        let a = run::<Plain>(
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            StoreVisibility::DeferUntilYield,
+        );
+        let b = run::<Plain>(
+            &g,
+            &GpuConfig::test_tiny(),
+            99,
+            StoreVisibility::DeferUntilYield,
+        );
         assert_eq!(a.digest, b.digest);
     }
 }

@@ -3,7 +3,41 @@
 
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{Ctx, DeviceBuffer, Gpu};
+use ecl_simt::{Ctx, DeviceBuffer, FaultPlan, Gpu, GpuConfig};
+
+/// Simulator-level options threaded through an algorithm run: the watchdog
+/// budget and an optional fault-injection plan. `Default` is a plain run —
+/// no watchdog override, no faults — so existing call sites are unaffected.
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Per-launch watchdog budget in cycles; `None` keeps the GPU
+    /// configuration's default.
+    pub watchdog: Option<u64>,
+    /// Seeded fault plan to arm before the first launch.
+    pub fault: Option<FaultPlan>,
+}
+
+impl SimOptions {
+    /// Builds the device every algorithm run starts from: configured,
+    /// seeded, and with these options applied.
+    pub fn make_gpu(&self, cfg: &GpuConfig, seed: u64) -> Gpu {
+        let mut gpu = Gpu::new(cfg.clone());
+        gpu.set_seed(seed);
+        if let Some(budget) = self.watchdog {
+            gpu.set_watchdog(Some(budget));
+        }
+        if let Some(plan) = &self.fault {
+            let mut plan = plan.clone();
+            // Transient faults are i.i.d. across reruns: mixing the run seed
+            // into the plan seed gives a retry a fresh fault schedule, not a
+            // replay of the one that just corrupted it. Still deterministic
+            // for a fixed (plan seed, run seed) pair.
+            plan.seed ^= seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            gpu.set_fault_plan(plan);
+        }
+        gpu
+    }
+}
 
 /// A CSR graph resident in simulated device memory.
 #[derive(Debug, Clone, Copy)]

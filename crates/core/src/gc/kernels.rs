@@ -116,8 +116,8 @@ fn round_body<P: AccessPolicy, Q: AccessPolicy>(
         if cu != NO_COLOR {
             continue;
         }
-        let deg_u = ctx.load(g.row_offsets.at(u as usize + 1))
-            - ctx.load(g.row_offsets.at(u as usize));
+        let deg_u =
+            ctx.load(g.row_offsets.at(u as usize + 1)) - ctx.load(g.row_offsets.at(u as usize));
         if higher_priority(deg_u, u, deg_v, v)
             && (!shortcuts || Q::read_u32(ctx, minposs.at(u as usize)) <= candidate)
         {

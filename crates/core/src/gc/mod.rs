@@ -18,10 +18,10 @@ mod verify;
 
 pub use verify::verify_coloring;
 
-use crate::common::{DeviceGraph, Digest};
+use crate::common::{DeviceGraph, Digest, SimOptions};
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+use ecl_simt::{catch_sim, Gpu, GpuConfig, SimError, StoreVisibility};
 
 /// Sentinel for "not yet colored".
 pub const NO_COLOR: u32 = u32::MAX;
@@ -56,9 +56,19 @@ pub fn run<P: AccessPolicy, Q: AccessPolicy>(
     seed: u64,
     visibility: StoreVisibility,
 ) -> GcResult {
+    run_with::<P, Q>(g, cfg, seed, visibility, &SimOptions::default())
+}
+
+/// [`run`] with simulator options (watchdog budget, fault injection).
+pub fn run_with<P: AccessPolicy, Q: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> GcResult {
     assert!(g.num_vertices() > 0, "empty graph");
-    let mut gpu = Gpu::new(cfg.clone());
-    gpu.set_seed(seed);
+    let mut gpu = opts.make_gpu(cfg, seed);
     let dg = DeviceGraph::upload(&mut gpu, g);
     let colors_buf = kernels::run_on::<P, Q>(&mut gpu, &dg, visibility);
     let colors = gpu.download(&colors_buf);
@@ -75,6 +85,19 @@ pub fn run<P: AccessPolicy, Q: AccessPolicy>(
         digest: digest.finish(),
         colors,
     }
+}
+
+/// [`run_with`], catching launch failures (watchdog timeout, out-of-bounds
+/// access, livelock, barrier divergence, fault budget) as typed errors
+/// instead of panicking.
+pub fn run_checked<P: AccessPolicy, Q: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> Result<GcResult, SimError> {
+    catch_sim(|| run_with::<P, Q>(g, cfg, seed, visibility, opts))
 }
 
 /// Runs pure Jones-Plassmann largest-degree-first coloring *without* the
@@ -141,8 +164,14 @@ mod tests {
         let cfg = GpuConfig::test_tiny();
         let base = run::<Volatile, Plain>(g, &cfg, 1, StoreVisibility::DeferUntilYield);
         let free = run::<Atomic, Atomic>(g, &cfg, 1, StoreVisibility::Immediate);
-        assert!(verify_coloring(g, &base.colors), "baseline coloring invalid");
-        assert!(verify_coloring(g, &free.colors), "race-free coloring invalid");
+        assert!(
+            verify_coloring(g, &base.colors),
+            "baseline coloring invalid"
+        );
+        assert!(
+            verify_coloring(g, &free.colors),
+            "race-free coloring invalid"
+        );
         // Both must be proper colorings; the exact colors may differ (the
         // shortcuts make coloring order timing-dependent), but quality
         // should be in the same ballpark.
@@ -174,7 +203,12 @@ mod tests {
             }
         }
         let g = b.build();
-        let r = run::<Volatile, Plain>(&g, &GpuConfig::test_tiny(), 1, StoreVisibility::DeferUntilYield);
+        let r = run::<Volatile, Plain>(
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            StoreVisibility::DeferUntilYield,
+        );
         assert!(verify_coloring(&g, &r.colors));
         assert_eq!(r.num_colors, 6);
     }

@@ -11,7 +11,8 @@ pub fn verify_coloring(g: &Csr, colors: &[u32]) -> bool {
     if colors.contains(&NO_COLOR) {
         return false;
     }
-    g.edges().all(|(v, u)| colors[v as usize] != colors[u as usize])
+    g.edges()
+        .all(|(v, u)| colors[v as usize] != colors[u as usize])
 }
 
 #[cfg(test)]

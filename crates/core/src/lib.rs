@@ -37,6 +37,8 @@
 //! assert_eq!(base.solution_digest, free.solution_digest);
 //! ```
 
+pub use common::SimOptions;
+
 pub mod apsp;
 pub mod cc;
 pub mod common;

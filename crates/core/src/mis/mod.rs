@@ -18,10 +18,10 @@ mod verify;
 
 pub use verify::verify_mis;
 
-use crate::common::{DeviceGraph, Digest};
+use crate::common::{DeviceGraph, Digest, SimOptions};
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+use ecl_simt::{catch_sim, Gpu, GpuConfig, SimError, StoreVisibility};
 
 /// Status byte value for vertices excluded from the set.
 pub const OUT: u8 = 0;
@@ -54,9 +54,19 @@ pub fn run<P: AccessPolicy>(
     seed: u64,
     visibility: StoreVisibility,
 ) -> MisResult {
+    run_with::<P>(g, cfg, seed, visibility, &SimOptions::default())
+}
+
+/// [`run`] with simulator options (watchdog budget, fault injection).
+pub fn run_with<P: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> MisResult {
     assert!(g.num_vertices() > 0, "empty graph");
-    let mut gpu = Gpu::new(cfg.clone());
-    gpu.set_seed(seed);
+    let mut gpu = opts.make_gpu(cfg, seed);
     let dg = DeviceGraph::upload(&mut gpu, g);
     let statuses = kernels::run_on::<P>(&mut gpu, &dg, visibility);
     let mut host: Vec<u8> = gpu.download(&statuses);
@@ -77,6 +87,19 @@ pub fn run<P: AccessPolicy>(
         digest: digest.finish(),
         in_set,
     }
+}
+
+/// [`run_with`], catching launch failures (watchdog timeout, out-of-bounds
+/// access, livelock, barrier divergence, fault budget) as typed errors
+/// instead of panicking.
+pub fn run_checked<P: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> Result<MisResult, SimError> {
+    catch_sim(|| run_with::<P>(g, cfg, seed, visibility, opts))
 }
 
 /// Runs MIS with the *synchronous* round-based (textbook Luby) structure
@@ -194,8 +217,18 @@ mod tests {
     #[test]
     fn seeds_do_not_change_the_set() {
         let g = gen::random_uniform(300, 900, true, 6);
-        let a = run::<VolatileReadPlainWrite>(&g, &GpuConfig::test_tiny(), 1, StoreVisibility::DeferUntilYield);
-        let b = run::<VolatileReadPlainWrite>(&g, &GpuConfig::test_tiny(), 77, StoreVisibility::DeferUntilYield);
+        let a = run::<VolatileReadPlainWrite>(
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            StoreVisibility::DeferUntilYield,
+        );
+        let b = run::<VolatileReadPlainWrite>(
+            &g,
+            &GpuConfig::test_tiny(),
+            77,
+            StoreVisibility::DeferUntilYield,
+        );
         assert_eq!(a.digest, b.digest);
     }
 

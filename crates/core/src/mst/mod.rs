@@ -16,10 +16,10 @@ mod verify;
 
 pub use verify::{reference_mst_weight, verify_mst};
 
-use crate::common::{DeviceGraph, Digest};
+use crate::common::{DeviceGraph, Digest, SimOptions};
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+use ecl_simt::{catch_sim, Gpu, GpuConfig, SimError, StoreVisibility};
 
 /// Outcome of an MST run.
 #[derive(Debug, Clone)]
@@ -50,13 +50,23 @@ pub fn run<P: AccessPolicy>(
     seed: u64,
     visibility: StoreVisibility,
 ) -> MstResult {
+    run_with::<P>(g, cfg, seed, visibility, &SimOptions::default())
+}
+
+/// [`run`] with simulator options (watchdog budget, fault injection).
+pub fn run_with<P: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> MstResult {
     assert!(g.num_vertices() > 0, "empty graph");
     assert!(
         g.weights().is_some(),
         "MST needs edge weights: call Csr::with_random_weights first"
     );
-    let mut gpu = Gpu::new(cfg.clone());
-    gpu.set_seed(seed);
+    let mut gpu = opts.make_gpu(cfg, seed);
     let dg = DeviceGraph::upload(&mut gpu, g);
     let flags = kernels::run_on::<P>(&mut gpu, &dg, g, visibility);
     let mut host_flags: Vec<u8> = gpu.download(&flags);
@@ -82,6 +92,19 @@ pub fn run<P: AccessPolicy>(
         digest: digest.finish(),
         in_mst,
     }
+}
+
+/// [`run_with`], catching launch failures (watchdog timeout, out-of-bounds
+/// access, livelock, barrier divergence, fault budget) as typed errors
+/// instead of panicking.
+pub fn run_checked<P: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> Result<MstResult, SimError> {
+    catch_sim(|| run_with::<P>(g, cfg, seed, visibility, opts))
 }
 
 /// Runs the ECL-MST kernels on a caller-provided GPU (e.g. with tracing
@@ -135,7 +158,10 @@ mod tests {
     #[test]
     fn mst_of_disconnected_graph_is_a_forest() {
         let mut b = ecl_graph::CsrBuilder::new(6).symmetric(true);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4).add_edge(4, 5);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(3, 4)
+            .add_edge(4, 5);
         let g = b.build().with_random_weights(10, 1);
         let r = run::<Atomic>(&g, &GpuConfig::test_tiny(), 1, StoreVisibility::Immediate);
         // 6 vertices, 2 components -> 4 forest edges.

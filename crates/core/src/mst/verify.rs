@@ -102,7 +102,10 @@ mod tests {
     /// 4-cycle with one heavy edge: MST is the three light edges.
     fn weighted_square() -> Csr {
         let mut b = CsrBuilder::new(4).symmetric(true);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0);
         let g = b.build();
         // Deterministic custom weights: edge (3,0) is the heaviest.
         let weights: Vec<u32> = g

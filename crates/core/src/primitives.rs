@@ -408,10 +408,7 @@ mod tests {
     use super::*;
     use ecl_simt::{ForEach, Gpu, GpuConfig, LaunchConfig};
 
-    fn one_thread_kernel(
-        gpu: &mut Gpu,
-        f: impl Fn(&mut Ctx<'_>, u32) + 'static,
-    ) {
+    fn one_thread_kernel(gpu: &mut Gpu, f: impl Fn(&mut Ctx<'_>, u32) + 'static) {
         gpu.launch(LaunchConfig::for_items(1), ForEach::new("test", 1, f));
     }
 

@@ -18,10 +18,10 @@ mod worklist;
 
 pub use verify::{reference_sccs, verify_sccs};
 
-use crate::common::{partition_digest, DeviceGraph};
+use crate::common::{partition_digest, DeviceGraph, SimOptions};
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+use ecl_simt::{catch_sim, Gpu, GpuConfig, SimError, StoreVisibility};
 
 /// Outcome of an SCC run.
 #[derive(Debug, Clone)]
@@ -49,9 +49,19 @@ pub fn run<P: AccessPolicy>(
     seed: u64,
     visibility: StoreVisibility,
 ) -> SccResult {
+    run_with::<P>(g, cfg, seed, visibility, &SimOptions::default())
+}
+
+/// [`run`] with simulator options (watchdog budget, fault injection).
+pub fn run_with<P: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> SccResult {
     assert!(g.num_vertices() > 0, "empty graph");
-    let mut gpu = Gpu::new(cfg.clone());
-    gpu.set_seed(seed);
+    let mut gpu = opts.make_gpu(cfg, seed);
     let dg = DeviceGraph::upload(&mut gpu, g);
     let ids = kernels::run_on::<P>(&mut gpu, &dg, g, visibility);
     let scc_ids = gpu.download(&ids);
@@ -65,6 +75,19 @@ pub fn run<P: AccessPolicy>(
         stats: gpu.run_stats().clone(),
         scc_ids,
     }
+}
+
+/// [`run_with`], catching launch failures (watchdog timeout, out-of-bounds
+/// access, livelock, barrier divergence, fault budget) as typed errors
+/// instead of panicking.
+pub fn run_checked<P: AccessPolicy>(
+    g: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    visibility: StoreVisibility,
+    opts: &SimOptions,
+) -> Result<SccResult, SimError> {
+    catch_sim(|| run_with::<P>(g, cfg, seed, visibility, opts))
 }
 
 /// Runs ECL-SCC with the *data-driven* worklist propagation engine — the
@@ -148,7 +171,12 @@ mod tests {
             b.add_edge(v, v + 1);
         }
         let g = b.build();
-        let r = run::<Plain>(&g, &GpuConfig::test_tiny(), 1, StoreVisibility::DeferUntilYield);
+        let r = run::<Plain>(
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            StoreVisibility::DeferUntilYield,
+        );
         assert_eq!(r.num_sccs, 8);
         assert!(verify_sccs(&g, &r.scc_ids));
     }
@@ -181,8 +209,18 @@ mod tests {
     #[test]
     fn seeds_do_not_change_the_partition() {
         let g = gen::klein_bottle(12, 12, 4);
-        let a = run::<Plain>(&g, &GpuConfig::test_tiny(), 1, StoreVisibility::DeferUntilYield);
-        let b = run::<Plain>(&g, &GpuConfig::test_tiny(), 50, StoreVisibility::DeferUntilYield);
+        let a = run::<Plain>(
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            StoreVisibility::DeferUntilYield,
+        );
+        let b = run::<Plain>(
+            &g,
+            &GpuConfig::test_tiny(),
+            50,
+            StoreVisibility::DeferUntilYield,
+        );
         assert_eq!(a.digest, b.digest);
     }
 }

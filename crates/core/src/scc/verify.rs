@@ -112,7 +112,10 @@ mod tests {
     fn mixed_graph() {
         // 0->1->2->0 cycle plus a tail 2->3.
         let mut b = CsrBuilder::new(4);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).add_edge(2, 3);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(2, 3);
         let (labels, count) = reference_sccs(&b.build());
         assert_eq!(count, 2);
         assert_eq!(labels[0], labels[1]);
@@ -123,7 +126,10 @@ mod tests {
     #[test]
     fn verify_matches_reference_only() {
         let mut b = CsrBuilder::new(4);
-        b.add_edge(0, 1).add_edge(1, 0).add_edge(2, 3).add_edge(3, 2);
+        b.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(2, 3)
+            .add_edge(3, 2);
         let g = b.build();
         assert!(verify_sccs(&g, &[9, 9, 4, 4]));
         assert!(!verify_sccs(&g, &[9, 9, 9, 9]));

@@ -172,8 +172,7 @@ mod tests {
         assert_eq!(scan.digest, wl.digest, "engines disagree");
         assert!(scc::verify_sccs(g, &wl.scc_ids));
         // Baseline policy through the worklist engine stays correct too.
-        let wl_base =
-            scc::run_data_driven::<Plain>(g, &cfg, 7, StoreVisibility::DeferUntilYield);
+        let wl_base = scc::run_data_driven::<Plain>(g, &cfg, 7, StoreVisibility::DeferUntilYield);
         assert_eq!(wl_base.digest, wl.digest);
     }
 

@@ -1,10 +1,13 @@
 //! Unified entry point: run any of the six codes in either variant and get
-//! a verified, profiled result.
+//! a verified, profiled result — plus a resilient runner that retries runs
+//! whose results were corrupted (or whose launches were killed) by injected
+//! faults.
 
+use crate::common::SimOptions;
 use crate::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
 use crate::{apsp, cc, gc, mis, mst, scc};
 use ecl_graph::Csr;
-use ecl_simt::{GpuConfig, StoreVisibility};
+use ecl_simt::{GpuConfig, SimError, StoreVisibility};
 use std::fmt;
 
 /// The six studied graph analytics codes.
@@ -113,6 +116,23 @@ pub fn run_algorithm(
     cfg: &GpuConfig,
     seed: u64,
 ) -> RunResult {
+    run_algorithm_checked(algorithm, variant, graph, cfg, seed, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_algorithm`] with simulator options (watchdog budget, fault
+/// injection), catching launch failures as typed errors instead of
+/// panicking. An `Ok` result may still be invalid (`valid == false`) when an
+/// injected fault silently corrupted the solution — that is the SDC case
+/// [`run_resilient`] retries on.
+pub fn run_algorithm_checked(
+    algorithm: Algorithm,
+    variant: Variant,
+    graph: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    opts: &SimOptions,
+) -> Result<RunResult, SimError> {
     let owned;
     let graph = if algorithm.weighted() && graph.weights().is_none() {
         owned = graph.clone().with_random_weights(1_000, 0xec1);
@@ -128,10 +148,10 @@ pub fn run_algorithm(
     let deferred = StoreVisibility::DeferUntilYield;
     let immediate = StoreVisibility::Immediate;
 
-    match (algorithm, variant) {
+    Ok(match (algorithm, variant) {
         (Algorithm::Apsp, _) => {
             // No races to remove: both variants are the same code (§IV-A).
-            let r = apsp::run(graph, cfg, seed);
+            let r = apsp::run_checked(graph, cfg, seed, opts)?;
             let valid = apsp::verify_apsp(graph, &r.dist);
             let quality = r
                 .dist
@@ -139,65 +159,295 @@ pub fn run_algorithm(
                 .filter(|&&d| d != apsp::INF)
                 .map(|&d| d as f64)
                 .sum();
-            pack(algorithm, variant, r.cycles, valid, r.digest, quality, r.stats)
+            pack(
+                algorithm, variant, r.cycles, valid, r.digest, quality, r.stats,
+            )
         }
         (Algorithm::Cc, Variant::Baseline) => {
-            let r = cc::run::<Plain>(graph, cfg, seed, deferred);
+            let r = cc::run_checked::<Plain>(graph, cfg, seed, deferred, opts)?;
             let valid = cc::verify_components(graph, &r.labels);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.num_components as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_components as f64,
+                r.stats,
+            )
         }
         (Algorithm::Cc, Variant::RaceFree) => {
-            let r = cc::run::<Atomic>(graph, cfg, seed, immediate);
+            let r = cc::run_checked::<Atomic>(graph, cfg, seed, immediate, opts)?;
             let valid = cc::verify_components(graph, &r.labels);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.num_components as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_components as f64,
+                r.stats,
+            )
         }
         (Algorithm::Gc, Variant::Baseline) => {
-            let r = gc::run::<Volatile, Plain>(graph, cfg, seed, deferred);
+            let r = gc::run_checked::<Volatile, Plain>(graph, cfg, seed, deferred, opts)?;
             let valid = gc::verify_coloring(graph, &r.colors);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.num_colors as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_colors as f64,
+                r.stats,
+            )
         }
         (Algorithm::Gc, Variant::RaceFree) => {
-            let r = gc::run::<Atomic, Atomic>(graph, cfg, seed, immediate);
+            let r = gc::run_checked::<Atomic, Atomic>(graph, cfg, seed, immediate, opts)?;
             let valid = gc::verify_coloring(graph, &r.colors);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.num_colors as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_colors as f64,
+                r.stats,
+            )
         }
         (Algorithm::Mis, Variant::Baseline) => {
             // Bounded multi-round deferral: the paper's compiler-delayed
             // status publication (MIS changed the most under conversion).
-            let r = mis::run::<VolatileReadPlainWrite>(
+            let r = mis::run_checked::<VolatileReadPlainWrite>(
                 graph,
                 cfg,
                 seed,
-                StoreVisibility::DeferBounded { every: 2, eighths: 4 },
-            );
+                StoreVisibility::DeferBounded {
+                    every: 2,
+                    eighths: 4,
+                },
+                opts,
+            )?;
             let valid = mis::verify_mis(graph, &r.in_set);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.set_size as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.set_size as f64,
+                r.stats,
+            )
         }
         (Algorithm::Mis, Variant::RaceFree) => {
-            let r = mis::run::<Atomic>(graph, cfg, seed, immediate);
+            let r = mis::run_checked::<Atomic>(graph, cfg, seed, immediate, opts)?;
             let valid = mis::verify_mis(graph, &r.in_set);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.set_size as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.set_size as f64,
+                r.stats,
+            )
         }
         (Algorithm::Mst, Variant::Baseline) => {
-            let r = mst::run::<Volatile>(graph, cfg, seed, immediate);
+            let r = mst::run_checked::<Volatile>(graph, cfg, seed, immediate, opts)?;
             let valid = mst::verify_mst(graph, &r.in_mst);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.total_weight as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.total_weight as f64,
+                r.stats,
+            )
         }
         (Algorithm::Mst, Variant::RaceFree) => {
-            let r = mst::run::<Atomic>(graph, cfg, seed, immediate);
+            let r = mst::run_checked::<Atomic>(graph, cfg, seed, immediate, opts)?;
             let valid = mst::verify_mst(graph, &r.in_mst);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.total_weight as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.total_weight as f64,
+                r.stats,
+            )
         }
         (Algorithm::Scc, Variant::Baseline) => {
-            let r = scc::run::<Plain>(graph, cfg, seed, deferred);
+            let r = scc::run_checked::<Plain>(graph, cfg, seed, deferred, opts)?;
             let valid = scc::verify_sccs(graph, &r.scc_ids);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.num_sccs as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_sccs as f64,
+                r.stats,
+            )
         }
         (Algorithm::Scc, Variant::RaceFree) => {
-            let r = scc::run::<Atomic>(graph, cfg, seed, immediate);
+            let r = scc::run_checked::<Atomic>(graph, cfg, seed, immediate, opts)?;
             let valid = scc::verify_sccs(graph, &r.scc_ids);
-            pack(algorithm, variant, r.cycles, valid, r.digest, r.num_sccs as f64, r.stats)
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_sccs as f64,
+                r.stats,
+            )
         }
+    })
+}
+
+/// Bounded-retry policy for [`run_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be at least 1).
+    pub max_attempts: u32,
+    /// Added to the scheduler seed on each retry so a rerun explores a
+    /// different interleaving (and, under fault injection, keeps the fault
+    /// stream aligned with the new schedule deterministically).
+    pub seed_stride: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            seed_stride: 1,
+        }
+    }
+}
+
+/// What one attempt inside [`run_resilient`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attempt {
+    /// Ran to completion and passed verification.
+    Valid,
+    /// Ran to completion but failed verification: a silent data corruption
+    /// the verifier caught.
+    Sdc,
+    /// The launch (or the host code around it) died — watchdog timeout,
+    /// out-of-bounds access, fault budget, livelock, or an ordinary panic
+    /// triggered by corrupted data.
+    Crashed(String),
+}
+
+/// Final outcome of a [`run_resilient`] call.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// First attempt was valid.
+    Ok(RunResult),
+    /// One or more attempts were discarded before a valid run; `attempts`
+    /// counts every attempt made, including the successful one.
+    Recovered {
+        /// Total attempts made.
+        attempts: u32,
+        /// The valid result.
+        result: RunResult,
+    },
+    /// Every attempt crashed or produced a corrupt solution.
+    Failed {
+        /// Attempts made (`policy.max_attempts`).
+        attempts: u32,
+        /// What the last attempt did.
+        reason: String,
+    },
+}
+
+impl RunOutcome {
+    /// The valid result, if any attempt produced one.
+    pub fn result(&self) -> Option<&RunResult> {
+        match self {
+            RunOutcome::Ok(r) | RunOutcome::Recovered { result: r, .. } => Some(r),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// Runs `algorithm`/`variant` under a retry policy, treating each attempt's
+/// verification failure (SDC) or crash as recoverable: the run is retried
+/// with a fresh scheduler seed, up to `policy.max_attempts` attempts.
+///
+/// Never panics, whatever the fault plan in `opts` does to the run — kernel
+/// launch failures arrive as typed [`SimError`]s and host-side panics on
+/// corrupted data are contained by [`ecl_simt::catch_any`].
+pub fn run_resilient(
+    algorithm: Algorithm,
+    variant: Variant,
+    graph: &Csr,
+    cfg: &GpuConfig,
+    base_seed: u64,
+    opts: &SimOptions,
+    policy: &RetryPolicy,
+) -> RunOutcome {
+    run_resilient_observed(
+        algorithm,
+        variant,
+        graph,
+        cfg,
+        base_seed,
+        opts,
+        policy,
+        |_, _| {},
+    )
+}
+
+/// [`run_resilient`] with a per-attempt observer (attempt index, what it
+/// did) — the hook the fault-study harness uses to count SDCs and crashes
+/// without changing the recovery semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilient_observed(
+    algorithm: Algorithm,
+    variant: Variant,
+    graph: &Csr,
+    cfg: &GpuConfig,
+    base_seed: u64,
+    opts: &SimOptions,
+    policy: &RetryPolicy,
+    mut observe: impl FnMut(u32, &Attempt),
+) -> RunOutcome {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..max_attempts {
+        let seed = base_seed.wrapping_add(attempt as u64 * policy.seed_stride);
+        let outcome = ecl_simt::catch_any(|| {
+            run_algorithm_checked(algorithm, variant, graph, cfg, seed, opts)
+        });
+        let what = match outcome {
+            Ok(Ok(result)) if result.valid => {
+                observe(attempt, &Attempt::Valid);
+                return if attempt == 0 {
+                    RunOutcome::Ok(result)
+                } else {
+                    RunOutcome::Recovered {
+                        attempts: attempt + 1,
+                        result,
+                    }
+                };
+            }
+            Ok(Ok(_)) => Attempt::Sdc,
+            Ok(Err(e)) => Attempt::Crashed(e.to_string()),
+            Err(msg) => Attempt::Crashed(msg),
+        };
+        last = match &what {
+            Attempt::Sdc => "solution failed verification (silent data corruption)".to_string(),
+            Attempt::Crashed(msg) => msg.clone(),
+            Attempt::Valid => unreachable!(),
+        };
+        observe(attempt, &what);
+    }
+    RunOutcome::Failed {
+        attempts: max_attempts,
+        reason: last,
     }
 }
 
@@ -273,6 +523,103 @@ mod tests {
         );
         assert!(r.valid);
         assert!(r.quality > 0.0);
+    }
+
+    #[test]
+    fn resilient_runner_is_a_plain_run_without_faults() {
+        let g = gen::grid2d_torus(8, 8);
+        let outcome = run_resilient(
+            Algorithm::Cc,
+            Variant::RaceFree,
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            &SimOptions::default(),
+            &RetryPolicy::default(),
+        );
+        assert!(matches!(outcome, RunOutcome::Ok(_)));
+        assert!(outcome.result().unwrap().valid);
+    }
+
+    #[test]
+    fn resilient_runner_survives_a_hostile_fault_plan() {
+        // A fault rate this high corrupts essentially every load; whatever
+        // each attempt does (SDC, crash on a corrupted index, watchdog), the
+        // runner must return a RunOutcome rather than panic.
+        let g = gen::grid2d_torus(6, 6);
+        let opts = SimOptions {
+            watchdog: Some(2_000_000),
+            fault: Some(ecl_simt::FaultPlan::new(7).with_bitflips(0.05, ecl_simt::MemLevel::Dram)),
+        };
+        let mut attempts = Vec::new();
+        let outcome = run_resilient_observed(
+            Algorithm::Cc,
+            Variant::Baseline,
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            &opts,
+            &RetryPolicy {
+                max_attempts: 2,
+                seed_stride: 1,
+            },
+            |i, what| attempts.push((i, what.clone())),
+        );
+        match outcome {
+            RunOutcome::Ok(_) => assert!(attempts.is_empty() || attempts.len() == 1),
+            RunOutcome::Recovered { attempts: n, .. } => assert!(n >= 2),
+            RunOutcome::Failed {
+                attempts: n,
+                reason,
+            } => {
+                assert_eq!(n, 2);
+                assert!(!reason.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_failure_is_reported_not_panicked() {
+        // A 1-cycle budget kills the very first launch on every attempt.
+        let g = gen::grid2d_torus(6, 6);
+        let opts = SimOptions {
+            watchdog: Some(1),
+            fault: None,
+        };
+        let outcome = run_resilient(
+            Algorithm::Mis,
+            Variant::RaceFree,
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            &opts,
+            &RetryPolicy::default(),
+        );
+        match outcome {
+            RunOutcome::Failed { attempts, reason } => {
+                assert_eq!(attempts, 3);
+                assert!(reason.contains("watchdog"), "got: {reason}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_runner_returns_typed_watchdog_error() {
+        let g = gen::grid2d_torus(6, 6);
+        let opts = SimOptions {
+            watchdog: Some(1),
+            fault: None,
+        };
+        let r = run_algorithm_checked(
+            Algorithm::Gc,
+            Variant::RaceFree,
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            &opts,
+        );
+        assert!(matches!(r, Err(SimError::WatchdogTimeout { .. })));
     }
 
     #[test]

@@ -23,8 +23,13 @@ fn self_paired() -> Csr {
 fn degenerate_graphs_run_everywhere() {
     let gpu = GpuConfig::test_tiny();
     for g in [single_vertex(), two_disconnected(), self_paired()] {
-        for alg in [Algorithm::Cc, Algorithm::Gc, Algorithm::Mis, Algorithm::Mst, Algorithm::Apsp]
-        {
+        for alg in [
+            Algorithm::Cc,
+            Algorithm::Gc,
+            Algorithm::Mis,
+            Algorithm::Mst,
+            Algorithm::Apsp,
+        ] {
             for variant in [Variant::Baseline, Variant::RaceFree] {
                 let r = run_algorithm(alg, variant, &g, &gpu, 1);
                 assert!(r.valid, "{alg} {variant} on degenerate graph");
@@ -68,8 +73,19 @@ fn star_hub_stresses_contention() {
     }
     // The star's MIS is either the hub alone or all the leaves; the
     // degree-inverse priorities must pick the leaves (much larger set).
-    let r = run_algorithm(Algorithm::Mis, Variant::RaceFree, &g, &GpuConfig::test_tiny(), 1);
-    assert_eq!(r.quality as usize, n - 1, "MIS should take the {} leaves", n - 1);
+    let r = run_algorithm(
+        Algorithm::Mis,
+        Variant::RaceFree,
+        &g,
+        &GpuConfig::test_tiny(),
+        1,
+    );
+    assert_eq!(
+        r.quality as usize,
+        n - 1,
+        "MIS should take the {} leaves",
+        n - 1
+    );
 }
 
 #[test]
@@ -86,10 +102,22 @@ fn two_cliques_bridge() {
     }
     b.add_edge(0, k as u32);
     let g = b.build();
-    let gc = run_algorithm(Algorithm::Gc, Variant::RaceFree, &g, &GpuConfig::test_tiny(), 1);
+    let gc = run_algorithm(
+        Algorithm::Gc,
+        Variant::RaceFree,
+        &g,
+        &GpuConfig::test_tiny(),
+        1,
+    );
     assert!(gc.valid);
     assert!(gc.quality >= k as f64, "clique needs at least {k} colors");
-    let cc = run_algorithm(Algorithm::Cc, Variant::Baseline, &g, &GpuConfig::test_tiny(), 1);
+    let cc = run_algorithm(
+        Algorithm::Cc,
+        Variant::Baseline,
+        &g,
+        &GpuConfig::test_tiny(),
+        1,
+    );
     assert_eq!(cc.quality, 1.0);
 }
 
@@ -111,7 +139,13 @@ fn every_gpu_preset_runs_every_algorithm() {
 #[should_panic(expected = "APSP is dense")]
 fn apsp_rejects_oversized_graphs() {
     let g = ecl_graph::gen::random_uniform(3000, 6000, true, 1);
-    let _ = run_algorithm(Algorithm::Apsp, Variant::Baseline, &g, &GpuConfig::test_tiny(), 1);
+    let _ = run_algorithm(
+        Algorithm::Apsp,
+        Variant::Baseline,
+        &g,
+        &GpuConfig::test_tiny(),
+        1,
+    );
 }
 
 #[test]

@@ -13,6 +13,48 @@ pub enum GraphError {
     InconsistentLengths,
     /// An I/O or decode problem (see [`crate::io`]).
     Format(String),
+    /// A parse error at a specific line of a text input (see [`crate::mtx`]).
+    /// `path` is empty when the input was an anonymous stream.
+    Parse {
+        /// Source file, or empty for a stream.
+        path: String,
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An I/O failure on a specific file.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+}
+
+impl GraphError {
+    /// Attaches a file path to an error produced while reading an anonymous
+    /// stream, so callers see `graph.mtx:17: bad coordinate` instead of just
+    /// the line. Leaves errors that already carry a path untouched.
+    pub fn in_file(self, path: &std::path::Path) -> GraphError {
+        let name = path.display().to_string();
+        match self {
+            GraphError::Parse {
+                path,
+                line,
+                message,
+            } if path.is_empty() => GraphError::Parse {
+                path: name,
+                line,
+                message,
+            },
+            GraphError::Format(message) => GraphError::Io {
+                path: name,
+                message,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -27,6 +69,15 @@ impl fmt::Display for GraphError {
             }
             GraphError::InconsistentLengths => write!(f, "inconsistent array lengths"),
             GraphError::Format(msg) => write!(f, "bad graph format: {msg}"),
+            GraphError::Parse {
+                path,
+                line,
+                message,
+            } => {
+                let path = if path.is_empty() { "<stream>" } else { path };
+                write!(f, "{path}:{line}: {message}")
+            }
+            GraphError::Io { path, message } => write!(f, "{path}: {message}"),
         }
     }
 }
@@ -141,11 +192,8 @@ impl Csr {
 
     /// Iterates over all directed edges as `(src, dst)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_vertices()).flat_map(move |v| {
-            self.neighbors(v)
-                .iter()
-                .map(move |&u| (v as u32, u))
-        })
+        (0..self.num_vertices())
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v as u32, u)))
     }
 
     /// Returns `true` if for every stored edge `(u, v)` the reverse edge
@@ -174,10 +222,7 @@ impl Csr {
         let row_offsets = counts.clone();
         let mut cursor = counts;
         let mut col_indices = vec![0u32; self.col_indices.len()];
-        let mut weights = self
-            .weights
-            .as_ref()
-            .map(|w| vec![0u32; w.len()]);
+        let mut weights = self.weights.as_ref().map(|w| vec![0u32; w.len()]);
         for v in 0..n {
             let b = self.row_offsets[v] as usize;
             let e = self.row_offsets[v + 1] as usize;
@@ -329,7 +374,10 @@ mod tests {
     #[test]
     fn builder_drops_self_loops_and_duplicates() {
         let mut b = CsrBuilder::new(4);
-        b.add_edge(0, 0).add_edge(1, 2).add_edge(1, 2).add_edge(9, 1);
+        b.add_edge(0, 0)
+            .add_edge(1, 2)
+            .add_edge(1, 2)
+            .add_edge(9, 1);
         let g = b.build();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.neighbors(1), &[2]);
@@ -344,7 +392,10 @@ mod tests {
     #[test]
     fn from_raw_rejects_out_of_range_vertex() {
         let err = Csr::from_raw(vec![0, 1], vec![5], None).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]
@@ -373,8 +424,7 @@ mod tests {
 
     #[test]
     fn transpose_carries_weights() {
-        let g = Csr::from_raw(vec![0, 2, 2], vec![0, 1], None)
-            .unwrap_or_else(|_| unreachable!());
+        let g = Csr::from_raw(vec![0, 2, 2], vec![0, 1], None).unwrap_or_else(|_| unreachable!());
         // 0 -> 0 is impossible via builder but fine via raw; use 2 vertices.
         let g = Csr {
             row_offsets: g.row_offsets.clone(),
@@ -392,10 +442,10 @@ mod tests {
         let g = triangle().with_random_weights(100, 11);
         let w = g.weights().unwrap();
         // Find weight of (0,1) and of (1,0); they must be equal.
-        let w01 = w[g.row_offsets()[0] as usize
-            + g.neighbors(0).iter().position(|&x| x == 1).unwrap()];
-        let w10 = w[g.row_offsets()[1] as usize
-            + g.neighbors(1).iter().position(|&x| x == 0).unwrap()];
+        let w01 =
+            w[g.row_offsets()[0] as usize + g.neighbors(0).iter().position(|&x| x == 1).unwrap()];
+        let w10 =
+            w[g.row_offsets()[1] as usize + g.neighbors(1).iter().position(|&x| x == 0).unwrap()];
         assert_eq!(w01, w10);
         assert!((1..=100).contains(&w01));
     }

@@ -18,7 +18,10 @@ use rand::{RngExt, SeedableRng};
 ///
 /// Panics if any dimension is < 2.
 pub fn mesh3d_directed(w: usize, h: usize, d: usize) -> Csr {
-    assert!(w >= 2 && h >= 2 && d >= 2, "all mesh dimensions must be >= 2");
+    assert!(
+        w >= 2 && h >= 2 && d >= 2,
+        "all mesh dimensions must be >= 2"
+    );
     let n = w * h * d;
     let mut b = CsrBuilder::new(n);
     let idx = |x: usize, y: usize, z: usize| (z * h + y) * w + x;

@@ -60,7 +60,10 @@ fn attachment_targets(
 ) -> Vec<(u32, u32)> {
     assert!(n >= 2, "need at least two vertices");
     assert!(edges_per_vertex >= 1, "need at least one edge per vertex");
-    assert!((0.0..=1.0).contains(&hub_boost), "hub_boost must be in 0..=1");
+    assert!(
+        (0.0..=1.0).contains(&hub_boost),
+        "hub_boost must be in 0..=1"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut endpoints: Vec<u32> = vec![0, 1, 1, 0];
     let mut edges = Vec::with_capacity(n * edges_per_vertex);

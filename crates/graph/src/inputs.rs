@@ -80,6 +80,22 @@ impl GraphInput {
         (self.builder)(scale, seed)
     }
 
+    /// [`build`](Self::build) with the scale validated up front, for tools
+    /// that must turn bad user input into a diagnostic instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::Format`] when `scale` is not a positive
+    /// finite number.
+    pub fn try_build(&self, scale: f64, seed: u64) -> Result<Csr, crate::GraphError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(crate::GraphError::Format(format!(
+                "scale must be a positive finite number, got {scale}"
+            )));
+        }
+        Ok((self.builder)(scale, seed))
+    }
+
     /// Looks up a catalog entry by its paper name.
     pub fn by_name(name: &str) -> Option<GraphInput> {
         undirected_catalog()
@@ -359,11 +375,7 @@ mod tests {
         for input in undirected_catalog() {
             let g = input.build(0.1, 1);
             assert!(g.num_vertices() >= 16, "{} too small", input.name());
-            assert!(
-                g.is_symmetric(),
-                "{} should be symmetric",
-                input.name()
-            );
+            assert!(g.is_symmetric(), "{} should be symmetric", input.name());
         }
     }
 

@@ -24,7 +24,11 @@ const FLAG_WEIGHTS: u32 = 1;
 /// Propagates I/O errors from the writer.
 pub fn write_graph<W: Write>(g: &Csr, mut writer: W) -> std::io::Result<()> {
     writer.write_all(MAGIC)?;
-    let flags = if g.weights().is_some() { FLAG_WEIGHTS } else { 0 };
+    let flags = if g.weights().is_some() {
+        FLAG_WEIGHTS
+    } else {
+        0
+    };
     for word in [
         VERSION,
         flags,
@@ -90,11 +94,15 @@ pub fn save<P: AsRef<Path>>(g: &Csr, path: P) -> std::io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::Format`] for I/O or decode problems.
+/// Returns [`GraphError::Io`] — reporting the path — when the file cannot be
+/// opened or decoded.
 pub fn load<P: AsRef<Path>>(path: P) -> Result<Csr, GraphError> {
-    let file = std::fs::File::open(path)
-        .map_err(|e| GraphError::Format(format!("open failed: {e}")))?;
-    read_graph(std::io::BufReader::new(file))
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| GraphError::Io {
+        path: path.display().to_string(),
+        message: format!("open failed: {e}"),
+    })?;
+    read_graph(std::io::BufReader::new(file)).map_err(|e| e.in_file(path))
 }
 
 fn read_exact<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), GraphError> {

@@ -27,61 +27,73 @@ enum ValueKind {
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::Format`] for anything that is not a supported
-/// `matrix coordinate` file.
+/// Returns [`GraphError::Parse`] — carrying the 1-based line number — for
+/// anything that is not a supported `matrix coordinate` file. Use
+/// [`GraphError::in_file`] (or [`load_mtx`], which does it for you) to
+/// attach the file path.
 pub fn read_mtx<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
-    let mut lines = reader.lines();
+    let at = |line: usize, message: String| GraphError::Parse {
+        path: String::new(),
+        line,
+        message,
+    };
+    let mut lines = reader
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.map_err(|e| at(i + 1, format!("read failed: {e}")))));
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let header = lines
-        .next()
-        .ok_or_else(|| GraphError::Format("empty file".into()))?
-        .map_err(|e| GraphError::Format(e.to_string()))?;
+    let header = match lines.next() {
+        Some((_, line)) => line?,
+        None => return Err(at(1, "empty file".into())),
+    };
     let lower = header.to_lowercase();
     let tokens: Vec<&str> = lower.split_whitespace().collect();
     if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
-        return Err(GraphError::Format("missing MatrixMarket header".into()));
+        return Err(at(1, "missing MatrixMarket header".into()));
     }
     if tokens[1] != "matrix" || tokens[2] != "coordinate" {
-        return Err(GraphError::Format(format!(
-            "unsupported object/format '{} {}'",
-            tokens[1], tokens[2]
-        )));
+        return Err(at(
+            1,
+            format!("unsupported object/format '{} {}'", tokens[1], tokens[2]),
+        ));
     }
     let value_kind = match tokens[3] {
         "pattern" => ValueKind::Pattern,
         "integer" => ValueKind::Integer,
         "real" => ValueKind::Real,
-        other => return Err(GraphError::Format(format!("unsupported field '{other}'"))),
+        other => return Err(at(1, format!("unsupported field '{other}'"))),
     };
     let symmetric = match tokens[4] {
         "general" => false,
         "symmetric" => true,
-        other => {
-            return Err(GraphError::Format(format!(
-                "unsupported symmetry '{other}'"
-            )))
-        }
+        other => return Err(at(1, format!("unsupported symmetry '{other}'"))),
     };
 
     // Size line (skipping comments).
     let mut size_line = None;
-    for line in lines.by_ref() {
-        let line = line.map_err(|e| GraphError::Format(e.to_string()))?;
+    let mut last_line = 1;
+    for (lineno, line) in lines.by_ref() {
+        let line = line?;
+        last_line = lineno;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
         }
-        size_line = Some(trimmed.to_string());
+        size_line = Some((lineno, trimmed.to_string()));
         break;
     }
-    let size_line = size_line.ok_or_else(|| GraphError::Format("missing size line".into()))?;
+    let (size_lineno, size_line) =
+        size_line.ok_or_else(|| at(last_line, "missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| GraphError::Format("bad size line".into())))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| at(size_lineno, format!("bad size token '{t}'")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(GraphError::Format("size line needs rows cols nnz".into()));
+        return Err(at(size_lineno, "size line needs rows cols nnz".into()));
     }
     let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
     let n = rows.max(cols);
@@ -89,15 +101,22 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
     let mut builder = CsrBuilder::new(n).symmetric(symmetric);
     let mut weights: Vec<((u32, u32), u32)> = Vec::new();
     let mut seen = 0usize;
-    for line in lines {
-        let line = line.map_err(|e| GraphError::Format(e.to_string()))?;
+    for (lineno, line) in lines {
+        let line = line?;
+        last_line = lineno;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let r: u32 = parse_coord(it.next())?;
-        let c: u32 = parse_coord(it.next())?;
+        let r: u32 = parse_coord(it.next(), lineno)?;
+        let c: u32 = parse_coord(it.next(), lineno)?;
+        if r as usize > n || c as usize > n {
+            return Err(at(
+                lineno,
+                format!("coordinate ({r}, {c}) outside declared {rows}x{cols} matrix"),
+            ));
+        }
         // 1-indexed in the format.
         let (src, dst) = (r - 1, c - 1);
         let w = match value_kind {
@@ -106,13 +125,13 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
                 it.next()
                     .and_then(|t| t.parse::<i64>().ok())
                     .map(|v| v.unsigned_abs().min(u32::MAX as u64) as u32)
-                    .ok_or_else(|| GraphError::Format("missing integer value".into()))?,
+                    .ok_or_else(|| at(lineno, "missing integer value".into()))?,
             ),
             ValueKind::Real => Some(
                 it.next()
                     .and_then(|t| t.parse::<f64>().ok())
                     .map(|v| v.abs().round().min(u32::MAX as f64) as u32)
-                    .ok_or_else(|| GraphError::Format("missing real value".into()))?,
+                    .ok_or_else(|| at(lineno, "missing real value".into()))?,
             ),
         };
         if src != dst {
@@ -129,9 +148,10 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(GraphError::Format(format!(
-            "entry count mismatch: header says {nnz}, found {seen}"
-        )));
+        return Err(at(
+            last_line,
+            format!("entry count mismatch: header says {nnz}, found {seen}"),
+        ));
     }
 
     let g = builder.build();
@@ -142,7 +162,11 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
     weights.sort_unstable();
     weights.dedup_by_key(|(k, _)| *k);
     let lookup = |a: u32, b: u32| -> u32 {
-        let key = if symmetric { (a.min(b), a.max(b)) } else { (a, b) };
+        let key = if symmetric {
+            (a.min(b), a.max(b))
+        } else {
+            (a, b)
+        };
         weights
             .binary_search_by_key(&key, |(k, _)| *k)
             .map(|i| weights[i].1)
@@ -152,11 +176,18 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
     Csr::from_raw(g.row_offsets().to_vec(), g.col_indices().to_vec(), Some(w))
 }
 
-fn parse_coord(token: Option<&str>) -> Result<u32, GraphError> {
+fn parse_coord(token: Option<&str>, line: usize) -> Result<u32, GraphError> {
     token
         .and_then(|t| t.parse::<u32>().ok())
         .filter(|&v| v >= 1)
-        .ok_or_else(|| GraphError::Format("bad coordinate".into()))
+        .ok_or_else(|| GraphError::Parse {
+            path: String::new(),
+            line,
+            message: match token {
+                Some(t) => format!("bad coordinate '{t}' (need a 1-based integer)"),
+                None => "missing coordinate".into(),
+            },
+        })
 }
 
 /// Writes a graph as a Matrix Market coordinate file (`general` symmetry,
@@ -166,10 +197,20 @@ fn parse_coord(token: Option<&str>) -> Result<u32, GraphError> {
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_mtx<W: Write>(g: &Csr, mut writer: W) -> std::io::Result<()> {
-    let field = if g.weights().is_some() { "integer" } else { "pattern" };
+    let field = if g.weights().is_some() {
+        "integer"
+    } else {
+        "pattern"
+    };
     writeln!(writer, "%%MatrixMarket matrix coordinate {field} general")?;
     writeln!(writer, "% written by ecl-graph")?;
-    writeln!(writer, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     let weights = g.weights();
     for (e, (u, v)) in g.edges().enumerate() {
         match weights {
@@ -184,11 +225,16 @@ pub fn write_mtx<W: Write>(g: &Csr, mut writer: W) -> std::io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::Format`] for I/O or parse problems.
+/// Returns [`GraphError::Io`] when the file cannot be opened and
+/// [`GraphError::Parse`] for malformed content; both report the path (and,
+/// for parse errors, the line).
 pub fn load_mtx<P: AsRef<Path>>(path: P) -> Result<Csr, GraphError> {
-    let file = std::fs::File::open(path)
-        .map_err(|e| GraphError::Format(format!("open failed: {e}")))?;
-    read_mtx(std::io::BufReader::new(file))
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| GraphError::Io {
+        path: path.display().to_string(),
+        message: format!("open failed: {e}"),
+    })?;
+    read_mtx(std::io::BufReader::new(file)).map_err(|e| e.in_file(path))
 }
 
 #[cfg(test)]
@@ -249,10 +295,55 @@ mod tests {
             "%%MatrixMarket matrix coordinate pattern general\n2 2 5\n1 2\n".as_bytes()
         )
         .is_err());
-        assert!(read_mtx(
-            "%%MatrixMarket matrix array real general\n2 2 1\n1 2 1.0\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_mtx("%%MatrixMarket matrix array real general\n2 2 1\n1 2 1.0\n".as_bytes())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn parse_errors_report_the_line() {
+        // Bad coordinate on line 4 (header, size, good entry, bad entry).
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    3 3 2\n\
+                    1 2\n\
+                    1 frog\n";
+        match read_mtx(text.as_bytes()).unwrap_err() {
+            GraphError::Parse { line, message, .. } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("frog"), "got: {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_coordinates_are_an_error_not_a_panic() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 1\n\
+                    1 9\n";
+        match read_mtx(text.as_bytes()).unwrap_err() {
+            GraphError::Parse { line, message, .. } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("outside declared"), "got: {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_errors_report_the_path() {
+        let err = load_mtx("/no/such/dir/graph.mtx").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("/no/such/dir/graph.mtx"), "got: {text}");
+        // Parse errors get the path stitched in by load_mtx.
+        let dir = std::env::temp_dir().join("ecl_mtx_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.mtx");
+        std::fs::write(&path, "not a matrix\n").unwrap();
+        let text = load_mtx(&path).unwrap_err().to_string();
+        assert!(text.contains("bad.mtx:1:"), "got: {text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

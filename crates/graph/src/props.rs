@@ -60,7 +60,11 @@ pub fn component_count(g: &Csr) -> usize {
     let mut stack = Vec::new();
     let mut count = 0;
     // For directed graphs, reach both ways via the transpose.
-    let transpose = if g.is_symmetric() { None } else { Some(g.transpose()) };
+    let transpose = if g.is_symmetric() {
+        None
+    } else {
+        Some(g.transpose())
+    };
     for s in 0..n {
         if seen[s] {
             continue;

@@ -8,7 +8,9 @@ use ecl_graph::props::{properties, pseudo_diameter};
 #[test]
 fn paper_metadata_matches_tables() {
     // Spot-check the published numbers the harness prints.
-    let kron = GraphInput::by_name("kron_g500-logn21").unwrap().paper_meta();
+    let kron = GraphInput::by_name("kron_g500-logn21")
+        .unwrap()
+        .paper_meta();
     assert_eq!(kron.edges, 182_081_864);
     assert_eq!(kron.vertices, 2_097_152);
     assert_eq!(kron.d_max, 213_904);
@@ -22,10 +24,20 @@ fn paper_metadata_matches_tables() {
 #[test]
 fn directedness_matches_tables() {
     for input in undirected_catalog() {
-        assert_eq!(input.directedness(), Directedness::Undirected, "{}", input.name());
+        assert_eq!(
+            input.directedness(),
+            Directedness::Undirected,
+            "{}",
+            input.name()
+        );
     }
     for input in directed_catalog() {
-        assert_eq!(input.directedness(), Directedness::Directed, "{}", input.name());
+        assert_eq!(
+            input.directedness(),
+            Directedness::Directed,
+            "{}",
+            input.name()
+        );
     }
 }
 
@@ -66,7 +78,12 @@ fn mesh_inputs_have_large_diameter_power_law_small() {
 
 #[test]
 fn heavy_tail_inputs_have_heavy_tails() {
-    for name in ["kron_g500-logn21", "as-skitter", "circuit5M", "soc-LiveJournal1"] {
+    for name in [
+        "kron_g500-logn21",
+        "as-skitter",
+        "circuit5M",
+        "soc-LiveJournal1",
+    ] {
         let input = GraphInput::by_name(name).unwrap();
         let p = properties(&input.build(1.0, 1));
         assert!(
@@ -80,7 +97,13 @@ fn heavy_tail_inputs_have_heavy_tails() {
 
 #[test]
 fn low_degree_inputs_stay_low_degree() {
-    for name in ["europe_osm", "USA-road-d.NY", "USA-road-d.USA", "star", "toroid-wedge"] {
+    for name in [
+        "europe_osm",
+        "USA-road-d.NY",
+        "USA-road-d.USA",
+        "star",
+        "toroid-wedge",
+    ] {
         let input = GraphInput::by_name(name).unwrap();
         let p = properties(&input.build(1.0, 1));
         assert!(

@@ -157,8 +157,7 @@ fn conflicts(a: &AccessRec, b: &AccessRec) -> bool {
         // Two atomics only synchronize when their scopes cover each other:
         // block-scoped atomics from *different* blocks still race (the
         // paper's §II-A scope discussion).
-        let block_scoped =
-            a.scope == Scope::Block || b.scope == Scope::Block;
+        let block_scoped = a.scope == Scope::Block || b.scope == Scope::Block;
         if !(block_scoped && a.block != b.block) {
             return false;
         }
@@ -317,12 +316,9 @@ mod tests {
                 exact_geometry: true,
             },
             ecl_simt::ForEach::new("blockscope", 32, move |ctx, _| {
-                ctx.atomic_rmw_explicit(
-                    cell.at(0),
-                    MemOrder::Relaxed,
-                    ThreadScope::Block,
-                    |v| v + 1,
-                );
+                ctx.atomic_rmw_explicit(cell.at(0), MemOrder::Relaxed, ThreadScope::Block, |v| {
+                    v + 1
+                });
             }),
         );
         let reports = check_races(&gpu);

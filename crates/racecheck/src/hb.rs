@@ -93,7 +93,10 @@ pub fn check_races_hb(gpu: &Gpu) -> Vec<RaceReport> {
         // release clock into this thread's clock.
         if e.mode == AccessMode::Atomic
             && e.kind.reads()
-            && matches!(e.order, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+            && matches!(
+                e.order,
+                MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+            )
         {
             if let Some(rel) = release_vc.get(&e.addr) {
                 let rel = rel.clone();
@@ -112,10 +115,16 @@ pub fn check_races_hb(gpu: &Gpu) -> Vec<RaceReport> {
                     continue;
                 }
                 let class = RaceReport::classify((prev.mode, prev.kind), (e.mode, e.kind));
-                let kernel = trace.kernel_name(e.launch).unwrap_or("<unknown>").to_string();
+                let kernel = trace
+                    .kernel_name(e.launch)
+                    .unwrap_or("<unknown>")
+                    .to_string();
                 let (allocation, allocation_name) = match e.space {
                     Space::Global => (
-                        gpu.memory().allocation_of(byte).map(|(b, _)| b).unwrap_or(byte),
+                        gpu.memory()
+                            .allocation_of(byte)
+                            .map(|(b, _)| b)
+                            .unwrap_or(byte),
                         gpu.memory().allocation_name(byte).map(str::to_string),
                     ),
                     Space::Shared => (byte, None),
@@ -162,7 +171,10 @@ pub fn check_races_hb(gpu: &Gpu) -> Vec<RaceReport> {
         // history (its VC plus its own epoch) on the location.
         if e.mode == AccessMode::Atomic
             && e.kind.writes()
-            && matches!(e.order, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+            && matches!(
+                e.order,
+                MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+            )
         {
             let mut published = thread_vc.entry(e.thread).or_default().clone();
             published.set(e.thread, clock);
@@ -203,8 +215,8 @@ mod tests {
     use super::*;
     use crate::check_races;
     use ecl_simt::{
-        Ctx, DeviceBuffer, ForEach, GpuConfig, Kernel, LaunchConfig, Scope, Step,
-        StoreVisibility, ThreadInfo,
+        Ctx, DeviceBuffer, ForEach, GpuConfig, Kernel, LaunchConfig, Scope, Step, StoreVisibility,
+        ThreadInfo,
     };
 
     /// Producer writes data plainly, then release-stores a flag; consumer
@@ -276,7 +288,10 @@ mod tests {
         assert!(!check_races(&gpu).is_empty(), "epoch detector over-reports");
         // The HB detector sees the release→acquire edge: clean.
         let hb = check_races_hb(&gpu);
-        assert!(hb.is_empty(), "HB detector must accept flag-protected data: {hb:?}");
+        assert!(
+            hb.is_empty(),
+            "HB detector must accept flag-protected data: {hb:?}"
+        );
     }
 
     #[test]

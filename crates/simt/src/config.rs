@@ -59,6 +59,11 @@ pub struct GpuConfig {
     /// support native 64-bit accesses; set this to `false` to emulate the
     /// 32-bit hardware the paper warns about.
     pub native_64bit: bool,
+    /// Default per-launch watchdog budget in cycles (exceeding it raises
+    /// [`crate::SimError::WatchdogTimeout`]). `None` disables the watchdog,
+    /// like a compute-dedicated GPU with no display timeout; override per
+    /// device with [`crate::Gpu::set_watchdog`].
+    pub watchdog_cycles: Option<u64>,
 }
 
 impl GpuConfig {
@@ -84,6 +89,7 @@ impl GpuConfig {
             alu_cycles: 1,
             clock_ghz: 1.455,
             native_64bit: true,
+            watchdog_cycles: None,
         }
     }
 
@@ -111,6 +117,7 @@ impl GpuConfig {
             alu_cycles: 1,
             clock_ghz: 1.77,
             native_64bit: true,
+            watchdog_cycles: None,
         }
     }
 
@@ -136,6 +143,7 @@ impl GpuConfig {
             alu_cycles: 1,
             clock_ghz: 1.41,
             native_64bit: true,
+            watchdog_cycles: None,
         }
     }
 
@@ -164,6 +172,7 @@ impl GpuConfig {
             alu_cycles: 1,
             clock_ghz: 2.52,
             native_64bit: true,
+            watchdog_cycles: None,
         }
     }
 
@@ -200,6 +209,7 @@ impl GpuConfig {
             alu_cycles: 1,
             clock_ghz: 1.0,
             native_64bit: true,
+            watchdog_cycles: None,
         }
     }
 
@@ -233,9 +243,8 @@ mod tests {
 
     #[test]
     fn newer_gpus_have_costlier_atomics_relative_to_l1() {
-        let ratio = |g: &GpuConfig| {
-            (g.l2_cycles + g.atomic_extra_cycles) as f64 / g.l1_cycles as f64
-        };
+        let ratio =
+            |g: &GpuConfig| (g.l2_cycles + g.atomic_extra_cycles) as f64 / g.l1_cycles as f64;
         let turing = ratio(&GpuConfig::rtx2070_super());
         let volta = ratio(&GpuConfig::titan_v());
         let ampere = ratio(&GpuConfig::a100());

@@ -13,7 +13,9 @@
 
 use crate::access::{AccessKind, AccessMode, MemOrder, Scope};
 use crate::config::GpuConfig;
-use crate::mem::{DevicePtr, DeviceValue, MemSystem, Memory};
+use crate::error::{self, SimError};
+use crate::fault::FaultState;
+use crate::mem::{DevicePtr, DeviceValue, MemLevel, MemSystem, Memory};
 use crate::metrics::KernelStats;
 use crate::trace::{AccessEvent, Space, Trace};
 
@@ -194,7 +196,11 @@ impl<F: Fn(&mut Ctx<'_>, u32)> Kernel for ForEach<F> {
             *next += stride;
             processed += 1;
             if processed >= self.chunk {
-                return if *next < self.items { Step::Yield } else { Step::Done };
+                return if *next < self.items {
+                    Step::Yield
+                } else {
+                    Step::Done
+                };
             }
         }
         Step::Done
@@ -248,6 +254,8 @@ pub struct Ctx<'a> {
     pub(crate) mem: &'a mut Memory,
     pub(crate) msys: &'a mut MemSystem,
     pub(crate) trace: Option<&'a mut Trace>,
+    fault: Option<&'a mut FaultState>,
+    kernel: &'a str,
     sbuf: &'a mut StoreBuf,
     shared: &'a mut [u8],
     cycles: &'a mut u64,
@@ -318,7 +326,15 @@ impl<'a> Ctx<'a> {
 
     #[inline]
     fn record(&mut self, space: Space, addr: u32, width: u32, mode: AccessMode, kind: AccessKind) {
-        self.record_scoped(space, addr, width, mode, kind, Scope::Device, MemOrder::Relaxed);
+        self.record_scoped(
+            space,
+            addr,
+            width,
+            mode,
+            kind,
+            Scope::Device,
+            MemOrder::Relaxed,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -369,9 +385,12 @@ impl<'a> Ctx<'a> {
 
     /// Writes one deferred store to the arena, charging its cost.
     fn commit_store(&mut self, e: StoreEntry) {
-        let (cost, _) = self
-            .msys
-            .access(self.sm as usize, e.addr, AccessMode::Plain, AccessKind::Store);
+        let (cost, _) = self.msys.access(
+            self.sm as usize,
+            e.addr,
+            AccessMode::Plain,
+            AccessKind::Store,
+        );
         *self.cycles += cost as u64;
         self.mem.write_bits(e.addr, e.width, e.bits);
     }
@@ -382,6 +401,47 @@ impl<'a> Ctx<'a> {
             self.sbuf.entries.remove(0);
             self.commit_store(e);
         }
+    }
+
+    /// Raises a typed [`SimError::OutOfBounds`] when `[addr, addr+width)`
+    /// leaves the allocated arena. Device pointers obtained through
+    /// `DeviceBuffer::at` are host-checked already; this catches raw address
+    /// arithmetic inside kernels.
+    #[inline]
+    fn check_oob(&mut self, addr: u32, width: u32, kind: AccessKind) {
+        if addr as u64 + width as u64 > self.mem.footprint() as u64 {
+            error::raise(SimError::OutOfBounds {
+                kernel: self.kernel.to_string(),
+                addr,
+                access: kind,
+            });
+        }
+    }
+
+    /// Applies the armed fault plan (if any) to a load served at `level`.
+    #[inline]
+    fn maybe_flip(&mut self, bits: u64, width: u32, level: MemLevel) -> u64 {
+        match self.fault.as_deref_mut() {
+            Some(f) => f.maybe_flip_bits(bits, width, level),
+            None => bits,
+        }
+    }
+
+    /// Executes one yield-point drain decision, letting the fault plan drop
+    /// a scheduled drain or force an early one.
+    fn yield_drain(&mut self, scheduled: bool) {
+        let drain = match self.fault.as_deref_mut() {
+            Some(f) => f.perturb_flush(scheduled),
+            None => scheduled,
+        };
+        if drain {
+            self.drain_all();
+        }
+    }
+
+    /// True when the compiler model is currently holding deferred stores.
+    fn has_buffered_stores(&self) -> bool {
+        !self.sbuf.entries.is_empty()
     }
 
     // ---------------------------------------------------------------- plain
@@ -396,7 +456,14 @@ impl<'a> Ctx<'a> {
             return T::from_bits(lo | (hi << 32));
         }
         self.counters.plain += 1;
-        self.record(Space::Global, ptr.addr(), T::WIDTH, AccessMode::Plain, AccessKind::Load);
+        self.check_oob(ptr.addr(), T::WIDTH, AccessKind::Load);
+        self.record(
+            Space::Global,
+            ptr.addr(),
+            T::WIDTH,
+            AccessMode::Plain,
+            AccessKind::Load,
+        );
         if let Some(bits) = self.sbuf.exact(ptr.addr(), T::WIDTH) {
             // Store-to-load forwarding: free, served from "registers".
             *self.cycles += self.alu_cycles as u64;
@@ -405,11 +472,15 @@ impl<'a> Ctx<'a> {
         if self.sbuf.overlaps(ptr.addr(), T::WIDTH) {
             self.drain_overlapping(ptr.addr(), T::WIDTH);
         }
-        let (cost, _) = self
-            .msys
-            .access(self.sm as usize, ptr.addr(), AccessMode::Plain, AccessKind::Load);
+        let (cost, level) = self.msys.access(
+            self.sm as usize,
+            ptr.addr(),
+            AccessMode::Plain,
+            AccessKind::Load,
+        );
         *self.cycles += cost as u64;
-        self.mem.read(ptr)
+        let bits = self.mem.read(ptr).to_bits();
+        T::from_bits(self.maybe_flip(bits, T::WIDTH, level))
     }
 
     /// A plain store: may be deferred by the compiler model.
@@ -426,7 +497,14 @@ impl<'a> Ctx<'a> {
             return;
         }
         self.counters.plain += 1;
-        self.record(Space::Global, ptr.addr(), T::WIDTH, AccessMode::Plain, AccessKind::Store);
+        self.check_oob(ptr.addr(), T::WIDTH, AccessKind::Store);
+        self.record(
+            Space::Global,
+            ptr.addr(),
+            T::WIDTH,
+            AccessMode::Plain,
+            AccessKind::Store,
+        );
         match self.visibility {
             StoreVisibility::Immediate => {
                 let (cost, _) = self.msys.access(
@@ -492,6 +570,7 @@ impl<'a> Ctx<'a> {
 
     /// 32-bit half access used by split 64-bit plain/volatile operations.
     fn load_word(&mut self, addr: u32, mode: AccessMode) -> u32 {
+        self.check_oob(addr, 4, AccessKind::Load);
         match mode {
             AccessMode::Plain => {
                 self.counters.plain += 1;
@@ -501,21 +580,23 @@ impl<'a> Ctx<'a> {
                     return bits as u32;
                 }
                 self.drain_overlapping(addr, 4);
-                let (cost, _) = self
-                    .msys
-                    .access(self.sm as usize, addr, mode, AccessKind::Load);
+                let (cost, level) =
+                    self.msys
+                        .access(self.sm as usize, addr, mode, AccessKind::Load);
                 *self.cycles += cost as u64;
-                self.mem.read_bits(addr, 4) as u32
+                let bits = self.mem.read_bits(addr, 4);
+                self.maybe_flip(bits, 4, level) as u32
             }
             _ => {
                 self.counters.volatile_ += 1;
                 self.record(Space::Global, addr, 4, mode, AccessKind::Load);
                 self.drain_overlapping(addr, 4);
-                let (cost, _) = self
-                    .msys
-                    .access(self.sm as usize, addr, mode, AccessKind::Load);
+                let (cost, level) =
+                    self.msys
+                        .access(self.sm as usize, addr, mode, AccessKind::Load);
                 *self.cycles += cost as u64;
-                self.mem.read_bits(addr, 4) as u32
+                let bits = self.mem.read_bits(addr, 4);
+                self.maybe_flip(bits, 4, level) as u32
             }
         }
     }
@@ -523,6 +604,7 @@ impl<'a> Ctx<'a> {
     /// A 32-bit store that commits to the arena at once regardless of the
     /// compiler model (used for the first half of split 64-bit stores).
     fn store_word_immediate(&mut self, addr: u32, value: u32, mode: AccessMode) {
+        self.check_oob(addr, 4, AccessKind::Store);
         match mode {
             AccessMode::Plain => self.counters.plain += 1,
             _ => self.counters.volatile_ += 1,
@@ -537,6 +619,7 @@ impl<'a> Ctx<'a> {
     }
 
     fn store_word(&mut self, addr: u32, value: u32, mode: AccessMode) {
+        self.check_oob(addr, 4, AccessKind::Store);
         match mode {
             AccessMode::Plain => {
                 self.counters.plain += 1;
@@ -587,16 +670,24 @@ impl<'a> Ctx<'a> {
             return T::from_bits(lo | (hi << 32));
         }
         self.counters.volatile_ += 1;
-        self.record(Space::Global, ptr.addr(), T::WIDTH, AccessMode::Volatile, AccessKind::Load);
+        self.check_oob(ptr.addr(), T::WIDTH, AccessKind::Load);
+        self.record(
+            Space::Global,
+            ptr.addr(),
+            T::WIDTH,
+            AccessMode::Volatile,
+            AccessKind::Load,
+        );
         self.drain_overlapping(ptr.addr(), T::WIDTH);
-        let (cost, _) = self.msys.access(
+        let (cost, level) = self.msys.access(
             self.sm as usize,
             ptr.addr(),
             AccessMode::Volatile,
             AccessKind::Load,
         );
         *self.cycles += cost as u64;
-        self.mem.read(ptr)
+        let bits = self.mem.read(ptr).to_bits();
+        T::from_bits(self.maybe_flip(bits, T::WIDTH, level))
     }
 
     /// A `volatile` store: immediately visible, still racy.
@@ -609,7 +700,14 @@ impl<'a> Ctx<'a> {
             return;
         }
         self.counters.volatile_ += 1;
-        self.record(Space::Global, ptr.addr(), T::WIDTH, AccessMode::Volatile, AccessKind::Store);
+        self.check_oob(ptr.addr(), T::WIDTH, AccessKind::Store);
+        self.record(
+            Space::Global,
+            ptr.addr(),
+            T::WIDTH,
+            AccessMode::Volatile,
+            AccessKind::Store,
+        );
         self.drain_overlapping(ptr.addr(), T::WIDTH);
         let (cost, _) = self.msys.access(
             self.sm as usize,
@@ -636,12 +734,27 @@ impl<'a> Ctx<'a> {
         scope: Scope,
     ) {
         self.counters.atomic += 1;
-        self.record_scoped(Space::Global, addr, width, AccessMode::Atomic, kind, scope, order);
+        // Atomics read and write through the (ECC-protected) coherence
+        // point, so the fault model never flips them — only bounds-checks.
+        self.check_oob(addr, width, kind);
+        self.record_scoped(
+            Space::Global,
+            addr,
+            width,
+            AccessMode::Atomic,
+            kind,
+            scope,
+            order,
+        );
         self.drain_overlapping(addr, width);
         let base = match scope {
             // Block scope: coherent within one SM, serviced by its L1.
             Scope::Block => {
-                let extra = if kind == AccessKind::Rmw { self.atomic_extra } else { 0 };
+                let extra = if kind == AccessKind::Rmw {
+                    self.atomic_extra
+                } else {
+                    0
+                };
                 (self.l1_cycles + extra) as u64
             }
             // Device scope: the L2 coherence point (the converted ECL codes).
@@ -681,11 +794,7 @@ impl<'a> Ctx<'a> {
 
     /// Generic relaxed atomic read-modify-write; returns the old value.
     #[inline]
-    pub fn atomic_rmw<T: DeviceValue>(
-        &mut self,
-        ptr: DevicePtr<T>,
-        f: impl FnOnce(T) -> T,
-    ) -> T {
+    pub fn atomic_rmw<T: DeviceValue>(&mut self, ptr: DevicePtr<T>, f: impl FnOnce(T) -> T) -> T {
         self.atomic_pre(ptr.addr(), T::WIDTH, AccessKind::Rmw);
         let old = self.mem.read(ptr);
         self.mem.write(ptr, f(old));
@@ -808,7 +917,13 @@ impl<'a> Ctx<'a> {
     /// Panics if the access is outside the launch's `shared_bytes`.
     #[inline]
     pub fn shared_read<T: DeviceValue>(&mut self, offset: u32) -> T {
-        self.record(Space::Shared, offset, T::WIDTH, AccessMode::Plain, AccessKind::Load);
+        self.record(
+            Space::Shared,
+            offset,
+            T::WIDTH,
+            AccessMode::Plain,
+            AccessKind::Load,
+        );
         *self.cycles += self.l1_cycles as u64;
         T::read_from(self.shared, offset)
     }
@@ -820,7 +935,13 @@ impl<'a> Ctx<'a> {
     /// Panics if the access is outside the launch's `shared_bytes`.
     #[inline]
     pub fn shared_write<T: DeviceValue>(&mut self, offset: u32, value: T) {
-        self.record(Space::Shared, offset, T::WIDTH, AccessMode::Plain, AccessKind::Store);
+        self.record(
+            Space::Shared,
+            offset,
+            T::WIDTH,
+            AccessMode::Plain,
+            AccessKind::Store,
+        );
         *self.cycles += self.l1_cycles as u64;
         value.write_to(self.shared, offset);
     }
@@ -834,10 +955,12 @@ enum ThreadStatus {
     Done,
 }
 
-/// Runs one kernel to completion; returns its stats.
+/// Runs one kernel to completion; returns its stats, or a typed error when
+/// the watchdog fires, the fault budget runs out, the scheduler livelocks,
+/// or a block diverges at a barrier.
 ///
 /// This is crate-internal: user code launches kernels through
-/// [`crate::Gpu::launch`].
+/// [`crate::Gpu::launch`] / [`crate::Gpu::try_launch`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_kernel<K: Kernel>(
     cfg: &GpuConfig,
@@ -846,9 +969,11 @@ pub(crate) fn run_kernel<K: Kernel>(
     mut trace: Option<&mut Trace>,
     launch_id: u32,
     seed: u64,
+    watchdog: Option<u64>,
+    mut fault: Option<&mut FaultState>,
     launch: LaunchConfig,
     kernel: &K,
-) -> KernelStats {
+) -> Result<KernelStats, SimError> {
     let (grid_blocks, block_threads) = effective_geometry(cfg, &launch);
     let num_threads = grid_blocks * block_threads;
 
@@ -890,7 +1015,10 @@ pub(crate) fn run_kernel<K: Kernel>(
     while wave_start < grid_blocks {
         let wave_end = (wave_start + wave_blocks).min(grid_blocks);
         let mut block_order: Vec<u32> = (wave_start..wave_end).collect();
-        shuffle(&mut block_order, seed ^ ((launch_id as u64) << 32) ^ wave_start as u64);
+        shuffle(
+            &mut block_order,
+            seed ^ ((launch_id as u64) << 32) ^ wave_start as u64,
+        );
         let wave_len = block_order.len();
         run_wave(
             cfg,
@@ -914,12 +1042,14 @@ pub(crate) fn run_kernel<K: Kernel>(
             launch,
             &sm_of,
             wave_len,
-        );
+            watchdog,
+            &mut fault,
+        )?;
         wave_start = wave_end;
     }
 
     let busiest = sm_cycles.iter().copied().max().unwrap_or(0);
-    KernelStats {
+    Ok(KernelStats {
         name: kernel.name().to_string(),
         cycles: busiest + cfg.launch_overhead_cycles,
         l1: msys.l1_stats(),
@@ -931,7 +1061,7 @@ pub(crate) fn run_kernel<K: Kernel>(
         coalesced_stores: counters.coalesced,
         steps: counters.steps,
         threads: num_threads as u64,
-    }
+    })
 }
 
 /// Runs one resident wave of blocks to completion.
@@ -958,7 +1088,9 @@ fn run_wave<K: Kernel>(
     launch: LaunchConfig,
     sm_of: &dyn Fn(u32) -> u32,
     wave_len: usize,
-) {
+    watchdog: Option<u64>,
+    fault: &mut Option<&mut FaultState>,
+) -> Result<(), SimError> {
     let mut alive: u32 = block_order
         .iter()
         .map(|&b| {
@@ -972,15 +1104,19 @@ fn run_wave<K: Kernel>(
     const MAX_ROUNDS: u64 = 4_000_000;
     while alive > 0 {
         round += 1;
-        assert!(
-            round <= MAX_ROUNDS,
-            "kernel '{}' exceeded {MAX_ROUNDS} scheduler rounds: livelocked \
-             (a thread is spinning on a value no other thread will write)",
-            kernel.name()
-        );
+        if round > MAX_ROUNDS {
+            return Err(SimError::Livelock {
+                kernel: kernel.name().to_string(),
+                rounds: MAX_ROUNDS,
+            });
+        }
         // Rotate the starting block each round so interleaving varies with
-        // the seed but stays cheap to compute.
-        let rot = ((round.wrapping_mul(0x9e3779b97f4a7c15) ^ seed) % wave_len as u64) as usize;
+        // the seed but stays cheap to compute. An armed fault plan may add
+        // jitter on top, widening the interleavings one run explores.
+        let mut rot = ((round.wrapping_mul(0x9e3779b97f4a7c15) ^ seed) % wave_len as u64) as usize;
+        if let Some(f) = fault.as_deref_mut() {
+            rot = (rot + f.sched_jitter(wave_len as u64) as usize) % wave_len;
+        }
         for bi in 0..wave_len {
             let block = block_order[(bi + rot) % wave_len];
             let sm = sm_of(block);
@@ -994,6 +1130,8 @@ fn run_wave<K: Kernel>(
                     mem: &mut *mem,
                     msys: &mut *msys,
                     trace: trace.as_deref_mut(),
+                    fault: fault.as_deref_mut(),
+                    kernel: kernel.name(),
                     sbuf: &mut sbufs[t as usize],
                     shared: &mut shared[block as usize],
                     cycles: &mut sm_cycles[sm as usize],
@@ -1014,16 +1152,21 @@ fn run_wave<K: Kernel>(
                 };
                 let step = kernel.step(&mut states[t as usize], &mut ctx);
                 match step {
-                    Step::Yield => match launch.store_visibility {
-                        StoreVisibility::DeferUntilYield => ctx.drain_all(),
-                        StoreVisibility::DeferBounded { every, .. } => {
-                            yields[t as usize] += 1;
-                            if yields[t as usize].is_multiple_of(every.max(1)) {
-                                ctx.drain_all();
+                    Step::Yield => {
+                        let scheduled = match launch.store_visibility {
+                            StoreVisibility::DeferUntilYield => true,
+                            StoreVisibility::DeferBounded { every, .. } => {
+                                yields[t as usize] += 1;
+                                yields[t as usize].is_multiple_of(every.max(1))
                             }
+                            _ => false,
+                        };
+                        // Fault plans only perturb drains that could matter:
+                        // a scheduled one, or an early one with stores held.
+                        if scheduled || ctx.has_buffered_stores() {
+                            ctx.yield_drain(scheduled);
                         }
-                        _ => {}
-                    },
+                    }
                     Step::Barrier => {
                         // __syncthreads makes prior writes visible block-wide
                         // (and, in our flat arena, device-wide).
@@ -1055,16 +1198,38 @@ fn run_wave<K: Kernel>(
                 // behavior on real hardware, so we fail loudly.
                 let divergent = (first..first + block_threads)
                     .any(|t| statuses[t as usize] == ThreadStatus::Done);
-                assert!(
-                    !divergent,
-                    "kernel '{}': barrier reached while sibling threads already \
-                     exited (barrier divergence, undefined behavior on a GPU)",
-                    kernel.name()
-                );
+                if divergent {
+                    return Err(SimError::BarrierDivergence {
+                        kernel: kernel.name().to_string(),
+                        block,
+                    });
+                }
                 phases[block as usize] += 1;
             }
         }
+        // The watchdog and the fault budget are checked once per scheduler
+        // round — the granularity at which the simulator can interrupt a
+        // launch, like a driver-level timeout on real hardware.
+        if let Some(budget) = watchdog {
+            let busiest = sm_cycles.iter().copied().max().unwrap_or(0);
+            if busiest > budget {
+                return Err(SimError::WatchdogTimeout {
+                    kernel: kernel.name().to_string(),
+                    budget_cycles: budget,
+                    elapsed_cycles: busiest,
+                });
+            }
+        }
+        if let Some(f) = fault.as_deref() {
+            if f.budget_exhausted() {
+                return Err(SimError::FaultBudgetExhausted {
+                    kernel: kernel.name().to_string(),
+                    budget: f.budget(),
+                });
+            }
+        }
     }
+    Ok(())
 }
 
 /// Returns true when no thread in the block is `Active` (all done or at a

@@ -1,0 +1,303 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes *which* perturbations to inject and how often;
+//! the running [`FaultState`] turns the plan into a deterministic schedule:
+//! every injection decision consumes one counter tick of a SplitMix64 stream
+//! seeded by the plan, so the same plan produces bit-for-bit the same fault
+//! schedule — and therefore the same simulated cycles — on every run. That
+//! determinism is what makes a fault-injection campaign debuggable: any
+//! failing cell of a sweep replays exactly.
+//!
+//! Three fault classes model the hazards the paper's robustness argument
+//! cares about:
+//!
+//! - **Transient single-bit flips** on load results served at a chosen
+//!   memory level (DRAM, L2, or L1). The flip corrupts the value a thread
+//!   observes, not the arena itself — a particle strike on a bus or cell
+//!   that a subsequent read would not see. Race-free codes re-read through
+//!   the coherence point more often, which is exactly the behavior the
+//!   `fault_study` experiment measures.
+//! - **Flush perturbations** in the [`crate::StoreVisibility`] compiler
+//!   model: a scheduled yield-point drain may be *dropped* (stores stay in
+//!   registers longer than the model promised) or an unscheduled drain
+//!   *forced early*. Racy codes that depend on timely store visibility are
+//!   sensitive to both.
+//! - **Warp-scheduling jitter**: extra seeded rotation of the block
+//!   interleaving order, widening the space of interleavings a single run
+//!   explores.
+//!
+//! An optional fault *budget* bounds how many faults a launch may absorb
+//! before the simulator refuses to continue
+//! ([`crate::SimError::FaultBudgetExhausted`]).
+
+use crate::mem::MemLevel;
+
+/// Declarative description of the faults to inject. Construct with
+/// [`FaultPlan::new`] and the `with_*` builders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injection-decision stream (independent of the scheduler
+    /// seed, so fault schedules survive scheduler reseeding on retry).
+    pub seed: u64,
+    /// Probability that an eligible load has one bit flipped.
+    pub bitflip_rate: f64,
+    /// Loads are eligible when served at this memory level.
+    pub bitflip_level: MemLevel,
+    /// Probability that a scheduled yield-point store-buffer drain is
+    /// dropped.
+    pub flush_drop_rate: f64,
+    /// Probability that an unscheduled drain is forced at a yield.
+    pub flush_early_rate: f64,
+    /// Adds seeded jitter to the scheduler's block rotation.
+    pub sched_jitter: bool,
+    /// Abort the launch once this many faults have been injected.
+    pub max_faults: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing; combine with the `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            bitflip_rate: 0.0,
+            bitflip_level: MemLevel::Dram,
+            flush_drop_rate: 0.0,
+            flush_early_rate: 0.0,
+            sched_jitter: false,
+            max_faults: None,
+        }
+    }
+
+    /// Flips one bit of a loaded value with probability `rate`, for loads
+    /// served at `level`.
+    pub fn with_bitflips(mut self, rate: f64, level: MemLevel) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.bitflip_rate = rate;
+        self.bitflip_level = level;
+        self
+    }
+
+    /// Perturbs the compiler model's drain schedule: scheduled drains are
+    /// dropped with probability `drop_rate`, unscheduled drains forced with
+    /// probability `early_rate`.
+    pub fn with_flush_faults(mut self, drop_rate: f64, early_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_rate) && (0.0..=1.0).contains(&early_rate),
+            "rates must be probabilities"
+        );
+        self.flush_drop_rate = drop_rate;
+        self.flush_early_rate = early_rate;
+        self
+    }
+
+    /// Adds seeded jitter to the warp scheduler's block rotation.
+    pub fn with_sched_jitter(mut self) -> Self {
+        self.sched_jitter = true;
+        self
+    }
+
+    /// Aborts a launch with [`crate::SimError::FaultBudgetExhausted`] once
+    /// `budget` faults have been injected.
+    pub fn with_max_faults(mut self, budget: u64) -> Self {
+        self.max_faults = Some(budget);
+        self
+    }
+
+    /// True when the plan can inject at least one kind of fault.
+    pub fn is_active(&self) -> bool {
+        self.bitflip_rate > 0.0
+            || self.flush_drop_rate > 0.0
+            || self.flush_early_rate > 0.0
+            || self.sched_jitter
+    }
+}
+
+/// Counters describing what a [`FaultState`] actually injected. Two runs
+/// with the same plan must produce identical reports — the determinism
+/// property the fault-layer tests pin down.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Decision-stream ticks consumed (every considered injection point).
+    pub decisions: u64,
+    /// Loads that had a bit flipped.
+    pub bit_flips: u64,
+    /// Scheduled drains that were dropped.
+    pub dropped_flushes: u64,
+    /// Unscheduled drains that were forced.
+    pub early_flushes: u64,
+    /// Scheduler rounds whose rotation was perturbed.
+    pub sched_perturbations: u64,
+}
+
+impl FaultReport {
+    /// Total faults injected (everything except bare decisions).
+    pub fn total_injected(&self) -> u64 {
+        self.bit_flips + self.dropped_flushes + self.early_flushes + self.sched_perturbations
+    }
+}
+
+/// The running state of a plan: the decision stream position and the
+/// injection counters. Owned by [`crate::Gpu`]; persists across launches so
+/// the schedule keeps advancing through a multi-kernel algorithm.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    pub(crate) plan: FaultPlan,
+    counter: u64,
+    report: FaultReport,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            counter: 0,
+            report: FaultReport::default(),
+        }
+    }
+
+    /// What has been injected so far.
+    pub fn report(&self) -> &FaultReport {
+        &self.report
+    }
+
+    /// Next word of the decision stream (SplitMix64 over seed + counter).
+    fn next_word(&mut self) -> u64 {
+        let mut z = self
+            .plan
+            .seed
+            .wrapping_add(self.counter.wrapping_mul(0x9e3779b97f4a7c15));
+        self.counter += 1;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// One Bernoulli decision at probability `rate`.
+    fn decide(&mut self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        self.report.decisions += 1;
+        let r = (self.next_word() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        r < rate
+    }
+
+    /// Considers flipping one bit of a `width`-byte load served at `level`;
+    /// returns the (possibly corrupted) bits.
+    pub(crate) fn maybe_flip_bits(&mut self, bits: u64, width: u32, level: MemLevel) -> u64 {
+        if level != self.plan.bitflip_level || !self.decide(self.plan.bitflip_rate) {
+            return bits;
+        }
+        self.report.bit_flips += 1;
+        let bit = self.next_word() % (width as u64 * 8);
+        bits ^ (1u64 << bit)
+    }
+
+    /// Perturbs one yield-point drain decision. `scheduled` is what the
+    /// compiler model would do; the return value is what actually happens.
+    pub(crate) fn perturb_flush(&mut self, scheduled: bool) -> bool {
+        if scheduled {
+            if self.decide(self.plan.flush_drop_rate) {
+                self.report.dropped_flushes += 1;
+                return false;
+            }
+        } else if self.decide(self.plan.flush_early_rate) {
+            self.report.early_flushes += 1;
+            return true;
+        }
+        scheduled
+    }
+
+    /// Extra rotation (in `[0, wave_len)`) for one scheduler round.
+    pub(crate) fn sched_jitter(&mut self, wave_len: u64) -> u64 {
+        if !self.plan.sched_jitter || wave_len <= 1 {
+            return 0;
+        }
+        self.report.decisions += 1;
+        let j = self.next_word() % wave_len;
+        if j != 0 {
+            self.report.sched_perturbations += 1;
+        }
+        j
+    }
+
+    /// True once the injected-fault count has reached the plan's budget.
+    pub(crate) fn budget_exhausted(&self) -> bool {
+        self.plan
+            .max_faults
+            .is_some_and(|max| self.report.total_injected() >= max)
+    }
+
+    /// The configured budget (for error reporting).
+    pub(crate) fn budget(&self) -> u64 {
+        self.plan.max_faults.unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_injects_nothing() {
+        let mut s = FaultState::new(FaultPlan::new(7));
+        for i in 0..1000 {
+            assert_eq!(s.maybe_flip_bits(i, 4, MemLevel::Dram), i);
+            assert!(s.perturb_flush(true));
+            assert!(!s.perturb_flush(false));
+            assert_eq!(s.sched_jitter(8), 0);
+        }
+        assert_eq!(s.report(), &FaultReport::default());
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let plan = FaultPlan::new(42)
+            .with_bitflips(0.25, MemLevel::L2)
+            .with_flush_faults(0.1, 0.1)
+            .with_sched_jitter();
+        let run = |plan: FaultPlan| {
+            let mut s = FaultState::new(plan);
+            let mut out = Vec::new();
+            for i in 0..500u64 {
+                out.push(s.maybe_flip_bits(i, 8, MemLevel::L2));
+                out.push(s.perturb_flush(i % 2 == 0) as u64);
+                out.push(s.sched_jitter(16));
+            }
+            (out, s.report().clone())
+        };
+        let (a, ra) = run(plan.clone());
+        let (b, rb) = run(plan);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert!(ra.total_injected() > 0, "a 25% plan must inject something");
+    }
+
+    #[test]
+    fn flips_are_single_bit_and_level_gated() {
+        let plan = FaultPlan::new(1).with_bitflips(1.0, MemLevel::Dram);
+        let mut s = FaultState::new(plan);
+        // Wrong level: untouched, no decision spent on the flip itself.
+        assert_eq!(s.maybe_flip_bits(0xff, 4, MemLevel::L1), 0xff);
+        // Right level at rate 1.0: exactly one bit differs.
+        let flipped = s.maybe_flip_bits(0xff00ff00, 4, MemLevel::Dram);
+        assert_eq!((flipped ^ 0xff00ff00).count_ones(), 1);
+        // Width bounds the flipped bit.
+        let flipped = s.maybe_flip_bits(0, 1, MemLevel::Dram);
+        assert!(flipped < 256, "1-byte load must flip within its 8 bits");
+    }
+
+    #[test]
+    fn budget_counts_injections() {
+        let plan = FaultPlan::new(9)
+            .with_bitflips(1.0, MemLevel::Dram)
+            .with_max_faults(3);
+        let mut s = FaultState::new(plan);
+        for i in 0..3 {
+            assert!(!s.budget_exhausted(), "not exhausted after {i} faults");
+            s.maybe_flip_bits(0, 4, MemLevel::Dram);
+        }
+        assert!(s.budget_exhausted());
+        assert_eq!(s.budget(), 3);
+    }
+}

@@ -3,7 +3,9 @@
 //! `<<<grid, block>>>` surface.
 
 use crate::config::GpuConfig;
+use crate::error::{self, catch_sim, SimError};
 use crate::exec::{run_kernel, Kernel, LaunchConfig};
+use crate::fault::{FaultPlan, FaultReport, FaultState};
 use crate::mem::{DeviceBuffer, DeviceValue, MemSystem, Memory};
 use crate::metrics::{KernelStats, RunStats};
 use crate::trace::Trace;
@@ -35,6 +37,8 @@ pub struct Gpu {
     msys: MemSystem,
     trace: Option<Trace>,
     seed: u64,
+    watchdog: Option<u64>,
+    fault: Option<FaultState>,
     launches: RunStats,
     total_cycles: u64,
 }
@@ -53,12 +57,15 @@ impl Gpu {
     /// Creates a device from a configuration.
     pub fn new(config: GpuConfig) -> Self {
         let msys = MemSystem::new(&config);
+        let watchdog = config.watchdog_cycles;
         Gpu {
             config,
             memory: Memory::new(),
             msys,
             trace: None,
             seed: 0,
+            watchdog,
+            fault: None,
             launches: RunStats::default(),
             total_cycles: 0,
         }
@@ -73,6 +80,37 @@ impl Gpu {
     /// distinct seeds here).
     pub fn set_seed(&mut self, seed: u64) {
         self.seed = seed;
+    }
+
+    /// Sets (or clears) the per-launch watchdog budget, in cycles. A launch
+    /// whose busiest SM exceeds the budget fails with
+    /// [`SimError::WatchdogTimeout`] instead of running on — the simulator's
+    /// version of a driver-level kernel timeout. Defaults to the device
+    /// configuration's `watchdog_cycles`.
+    pub fn set_watchdog(&mut self, budget_cycles: Option<u64>) {
+        self.watchdog = budget_cycles;
+    }
+
+    /// The active watchdog budget, if any.
+    pub fn watchdog(&self) -> Option<u64> {
+        self.watchdog
+    }
+
+    /// Arms seeded fault injection for subsequent launches. The plan's
+    /// decision stream persists across launches (a multi-kernel algorithm
+    /// sees one continuous schedule); re-arming resets it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// What the armed fault plan has injected so far, if one is armed.
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        self.fault.as_ref().map(|f| f.report())
     }
 
     /// Enables access tracing for race detection. Tracing is off by default
@@ -113,7 +151,9 @@ impl Gpu {
 
     /// Copies a device buffer back to the host (`cudaMemcpyDeviceToHost`).
     pub fn download<T: DeviceValue>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
-        (0..buf.len()).map(|i| self.memory.read(buf.at(i))).collect()
+        (0..buf.len())
+            .map(|i| self.memory.read(buf.at(i)))
+            .collect()
     }
 
     /// Reads a single element without a full download.
@@ -131,24 +171,70 @@ impl Gpu {
     ///
     /// # Panics
     ///
-    /// Panics on barrier divergence, scheduler livelock, or an exact-geometry
-    /// launch exceeding device residency (all undefined behavior or launch
-    /// failures on real hardware).
+    /// Panics on any launch failure ([`Gpu::try_launch`] lists them): the
+    /// watchdog, an out-of-bounds device access, barrier divergence,
+    /// scheduler livelock, or an exhausted fault budget. The panic carries
+    /// the error's display text, and the typed [`SimError`] is recoverable
+    /// with [`crate::catch_sim`].
     pub fn launch<K: Kernel>(&mut self, launch: LaunchConfig, kernel: K) -> &KernelStats {
+        match self.launch_inner(launch, &kernel) {
+            Ok(()) => self.launches.launches.last().unwrap(),
+            Err(e) => {
+                error::stash(e.clone());
+                panic!("{e}");
+            }
+        }
+    }
+
+    /// Launches a kernel, reporting failures as a typed [`SimError`] instead
+    /// of panicking: watchdog timeout, out-of-bounds device access, barrier
+    /// divergence, scheduler livelock, or fault-budget exhaustion. On error
+    /// the launch is not recorded in the stats timeline (device memory may
+    /// still have been partially written, as on a real GPU fault).
+    pub fn try_launch<K: Kernel>(
+        &mut self,
+        launch: LaunchConfig,
+        kernel: K,
+    ) -> Result<&KernelStats, SimError> {
+        self.launch_inner(launch, &kernel)?;
+        Ok(self.launches.launches.last().unwrap())
+    }
+
+    fn launch_inner<K: Kernel>(
+        &mut self,
+        launch: LaunchConfig,
+        kernel: &K,
+    ) -> Result<(), SimError> {
         let id = self.launches.num_launches() as u32;
-        let stats = run_kernel(
-            &self.config,
-            &mut self.memory,
-            &mut self.msys,
-            self.trace.as_mut(),
-            id,
-            self.seed,
-            launch,
-            &kernel,
-        );
+        // Destructure so the catch_unwind closure borrows fields, not self.
+        let Gpu {
+            config,
+            memory,
+            msys,
+            trace,
+            seed,
+            watchdog,
+            fault,
+            ..
+        } = self;
+        let (seed, watchdog) = (*seed, *watchdog);
+        let stats = catch_sim(|| {
+            run_kernel(
+                config,
+                memory,
+                msys,
+                trace.as_mut(),
+                id,
+                seed,
+                watchdog,
+                fault.as_mut(),
+                launch,
+                kernel,
+            )
+        })??;
         self.total_cycles += stats.cycles;
         self.launches.launches.push(stats);
-        self.launches.launches.last().unwrap()
+        Ok(())
     }
 
     /// Total simulated cycles across all launches so far.
@@ -243,9 +329,7 @@ mod tests {
             let buf = gpu.alloc::<u32>(512);
             gpu.launch(
                 LaunchConfig::for_items(512),
-                ForEach::new("w", 512, move |ctx, i| {
-                    ctx.store(buf.at(i as usize), i * 3)
-                }),
+                ForEach::new("w", 512, move |ctx, i| ctx.store(buf.at(i as usize), i * 3)),
             );
             (gpu.download(&buf), gpu.elapsed_cycles())
         };

@@ -21,6 +21,12 @@
 //! - **Word tearing** ([`mem`]): plain 64-bit accesses split into two
 //!   32-bit halves on devices without native 64-bit accesses, making the
 //!   paper's Fig. 1 chimera values reproducible.
+//! - **Fault injection & recovery** ([`fault`], [`error`]): a seeded
+//!   [`FaultPlan`] can flip bits on loads, perturb the compiler model's
+//!   store drains, and jitter the scheduler; launch failures (watchdog
+//!   timeout, out-of-bounds access, livelock, barrier divergence, fault
+//!   budget) surface as typed [`SimError`]s through [`Gpu::try_launch`] or
+//!   [`catch_sim`].
 //!
 //! # Example
 //!
@@ -42,7 +48,9 @@
 
 pub mod access;
 pub mod config;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod host;
 pub mod mem;
 pub mod metrics;
@@ -50,8 +58,10 @@ pub mod trace;
 
 pub use access::{AccessKind, AccessMode, MemOrder, Scope};
 pub use config::GpuConfig;
+pub use error::{catch_any, catch_sim, SimError};
 pub use exec::{Ctx, ForEach, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo};
+pub use fault::{FaultPlan, FaultReport};
 pub use host::Gpu;
-pub use mem::{DeviceBuffer, DevicePtr, DeviceValue};
+pub use mem::{DeviceBuffer, DevicePtr, DeviceValue, MemLevel};
 pub use metrics::KernelStats;
 pub use trace::{AccessEvent, Space, Trace};

@@ -174,7 +174,11 @@ impl<T: DeviceValue> DeviceBuffer<T> {
     /// caught deterministically.
     #[inline]
     pub fn at(&self, i: usize) -> DevicePtr<T> {
-        assert!(i < self.len, "device buffer index {i} out of range {}", self.len);
+        assert!(
+            i < self.len,
+            "device buffer index {i} out of range {}",
+            self.len
+        );
         self.ptr.offset(i)
     }
 

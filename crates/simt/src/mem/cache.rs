@@ -49,7 +49,10 @@ impl Cache {
     /// Panics if `line_bytes` is not a power of two or the geometry doesn't
     /// yield at least one set.
     pub fn new(size_kib: u32, ways: u32, line_bytes: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1, "need at least one way");
         let lines = size_kib * 1024 / line_bytes;
         let num_sets = (lines / ways).max(1);

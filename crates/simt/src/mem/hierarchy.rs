@@ -76,7 +76,10 @@ impl MemSystem {
                         (self.l1_cycles + self.l2_cycles, MemLevel::L2)
                     } else {
                         self.dram_accesses += 1;
-                        (self.l1_cycles + self.l2_cycles + self.dram_cycles, MemLevel::Dram)
+                        (
+                            self.l1_cycles + self.l2_cycles + self.dram_cycles,
+                            MemLevel::Dram,
+                        )
                     }
                 }
                 // Write-through no-allocate: stores cost an L2 transaction;
@@ -120,10 +123,12 @@ impl MemSystem {
 
     /// Aggregate L1 statistics across all SMs.
     pub fn l1_stats(&self) -> CacheStats {
-        self.l1.iter().fold(CacheStats::default(), |acc, c| CacheStats {
-            hits: acc.hits + c.stats().hits,
-            misses: acc.misses + c.stats().misses,
-        })
+        self.l1
+            .iter()
+            .fold(CacheStats::default(), |acc, c| CacheStats {
+                hits: acc.hits + c.stats().hits,
+                misses: acc.misses + c.stats().misses,
+            })
     }
 
     /// L2 statistics.

@@ -1,0 +1,216 @@
+//! Fault-injection and watchdog behaviour at the device level: the fault
+//! schedule (and therefore the cycle count) is a pure function of the seeds,
+//! a runaway kernel is killed by the watchdog instead of hanging the test
+//! run, and the fault budget turns into a typed error.
+
+use ecl_simt::{
+    Ctx, DeviceBuffer, FaultPlan, Gpu, GpuConfig, Kernel, LaunchConfig, MemLevel, SimError, Step,
+    StoreVisibility, ThreadInfo,
+};
+
+const LEN: usize = 256;
+const ROUNDS: u32 = 8;
+
+/// Every thread repeatedly volatile-loads a rotating element, accumulates,
+/// and plain-stores the sum — touching all three fault classes: L2-served
+/// loads (bit flips), deferred plain stores at yields (flush perturbations),
+/// and multi-block scheduling (jitter).
+struct MixWork {
+    data: DeviceBuffer<u32>,
+    out: DeviceBuffer<u32>,
+}
+
+impl Kernel for MixWork {
+    type State = (u32, u32, u32);
+    fn name(&self) -> &str {
+        "mix_work"
+    }
+    fn init(&self, info: ThreadInfo) -> (u32, u32, u32) {
+        (info.global_id, 0, 0)
+    }
+    fn step(&self, state: &mut (u32, u32, u32), ctx: &mut Ctx<'_>) -> Step {
+        let (tid, ref mut round, ref mut acc) = *state;
+        let v: u32 = ctx.load_volatile(self.data.at((tid as usize + *round as usize) % LEN));
+        *acc = acc.wrapping_add(v);
+        ctx.store(self.out.at(tid as usize % LEN), *acc);
+        *round += 1;
+        if *round == ROUNDS {
+            Step::Done
+        } else {
+            Step::Yield
+        }
+    }
+}
+
+fn faulted_run(plan: &FaultPlan, seed: u64) -> (u64, ecl_simt::FaultReport, Vec<u32>) {
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.set_seed(seed);
+    gpu.set_fault_plan(plan.clone());
+    let data = gpu.alloc::<u32>(LEN);
+    let out = gpu.alloc::<u32>(LEN);
+    gpu.upload(&data, &(0..LEN as u32).collect::<Vec<_>>());
+    gpu.launch(
+        LaunchConfig {
+            grid_blocks: 4,
+            block_threads: 64,
+            store_visibility: StoreVisibility::DeferUntilYield,
+            shared_bytes: 0,
+            exact_geometry: true,
+        },
+        MixWork { data, out },
+    );
+    (
+        gpu.elapsed_cycles(),
+        gpu.fault_report().unwrap().clone(),
+        gpu.download(&out),
+    )
+}
+
+#[test]
+fn same_seed_gives_identical_schedule_and_cycles() {
+    let plan = FaultPlan::new(0xfa_17)
+        .with_bitflips(0.05, MemLevel::L2)
+        .with_flush_faults(0.1, 0.1)
+        .with_sched_jitter();
+    let (cycles_a, report_a, out_a) = faulted_run(&plan, 9);
+    let (cycles_b, report_b, out_b) = faulted_run(&plan, 9);
+    assert!(
+        report_a.total_injected() > 0,
+        "plan should actually inject: {report_a:?}"
+    );
+    assert_eq!(report_a, report_b, "fault schedule must be seed-pure");
+    assert_eq!(cycles_a, cycles_b, "cycle count must be seed-pure");
+    assert_eq!(out_a, out_b, "corrupted output must replay bit-for-bit");
+}
+
+#[test]
+fn different_plan_seed_gives_a_different_schedule() {
+    let base = FaultPlan::new(1).with_bitflips(0.05, MemLevel::L2);
+    let other = FaultPlan::new(2).with_bitflips(0.05, MemLevel::L2);
+    let (_, report_a, out_a) = faulted_run(&base, 9);
+    let (_, report_b, out_b) = faulted_run(&other, 9);
+    // Same decision count (same loads), different draws.
+    assert_eq!(report_a.decisions, report_b.decisions);
+    assert!(
+        report_a.bit_flips != report_b.bit_flips || out_a != out_b,
+        "reseeding the plan should move the flips"
+    );
+}
+
+/// Spins forever on a flag no thread ever writes, volatile-loading each
+/// step so cycles accrue. Without a watchdog this would run until the
+/// livelock bound; with one, `try_launch` must return promptly.
+struct SpinOnFlag {
+    flag: DeviceBuffer<u32>,
+}
+
+impl Kernel for SpinOnFlag {
+    type State = ();
+    fn name(&self) -> &str {
+        "spin_on_flag"
+    }
+    fn init(&self, _: ThreadInfo) {}
+    fn step(&self, _: &mut (), ctx: &mut Ctx<'_>) -> Step {
+        if ctx.load_volatile::<u32>(self.flag.at(0)) == 0 {
+            Step::Yield
+        } else {
+            Step::Done
+        }
+    }
+}
+
+#[test]
+fn watchdog_kills_a_spinning_kernel_without_hanging() {
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.set_watchdog(Some(10_000));
+    let flag = gpu.alloc::<u32>(1);
+    let outcome = gpu.try_launch(
+        LaunchConfig {
+            grid_blocks: 1,
+            block_threads: 32,
+            store_visibility: StoreVisibility::Immediate,
+            shared_bytes: 0,
+            exact_geometry: true,
+        },
+        SpinOnFlag { flag },
+    );
+    match outcome {
+        Err(SimError::WatchdogTimeout {
+            kernel,
+            budget_cycles,
+            elapsed_cycles,
+        }) => {
+            assert_eq!(kernel, "spin_on_flag");
+            assert_eq!(budget_cycles, 10_000);
+            assert!(elapsed_cycles > budget_cycles);
+        }
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+    // The device is still usable: the failed launch was not recorded.
+    assert_eq!(gpu.run_stats().num_launches(), 0);
+    gpu.set_watchdog(None);
+    gpu.upload(&flag, &[1]);
+    let stats = gpu.try_launch(
+        LaunchConfig {
+            grid_blocks: 1,
+            block_threads: 32,
+            store_visibility: StoreVisibility::Immediate,
+            shared_bytes: 0,
+            exact_geometry: true,
+        },
+        SpinOnFlag { flag },
+    );
+    assert!(stats.is_ok());
+}
+
+#[test]
+fn fault_budget_surfaces_as_a_typed_error() {
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.set_fault_plan(
+        FaultPlan::new(3)
+            .with_bitflips(1.0, MemLevel::L2)
+            .with_max_faults(4),
+    );
+    let data = gpu.alloc::<u32>(LEN);
+    let out = gpu.alloc::<u32>(LEN);
+    let outcome = gpu.try_launch(
+        LaunchConfig {
+            grid_blocks: 2,
+            block_threads: 64,
+            store_visibility: StoreVisibility::Immediate,
+            shared_bytes: 0,
+            exact_geometry: true,
+        },
+        MixWork { data, out },
+    );
+    match outcome {
+        Err(SimError::FaultBudgetExhausted { kernel, budget }) => {
+            assert_eq!(kernel, "mix_work");
+            assert_eq!(budget, 4);
+        }
+        other => panic!("expected FaultBudgetExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn launch_panic_carries_the_typed_message() {
+    // The panicking `launch` wrapper must keep the typed error's text so
+    // #[should_panic(expected = ...)] call sites stay meaningful.
+    let err = ecl_simt::catch_any(|| {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.set_watchdog(Some(1));
+        let flag = gpu.alloc::<u32>(1);
+        gpu.launch(
+            LaunchConfig {
+                grid_blocks: 1,
+                block_threads: 1,
+                store_visibility: StoreVisibility::Immediate,
+                shared_bytes: 0,
+                exact_geometry: true,
+            },
+            SpinOnFlag { flag },
+        );
+    })
+    .unwrap_err();
+    assert!(err.contains("watchdog"), "got: {err}");
+}

@@ -9,10 +9,8 @@ fn any_visibility() -> impl Strategy<Value = StoreVisibility> {
     prop_oneof![
         Just(StoreVisibility::Immediate),
         Just(StoreVisibility::DeferUntilYield),
-        (1u32..5, 0u8..=8).prop_map(|(every, eighths)| StoreVisibility::DeferBounded {
-            every,
-            eighths
-        }),
+        (1u32..5, 0u8..=8)
+            .prop_map(|(every, eighths)| StoreVisibility::DeferBounded { every, eighths }),
         Just(StoreVisibility::DeferUntilDone),
     ]
 }

@@ -16,7 +16,9 @@ use ecl_simt::GpuConfig;
 use ecl_suite::prelude::*;
 
 fn main() {
-    let cc_graph = GraphInput::by_name("citationCiteseer").unwrap().build(0.5, 5);
+    let cc_graph = GraphInput::by_name("citationCiteseer")
+        .unwrap()
+        .build(0.5, 5);
     let scc_graph = GraphInput::by_name("toroid-hex").unwrap().build(0.5, 5);
 
     println!("sweeping the atomic RMW surcharge on a 4090-class device:\n");

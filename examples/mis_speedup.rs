@@ -14,13 +14,18 @@ use ecl_suite::prelude::*;
 fn main() {
     let inputs = ["amazon0601", "as-skitter", "rmat16.sym", "2d-2e20.sym"];
     println!("MIS: baseline (racy) vs race-free, speedup = baseline/racefree\n");
-    println!("{:<18} {:>9} {:>12} {:>9} {:>9}", "input", "GPU", "baseline", "racefree", "speedup");
+    println!(
+        "{:<18} {:>9} {:>12} {:>9} {:>9}",
+        "input", "GPU", "baseline", "racefree", "speedup"
+    );
 
     for gpu in ecl_simt::GpuConfig::paper_gpus() {
         let mut product = 1.0f64;
         let mut count = 0u32;
         for name in inputs {
-            let graph = GraphInput::by_name(name).expect("catalog entry").build(0.5, 3);
+            let graph = GraphInput::by_name(name)
+                .expect("catalog entry")
+                .build(0.5, 3);
             let base = run_algorithm(Algorithm::Mis, Variant::Baseline, &graph, &gpu, 1);
             let free = run_algorithm(Algorithm::Mis, Variant::RaceFree, &graph, &gpu, 1);
             assert!(base.valid && free.valid);
@@ -35,7 +40,10 @@ fn main() {
             );
         }
         let geomean = product.powf(1.0 / count as f64);
-        println!("{:<18} {:>9} {:>34}{:.2}\n", "geomean", gpu.name, "", geomean);
+        println!(
+            "{:<18} {:>9} {:>34}{:.2}\n",
+            "geomean", gpu.name, "", geomean
+        );
     }
 
     println!(

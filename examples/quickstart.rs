@@ -4,8 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ecl_suite::prelude::*;
 use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_suite::prelude::*;
 
 fn main() {
     // A scaled stand-in for the paper's rmat16.sym input.
@@ -32,7 +32,11 @@ fn main() {
             baseline.cycles,
             racefree.cycles,
             speedup,
-            if speedup >= 1.0 { "  <- race-free wins" } else { "" },
+            if speedup >= 1.0 {
+                "  <- race-free wins"
+            } else {
+                ""
+            },
         );
     }
 

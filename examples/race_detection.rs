@@ -13,7 +13,9 @@ use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
 use ecl_suite::prelude::*;
 
 fn main() {
-    let graph = GraphInput::by_name("internet").expect("catalog entry").build(0.25, 7);
+    let graph = GraphInput::by_name("internet")
+        .expect("catalog entry")
+        .build(0.25, 7);
     println!(
         "checking ECL-CC on 'internet-like' input ({} vertices, {} edges)\n",
         graph.num_vertices(),
@@ -28,7 +30,10 @@ fn main() {
         assert!(cc::verify_components(&graph, &result));
         check_races(&gpu)
     };
-    println!("baseline CC: {} distinct race report(s)", baseline_races.len());
+    println!(
+        "baseline CC: {} distinct race report(s)",
+        baseline_races.len()
+    );
     for report in baseline_races.iter().take(5) {
         println!("  {report}");
     }
@@ -68,10 +73,16 @@ fn main() {
     mis::run_traced::<ecl_core::primitives::VolatileReadPlainWrite>(
         &mut gpu,
         &graph,
-        StoreVisibility::DeferBounded { every: 2, eighths: 4 },
+        StoreVisibility::DeferBounded {
+            every: 2,
+            eighths: 4,
+        },
     );
     let mis_races = check_races(&gpu);
-    println!("\nbaseline MIS: {} distinct race report(s)", mis_races.len());
+    println!(
+        "\nbaseline MIS: {} distinct race report(s)",
+        mis_races.len()
+    );
     assert!(!mis_races.is_empty());
     println!("\nall assertions passed: baselines race, conversions are clean.");
 }

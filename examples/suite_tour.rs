@@ -10,7 +10,10 @@ use ecl_suite::prelude::*;
 
 fn main() {
     let gpu = GpuConfig::titan_v();
-    println!("device: {} ({}, {} SMs)\n", gpu.name, gpu.architecture, gpu.num_sms);
+    println!(
+        "device: {} ({}, {} SMs)\n",
+        gpu.name, gpu.architecture, gpu.num_sms
+    );
 
     // APSP is dense O(n^2): use a small weighted mesh for it, the catalog
     // stand-ins for everything else.
@@ -38,12 +41,7 @@ fn main() {
         let base = run_algorithm(alg, Variant::Baseline, graph, &gpu, 1);
         let free = run_algorithm(alg, Variant::RaceFree, graph, &gpu, 1);
         assert!(base.valid && free.valid, "{alg} failed validation");
-        let accesses: u64 = free
-            .stats
-            .launches
-            .iter()
-            .map(|l| l.total_accesses())
-            .sum();
+        let accesses: u64 = free.stats.launches.iter().map(|l| l.total_accesses()).sum();
         println!(
             "{:<5} {:>10} {:>12} {:>12} {:>8.2} {:>9} {:>10}",
             alg.name(),

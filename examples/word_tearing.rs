@@ -15,7 +15,9 @@
 //! cargo run --release --example word_tearing
 //! ```
 
-use ecl_simt::{Ctx, DeviceBuffer, Gpu, GpuConfig, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo};
+use ecl_simt::{
+    Ctx, DeviceBuffer, Gpu, GpuConfig, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo,
+};
 
 struct Fig1 {
     val: DeviceBuffer<u64>,

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_tests-80014216888f8478.d: crates/bench/src/bin/all_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_tests-80014216888f8478.rmeta: crates/bench/src/bin/all_tests.rs Cargo.toml
+
+crates/bench/src/bin/all_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

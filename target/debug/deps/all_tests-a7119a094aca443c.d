@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_tests-a7119a094aca443c.d: crates/bench/src/bin/all_tests.rs
+
+/root/repo/target/debug/deps/all_tests-a7119a094aca443c: crates/bench/src/bin/all_tests.rs
+
+crates/bench/src/bin/all_tests.rs:

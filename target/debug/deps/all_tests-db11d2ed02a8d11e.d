@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_tests-db11d2ed02a8d11e.d: crates/bench/src/bin/all_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_tests-db11d2ed02a8d11e.rmeta: crates/bench/src/bin/all_tests.rs Cargo.toml
+
+crates/bench/src/bin/all_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-6d9f443c3b3e1bbe.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-6d9f443c3b3e1bbe: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

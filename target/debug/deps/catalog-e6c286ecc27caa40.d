@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog-e6c286ecc27caa40.d: tests/catalog.rs
+
+/root/repo/target/debug/deps/catalog-e6c286ecc27caa40: tests/catalog.rs
+
+tests/catalog.rs:

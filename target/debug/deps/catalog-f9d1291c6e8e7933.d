@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/catalog-f9d1291c6e8e7933.d: tests/catalog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatalog-f9d1291c6e8e7933.rmeta: tests/catalog.rs Cargo.toml
+
+tests/catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/catalog_fidelity-d0132774367802bb.d: crates/graph/tests/catalog_fidelity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatalog_fidelity-d0132774367802bb.rmeta: crates/graph/tests/catalog_fidelity.rs Cargo.toml
+
+crates/graph/tests/catalog_fidelity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog_fidelity-f7407347808874df.d: crates/graph/tests/catalog_fidelity.rs
+
+/root/repo/target/debug/deps/catalog_fidelity-f7407347808874df: crates/graph/tests/catalog_fidelity.rs
+
+crates/graph/tests/catalog_fidelity.rs:

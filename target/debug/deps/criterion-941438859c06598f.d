@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-941438859c06598f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-941438859c06598f.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

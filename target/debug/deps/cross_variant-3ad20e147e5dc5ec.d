@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_variant-3ad20e147e5dc5ec.d: tests/cross_variant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_variant-3ad20e147e5dc5ec.rmeta: tests/cross_variant.rs Cargo.toml
+
+tests/cross_variant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

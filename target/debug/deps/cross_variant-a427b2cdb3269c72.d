@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_variant-a427b2cdb3269c72.d: tests/cross_variant.rs
+
+/root/repo/target/debug/deps/cross_variant-a427b2cdb3269c72: tests/cross_variant.rs
+
+tests/cross_variant.rs:

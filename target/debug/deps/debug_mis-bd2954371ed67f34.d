@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_mis-bd2954371ed67f34.d: crates/bench/src/bin/debug_mis.rs
+
+/root/repo/target/debug/deps/debug_mis-bd2954371ed67f34: crates/bench/src/bin/debug_mis.rs
+
+crates/bench/src/bin/debug_mis.rs:

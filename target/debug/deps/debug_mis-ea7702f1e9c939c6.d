@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_mis-ea7702f1e9c939c6.d: crates/bench/src/bin/debug_mis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_mis-ea7702f1e9c939c6.rmeta: crates/bench/src/bin/debug_mis.rs Cargo.toml
+
+crates/bench/src/bin/debug_mis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

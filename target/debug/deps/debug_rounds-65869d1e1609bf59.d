@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_rounds-65869d1e1609bf59.d: crates/bench/src/bin/debug_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_rounds-65869d1e1609bf59.rmeta: crates/bench/src/bin/debug_rounds.rs Cargo.toml
+
+crates/bench/src/bin/debug_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_rounds-a88d18c1379ac717.d: crates/bench/src/bin/debug_rounds.rs
+
+/root/repo/target/debug/deps/debug_rounds-a88d18c1379ac717: crates/bench/src/bin/debug_rounds.rs
+
+crates/bench/src/bin/debug_rounds.rs:

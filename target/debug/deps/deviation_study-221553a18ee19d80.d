@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deviation_study-221553a18ee19d80.d: crates/bench/src/bin/deviation_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeviation_study-221553a18ee19d80.rmeta: crates/bench/src/bin/deviation_study.rs Cargo.toml
+
+crates/bench/src/bin/deviation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deviation_study-73952c50c4008f4c.d: crates/bench/src/bin/deviation_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeviation_study-73952c50c4008f4c.rmeta: crates/bench/src/bin/deviation_study.rs Cargo.toml
+
+crates/bench/src/bin/deviation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deviation_study-7d7b5116b3dd7ec5.d: crates/bench/src/bin/deviation_study.rs
+
+/root/repo/target/debug/deps/deviation_study-7d7b5116b3dd7ec5: crates/bench/src/bin/deviation_study.rs
+
+crates/bench/src/bin/deviation_study.rs:

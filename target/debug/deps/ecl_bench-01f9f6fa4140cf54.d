@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ecl_bench-01f9f6fa4140cf54.d: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecl_bench-01f9f6fa4140cf54.rmeta: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/matrix.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/ecl_core-a0f763e8ef80fecf.d: crates/core/src/lib.rs crates/core/src/apsp/mod.rs crates/core/src/apsp/kernels.rs crates/core/src/apsp/verify.rs crates/core/src/cc/mod.rs crates/core/src/cc/kernels.rs crates/core/src/cc/verify.rs crates/core/src/common.rs crates/core/src/gc/mod.rs crates/core/src/gc/kernels.rs crates/core/src/gc/verify.rs crates/core/src/mis/mod.rs crates/core/src/mis/kernels.rs crates/core/src/mis/verify.rs crates/core/src/mst/mod.rs crates/core/src/mst/kernels.rs crates/core/src/mst/verify.rs crates/core/src/primitives.rs crates/core/src/scc/mod.rs crates/core/src/scc/kernels.rs crates/core/src/scc/verify.rs crates/core/src/scc/worklist.rs crates/core/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecl_core-a0f763e8ef80fecf.rmeta: crates/core/src/lib.rs crates/core/src/apsp/mod.rs crates/core/src/apsp/kernels.rs crates/core/src/apsp/verify.rs crates/core/src/cc/mod.rs crates/core/src/cc/kernels.rs crates/core/src/cc/verify.rs crates/core/src/common.rs crates/core/src/gc/mod.rs crates/core/src/gc/kernels.rs crates/core/src/gc/verify.rs crates/core/src/mis/mod.rs crates/core/src/mis/kernels.rs crates/core/src/mis/verify.rs crates/core/src/mst/mod.rs crates/core/src/mst/kernels.rs crates/core/src/mst/verify.rs crates/core/src/primitives.rs crates/core/src/scc/mod.rs crates/core/src/scc/kernels.rs crates/core/src/scc/verify.rs crates/core/src/scc/worklist.rs crates/core/src/suite.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/apsp/mod.rs:
+crates/core/src/apsp/kernels.rs:
+crates/core/src/apsp/verify.rs:
+crates/core/src/cc/mod.rs:
+crates/core/src/cc/kernels.rs:
+crates/core/src/cc/verify.rs:
+crates/core/src/common.rs:
+crates/core/src/gc/mod.rs:
+crates/core/src/gc/kernels.rs:
+crates/core/src/gc/verify.rs:
+crates/core/src/mis/mod.rs:
+crates/core/src/mis/kernels.rs:
+crates/core/src/mis/verify.rs:
+crates/core/src/mst/mod.rs:
+crates/core/src/mst/kernels.rs:
+crates/core/src/mst/verify.rs:
+crates/core/src/primitives.rs:
+crates/core/src/scc/mod.rs:
+crates/core/src/scc/kernels.rs:
+crates/core/src/scc/verify.rs:
+crates/core/src/scc/worklist.rs:
+crates/core/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ecl_racecheck-61bf35750c7cefde.d: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecl_racecheck-61bf35750c7cefde.rmeta: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs Cargo.toml
+
+crates/racecheck/src/lib.rs:
+crates/racecheck/src/detect.rs:
+crates/racecheck/src/hb.rs:
+crates/racecheck/src/profile.rs:
+crates/racecheck/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

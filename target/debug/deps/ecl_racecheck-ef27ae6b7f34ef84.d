@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecl_racecheck-ef27ae6b7f34ef84.d: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs
+
+/root/repo/target/debug/deps/ecl_racecheck-ef27ae6b7f34ef84: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs
+
+crates/racecheck/src/lib.rs:
+crates/racecheck/src/detect.rs:
+crates/racecheck/src/hb.rs:
+crates/racecheck/src/profile.rs:
+crates/racecheck/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ecl_racecheck-f924de295b59d629.d: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs
+
+/root/repo/target/debug/deps/libecl_racecheck-f924de295b59d629.rlib: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs
+
+/root/repo/target/debug/deps/libecl_racecheck-f924de295b59d629.rmeta: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs
+
+crates/racecheck/src/lib.rs:
+crates/racecheck/src/detect.rs:
+crates/racecheck/src/hb.rs:
+crates/racecheck/src/profile.rs:
+crates/racecheck/src/report.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ecl_simt-c347e6461da8d9eb.d: crates/simt/src/lib.rs crates/simt/src/access.rs crates/simt/src/config.rs crates/simt/src/error.rs crates/simt/src/exec.rs crates/simt/src/fault.rs crates/simt/src/host.rs crates/simt/src/mem/mod.rs crates/simt/src/mem/arena.rs crates/simt/src/mem/cache.rs crates/simt/src/mem/hierarchy.rs crates/simt/src/metrics.rs crates/simt/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecl_simt-c347e6461da8d9eb.rmeta: crates/simt/src/lib.rs crates/simt/src/access.rs crates/simt/src/config.rs crates/simt/src/error.rs crates/simt/src/exec.rs crates/simt/src/fault.rs crates/simt/src/host.rs crates/simt/src/mem/mod.rs crates/simt/src/mem/arena.rs crates/simt/src/mem/cache.rs crates/simt/src/mem/hierarchy.rs crates/simt/src/metrics.rs crates/simt/src/trace.rs Cargo.toml
+
+crates/simt/src/lib.rs:
+crates/simt/src/access.rs:
+crates/simt/src/config.rs:
+crates/simt/src/error.rs:
+crates/simt/src/exec.rs:
+crates/simt/src/fault.rs:
+crates/simt/src/host.rs:
+crates/simt/src/mem/mod.rs:
+crates/simt/src/mem/arena.rs:
+crates/simt/src/mem/cache.rs:
+crates/simt/src/mem/hierarchy.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

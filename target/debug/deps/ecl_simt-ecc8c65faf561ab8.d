@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ecl_simt-ecc8c65faf561ab8.d: crates/simt/src/lib.rs crates/simt/src/access.rs crates/simt/src/config.rs crates/simt/src/error.rs crates/simt/src/exec.rs crates/simt/src/fault.rs crates/simt/src/host.rs crates/simt/src/mem/mod.rs crates/simt/src/mem/arena.rs crates/simt/src/mem/cache.rs crates/simt/src/mem/hierarchy.rs crates/simt/src/metrics.rs crates/simt/src/trace.rs
+
+/root/repo/target/debug/deps/libecl_simt-ecc8c65faf561ab8.rlib: crates/simt/src/lib.rs crates/simt/src/access.rs crates/simt/src/config.rs crates/simt/src/error.rs crates/simt/src/exec.rs crates/simt/src/fault.rs crates/simt/src/host.rs crates/simt/src/mem/mod.rs crates/simt/src/mem/arena.rs crates/simt/src/mem/cache.rs crates/simt/src/mem/hierarchy.rs crates/simt/src/metrics.rs crates/simt/src/trace.rs
+
+/root/repo/target/debug/deps/libecl_simt-ecc8c65faf561ab8.rmeta: crates/simt/src/lib.rs crates/simt/src/access.rs crates/simt/src/config.rs crates/simt/src/error.rs crates/simt/src/exec.rs crates/simt/src/fault.rs crates/simt/src/host.rs crates/simt/src/mem/mod.rs crates/simt/src/mem/arena.rs crates/simt/src/mem/cache.rs crates/simt/src/mem/hierarchy.rs crates/simt/src/metrics.rs crates/simt/src/trace.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/access.rs:
+crates/simt/src/config.rs:
+crates/simt/src/error.rs:
+crates/simt/src/exec.rs:
+crates/simt/src/fault.rs:
+crates/simt/src/host.rs:
+crates/simt/src/mem/mod.rs:
+crates/simt/src/mem/arena.rs:
+crates/simt/src/mem/cache.rs:
+crates/simt/src/mem/hierarchy.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/trace.rs:

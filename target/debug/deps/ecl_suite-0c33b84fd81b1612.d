@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecl_suite-0c33b84fd81b1612.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecl_suite-0c33b84fd81b1612.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

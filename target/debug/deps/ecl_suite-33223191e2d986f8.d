@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ecl_suite-33223191e2d986f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libecl_suite-33223191e2d986f8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libecl_suite-33223191e2d986f8.rmeta: src/lib.rs
+
+src/lib.rs:

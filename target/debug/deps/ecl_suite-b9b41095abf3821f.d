@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecl_suite-b9b41095abf3821f.d: src/lib.rs
+
+/root/repo/target/debug/deps/ecl_suite-b9b41095abf3821f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-252979fa181a1afa.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-252979fa181a1afa: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

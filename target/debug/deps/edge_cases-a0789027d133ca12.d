@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-a0789027d133ca12.d: crates/core/tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-a0789027d133ca12.rmeta: crates/core/tests/edge_cases.rs Cargo.toml
+
+crates/core/tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_more-0ac2d7d9fdada64e.d: crates/simt/tests/exec_more.rs
+
+/root/repo/target/debug/deps/exec_more-0ac2d7d9fdada64e: crates/simt/tests/exec_more.rs
+
+crates/simt/tests/exec_more.rs:

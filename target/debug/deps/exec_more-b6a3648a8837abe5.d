@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_more-b6a3648a8837abe5.d: crates/simt/tests/exec_more.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_more-b6a3648a8837abe5.rmeta: crates/simt/tests/exec_more.rs Cargo.toml
+
+crates/simt/tests/exec_more.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_layer-6d81d26cdf81f175.d: crates/simt/tests/fault_layer.rs
+
+/root/repo/target/debug/deps/fault_layer-6d81d26cdf81f175: crates/simt/tests/fault_layer.rs
+
+crates/simt/tests/fault_layer.rs:

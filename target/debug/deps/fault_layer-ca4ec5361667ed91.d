@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_layer-ca4ec5361667ed91.d: crates/simt/tests/fault_layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_layer-ca4ec5361667ed91.rmeta: crates/simt/tests/fault_layer.rs Cargo.toml
+
+crates/simt/tests/fault_layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

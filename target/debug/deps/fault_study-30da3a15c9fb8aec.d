@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_study-30da3a15c9fb8aec.d: crates/bench/src/bin/fault_study.rs
+
+/root/repo/target/debug/deps/fault_study-30da3a15c9fb8aec: crates/bench/src/bin/fault_study.rs
+
+crates/bench/src/bin/fault_study.rs:

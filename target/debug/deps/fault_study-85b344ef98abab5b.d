@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_study-85b344ef98abab5b.d: crates/bench/src/bin/fault_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_study-85b344ef98abab5b.rmeta: crates/bench/src/bin/fault_study.rs Cargo.toml
+
+crates/bench/src/bin/fault_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

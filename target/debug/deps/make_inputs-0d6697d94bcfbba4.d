@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/make_inputs-0d6697d94bcfbba4.d: crates/bench/src/bin/make_inputs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmake_inputs-0d6697d94bcfbba4.rmeta: crates/bench/src/bin/make_inputs.rs Cargo.toml
+
+crates/bench/src/bin/make_inputs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

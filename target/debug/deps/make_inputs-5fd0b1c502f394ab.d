@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_inputs-5fd0b1c502f394ab.d: crates/bench/src/bin/make_inputs.rs
+
+/root/repo/target/debug/deps/make_inputs-5fd0b1c502f394ab: crates/bench/src/bin/make_inputs.rs
+
+crates/bench/src/bin/make_inputs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shape-5d1d2a7d5ca2c309.d: tests/paper_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shape-5d1d2a7d5ca2c309.rmeta: tests/paper_shape.rs Cargo.toml
+
+tests/paper_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shape-c91e209f4fab3ee6.d: tests/paper_shape.rs
+
+/root/repo/target/debug/deps/paper_shape-c91e209f4fab3ee6: tests/paper_shape.rs
+
+tests/paper_shape.rs:

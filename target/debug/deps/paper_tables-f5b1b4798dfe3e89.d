@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_tables-f5b1b4798dfe3e89.d: crates/bench/benches/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-f5b1b4798dfe3e89.rmeta: crates/bench/benches/paper_tables.rs Cargo.toml
+
+crates/bench/benches/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

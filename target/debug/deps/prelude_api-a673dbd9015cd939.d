@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prelude_api-a673dbd9015cd939.d: tests/prelude_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprelude_api-a673dbd9015cd939.rmeta: tests/prelude_api.rs Cargo.toml
+
+tests/prelude_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prelude_api-e981b88c94ec775e.d: tests/prelude_api.rs
+
+/root/repo/target/debug/deps/prelude_api-e981b88c94ec775e: tests/prelude_api.rs
+
+tests/prelude_api.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_vi_a-012b2df45fc602c7.d: crates/bench/src/bin/profile_vi_a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_vi_a-012b2df45fc602c7.rmeta: crates/bench/src/bin/profile_vi_a.rs Cargo.toml
+
+crates/bench/src/bin/profile_vi_a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

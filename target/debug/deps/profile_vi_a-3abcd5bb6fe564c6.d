@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile_vi_a-3abcd5bb6fe564c6.d: crates/bench/src/bin/profile_vi_a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile_vi_a-3abcd5bb6fe564c6.rmeta: crates/bench/src/bin/profile_vi_a.rs Cargo.toml
+
+crates/bench/src/bin/profile_vi_a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

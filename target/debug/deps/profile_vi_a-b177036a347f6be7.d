@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_vi_a-b177036a347f6be7.d: crates/bench/src/bin/profile_vi_a.rs
+
+/root/repo/target/debug/deps/profile_vi_a-b177036a347f6be7: crates/bench/src/bin/profile_vi_a.rs
+
+crates/bench/src/bin/profile_vi_a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-13a9bd246ababd52.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-13a9bd246ababd52: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-357af8d05d50f060.d: crates/simt/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-357af8d05d50f060: crates/simt/tests/proptests.rs
+
+crates/simt/tests/proptests.rs:

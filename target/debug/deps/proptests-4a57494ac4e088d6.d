@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4a57494ac4e088d6.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4a57494ac4e088d6: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5e56de08e460b89c.d: crates/graph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5e56de08e460b89c.rmeta: crates/graph/tests/proptests.rs Cargo.toml
+
+crates/graph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8488db18a9e6995a.d: crates/racecheck/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8488db18a9e6995a.rmeta: crates/racecheck/tests/proptests.rs Cargo.toml
+
+crates/racecheck/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

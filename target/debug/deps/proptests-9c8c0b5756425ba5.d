@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9c8c0b5756425ba5.d: crates/simt/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9c8c0b5756425ba5.rmeta: crates/simt/tests/proptests.rs Cargo.toml
+
+crates/simt/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ef223de2bed66a40.d: crates/racecheck/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ef223de2bed66a40: crates/racecheck/tests/proptests.rs
+
+crates/racecheck/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/race_freedom-de2f4c4d5651b10c.d: tests/race_freedom.rs
+
+/root/repo/target/debug/deps/race_freedom-de2f4c4d5651b10c: tests/race_freedom.rs
+
+tests/race_freedom.rs:

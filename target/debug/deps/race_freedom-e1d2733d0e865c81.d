@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/race_freedom-e1d2733d0e865c81.d: tests/race_freedom.rs Cargo.toml
+
+/root/repo/target/debug/deps/librace_freedom-e1d2733d0e865c81.rmeta: tests/race_freedom.rs Cargo.toml
+
+tests/race_freedom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/racecheck_tool-6da24e70eefc47e2.d: crates/bench/src/bin/racecheck_tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libracecheck_tool-6da24e70eefc47e2.rmeta: crates/bench/src/bin/racecheck_tool.rs Cargo.toml
+
+crates/bench/src/bin/racecheck_tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

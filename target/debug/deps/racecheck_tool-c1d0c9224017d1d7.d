@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/racecheck_tool-c1d0c9224017d1d7.d: crates/bench/src/bin/racecheck_tool.rs
+
+/root/repo/target/debug/deps/racecheck_tool-c1d0c9224017d1d7: crates/bench/src/bin/racecheck_tool.rs
+
+crates/bench/src/bin/racecheck_tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-213dd474135df241.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-213dd474135df241.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

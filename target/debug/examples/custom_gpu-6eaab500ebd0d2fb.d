@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_gpu-6eaab500ebd0d2fb.d: examples/custom_gpu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_gpu-6eaab500ebd0d2fb.rmeta: examples/custom_gpu.rs Cargo.toml
+
+examples/custom_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

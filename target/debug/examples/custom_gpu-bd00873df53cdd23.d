@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_gpu-bd00873df53cdd23.d: examples/custom_gpu.rs
+
+/root/repo/target/debug/examples/custom_gpu-bd00873df53cdd23: examples/custom_gpu.rs
+
+examples/custom_gpu.rs:

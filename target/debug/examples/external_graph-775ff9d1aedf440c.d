@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/external_graph-775ff9d1aedf440c.d: examples/external_graph.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexternal_graph-775ff9d1aedf440c.rmeta: examples/external_graph.rs Cargo.toml
+
+examples/external_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/external_graph-dbc32e7f644d88d1.d: examples/external_graph.rs
+
+/root/repo/target/debug/examples/external_graph-dbc32e7f644d88d1: examples/external_graph.rs
+
+examples/external_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mis_speedup-2b8d700cf50f338a.d: examples/mis_speedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmis_speedup-2b8d700cf50f338a.rmeta: examples/mis_speedup.rs Cargo.toml
+
+examples/mis_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

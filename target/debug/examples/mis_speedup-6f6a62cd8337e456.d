@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mis_speedup-6f6a62cd8337e456.d: examples/mis_speedup.rs
+
+/root/repo/target/debug/examples/mis_speedup-6f6a62cd8337e456: examples/mis_speedup.rs
+
+examples/mis_speedup.rs:

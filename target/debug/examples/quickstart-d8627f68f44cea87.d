@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d8627f68f44cea87.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d8627f68f44cea87: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/race_detection-8e2883f295872fe7.d: examples/race_detection.rs
+
+/root/repo/target/debug/examples/race_detection-8e2883f295872fe7: examples/race_detection.rs
+
+examples/race_detection.rs:

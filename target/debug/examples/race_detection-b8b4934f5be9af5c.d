@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/race_detection-b8b4934f5be9af5c.d: examples/race_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/librace_detection-b8b4934f5be9af5c.rmeta: examples/race_detection.rs Cargo.toml
+
+examples/race_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/suite_tour-86c216383d3d46af.d: examples/suite_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsuite_tour-86c216383d3d46af.rmeta: examples/suite_tour.rs Cargo.toml
+
+examples/suite_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

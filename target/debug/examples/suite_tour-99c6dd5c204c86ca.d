@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/suite_tour-99c6dd5c204c86ca.d: examples/suite_tour.rs
+
+/root/repo/target/debug/examples/suite_tour-99c6dd5c204c86ca: examples/suite_tour.rs
+
+examples/suite_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/word_tearing-340df24db606977c.d: examples/word_tearing.rs
+
+/root/repo/target/debug/examples/word_tearing-340df24db606977c: examples/word_tearing.rs
+
+examples/word_tearing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/word_tearing-efc5b6deca09818f.d: examples/word_tearing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libword_tearing-efc5b6deca09818f.rmeta: examples/word_tearing.rs Cargo.toml
+
+examples/word_tearing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

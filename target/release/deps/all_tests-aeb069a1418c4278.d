@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_tests-aeb069a1418c4278.d: crates/bench/src/bin/all_tests.rs
+
+/root/repo/target/release/deps/all_tests-aeb069a1418c4278: crates/bench/src/bin/all_tests.rs
+
+crates/bench/src/bin/all_tests.rs:

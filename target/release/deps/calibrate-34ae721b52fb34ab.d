@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-34ae721b52fb34ab.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-34ae721b52fb34ab: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_mis-0523d4aa6a387e8b.d: crates/bench/src/bin/debug_mis.rs
+
+/root/repo/target/release/deps/debug_mis-0523d4aa6a387e8b: crates/bench/src/bin/debug_mis.rs
+
+crates/bench/src/bin/debug_mis.rs:

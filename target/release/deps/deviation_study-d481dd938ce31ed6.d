@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deviation_study-d481dd938ce31ed6.d: crates/bench/src/bin/deviation_study.rs
+
+/root/repo/target/release/deps/deviation_study-d481dd938ce31ed6: crates/bench/src/bin/deviation_study.rs
+
+crates/bench/src/bin/deviation_study.rs:

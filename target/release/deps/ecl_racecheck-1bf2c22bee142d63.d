@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ecl_racecheck-1bf2c22bee142d63.d: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs
+
+/root/repo/target/release/deps/libecl_racecheck-1bf2c22bee142d63.rlib: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs
+
+/root/repo/target/release/deps/libecl_racecheck-1bf2c22bee142d63.rmeta: crates/racecheck/src/lib.rs crates/racecheck/src/detect.rs crates/racecheck/src/hb.rs crates/racecheck/src/profile.rs crates/racecheck/src/report.rs
+
+crates/racecheck/src/lib.rs:
+crates/racecheck/src/detect.rs:
+crates/racecheck/src/hb.rs:
+crates/racecheck/src/profile.rs:
+crates/racecheck/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ecl_suite-c328882999b5a84b.d: src/lib.rs
+
+/root/repo/target/release/deps/libecl_suite-c328882999b5a84b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libecl_suite-c328882999b5a84b.rmeta: src/lib.rs
+
+src/lib.rs:

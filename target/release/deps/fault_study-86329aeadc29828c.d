@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_study-86329aeadc29828c.d: crates/bench/src/bin/fault_study.rs
+
+/root/repo/target/release/deps/fault_study-86329aeadc29828c: crates/bench/src/bin/fault_study.rs
+
+crates/bench/src/bin/fault_study.rs:

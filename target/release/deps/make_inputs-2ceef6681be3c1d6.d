@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/make_inputs-2ceef6681be3c1d6.d: crates/bench/src/bin/make_inputs.rs
+
+/root/repo/target/release/deps/make_inputs-2ceef6681be3c1d6: crates/bench/src/bin/make_inputs.rs
+
+crates/bench/src/bin/make_inputs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_vi_a-7137f4c5e4131844.d: crates/bench/src/bin/profile_vi_a.rs
+
+/root/repo/target/release/deps/profile_vi_a-7137f4c5e4131844: crates/bench/src/bin/profile_vi_a.rs
+
+crates/bench/src/bin/profile_vi_a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/racecheck_tool-a0217b94c3d6839f.d: crates/bench/src/bin/racecheck_tool.rs
+
+/root/repo/target/release/deps/racecheck_tool-a0217b94c3d6839f: crates/bench/src/bin/racecheck_tool.rs
+
+crates/bench/src/bin/racecheck_tool.rs:

@@ -58,7 +58,9 @@ fn apsp_distances_are_invariant() {
 fn gc_is_always_a_proper_coloring() {
     // GC's exact colors are timing-dependent (the ECL-GC shortcuts), so we
     // check validity and quality instead of digest equality.
-    let g = GraphInput::by_name("citationCiteseer").unwrap().build(0.1, 3);
+    let g = GraphInput::by_name("citationCiteseer")
+        .unwrap()
+        .build(0.1, 3);
     let gpu = GpuConfig::test_tiny();
     for variant in [Variant::Baseline, Variant::RaceFree] {
         for seed in SEEDS {

@@ -34,7 +34,11 @@ fn racefree_cc_is_substantially_slower() {
     for gpu in GpuConfig::paper_gpus() {
         let g = measure(Algorithm::Cc, &gpu, &UNDIRECTED);
         assert!(g < 0.95, "CC on {}: geomean {g:.2} not slower", gpu.name);
-        assert!(g > 0.2, "CC on {}: geomean {g:.2} implausibly slow", gpu.name);
+        assert!(
+            g > 0.2,
+            "CC on {}: geomean {g:.2} implausibly slow",
+            gpu.name
+        );
     }
 }
 
@@ -42,7 +46,11 @@ fn racefree_cc_is_substantially_slower() {
 fn racefree_gc_is_near_parity() {
     for gpu in GpuConfig::paper_gpus() {
         let g = measure(Algorithm::Gc, &gpu, &UNDIRECTED);
-        assert!((0.90..=1.05).contains(&g), "GC on {}: geomean {g:.2}", gpu.name);
+        assert!(
+            (0.90..=1.05).contains(&g),
+            "GC on {}: geomean {g:.2}",
+            gpu.name
+        );
     }
 }
 
@@ -50,7 +58,11 @@ fn racefree_gc_is_near_parity() {
 fn racefree_mst_is_slightly_slower() {
     for gpu in GpuConfig::paper_gpus() {
         let g = measure(Algorithm::Mst, &gpu, &UNDIRECTED);
-        assert!((0.85..=1.02).contains(&g), "MST on {}: geomean {g:.2}", gpu.name);
+        assert!(
+            (0.85..=1.02).contains(&g),
+            "MST on {}: geomean {g:.2}",
+            gpu.name
+        );
     }
 }
 
@@ -63,8 +75,16 @@ fn racefree_mis_is_faster() {
     let inputs = ["amazon0601", "as-skitter", "rmat16.sym"];
     for gpu in GpuConfig::paper_gpus() {
         let g = measure_at(Algorithm::Mis, &gpu, &inputs, 0.3);
-        assert!(g > 1.0, "MIS on {}: geomean {g:.2} should exceed 1", gpu.name);
-        assert!(g < 1.6, "MIS on {}: geomean {g:.2} implausibly fast", gpu.name);
+        assert!(
+            g > 1.0,
+            "MIS on {}: geomean {g:.2} should exceed 1",
+            gpu.name
+        );
+        assert!(
+            g < 1.6,
+            "MIS on {}: geomean {g:.2} implausibly fast",
+            gpu.name
+        );
     }
 }
 

@@ -1,11 +1,14 @@
 //! The paper's §IV claim, end to end: every baseline code except APSP
 //! contains data races; every converted code is race-free. Verified with
-//! the dynamic detector over full traces of real runs.
+//! the dynamic detector over full traces of real runs — plus the resilient
+//! runner's guarantee that racy and converted codes alike survive fault
+//! injection without panicking the harness.
 
 use ecl_core::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
-use ecl_core::{cc, gc, mis, mst, scc};
+use ecl_core::suite::{run_resilient, Algorithm, RetryPolicy, RunOutcome, Variant};
+use ecl_core::{cc, gc, mis, mst, scc, SimOptions};
 use ecl_racecheck::{check_races, check_races_hb};
-use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+use ecl_simt::{FaultPlan, Gpu, GpuConfig, MemLevel, StoreVisibility};
 
 fn traced_gpu() -> Gpu {
     let mut gpu = Gpu::new(GpuConfig::test_tiny());
@@ -40,7 +43,10 @@ fn baseline_mis_races_racefree_does_not() {
     mis::run_traced::<VolatileReadPlainWrite>(
         &mut gpu,
         &g,
-        StoreVisibility::DeferBounded { every: 2, eighths: 4 },
+        StoreVisibility::DeferBounded {
+            every: 2,
+            eighths: 4,
+        },
     );
     assert!(!check_races(&gpu).is_empty(), "baseline MIS must race");
 
@@ -83,7 +89,10 @@ fn epoch_and_happens_before_detectors_agree_on_ecl_codes() {
     let g = undirected();
     let mut gpu = traced_gpu();
     cc::run_traced::<Plain>(&mut gpu, &g, StoreVisibility::DeferUntilYield);
-    assert_eq!(check_races(&gpu).is_empty(), check_races_hb(&gpu).is_empty());
+    assert_eq!(
+        check_races(&gpu).is_empty(),
+        check_races_hb(&gpu).is_empty()
+    );
     assert!(!check_races_hb(&gpu).is_empty());
 
     let mut gpu = traced_gpu();
@@ -93,6 +102,59 @@ fn epoch_and_happens_before_detectors_agree_on_ecl_codes() {
     let mut gpu = traced_gpu();
     mis::run_traced::<Atomic>(&mut gpu, &g, StoreVisibility::Immediate);
     assert!(check_races_hb(&gpu).is_empty());
+}
+
+#[test]
+fn resilient_runner_handles_both_variants_of_every_code() {
+    // Without faults, every combination must succeed on the first attempt —
+    // the resilient wrapper adds recovery, not noise.
+    let und = undirected();
+    let dir = directed();
+    let cfg = GpuConfig::test_tiny();
+    let clean = SimOptions::default();
+    let policy = RetryPolicy::default();
+    for alg in [
+        Algorithm::Apsp,
+        Algorithm::Cc,
+        Algorithm::Gc,
+        Algorithm::Mis,
+        Algorithm::Mst,
+        Algorithm::Scc,
+    ] {
+        let g = if alg.directed() { &dir } else { &und };
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            let outcome = run_resilient(alg, variant, g, &cfg, 1, &clean, &policy);
+            assert!(
+                matches!(outcome, RunOutcome::Ok(_)),
+                "{alg} {variant} without faults: {outcome:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn resilient_runner_contains_aggressive_faults() {
+    // With heavy bit-flipping, racy baseline codes may produce SDC, crash on
+    // corrupted indices, or still succeed — but the harness itself must
+    // never panic, and any returned result must have passed verification.
+    let g = undirected();
+    let opts = SimOptions {
+        watchdog: Some(20_000_000),
+        fault: Some(FaultPlan::new(0xbad).with_bitflips(0.001, MemLevel::L2)),
+    };
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        seed_stride: 1,
+    };
+    for alg in [Algorithm::Cc, Algorithm::Mis] {
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            let outcome =
+                run_resilient(alg, variant, &g, &GpuConfig::test_tiny(), 3, &opts, &policy);
+            if let Some(result) = outcome.result() {
+                assert!(result.valid, "{alg} {variant} returned an invalid result");
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,187 @@
+//! Offline, dependency-free subset of the `proptest` crate API used by this
+//! workspace. The build environment cannot reach crates.io, so the workspace
+//! vendors the slice of proptest its test suites call: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! `Just`, `any::<T>()`, `prop::collection::vec`, `prop_oneof!`, the
+//! `prop_assert*` family, `prop_assume!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberate and documented:
+//! - **No shrinking.** A failing case reports its inputs (via the pattern
+//!   `Debug`) and the case index, but is not minimized.
+//! - **Deterministic seeding.** Each `#[test]` derives its RNG seed from the
+//!   test's name, so failures reproduce exactly across runs. Set
+//!   `PROPTEST_SEED_OFFSET` to explore a different deterministic schedule.
+//! - The default case count is 64 (real proptest defaults to 256); suites in
+//!   this workspace that care set `ProptestConfig::with_cases` explicitly.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+/// Mirror of `proptest::prelude`, the one import every test file uses.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// `prop::collection::vec(...)` etc. resolve through this re-export.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with formatted context) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) when its inputs do not
+/// satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+/// Weighted entries (`N => strat`) are accepted and the weight ignored —
+/// the workspace only uses unweighted unions.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($crate::strategy::boxed($strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// The test-suite entry point: wraps each `#[test] fn name(pat in strategy)`
+/// item in a loop that draws `cases` inputs and runs the body against each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $pat:pat in $strat:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while accepted < config.cases {
+                    case += 1;
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(
+                                let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                            )*
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            if rejected > config.cases.saturating_mul(16).max(1024) {
+                                panic!(
+                                    "proptest `{}`: too many rejected cases ({} accepted, {} rejected)",
+                                    stringify!($name), accepted, rejected,
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest `{}` failed at case {}: {}",
+                                stringify!($name), case, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,9 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-b821896e06f6b81b.d: src/lib.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-b821896e06f6b81b.rlib: src/lib.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-b821896e06f6b81b.rmeta: src/lib.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/strategy.rs:
+src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-e6a2142cf21a98c3.d: src/lib.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-e6a2142cf21a98c3: src/lib.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/strategy.rs:
+src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/rand-6ec56c51644c982e.d: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-6ec56c51644c982e.rlib: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-6ec56c51644c982e.rmeta: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/rand/src/lib.rs:

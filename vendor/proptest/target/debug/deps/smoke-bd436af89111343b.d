@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/smoke-bd436af89111343b.d: tests/smoke.rs
+
+/root/repo/vendor/proptest/target/debug/deps/smoke-bd436af89111343b: tests/smoke.rs
+
+tests/smoke.rs:

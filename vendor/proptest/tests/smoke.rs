@@ -1,0 +1,82 @@
+//! Smoke tests for the vendored proptest subset itself: the macro must run
+//! the configured number of cases, honor rejection, and report failures.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn assume_discards_without_failing(x in 0u32..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert!(x % 2 == 0);
+    }
+
+    #[test]
+    fn strategies_compose(
+        (n, v) in (2u32..10).prop_flat_map(|n| (Just(n), prop::collection::vec(0..n, 1..20))),
+        flag in any::<bool>(),
+    ) {
+        prop_assert!(v.len() < 20 && !v.is_empty());
+        for x in v {
+            prop_assert!(x < n);
+        }
+        let _ = flag;
+    }
+
+    #[test]
+    fn oneof_covers_all_arms(choice in prop_oneof![Just(1u8), Just(2u8), (5u8..8)]) {
+        prop_assert!(choice == 1 || choice == 2 || (5..8).contains(&choice));
+    }
+}
+
+#[test]
+#[allow(unnameable_test_items)]
+fn case_count_is_exact() {
+    static RUNS: AtomicU32 = AtomicU32::new(0);
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn counted(x in 0u32..100) {
+            RUNS.fetch_add(1, Ordering::Relaxed);
+            prop_assert!(x < 100);
+        }
+    }
+    counted();
+    assert_eq!(RUNS.load(Ordering::Relaxed), 48);
+}
+
+#[test]
+#[allow(unnameable_test_items)]
+fn failures_are_reported() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    });
+    assert!(result.is_err(), "failing property must panic");
+}
+
+#[test]
+#[allow(unnameable_test_items)]
+fn generation_is_deterministic() {
+    static FIRST: AtomicU32 = AtomicU32::new(u32::MAX);
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(1))]
+        #[test]
+        fn probe(x in 0u32..1_000_000) {
+            let prev = FIRST.swap(x, Ordering::Relaxed);
+            prop_assert!(prev == u32::MAX || prev == x);
+        }
+    }
+    probe();
+    let a = FIRST.load(Ordering::Relaxed);
+    probe();
+    let b = FIRST.load(Ordering::Relaxed);
+    assert_eq!(a, b, "same test name must yield the same case sequence");
+}
