@@ -8,12 +8,22 @@
 //! --scale <f64>   input scale multiplier        (default 1.0)
 //! --runs <n>      runs per configuration        (default 3; paper used 9)
 //! --gpu <name>    restrict to one GPU           (default: all four)
+//! --jobs <n>      sweep worker threads          (default: $ECL_JOBS, else
+//!                                                all cores; results are
+//!                                                bit-identical at any count)
 //! --out <dir>     output directory              (default ./output)
+//! --omit-timing   leave wall-clock metadata out of BENCH_RESULTS.json
+//!                 (for byte-exact diffs between runs)
 //! --list-gpus     print Table I and exit
 //! --list-inputs   print Tables II and III and exit
 //! ```
+//!
+//! Besides the text tables and CSVs, writes `BENCH_RESULTS.json` — every
+//! measured cell, every failed cell, and the per-(GPU, algorithm) summary
+//! rows. Exits 1 if any cell failed (the failures are listed on stderr and
+//! recorded in the JSON; the sweep itself always runs to completion).
 
-use ecl_bench::{format_fig6, format_table9, to_csv, Matrix};
+use ecl_bench::{format_fig6, format_table9, pool, to_csv, BenchReport, Matrix, SweepTiming};
 use ecl_graph::inputs::{directed_catalog, undirected_catalog};
 use ecl_graph::props::properties;
 use ecl_simt::GpuConfig;
@@ -40,6 +50,10 @@ fn main() {
 
     let scale: f64 = get("--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let runs: usize = get("--runs").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let jobs: usize = get("--jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(pool::default_workers);
+    let omit_timing = args.iter().any(|a| a == "--omit-timing");
     let out_dir = PathBuf::from(get("--out").unwrap_or_else(|| "output".into()));
     let gpus: Vec<GpuConfig> = match get("--gpu") {
         Some(name) => GpuConfig::paper_gpus()
@@ -50,21 +64,24 @@ fn main() {
     };
     assert!(!gpus.is_empty(), "unknown GPU; try --list-gpus");
 
-    let matrix = Matrix::quick().scale(scale).runs(runs).gpus(gpus.clone());
+    let matrix = Matrix::quick()
+        .scale(scale)
+        .runs(runs)
+        .gpus(gpus.clone())
+        .jobs(jobs);
     eprintln!(
-        "running the full matrix: scale {scale}, {runs} run(s) per config, {} GPU(s)…",
+        "running the full matrix: scale {scale}, {runs} run(s) per config, {} GPU(s), {jobs} worker(s)…",
         gpus.len()
     );
 
     let t0 = Instant::now();
     let undirected = matrix.run_undirected();
-    eprintln!(
-        "undirected matrix done in {:.1}s",
-        t0.elapsed().as_secs_f64()
-    );
+    let undirected_seconds = t0.elapsed().as_secs_f64();
+    eprintln!("undirected matrix done in {undirected_seconds:.1}s");
     let t1 = Instant::now();
     let directed = matrix.run_directed();
-    eprintln!("directed matrix done in {:.1}s", t1.elapsed().as_secs_f64());
+    let directed_seconds = t1.elapsed().as_secs_f64();
+    eprintln!("directed matrix done in {directed_seconds:.1}s");
 
     // Tables IV-VII (undirected) and VIII (directed), per GPU.
     for gpu in &gpus {
@@ -84,7 +101,31 @@ fn main() {
     let mut fig = String::new();
     fig.push_str(&format_fig6(&undirected, &directed, &gpu_names));
     std::fs::write(out_dir.join("geometric_means.txt"), fig).expect("write fig6");
-    eprintln!("CSV and chart written to {}", out_dir.display());
+
+    let report = BenchReport {
+        experiment: matrix.experiment(),
+        undirected: &undirected,
+        directed: &directed,
+        timing: (!omit_timing).then_some(SweepTiming {
+            undirected_seconds,
+            directed_seconds,
+        }),
+    };
+    std::fs::write(out_dir.join("BENCH_RESULTS.json"), report.render())
+        .expect("write BENCH_RESULTS.json");
+    eprintln!(
+        "CSV, chart, and BENCH_RESULTS.json written to {}",
+        out_dir.display()
+    );
+
+    let failed = undirected.failures.len() + directed.failures.len();
+    if failed > 0 {
+        eprintln!("\n{failed} cell(s) failed:");
+        for f in undirected.failures.iter().chain(&directed.failures) {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn print_gpus() {

@@ -2,28 +2,36 @@
 //! runs of each configuration are very close in runtime to each other. The
 //! median relative deviation is only 0.6%."
 //!
+//! Deterministic at any worker count: every (input, algorithm, variant)
+//! cell's seeds are fixed, the four graphs are built once in a shared
+//! [`GraphCache`], and the work pool reassembles rows in catalog order.
+//!
 //! ```text
-//! cargo run --release -p ecl-bench --bin deviation_study [-- --runs 9]
+//! cargo run --release -p ecl-bench --bin deviation_study [-- --runs 9 --jobs N]
 //! ```
 
-use ecl_bench::{median, relative_deviation, VariantArg};
+use ecl_bench::{median, pool, relative_deviation, VariantArg};
 use ecl_core::suite::Algorithm;
+use ecl_graph::cache::GraphCache;
 use ecl_graph::inputs::GraphInput;
 use ecl_simt::GpuConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let runs: usize = args
-        .iter()
-        .position(|a| a == "--runs")
-        .and_then(|i| args.get(i + 1))
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let runs: usize = flag("--runs").and_then(|s| s.parse().ok()).unwrap_or(9);
+    let jobs: usize = flag("--jobs")
         .and_then(|s| s.parse().ok())
-        .unwrap_or(9);
+        .unwrap_or_else(pool::default_workers);
 
     let inputs = ["rmat16.sym", "amazon0601", "USA-road-d.NY", "2d-2e20.sym"];
     let gpu = GpuConfig::rtx2070_super();
     println!(
-        "median relative deviation across {runs} seeded runs ({}):\n",
+        "median relative deviation across {runs} seeded runs ({}, {jobs} worker(s)):\n",
         gpu.name
     );
     println!(
@@ -31,23 +39,35 @@ fn main() {
         "input", "algo", "baseline", "race-free"
     );
 
-    let mut all = Vec::new();
+    let algorithms = [Algorithm::Cc, Algorithm::Gc, Algorithm::Mis, Algorithm::Mst];
+    let cache = GraphCache::new();
+    let mut cells = Vec::new();
     for name in inputs {
-        let input = GraphInput::by_name(name).expect("catalog entry");
-        let graph = input.build(0.5, 1);
-        for alg in [Algorithm::Cc, Algorithm::Gc, Algorithm::Mis, Algorithm::Mst] {
-            let base = relative_deviation(alg, VariantArg::Baseline, &graph, &gpu, runs);
-            let free = relative_deviation(alg, VariantArg::RaceFree, &graph, &gpu, runs);
-            all.push(base);
-            all.push(free);
-            println!(
-                "{:<18} {:>6} {:>9.2}% {:>9.2}%",
-                name,
-                alg.name(),
-                100.0 * base,
-                100.0 * free
-            );
+        for alg in algorithms {
+            cells.push((name, alg));
         }
+    }
+
+    let rows = pool::run_indexed(jobs, cells.len(), |i| {
+        let (name, alg) = cells[i];
+        let input = GraphInput::by_name(name).expect("catalog entry");
+        let graph = cache.get_or_build(&input, 0.5, 1);
+        let base = relative_deviation(alg, VariantArg::Baseline, &graph.csr, &gpu, runs);
+        let free = relative_deviation(alg, VariantArg::RaceFree, &graph.csr, &gpu, runs);
+        (name, alg, base, free)
+    });
+
+    let mut all = Vec::new();
+    for (name, alg, base, free) in rows {
+        all.push(base);
+        all.push(free);
+        println!(
+            "{:<18} {:>6} {:>9.2}% {:>9.2}%",
+            name,
+            alg.name(),
+            100.0 * base,
+            100.0 * free
+        );
     }
     println!(
         "\noverall median: {:.2}% (paper §VI-A: 0.6%)",

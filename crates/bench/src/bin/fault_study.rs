@@ -5,19 +5,25 @@
 //! Sweeps a range of per-load bit-flip rates across all six codes in both
 //! variants, running each configuration under [`ecl_core::suite::run_resilient`]
 //! with each algorithm's own verifier as the SDC detector. Deterministic for
-//! a fixed `--seed`: the fault schedule is derived from the seed, not from
-//! wall-clock or OS entropy.
+//! a fixed `--seed` *at any worker count*: every configuration's seeds are
+//! position-derived, the two study graphs are built once in a shared
+//! [`GraphCache`], and the work pool reassembles rows in sweep order — never
+//! from wall-clock or OS entropy.
 //!
 //! ```text
-//! cargo run --release -p ecl-bench --bin fault_study [-- --seed 1 --attempts 3]
+//! cargo run --release -p ecl-bench --bin fault_study \
+//!     [-- --seed 1 --attempts 3 --jobs N]
 //! ```
 
+use ecl_bench::pool;
 use ecl_core::suite::{
     run_resilient_observed, Algorithm, Attempt, RetryPolicy, RunOutcome, Variant,
 };
 use ecl_core::SimOptions;
-use ecl_graph::{gen, Csr};
+use ecl_graph::cache::{CachedGraph, GraphCache};
+use ecl_graph::gen;
 use ecl_simt::{FaultPlan, GpuConfig, MemLevel};
+use std::sync::Arc;
 
 /// The sweep: (memory level, per-load bit-flip probability). The zero-rate
 /// row is the control proving the harness itself injects nothing. DRAM
@@ -41,13 +47,19 @@ const SWEEP: [(MemLevel, f64); 8] = [
 /// timeout instead of a hang.
 const WATCHDOG: u64 = 50_000_000;
 
-fn input_for(alg: Algorithm) -> Csr {
-    // Small fixed inputs: the study sweeps 48 configurations with up to
+fn input_for(cache: &GraphCache, alg: Algorithm) -> Arc<CachedGraph> {
+    // Small fixed inputs: the study sweeps 96 configurations with up to
     // `--attempts` runs each, and determinism matters more than scale here.
+    // The cache means the two distinct graphs are built twice total, not
+    // once per (row, algorithm, variant) cell.
     if alg.directed() {
-        gen::pref_attach_directed(200, 4, 0.05, 3)
+        cache.get_or_insert_with("fault-study-directed", 1.0, 3, || {
+            gen::pref_attach_directed(200, 4, 0.05, 3)
+        })
     } else {
-        gen::rmat(256, 1024, 0.57, 0.19, 0.19, true, 6)
+        cache.get_or_insert_with("fault-study-undirected", 1.0, 6, || {
+            gen::rmat(256, 1024, 0.57, 0.19, 0.19, true, 6)
+        })
     }
 }
 
@@ -67,6 +79,13 @@ fn main() {
     };
     let seed: u64 = parsed("--seed", 1);
     let attempts: u32 = parsed("--attempts", 3) as u32;
+    let jobs: usize = match flag("--jobs") {
+        None => pool::default_workers(),
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("fault_study: bad --jobs '{v}' (need a positive integer)");
+            std::process::exit(2);
+        }),
+    };
 
     let cfg = GpuConfig::test_tiny();
     let policy = RetryPolicy {
@@ -84,7 +103,7 @@ fn main() {
 
     println!(
         "fault study: seeded single-bit load flips, seed {seed}, \
-         up to {attempts} attempts per run ({})\n",
+         up to {attempts} attempts per run ({}, {jobs} worker(s))\n",
         cfg.name
     );
     println!(
@@ -92,58 +111,81 @@ fn main() {
         "level", "rate", "algo", "variant", "attempts", "sdc", "crashed", "outcome"
     );
 
-    let mut totals = [(0u32, 0u32, 0u32); SWEEP.len()]; // (ok, recovered, failed)
+    // Flat (sweep row, algorithm, variant) cell list in print order; every
+    // cell's randomness derives from `seed` alone, so the pool can execute
+    // them in any order and the reassembled report is identical.
+    let cache = GraphCache::new();
+    let mut cells = Vec::new();
     for (ri, &(level, rate)) in SWEEP.iter().enumerate() {
         for alg in algorithms {
-            let graph = input_for(alg);
             for variant in [Variant::Baseline, Variant::RaceFree] {
-                let opts = SimOptions {
-                    watchdog: Some(WATCHDOG),
-                    fault: (rate > 0.0).then(|| FaultPlan::new(seed).with_bitflips(rate, level)),
-                };
-                let mut sdc = 0u32;
-                let mut crashed = 0u32;
-                let outcome = run_resilient_observed(
-                    alg,
-                    variant,
-                    &graph,
-                    &cfg,
-                    seed,
-                    &opts,
-                    &policy,
-                    |_, what| match what {
-                        Attempt::Sdc => sdc += 1,
-                        Attempt::Crashed(_) => crashed += 1,
-                        Attempt::Valid => {}
-                    },
-                );
-                let (made, label) = match &outcome {
-                    RunOutcome::Ok(_) => {
-                        totals[ri].0 += 1;
-                        (1, "ok".to_string())
-                    }
-                    RunOutcome::Recovered { attempts, .. } => {
-                        totals[ri].1 += 1;
-                        (*attempts, "recovered".to_string())
-                    }
-                    RunOutcome::Failed { attempts, reason } => {
-                        totals[ri].2 += 1;
-                        let short = reason.split(':').next().unwrap_or(reason);
-                        (*attempts, format!("FAILED ({short})"))
-                    }
-                };
-                println!(
-                    "{:<5} {:<8} {:>5} {:<10} {:>8} {:>5} {:>7} {:<10}",
-                    format!("{level:?}"),
-                    format!("{rate:.0e}"),
-                    alg.name(),
-                    variant.to_string(),
-                    made,
-                    sdc,
-                    crashed,
-                    label
-                );
+                cells.push((ri, level, rate, alg, variant));
             }
+        }
+    }
+
+    struct CellReport {
+        ri: usize,
+        line: String,
+        outcome_class: u8, // 0 = ok, 1 = recovered, 2 = failed
+    }
+
+    let reports = pool::run_indexed(jobs, cells.len(), |i| {
+        let (ri, level, rate, alg, variant) = cells[i];
+        let graph = input_for(&cache, alg);
+        let opts = SimOptions {
+            watchdog: Some(WATCHDOG),
+            fault: (rate > 0.0).then(|| FaultPlan::new(seed).with_bitflips(rate, level)),
+        };
+        let mut sdc = 0u32;
+        let mut crashed = 0u32;
+        let outcome = run_resilient_observed(
+            alg,
+            variant,
+            &graph.csr,
+            &cfg,
+            seed,
+            &opts,
+            &policy,
+            |_, what| match what {
+                Attempt::Sdc => sdc += 1,
+                Attempt::Crashed(_) => crashed += 1,
+                Attempt::Valid => {}
+            },
+        );
+        let (outcome_class, made, label) = match &outcome {
+            RunOutcome::Ok(_) => (0u8, 1, "ok".to_string()),
+            RunOutcome::Recovered { attempts, .. } => (1, *attempts, "recovered".to_string()),
+            RunOutcome::Failed { attempts, reason } => {
+                let short = reason.split(':').next().unwrap_or(reason);
+                (2, *attempts, format!("FAILED ({short})"))
+            }
+        };
+        let line = format!(
+            "{:<5} {:<8} {:>5} {:<10} {:>8} {:>5} {:>7} {:<10}",
+            format!("{level:?}"),
+            format!("{rate:.0e}"),
+            alg.name(),
+            variant.to_string(),
+            made,
+            sdc,
+            crashed,
+            label
+        );
+        CellReport {
+            ri,
+            line,
+            outcome_class,
+        }
+    });
+
+    let mut totals = [(0u32, 0u32, 0u32); SWEEP.len()]; // (ok, recovered, failed)
+    for report in &reports {
+        println!("{}", report.line);
+        match report.outcome_class {
+            0 => totals[report.ri].0 += 1,
+            1 => totals[report.ri].1 += 1,
+            _ => totals[report.ri].2 += 1,
         }
     }
 

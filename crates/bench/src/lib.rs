@@ -18,10 +18,16 @@
 //! println!("{}", undirected.table(&ecl_simt::GpuConfig::a100()));
 //! ```
 
+pub mod export;
 mod matrix;
+pub mod pool;
 mod stats;
 mod tables;
 
-pub use matrix::{relative_deviation, Experiment, Matrix, MeasuredCell, MeasuredTable, VariantArg};
+pub use export::{run_stats_json, table_json, BenchReport, Json, SweepTiming};
+pub use matrix::{
+    graph_seed, relative_deviation, sched_seed, CellFailure, Experiment, Matrix, MeasuredCell,
+    MeasuredTable, VariantArg, VariantProfile,
+};
 pub use stats::{geomean, median, pearson};
 pub use tables::{format_fig6, format_speedup_table, format_table9, to_csv};

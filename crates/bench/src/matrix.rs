@@ -1,10 +1,50 @@
-//! The experiment matrix runner.
+//! The experiment matrix runner: a deterministic, parallel sweep engine.
+//!
+//! The (input × algorithm × GPU) cells of a sweep are independent, so they
+//! fan out across a [`crate::pool`] of scoped worker threads. Determinism is
+//! preserved by construction: every cell's graph seed and scheduler seeds
+//! are pure functions of the experiment seed and the cell's position (see
+//! [`graph_seed`]/[`sched_seed`]), and the pool reassembles results in cell
+//! order — so the [`MeasuredTable`] of an N-worker run is bit-identical to
+//! the serial run's (pinned by `tests/parallel_determinism.rs`).
 
+use crate::pool;
 use crate::stats::median;
-use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_core::suite::{run_algorithm, run_cell, Algorithm, RunError, Variant};
+use ecl_core::SimOptions;
+use ecl_graph::cache::GraphCache;
 use ecl_graph::inputs::{directed_catalog, undirected_catalog, GraphInput};
-use ecl_graph::props::{properties, GraphProperties};
+use ecl_graph::props::GraphProperties;
 use ecl_simt::GpuConfig;
+
+/// Aggregate profiler counters for one variant of a measured cell, summed
+/// across all of the cell's runs (the compact form exported to
+/// `BENCH_RESULTS.json`; full per-launch detail stays in
+/// [`ecl_simt::metrics::RunStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VariantProfile {
+    /// Aggregate L1 hit rate over every launch of every run.
+    pub l1_hit_rate: f64,
+    /// Atomic accesses, summed over runs.
+    pub atomic_accesses: u64,
+    /// Kernel launches, summed over runs.
+    pub launches: u64,
+}
+
+impl VariantProfile {
+    fn from_counters(l1_hits: u64, l1_misses: u64, atomics: u64, launches: u64) -> Self {
+        let total = l1_hits + l1_misses;
+        VariantProfile {
+            l1_hit_rate: if total == 0 {
+                0.0
+            } else {
+                l1_hits as f64 / total as f64
+            },
+            atomic_accesses: atomics,
+            launches,
+        }
+    }
+}
 
 /// One (input, algorithm, GPU) measurement: median baseline and race-free
 /// cycles across the seeds, and the derived speedup.
@@ -25,13 +65,47 @@ pub struct MeasuredCell {
     pub speedup: f64,
     /// Properties of the (scaled) input actually run.
     pub props: GraphProperties,
+    /// Aggregate baseline profile across the cell's runs.
+    pub baseline_profile: VariantProfile,
+    /// Aggregate race-free profile across the cell's runs.
+    pub racefree_profile: VariantProfile,
 }
 
-/// All cells measured for one GPU+algorithm-set combination.
+/// A cell that produced no measurement: which configuration failed, on which
+/// run, and the typed reason. One bad cell used to `assert!` the whole
+/// sweep down; now it becomes one of these and the sweep continues.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Input name.
+    pub input: &'static str,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// GPU name.
+    pub gpu: &'static str,
+    /// Zero-based run index that failed first.
+    pub run: usize,
+    /// Why (launch error, verification failure, or host panic).
+    pub error: RunError,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {} on {} (run {}): {}",
+            self.input, self.algorithm, self.gpu, self.run, self.error
+        )
+    }
+}
+
+/// All cells measured for one GPU+algorithm-set combination, plus any cells
+/// that failed.
 #[derive(Debug, Clone, Default)]
 pub struct MeasuredTable {
     /// Measured cells, in input-major order.
     pub cells: Vec<MeasuredCell>,
+    /// Cells that produced no measurement, in the same order.
+    pub failures: Vec<CellFailure>,
 }
 
 impl MeasuredTable {
@@ -67,8 +141,15 @@ pub struct Experiment {
     pub runs: usize,
     /// GPUs to measure.
     pub gpus: Vec<GpuConfig>,
-    /// Base RNG seed.
+    /// Base RNG seed. Derived streams (graph generation vs. scheduler) are
+    /// tag-mixed apart — see [`graph_seed`] and [`sched_seed`].
     pub seed: u64,
+    /// Worker threads for the sweep (1 = serial; the result is bit-identical
+    /// either way).
+    pub jobs: usize,
+    /// Simulator options applied to every run (watchdog budget, fault
+    /// injection) — the PR 1 machinery, now reachable from the matrix.
+    pub opts: SimOptions,
 }
 
 impl Default for Experiment {
@@ -78,8 +159,44 @@ impl Default for Experiment {
             runs: 3,
             gpus: GpuConfig::paper_gpus(),
             seed: 1,
+            jobs: 1,
+            opts: SimOptions::default(),
         }
     }
+}
+
+/// Domain-separation tag for the graph-generation RNG stream.
+const GRAPH_STREAM: u64 = 0x6772_6170_685f_7374; // "graph_st"
+/// Domain-separation tag for the scheduler-seed RNG stream.
+const SCHED_STREAM: u64 = 0x7363_6865_645f_7374; // "sched_st"
+
+/// SplitMix64 finalizer over a tag-offset base: the same mixing discipline
+/// the fault layer uses, applied to the experiment's own streams.
+fn stream_seed(base: u64, tag: u64) -> u64 {
+    let mut z = base ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seed every catalog graph of an experiment is generated with.
+///
+/// This used to be the raw experiment seed — the *same* value run 0's
+/// scheduler was seeded with, correlating the two RNG streams (the exact
+/// hazard the fault layer's SplitMix64 mixing was added to avoid). The
+/// streams are now tag-mixed apart: for any base, `graph_seed(base)` and
+/// `sched_seed(base, run)` never coincide by construction.
+pub fn graph_seed(base: u64) -> u64 {
+    stream_seed(base, GRAPH_STREAM)
+}
+
+/// The scheduler seed for run `run` of a cell.
+///
+/// Position-derived (a pure function of the experiment seed and the run
+/// index), which is what lets the parallel sweep claim cells in any order
+/// without perturbing any cell's randomness.
+pub fn sched_seed(base: u64, run: usize) -> u64 {
+    stream_seed(base, SCHED_STREAM).wrapping_add(1000 * run as u64)
 }
 
 /// The experiment matrix: runs (inputs × algorithms × GPUs × variants).
@@ -121,6 +238,20 @@ impl Matrix {
         self
     }
 
+    /// Sets the worker-thread count for the sweep. The measured table is
+    /// bit-identical at every worker count; only wall-clock changes.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.experiment.jobs = jobs.max(1);
+        self
+    }
+
+    /// Applies simulator options (watchdog budget, fault plan) to every run
+    /// of the sweep.
+    pub fn sim_options(mut self, opts: SimOptions) -> Self {
+        self.experiment.opts = opts;
+        self
+    }
+
     /// The current configuration.
     pub fn experiment(&self) -> &Experiment {
         &self.experiment
@@ -138,21 +269,109 @@ impl Matrix {
 
     fn run_set(&self, inputs: &[GraphInput], algorithms: &[Algorithm]) -> MeasuredTable {
         let e = &self.experiment;
-        let mut out = MeasuredTable::default();
-        for input in inputs {
-            let graph = input.build(e.scale, e.seed);
-            let props = properties(&graph);
+        let gseed = graph_seed(e.seed);
+        let cache = GraphCache::new();
+
+        // Flat cell list in the serial order (input-major, then algorithm,
+        // then GPU); job index == position in the output table.
+        let mut cells: Vec<(usize, Algorithm, usize)> = Vec::new();
+        for input_idx in 0..inputs.len() {
             for &algorithm in algorithms {
-                for gpu in &e.gpus {
-                    let cell = self.measure(input.name(), algorithm, &graph, gpu, props);
-                    out.cells.push(cell);
+                for gpu_idx in 0..e.gpus.len() {
+                    cells.push((input_idx, algorithm, gpu_idx));
                 }
+            }
+        }
+
+        let results = pool::run_indexed(e.jobs, cells.len(), |i| {
+            let (input_idx, algorithm, gpu_idx) = cells[i];
+            let input = &inputs[input_idx];
+            let graph = cache.get_or_build(input, e.scale, gseed);
+            self.try_measure(
+                input.name(),
+                algorithm,
+                &graph.csr,
+                &e.gpus[gpu_idx],
+                graph.props,
+            )
+        });
+
+        let mut out = MeasuredTable::default();
+        for result in results {
+            match result {
+                Ok(cell) => out.cells.push(cell),
+                Err(failure) => out.failures.push(failure),
             }
         }
         out
     }
 
-    /// Measures one (input, algorithm, GPU) cell.
+    /// Measures one (input, algorithm, GPU) cell, reporting a failed run as
+    /// a typed [`CellFailure`] instead of panicking — one invalid cell must
+    /// not abort a multi-hour sweep.
+    pub fn try_measure(
+        &self,
+        input: &'static str,
+        algorithm: Algorithm,
+        graph: &ecl_graph::Csr,
+        gpu: &GpuConfig,
+        props: GraphProperties,
+    ) -> Result<MeasuredCell, CellFailure> {
+        let e = &self.experiment;
+        let fail = |run: usize, error: RunError| CellFailure {
+            input,
+            algorithm,
+            gpu: gpu.name,
+            run,
+            error,
+        };
+        let mut base = Vec::with_capacity(e.runs);
+        let mut free = Vec::with_capacity(e.runs);
+        // (l1 hits, l1 misses, atomics, launches) per variant.
+        let mut counters = [[0u64; 4]; 2];
+        for run in 0..e.runs {
+            let seed = sched_seed(e.seed, run);
+            for (vi, variant) in [Variant::Baseline, Variant::RaceFree]
+                .into_iter()
+                .enumerate()
+            {
+                let r = run_cell(algorithm, variant, graph, gpu, seed, &e.opts)
+                    .map_err(|err| fail(run, err))?;
+                if vi == 0 {
+                    base.push(r.cycles as f64);
+                } else {
+                    free.push(r.cycles as f64);
+                }
+                for l in &r.stats.launches {
+                    counters[vi][0] += l.l1.hits;
+                    counters[vi][1] += l.l1.misses;
+                    counters[vi][2] += l.atomic_accesses;
+                    counters[vi][3] += 1;
+                }
+            }
+        }
+        let baseline_cycles = median(&base);
+        let racefree_cycles = median(&free);
+        let profile = |c: [u64; 4]| VariantProfile::from_counters(c[0], c[1], c[2], c[3]);
+        Ok(MeasuredCell {
+            input,
+            algorithm,
+            gpu: gpu.name,
+            baseline_cycles,
+            racefree_cycles,
+            speedup: baseline_cycles / racefree_cycles,
+            props,
+            baseline_profile: profile(counters[0]),
+            racefree_profile: profile(counters[1]),
+        })
+    }
+
+    /// Measures one cell, panicking on failure (the strict pre-PR-2
+    /// behavior, kept for one-off measurements and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run of either variant fails its launch or verification.
     pub fn measure(
         &self,
         input: &'static str,
@@ -161,29 +380,8 @@ impl Matrix {
         gpu: &GpuConfig,
         props: GraphProperties,
     ) -> MeasuredCell {
-        let e = &self.experiment;
-        let mut base = Vec::with_capacity(e.runs);
-        let mut free = Vec::with_capacity(e.runs);
-        for run in 0..e.runs {
-            let seed = e.seed + 1000 * run as u64;
-            let b = run_algorithm(algorithm, Variant::Baseline, graph, gpu, seed);
-            assert!(b.valid, "{algorithm} baseline invalid on {input}");
-            let f = run_algorithm(algorithm, Variant::RaceFree, graph, gpu, seed);
-            assert!(f.valid, "{algorithm} race-free invalid on {input}");
-            base.push(b.cycles as f64);
-            free.push(f.cycles as f64);
-        }
-        let baseline_cycles = median(&base);
-        let racefree_cycles = median(&free);
-        MeasuredCell {
-            input,
-            algorithm,
-            gpu: gpu.name,
-            baseline_cycles,
-            racefree_cycles,
-            speedup: baseline_cycles / racefree_cycles,
-            props,
-        }
+        self.try_measure(input, algorithm, graph, gpu, props)
+            .unwrap_or_else(|f| panic!("{f}"))
     }
 }
 
@@ -206,7 +404,12 @@ pub fn relative_deviation(
         VariantArg::RaceFree => Variant::RaceFree,
     };
     let times: Vec<f64> = (0..runs)
-        .map(|r| run_algorithm(algorithm, variant, graph, gpu, 1 + 1000 * r as u64).cycles as f64)
+        .map(|r| {
+            // Tag-mixed scheduler stream: callers typically build the graph
+            // from small literal seeds, and the raw `1 + 1000r` stream used
+            // here shared run 0 with them.
+            run_algorithm(algorithm, variant, graph, gpu, sched_seed(1, r)).cycles as f64
+        })
         .collect();
     let m = median(&times);
     let deviations: Vec<f64> = times.iter().map(|t| (t - m).abs() / m).collect();
@@ -246,7 +449,7 @@ mod tests {
     fn single_cell_measures_and_validates() {
         let matrix = Matrix::quick().runs(1).gpus(vec![GpuConfig::test_tiny()]);
         let g = ecl_graph::gen::rmat(256, 1024, 0.57, 0.19, 0.19, true, 1);
-        let props = properties(&g);
+        let props = ecl_graph::props::properties(&g);
         let cell = matrix.measure("test", Algorithm::Cc, &g, &GpuConfig::test_tiny(), props);
         assert!(cell.speedup > 0.0);
         assert!(cell.baseline_cycles > 0.0);
@@ -261,6 +464,80 @@ mod tests {
             .gpus(vec![GpuConfig::rtx2070_super()]);
         let t = matrix.run_directed();
         assert_eq!(t.cells.len(), 10);
+        assert!(t.failures.is_empty());
         assert!(t.column("2070 Super", Algorithm::Scc).len() == 10);
+    }
+
+    #[test]
+    fn graph_and_scheduler_streams_are_decorrelated() {
+        // Regression: `run_set` used to seed graph generation with `e.seed`
+        // while run 0's scheduler seed was also `e.seed + 1000*0` — the two
+        // RNG streams were identical. Tag-mixing must keep them apart for
+        // any base seed, and each stream must still vary with the base.
+        for base in [0u64, 1, 2, 42, u64::MAX, 0xdead_beef] {
+            assert_ne!(
+                graph_seed(base),
+                sched_seed(base, 0),
+                "streams correlate at base {base}"
+            );
+            assert_ne!(graph_seed(base), base, "graph stream is the raw seed");
+            assert_ne!(sched_seed(base, 0), base, "sched stream is the raw seed");
+        }
+        assert_ne!(graph_seed(1), graph_seed(2));
+        assert_ne!(sched_seed(1, 0), sched_seed(2, 0));
+        assert_eq!(sched_seed(7, 1).wrapping_sub(sched_seed(7, 0)), 1000);
+    }
+
+    #[test]
+    fn failing_cell_is_recorded_not_fatal() {
+        // Regression: `measure` used `assert!(b.valid, …)`, so one bad cell
+        // aborted the whole sweep. A 1-cycle watchdog makes *every* cell
+        // fail; the sweep must complete, record the failures, and measure
+        // nothing — without panicking.
+        let matrix = Matrix::quick()
+            .runs(1)
+            .scale(0.05)
+            .gpus(vec![GpuConfig::test_tiny()])
+            .sim_options(SimOptions {
+                watchdog: Some(1),
+                fault: None,
+            });
+        let t = matrix.run_directed();
+        assert!(t.cells.is_empty());
+        assert_eq!(t.failures.len(), 10);
+        for f in &t.failures {
+            assert!(matches!(f.error, RunError::Sim(_)), "got {:?}", f.error);
+            assert_eq!(f.run, 0);
+        }
+        // The panicking wrapper still panics, for callers that want that.
+        let g = ecl_graph::gen::grid2d_torus(6, 6);
+        let props = ecl_graph::props::properties(&g);
+        let r = std::panic::catch_unwind(|| {
+            matrix.measure("grid", Algorithm::Cc, &g, &GpuConfig::test_tiny(), props)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        // The full determinism suite lives in tests/parallel_determinism.rs;
+        // this is the fast in-crate smoke version.
+        let serial = Matrix::quick()
+            .runs(1)
+            .scale(0.05)
+            .gpus(vec![GpuConfig::test_tiny()])
+            .run_directed();
+        let parallel = Matrix::quick()
+            .runs(1)
+            .scale(0.05)
+            .gpus(vec![GpuConfig::test_tiny()])
+            .jobs(4)
+            .run_directed();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(s.input, p.input);
+            assert_eq!(s.baseline_cycles.to_bits(), p.baseline_cycles.to_bits());
+            assert_eq!(s.racefree_cycles.to_bits(), p.racefree_cycles.to_bits());
+        }
     }
 }

@@ -1,0 +1,136 @@
+//! A minimal deterministic work pool for embarrassingly-parallel sweeps.
+//!
+//! The experiment matrix is a flat list of independent cells whose results
+//! must come back *in cell order*, bit-identical to a serial run, no matter
+//! how many workers execute them. The pool keeps that contract trivially:
+//!
+//! - work is claimed from a shared atomic index (no per-worker striding, so
+//!   load imbalance between cheap and expensive cells self-levels);
+//! - every job function receives its job index and must derive all of its
+//!   randomness from it (the matrix's per-cell seeds are position-derived,
+//!   never drawn from shared mutable state);
+//! - each worker tags results with their job index, and the caller
+//!   reassembles them in index order.
+//!
+//! No external dependencies: `std::thread::scope` borrows the job closure
+//! and job list directly, so the pool works with non-`'static` data.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `jobs` independent jobs on up to `workers` threads and returns the
+/// results in job order.
+///
+/// `f(i)` must be a pure function of `i` (plus shared immutable state) for
+/// the output to be independent of the schedule; the pool guarantees only
+/// that each index runs exactly once and results are reassembled in order.
+/// With `workers <= 1` the jobs run inline on the caller's thread in index
+/// order — the serial reference the determinism tests compare against.
+///
+/// # Panics
+///
+/// Propagates the first panic observed in a worker (after all workers have
+/// drained). Sweeps that must survive bad cells catch per-cell failures
+/// inside `f` (see `ecl_core::suite::run_cell`).
+pub fn run_indexed<T, F>(workers: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(jobs.max(1));
+    if workers == 1 {
+        return (0..jobs).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// The worker count a sweep should default to: the `ECL_JOBS` environment
+/// variable if set to a positive integer, otherwise the machine's available
+/// parallelism, otherwise 1.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("ECL_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("ignoring ECL_JOBS='{v}' (need a positive integer)");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed(workers, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let _ = run_indexed(4, 64, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_jobs_and_oversubscription_are_fine() {
+        assert!(run_indexed::<u32, _>(8, 0, |_| unreachable!()).is_empty());
+        assert_eq!(run_indexed(64, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            run_indexed(2, 8, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn borrows_non_static_data() {
+        let data = [10usize, 20, 30, 40];
+        let out = run_indexed(2, data.len(), |i| data[i] + 1);
+        assert_eq!(out, vec![11, 21, 31, 41]);
+    }
+}

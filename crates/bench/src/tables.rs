@@ -174,7 +174,7 @@ pub fn to_csv(table: &MeasuredTable) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::matrix::MeasuredCell;
+    use crate::matrix::{MeasuredCell, VariantProfile};
     use ecl_graph::props::GraphProperties;
 
     fn fake_table() -> MeasuredTable {
@@ -195,6 +195,8 @@ mod tests {
                     racefree_cycles: 200.0,
                     speedup: 0.5,
                     props,
+                    baseline_profile: VariantProfile::default(),
+                    racefree_profile: VariantProfile::default(),
                 },
                 MeasuredCell {
                     input: "b",
@@ -204,8 +206,11 @@ mod tests {
                     racefree_cycles: 150.0,
                     speedup: 2.0,
                     props,
+                    baseline_profile: VariantProfile::default(),
+                    racefree_profile: VariantProfile::default(),
                 },
             ],
+            failures: vec![],
         }
     }
 
@@ -262,6 +267,8 @@ mod tests {
                     racefree_cycles: 200.0,
                     speedup: 0.5,
                     props: props_small,
+                    baseline_profile: VariantProfile::default(),
+                    racefree_profile: VariantProfile::default(),
                 },
                 MeasuredCell {
                     input: "b",
@@ -271,8 +278,11 @@ mod tests {
                     racefree_cycles: 150.0,
                     speedup: 2.0,
                     props: props_large,
+                    baseline_profile: VariantProfile::default(),
+                    racefree_profile: VariantProfile::default(),
                 },
             ],
+            failures: vec![],
         };
         let s = format_table9(&t, &MeasuredTable::default(), &["A100"]);
         // Speedup grows with size: perfect positive correlation on all

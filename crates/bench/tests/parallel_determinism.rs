@@ -1,0 +1,175 @@
+//! PR 2 acceptance suite: the parallel sweep engine must be invisible in the
+//! results. For every worker count, the [`MeasuredTable`] — and the
+//! `BENCH_RESULTS.json` rendered from it — must be bit-identical to the
+//! serial run's. Floats are compared via `to_bits`, not `==`, so a
+//! reassociated reduction or a cell measured with a perturbed seed cannot
+//! hide behind floating-point tolerance.
+
+use ecl_bench::{BenchReport, Json, Matrix, MeasuredTable};
+use ecl_simt::GpuConfig;
+
+fn tiny_matrix(jobs: usize) -> Matrix {
+    Matrix::quick()
+        .runs(2)
+        .scale(0.05)
+        .gpus(vec![GpuConfig::test_tiny()])
+        .jobs(jobs)
+}
+
+/// Field-by-field bit equality, including the derived stats and profiles.
+fn assert_tables_identical(serial: &MeasuredTable, parallel: &MeasuredTable, what: &str) {
+    assert_eq!(
+        serial.cells.len(),
+        parallel.cells.len(),
+        "{what}: cell count"
+    );
+    assert_eq!(
+        serial.failures.len(),
+        parallel.failures.len(),
+        "{what}: failure count"
+    );
+    for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+        let ctx = format!("{what}: {} / {} on {}", s.input, s.algorithm, s.gpu);
+        assert_eq!(s.input, p.input, "{ctx}: order");
+        assert_eq!(s.algorithm, p.algorithm, "{ctx}: order");
+        assert_eq!(s.gpu, p.gpu, "{ctx}: order");
+        assert_eq!(
+            s.baseline_cycles.to_bits(),
+            p.baseline_cycles.to_bits(),
+            "{ctx}: baseline cycles"
+        );
+        assert_eq!(
+            s.racefree_cycles.to_bits(),
+            p.racefree_cycles.to_bits(),
+            "{ctx}: race-free cycles"
+        );
+        assert_eq!(s.speedup.to_bits(), p.speedup.to_bits(), "{ctx}: speedup");
+        assert_eq!(s.props.num_vertices, p.props.num_vertices, "{ctx}: |V|");
+        assert_eq!(s.props.num_edges, p.props.num_edges, "{ctx}: |E|");
+        assert_eq!(s.baseline_profile, p.baseline_profile, "{ctx}: profile");
+        assert_eq!(s.racefree_profile, p.racefree_profile, "{ctx}: profile");
+    }
+}
+
+#[test]
+fn directed_sweep_is_identical_at_every_worker_count() {
+    let serial = tiny_matrix(1).run_directed();
+    assert!(!serial.cells.is_empty());
+    assert!(serial.failures.is_empty());
+    for jobs in [2, 4] {
+        let parallel = tiny_matrix(jobs).run_directed();
+        assert_tables_identical(&serial, &parallel, &format!("directed, {jobs} workers"));
+    }
+}
+
+#[test]
+fn undirected_sweep_is_identical_at_every_worker_count() {
+    let serial = tiny_matrix(1).run_undirected();
+    assert!(!serial.cells.is_empty());
+    assert!(serial.failures.is_empty());
+    for jobs in [2, 4] {
+        let parallel = tiny_matrix(jobs).run_undirected();
+        assert_tables_identical(&serial, &parallel, &format!("undirected, {jobs} workers"));
+    }
+}
+
+#[test]
+fn bench_results_json_is_byte_identical_and_round_trips() {
+    let render = |jobs: usize| {
+        let matrix = tiny_matrix(jobs);
+        let undirected = matrix.run_undirected();
+        let directed = matrix.run_directed();
+        BenchReport {
+            experiment: matrix.experiment(),
+            undirected: &undirected,
+            directed: &directed,
+            timing: None, // the one legitimately nondeterministic block
+        }
+        .render()
+    };
+    let serial = render(1);
+    let parallel = render(3);
+    // `jobs` is part of the experiment metadata, so it is the only line that
+    // may differ between the two documents.
+    let differing: Vec<(&str, &str)> = serial
+        .lines()
+        .zip(parallel.lines())
+        .filter(|(a, b)| a != b)
+        .collect();
+    assert_eq!(
+        differing,
+        vec![("    \"jobs\": 1,", "    \"jobs\": 3,")],
+        "only the jobs metadata line may differ"
+    );
+
+    // Round-trip and shape: the document must parse back to the same tree
+    // and expose the advertised schema.
+    let doc = Json::parse(&serial).expect("BENCH_RESULTS.json parses");
+    assert_eq!(doc.render() + "\n", serial, "parse → render is lossless");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("ecl-bench/BENCH_RESULTS/v1")
+    );
+    let experiment = doc.get("experiment").expect("experiment block");
+    assert_eq!(experiment.get("runs").and_then(Json::as_num), Some(2.0));
+    assert_eq!(
+        experiment
+            .get("gpus")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+    assert!(doc.get("timing").is_none(), "timing omitted when None");
+
+    let tables = doc.get("tables").expect("tables block");
+    for (name, cell_count) in [("undirected", 17 * 4), ("directed", 10)] {
+        let table = tables.get(name).expect(name);
+        let cells = table.get("cells").and_then(Json::as_arr).expect("cells");
+        assert_eq!(cells.len(), cell_count, "{name} cell count");
+        for cell in cells {
+            assert!(cell.get("speedup").and_then(Json::as_num).unwrap() > 0.0);
+            assert!(cell.get("baseline_profile").is_some());
+        }
+        let failures = table
+            .get("failures")
+            .and_then(Json::as_arr)
+            .expect("failures");
+        assert!(failures.is_empty(), "{name} should have no failures");
+        let summary = table
+            .get("summary")
+            .and_then(Json::as_arr)
+            .expect("summary");
+        assert!(!summary.is_empty(), "{name} summary rows");
+        for row in summary {
+            let min = row.get("min").and_then(Json::as_num).unwrap();
+            let geo = row.get("geomean").and_then(Json::as_num).unwrap();
+            let max = row.get("max").and_then(Json::as_num).unwrap();
+            assert!(
+                min <= geo && geo <= max,
+                "summary ordering: {min} {geo} {max}"
+            );
+        }
+    }
+}
+
+#[test]
+fn failures_survive_the_pool_in_order() {
+    // A 1-cycle watchdog fails every cell; the parallel sweep must record
+    // the same failures in the same order as the serial one.
+    use ecl_core::SimOptions;
+    let fail_matrix = |jobs: usize| {
+        tiny_matrix(jobs)
+            .sim_options(SimOptions {
+                watchdog: Some(1),
+                fault: None,
+            })
+            .run_directed()
+    };
+    let serial = fail_matrix(1);
+    let parallel = fail_matrix(4);
+    assert_eq!(serial.failures.len(), 10);
+    assert_eq!(serial.failures.len(), parallel.failures.len());
+    for (s, p) in serial.failures.iter().zip(&parallel.failures) {
+        assert_eq!(s.to_string(), p.to_string());
+    }
+}

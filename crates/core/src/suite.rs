@@ -307,6 +307,68 @@ pub fn run_algorithm_checked(
     })
 }
 
+/// Why one sweep cell (a single `run_algorithm`-shaped run) produced no
+/// usable measurement. Unlike a panic, a `RunError` lets a multi-hour sweep
+/// record the failure and keep going.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The launch died with a typed simulator error (watchdog, OOB, fault
+    /// budget, livelock, barrier divergence).
+    Sim(SimError),
+    /// The run completed but its solution failed the serial-reference
+    /// verification (silent data corruption or a genuine algorithm bug).
+    Invalid {
+        /// Which code produced the bad solution.
+        algorithm: Algorithm,
+        /// Which flavor of it.
+        variant: Variant,
+    },
+    /// Host-side code around the launch panicked (e.g. an index computed
+    /// from corrupted device data); the message is the panic payload.
+    Panicked(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "{e}"),
+            RunError::Invalid { algorithm, variant } => {
+                write!(f, "{algorithm} {variant} solution failed verification")
+            }
+            RunError::Panicked(msg) => write!(f, "host panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Strict single-cell runner for sweeps: like [`run_algorithm_checked`] but
+/// *never* panics and *never* returns an unverified result — launch
+/// failures, verification failures, and host panics all arrive as typed
+/// [`RunError`]s a sweep can record while it continues with the next cell.
+pub fn run_cell(
+    algorithm: Algorithm,
+    variant: Variant,
+    graph: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    opts: &SimOptions,
+) -> Result<RunResult, RunError> {
+    let result =
+        ecl_simt::catch_any(|| run_algorithm_checked(algorithm, variant, graph, cfg, seed, opts))
+            .map_err(RunError::Panicked)??;
+    if !result.valid {
+        return Err(RunError::Invalid { algorithm, variant });
+    }
+    Ok(result)
+}
+
 /// Bounded-retry policy for [`run_resilient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -620,6 +682,53 @@ mod tests {
             &opts,
         );
         assert!(matches!(r, Err(SimError::WatchdogTimeout { .. })));
+    }
+
+    #[test]
+    fn run_cell_ok_on_clean_run() {
+        let g = gen::grid2d_torus(8, 8);
+        let r = run_cell(
+            Algorithm::Cc,
+            Variant::RaceFree,
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            &SimOptions::default(),
+        );
+        assert!(r.is_ok());
+        assert!(r.unwrap().valid);
+    }
+
+    #[test]
+    fn run_cell_turns_watchdog_into_typed_error() {
+        let g = gen::grid2d_torus(6, 6);
+        let opts = SimOptions {
+            watchdog: Some(1),
+            fault: None,
+        };
+        let r = run_cell(
+            Algorithm::Gc,
+            Variant::Baseline,
+            &g,
+            &GpuConfig::test_tiny(),
+            1,
+            &opts,
+        );
+        match r {
+            Err(RunError::Sim(SimError::WatchdogTimeout { .. })) => {}
+            other => panic!("expected watchdog RunError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_results_and_errors_are_send() {
+        // The parallel sweep pool moves these across threads; see also the
+        // simt-level audit in `crates/simt/tests/send_audit.rs`.
+        fn assert_send<T: Send>() {}
+        assert_send::<RunResult>();
+        assert_send::<RunError>();
+        assert_send::<RunOutcome>();
+        assert_send::<Attempt>();
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! A thread-safe cache of built input graphs.
+//!
+//! The experiment matrix fans (input × algorithm × GPU) cells out across
+//! worker threads, and several cells — every algorithm/GPU pair of the same
+//! input, or the repeated rows of the study bins — need the *same* graph.
+//! Generators are pure functions of `(scale, seed)`, so the built `Csr` (and
+//! its derived [`GraphProperties`], which every measured cell records) can be
+//! shared behind an [`Arc`] instead of being rebuilt per cell.
+
+use crate::inputs::GraphInput;
+use crate::props::{properties, GraphProperties};
+use crate::Csr;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A built graph plus the structural properties derived from it, cached as
+/// a unit so sweep cells never recompute either.
+#[derive(Debug)]
+pub struct CachedGraph {
+    /// The built graph.
+    pub csr: Csr,
+    /// `properties(&csr)`, computed once at insertion.
+    pub props: GraphProperties,
+}
+
+/// Cache key: the catalog name plus the exact build parameters. `scale` is
+/// keyed by its bit pattern so distinct floats never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    name: &'static str,
+    scale_bits: u64,
+    seed: u64,
+}
+
+/// A keyed, thread-safe `(input, scale, seed) → Arc<CachedGraph>` cache.
+///
+/// Lookups under contention may race to *build* (builders run outside the
+/// lock so a slow generator never serializes the pool), but the first insert
+/// wins and builders are pure, so every caller observes identical bytes —
+/// the determinism contract of the parallel sweep does not depend on which
+/// worker built the graph.
+#[derive(Debug, Default)]
+pub struct GraphCache {
+    map: Mutex<HashMap<Key, Arc<CachedGraph>>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl GraphCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached graph for `(input, scale, seed)`, building (and
+    /// inserting) it on first use.
+    pub fn get_or_build(&self, input: &GraphInput, scale: f64, seed: u64) -> Arc<CachedGraph> {
+        self.get_or_insert_with(input.name(), scale, seed, || input.build(scale, seed))
+    }
+
+    /// Generic form for graphs that are not catalog entries (the study bins'
+    /// fixed inputs): `name` plus the parameters form the key, `build` runs
+    /// only on a miss.
+    pub fn get_or_insert_with(
+        &self,
+        name: &'static str,
+        scale: f64,
+        seed: u64,
+        build: impl FnOnce() -> Csr,
+    ) -> Arc<CachedGraph> {
+        let key = Key {
+            name,
+            scale_bits: scale.to_bits(),
+            seed,
+        };
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let csr = build();
+        let props = properties(&csr);
+        let entry = Arc::new(CachedGraph { csr, props });
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(self.map.lock().unwrap().entry(key).or_insert(entry))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Builder invocations so far (a racing duplicate build counts too, but
+    /// only the first insert is ever served).
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct graphs currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_is_served_from_cache() {
+        let cache = GraphCache::new();
+        let input = GraphInput::by_name("rmat16.sym").unwrap();
+        let a = cache.get_or_build(&input, 0.1, 1);
+        let b = cache.get_or_build(&input, 0.1, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(a.props, properties(&a.csr));
+    }
+
+    #[test]
+    fn distinct_parameters_get_distinct_entries() {
+        let cache = GraphCache::new();
+        let input = GraphInput::by_name("rmat16.sym").unwrap();
+        let a = cache.get_or_build(&input, 0.1, 1);
+        let b = cache.get_or_build(&input, 0.1, 2); // different seed
+        let c = cache.get_or_build(&input, 0.2, 1); // different scale
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn custom_builders_are_keyed_by_name() {
+        let cache = GraphCache::new();
+        let a = cache.get_or_insert_with("study-grid", 1.0, 7, || crate::gen::grid2d_torus(8, 8));
+        let b = cache.get_or_insert_with("study-grid", 1.0, 7, || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_entry() {
+        let cache = GraphCache::new();
+        let input = GraphInput::by_name("star").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let g = cache.get_or_build(&input, 0.5, 3);
+                    assert!(g.csr.num_edges() > 0);
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -23,6 +23,7 @@
 //! assert!(p.avg_degree > 0.0);
 //! ```
 
+pub mod cache;
 mod csr;
 pub mod gen;
 pub mod inputs;
@@ -31,4 +32,5 @@ pub mod mtx;
 pub mod props;
 pub mod transform;
 
+pub use cache::{CachedGraph, GraphCache};
 pub use csr::{Csr, CsrBuilder, GraphError};

@@ -44,10 +44,18 @@ impl Cache {
     /// Creates a cache of `size_kib` KiB with `ways`-way associativity and
     /// `line_bytes`-byte lines.
     ///
+    /// The geometry must describe the configured capacity *exactly*: the
+    /// cache holds `size_kib * 1024 / line_bytes` lines, which must be a
+    /// positive multiple of `ways`. Anything else used to be silently
+    /// repaired (`num_sets.max(1)` could double a 1-set cache's capacity,
+    /// and `lines / ways` truncation could shrink it), which made the
+    /// modeled hit rates lie about the configured hardware.
+    ///
     /// # Panics
     ///
-    /// Panics if `line_bytes` is not a power of two or the geometry doesn't
-    /// yield at least one set.
+    /// Panics if `line_bytes` is not a power of two, the cache is smaller
+    /// than one line, `ways` exceeds the line count, or the line count is
+    /// not a multiple of `ways`.
     pub fn new(size_kib: u32, ways: u32, line_bytes: u32) -> Self {
         assert!(
             line_bytes.is_power_of_two(),
@@ -55,7 +63,21 @@ impl Cache {
         );
         assert!(ways >= 1, "need at least one way");
         let lines = size_kib * 1024 / line_bytes;
-        let num_sets = (lines / ways).max(1);
+        assert!(
+            lines >= 1,
+            "cache geometry: {size_kib} KiB cannot hold even one {line_bytes}-byte line"
+        );
+        assert!(
+            ways <= lines,
+            "cache geometry: {ways}-way associativity needs at least {ways} lines, \
+             but {size_kib} KiB of {line_bytes}-byte lines holds only {lines}"
+        );
+        assert!(
+            lines.is_multiple_of(ways),
+            "cache geometry: {lines} lines ({size_kib} KiB / {line_bytes} B) do not \
+             divide evenly into {ways} ways"
+        );
+        let num_sets = lines / ways;
         let slots = (num_sets * ways) as usize;
         Cache {
             tags: vec![u64::MAX; slots],
@@ -104,6 +126,12 @@ impl Cache {
         self.tags[base..base + self.ways as usize].contains(&line)
     }
 
+    /// Total number of lines the cache can hold (`sets × ways`), exactly
+    /// the configured `size_kib * 1024 / line_bytes`.
+    pub fn num_lines(&self) -> u32 {
+        self.num_sets * self.ways
+    }
+
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -150,6 +178,49 @@ mod tests {
         assert!(!c.access(0));
         assert!(c.probe(0));
         assert_eq!(c.stats().hits + c.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_matches_configured_size_exactly() {
+        // Regression: `num_sets.max(1) * ways` used to inflate capacity when
+        // `ways` exceeded the line count (1 KiB / 128 B = 8 lines but 16
+        // slots for a 16-way request), and truncation shrank it when
+        // `lines % ways != 0`. Valid geometries must come out exact.
+        assert_eq!(Cache::new(1, 8, 128).num_lines(), 8);
+        assert_eq!(Cache::new(2, 2, 32).num_lines(), 64);
+        assert_eq!(Cache::new(96, 4, 32).num_lines(), 3072); // the paper GPUs' L1
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least 16 lines")]
+    fn overwide_associativity_rejected_not_inflated() {
+        // 1 KiB of 128 B lines holds 8 lines; a 16-way config used to get
+        // 16 slots (double the configured size) silently.
+        let _ = Cache::new(1, 16, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide evenly")]
+    fn non_dividing_ways_rejected_not_truncated() {
+        // 8 lines into 3 ways used to truncate to 2 sets * 3 ways = 6 lines.
+        let _ = Cache::new(1, 3, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold even one")]
+    fn sub_line_cache_rejected() {
+        let _ = Cache::new(0, 1, 128);
+    }
+
+    #[test]
+    fn paper_gpu_geometries_are_valid() {
+        // Every preset GPU's L1/L2 must construct under the strict checks.
+        for cfg in crate::GpuConfig::paper_gpus() {
+            let l1 = Cache::new(cfg.l1_kib, cfg.l1_ways, cfg.line_bytes);
+            let l2 = Cache::new(cfg.l2_kib, cfg.l2_ways, cfg.line_bytes);
+            assert_eq!(l1.num_lines(), cfg.l1_kib * 1024 / cfg.line_bytes);
+            assert_eq!(l2.num_lines(), cfg.l2_kib * 1024 / cfg.line_bytes);
+        }
     }
 
     #[test]

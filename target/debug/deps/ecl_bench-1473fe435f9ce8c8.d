@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/ecl_bench-1473fe435f9ce8c8.d: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/ecl_bench-1473fe435f9ce8c8.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
 
-/root/repo/target/debug/deps/libecl_bench-1473fe435f9ce8c8.rlib: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/libecl_bench-1473fe435f9ce8c8.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
 
-/root/repo/target/debug/deps/libecl_bench-1473fe435f9ce8c8.rmeta: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/libecl_bench-1473fe435f9ce8c8.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
 crates/bench/src/matrix.rs:
+crates/bench/src/pool.rs:
 crates/bench/src/stats.rs:
 crates/bench/src/tables.rs:

@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/ecl_bench-3eae67d2bb561be8.d: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/ecl_bench-3eae67d2bb561be8.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
 
-/root/repo/target/debug/deps/ecl_bench-3eae67d2bb561be8: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/ecl_bench-3eae67d2bb561be8: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
 crates/bench/src/matrix.rs:
+crates/bench/src/pool.rs:
 crates/bench/src/stats.rs:
 crates/bench/src/tables.rs:

@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/ecl_bench-ecbc8f7804ca0267.d: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/ecl_bench-ecbc8f7804ca0267.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs Cargo.toml
 
-/root/repo/target/debug/deps/libecl_bench-ecbc8f7804ca0267.rmeta: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/libecl_bench-ecbc8f7804ca0267.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
 crates/bench/src/matrix.rs:
+crates/bench/src/pool.rs:
 crates/bench/src/stats.rs:
 crates/bench/src/tables.rs:
 Cargo.toml:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/ecl_graph-bcd0c601720fc13e.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/grid.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/prefattach.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/special.rs crates/graph/src/inputs.rs crates/graph/src/io.rs crates/graph/src/mtx.rs crates/graph/src/props.rs crates/graph/src/transform.rs Cargo.toml
+/root/repo/target/debug/deps/ecl_graph-bcd0c601720fc13e.d: crates/graph/src/lib.rs crates/graph/src/cache.rs crates/graph/src/csr.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/grid.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/prefattach.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/special.rs crates/graph/src/inputs.rs crates/graph/src/io.rs crates/graph/src/mtx.rs crates/graph/src/props.rs crates/graph/src/transform.rs Cargo.toml
 
-/root/repo/target/debug/deps/libecl_graph-bcd0c601720fc13e.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/grid.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/prefattach.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/special.rs crates/graph/src/inputs.rs crates/graph/src/io.rs crates/graph/src/mtx.rs crates/graph/src/props.rs crates/graph/src/transform.rs Cargo.toml
+/root/repo/target/debug/deps/libecl_graph-bcd0c601720fc13e.rmeta: crates/graph/src/lib.rs crates/graph/src/cache.rs crates/graph/src/csr.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/grid.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/prefattach.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/special.rs crates/graph/src/inputs.rs crates/graph/src/io.rs crates/graph/src/mtx.rs crates/graph/src/props.rs crates/graph/src/transform.rs Cargo.toml
 
 crates/graph/src/lib.rs:
+crates/graph/src/cache.rs:
 crates/graph/src/csr.rs:
 crates/graph/src/gen/mod.rs:
 crates/graph/src/gen/delaunay.rs:

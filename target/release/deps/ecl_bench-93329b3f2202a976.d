@@ -1,10 +1,12 @@
-/root/repo/target/release/deps/ecl_bench-93329b3f2202a976.d: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+/root/repo/target/release/deps/ecl_bench-93329b3f2202a976.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
 
-/root/repo/target/release/deps/libecl_bench-93329b3f2202a976.rlib: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+/root/repo/target/release/deps/libecl_bench-93329b3f2202a976.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
 
-/root/repo/target/release/deps/libecl_bench-93329b3f2202a976.rmeta: crates/bench/src/lib.rs crates/bench/src/matrix.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+/root/repo/target/release/deps/libecl_bench-93329b3f2202a976.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
 crates/bench/src/matrix.rs:
+crates/bench/src/pool.rs:
 crates/bench/src/stats.rs:
 crates/bench/src/tables.rs:
