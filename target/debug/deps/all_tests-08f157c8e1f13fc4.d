@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_tests-08f157c8e1f13fc4.d: crates/bench/src/bin/all_tests.rs
+
+/root/repo/target/debug/deps/all_tests-08f157c8e1f13fc4: crates/bench/src/bin/all_tests.rs
+
+crates/bench/src/bin/all_tests.rs:

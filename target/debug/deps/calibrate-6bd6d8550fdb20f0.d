@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-6bd6d8550fdb20f0.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-6bd6d8550fdb20f0: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_mis-610d55d16ee775fd.d: crates/bench/src/bin/debug_mis.rs
+
+/root/repo/target/debug/deps/debug_mis-610d55d16ee775fd: crates/bench/src/bin/debug_mis.rs
+
+crates/bench/src/bin/debug_mis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_rounds-72c0fad78caaee3a.d: crates/bench/src/bin/debug_rounds.rs
+
+/root/repo/target/debug/deps/debug_rounds-72c0fad78caaee3a: crates/bench/src/bin/debug_rounds.rs
+
+crates/bench/src/bin/debug_rounds.rs:

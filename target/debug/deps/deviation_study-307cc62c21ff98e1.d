@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deviation_study-307cc62c21ff98e1.d: crates/bench/src/bin/deviation_study.rs
+
+/root/repo/target/debug/deps/deviation_study-307cc62c21ff98e1: crates/bench/src/bin/deviation_study.rs
+
+crates/bench/src/bin/deviation_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_study-73326fa28d374141.d: crates/bench/src/bin/fault_study.rs
+
+/root/repo/target/debug/deps/fault_study-73326fa28d374141: crates/bench/src/bin/fault_study.rs
+
+crates/bench/src/bin/fault_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_inputs-03660c29e86e7b18.d: crates/bench/src/bin/make_inputs.rs
+
+/root/repo/target/debug/deps/make_inputs-03660c29e86e7b18: crates/bench/src/bin/make_inputs.rs
+
+crates/bench/src/bin/make_inputs.rs:

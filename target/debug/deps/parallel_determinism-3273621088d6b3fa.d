@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-3273621088d6b3fa.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-3273621088d6b3fa: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

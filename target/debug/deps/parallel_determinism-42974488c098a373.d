@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-42974488c098a373.d: crates/bench/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-42974488c098a373.rmeta: crates/bench/tests/parallel_determinism.rs Cargo.toml
+
+crates/bench/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_vi_a-6bf7b216e765670d.d: crates/bench/src/bin/profile_vi_a.rs
+
+/root/repo/target/debug/deps/profile_vi_a-6bf7b216e765670d: crates/bench/src/bin/profile_vi_a.rs
+
+crates/bench/src/bin/profile_vi_a.rs:

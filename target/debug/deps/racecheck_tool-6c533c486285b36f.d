@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/racecheck_tool-6c533c486285b36f.d: crates/bench/src/bin/racecheck_tool.rs
+
+/root/repo/target/debug/deps/racecheck_tool-6c533c486285b36f: crates/bench/src/bin/racecheck_tool.rs
+
+crates/bench/src/bin/racecheck_tool.rs:

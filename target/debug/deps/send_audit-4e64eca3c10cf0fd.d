@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/send_audit-4e64eca3c10cf0fd.d: crates/simt/tests/send_audit.rs
+
+/root/repo/target/debug/deps/send_audit-4e64eca3c10cf0fd: crates/simt/tests/send_audit.rs
+
+crates/simt/tests/send_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/send_audit-bde58394ba77b72d.d: crates/simt/tests/send_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsend_audit-bde58394ba77b72d.rmeta: crates/simt/tests/send_audit.rs Cargo.toml
+
+crates/simt/tests/send_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

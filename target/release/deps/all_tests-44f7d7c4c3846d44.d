@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_tests-44f7d7c4c3846d44.d: crates/bench/src/bin/all_tests.rs
+
+/root/repo/target/release/deps/all_tests-44f7d7c4c3846d44: crates/bench/src/bin/all_tests.rs
+
+crates/bench/src/bin/all_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-123ef24b2df6b990.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-123ef24b2df6b990: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

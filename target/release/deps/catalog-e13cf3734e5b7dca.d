@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/catalog-e13cf3734e5b7dca.d: tests/catalog.rs
+
+/root/repo/target/release/deps/catalog-e13cf3734e5b7dca: tests/catalog.rs
+
+tests/catalog.rs:

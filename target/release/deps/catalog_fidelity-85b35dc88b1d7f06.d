@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/catalog_fidelity-85b35dc88b1d7f06.d: crates/graph/tests/catalog_fidelity.rs
+
+/root/repo/target/release/deps/catalog_fidelity-85b35dc88b1d7f06: crates/graph/tests/catalog_fidelity.rs
+
+crates/graph/tests/catalog_fidelity.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f4eb1d54742865d6.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f4eb1d54742865d6.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f4eb1d54742865d6.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_variant-443122ccd9388f18.d: tests/cross_variant.rs
+
+/root/repo/target/release/deps/cross_variant-443122ccd9388f18: tests/cross_variant.rs
+
+tests/cross_variant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_mis-79574e8fcd618ffd.d: crates/bench/src/bin/debug_mis.rs
+
+/root/repo/target/release/deps/debug_mis-79574e8fcd618ffd: crates/bench/src/bin/debug_mis.rs
+
+crates/bench/src/bin/debug_mis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_rounds-4d7f42bc15395ae7.d: crates/bench/src/bin/debug_rounds.rs
+
+/root/repo/target/release/deps/debug_rounds-4d7f42bc15395ae7: crates/bench/src/bin/debug_rounds.rs
+
+crates/bench/src/bin/debug_rounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deviation_study-3d95e9ef47e69304.d: crates/bench/src/bin/deviation_study.rs
+
+/root/repo/target/release/deps/deviation_study-3d95e9ef47e69304: crates/bench/src/bin/deviation_study.rs
+
+crates/bench/src/bin/deviation_study.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ecl_bench-5743bb1259b9fdd9.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/ecl_bench-5743bb1259b9fdd9: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/matrix.rs crates/bench/src/pool.rs crates/bench/src/stats.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/matrix.rs:
+crates/bench/src/pool.rs:
+crates/bench/src/stats.rs:
+crates/bench/src/tables.rs:

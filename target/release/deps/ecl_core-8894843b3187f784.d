@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/ecl_core-8894843b3187f784.d: crates/core/src/lib.rs crates/core/src/apsp/mod.rs crates/core/src/apsp/kernels.rs crates/core/src/apsp/verify.rs crates/core/src/cc/mod.rs crates/core/src/cc/kernels.rs crates/core/src/cc/verify.rs crates/core/src/common.rs crates/core/src/gc/mod.rs crates/core/src/gc/kernels.rs crates/core/src/gc/verify.rs crates/core/src/mis/mod.rs crates/core/src/mis/kernels.rs crates/core/src/mis/verify.rs crates/core/src/mst/mod.rs crates/core/src/mst/kernels.rs crates/core/src/mst/verify.rs crates/core/src/primitives.rs crates/core/src/scc/mod.rs crates/core/src/scc/kernels.rs crates/core/src/scc/verify.rs crates/core/src/scc/worklist.rs crates/core/src/suite.rs
+
+/root/repo/target/release/deps/ecl_core-8894843b3187f784: crates/core/src/lib.rs crates/core/src/apsp/mod.rs crates/core/src/apsp/kernels.rs crates/core/src/apsp/verify.rs crates/core/src/cc/mod.rs crates/core/src/cc/kernels.rs crates/core/src/cc/verify.rs crates/core/src/common.rs crates/core/src/gc/mod.rs crates/core/src/gc/kernels.rs crates/core/src/gc/verify.rs crates/core/src/mis/mod.rs crates/core/src/mis/kernels.rs crates/core/src/mis/verify.rs crates/core/src/mst/mod.rs crates/core/src/mst/kernels.rs crates/core/src/mst/verify.rs crates/core/src/primitives.rs crates/core/src/scc/mod.rs crates/core/src/scc/kernels.rs crates/core/src/scc/verify.rs crates/core/src/scc/worklist.rs crates/core/src/suite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/apsp/mod.rs:
+crates/core/src/apsp/kernels.rs:
+crates/core/src/apsp/verify.rs:
+crates/core/src/cc/mod.rs:
+crates/core/src/cc/kernels.rs:
+crates/core/src/cc/verify.rs:
+crates/core/src/common.rs:
+crates/core/src/gc/mod.rs:
+crates/core/src/gc/kernels.rs:
+crates/core/src/gc/verify.rs:
+crates/core/src/mis/mod.rs:
+crates/core/src/mis/kernels.rs:
+crates/core/src/mis/verify.rs:
+crates/core/src/mst/mod.rs:
+crates/core/src/mst/kernels.rs:
+crates/core/src/mst/verify.rs:
+crates/core/src/primitives.rs:
+crates/core/src/scc/mod.rs:
+crates/core/src/scc/kernels.rs:
+crates/core/src/scc/verify.rs:
+crates/core/src/scc/worklist.rs:
+crates/core/src/suite.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/ecl_graph-6004aab05fa94066.d: crates/graph/src/lib.rs crates/graph/src/cache.rs crates/graph/src/csr.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/grid.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/prefattach.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/special.rs crates/graph/src/inputs.rs crates/graph/src/io.rs crates/graph/src/mtx.rs crates/graph/src/props.rs crates/graph/src/transform.rs
+
+/root/repo/target/release/deps/ecl_graph-6004aab05fa94066: crates/graph/src/lib.rs crates/graph/src/cache.rs crates/graph/src/csr.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/grid.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/prefattach.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/special.rs crates/graph/src/inputs.rs crates/graph/src/io.rs crates/graph/src/mtx.rs crates/graph/src/props.rs crates/graph/src/transform.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/cache.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/gen/mod.rs:
+crates/graph/src/gen/delaunay.rs:
+crates/graph/src/gen/grid.rs:
+crates/graph/src/gen/mesh.rs:
+crates/graph/src/gen/prefattach.rs:
+crates/graph/src/gen/random.rs:
+crates/graph/src/gen/rmat.rs:
+crates/graph/src/gen/road.rs:
+crates/graph/src/gen/special.rs:
+crates/graph/src/inputs.rs:
+crates/graph/src/io.rs:
+crates/graph/src/mtx.rs:
+crates/graph/src/props.rs:
+crates/graph/src/transform.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ecl_simt-3e862c655232887b.d: crates/simt/src/lib.rs crates/simt/src/access.rs crates/simt/src/config.rs crates/simt/src/error.rs crates/simt/src/exec.rs crates/simt/src/fault.rs crates/simt/src/host.rs crates/simt/src/mem/mod.rs crates/simt/src/mem/arena.rs crates/simt/src/mem/cache.rs crates/simt/src/mem/hierarchy.rs crates/simt/src/metrics.rs crates/simt/src/trace.rs
+
+/root/repo/target/release/deps/ecl_simt-3e862c655232887b: crates/simt/src/lib.rs crates/simt/src/access.rs crates/simt/src/config.rs crates/simt/src/error.rs crates/simt/src/exec.rs crates/simt/src/fault.rs crates/simt/src/host.rs crates/simt/src/mem/mod.rs crates/simt/src/mem/arena.rs crates/simt/src/mem/cache.rs crates/simt/src/mem/hierarchy.rs crates/simt/src/metrics.rs crates/simt/src/trace.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/access.rs:
+crates/simt/src/config.rs:
+crates/simt/src/error.rs:
+crates/simt/src/exec.rs:
+crates/simt/src/fault.rs:
+crates/simt/src/host.rs:
+crates/simt/src/mem/mod.rs:
+crates/simt/src/mem/arena.rs:
+crates/simt/src/mem/cache.rs:
+crates/simt/src/mem/hierarchy.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/trace.rs:

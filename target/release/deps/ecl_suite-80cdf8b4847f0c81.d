@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecl_suite-80cdf8b4847f0c81.d: src/lib.rs
+
+/root/repo/target/release/deps/ecl_suite-80cdf8b4847f0c81: src/lib.rs
+
+src/lib.rs:

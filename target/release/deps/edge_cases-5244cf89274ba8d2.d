@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edge_cases-5244cf89274ba8d2.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/release/deps/edge_cases-5244cf89274ba8d2: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

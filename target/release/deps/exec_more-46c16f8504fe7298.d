@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exec_more-46c16f8504fe7298.d: crates/simt/tests/exec_more.rs
+
+/root/repo/target/release/deps/exec_more-46c16f8504fe7298: crates/simt/tests/exec_more.rs
+
+crates/simt/tests/exec_more.rs:

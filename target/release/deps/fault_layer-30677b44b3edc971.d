@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_layer-30677b44b3edc971.d: crates/simt/tests/fault_layer.rs
+
+/root/repo/target/release/deps/fault_layer-30677b44b3edc971: crates/simt/tests/fault_layer.rs
+
+crates/simt/tests/fault_layer.rs:

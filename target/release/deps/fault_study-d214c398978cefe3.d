@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_study-d214c398978cefe3.d: crates/bench/src/bin/fault_study.rs
+
+/root/repo/target/release/deps/fault_study-d214c398978cefe3: crates/bench/src/bin/fault_study.rs
+
+crates/bench/src/bin/fault_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/make_inputs-72bf8f45d4c0075e.d: crates/bench/src/bin/make_inputs.rs
+
+/root/repo/target/release/deps/make_inputs-72bf8f45d4c0075e: crates/bench/src/bin/make_inputs.rs
+
+crates/bench/src/bin/make_inputs.rs:

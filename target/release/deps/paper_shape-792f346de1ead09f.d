@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shape-792f346de1ead09f.d: tests/paper_shape.rs
+
+/root/repo/target/release/deps/paper_shape-792f346de1ead09f: tests/paper_shape.rs
+
+tests/paper_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-051e7f33ace92988.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-051e7f33ace92988: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prelude_api-a161890d9bcb8b1b.d: tests/prelude_api.rs
+
+/root/repo/target/release/deps/prelude_api-a161890d9bcb8b1b: tests/prelude_api.rs
+
+tests/prelude_api.rs:

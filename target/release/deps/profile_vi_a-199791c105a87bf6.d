@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_vi_a-199791c105a87bf6.d: crates/bench/src/bin/profile_vi_a.rs
+
+/root/repo/target/release/deps/profile_vi_a-199791c105a87bf6: crates/bench/src/bin/profile_vi_a.rs
+
+crates/bench/src/bin/profile_vi_a.rs:

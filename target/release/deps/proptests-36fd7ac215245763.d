@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-36fd7ac215245763.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-36fd7ac215245763: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

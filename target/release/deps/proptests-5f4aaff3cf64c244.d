@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-5f4aaff3cf64c244.d: crates/simt/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-5f4aaff3cf64c244: crates/simt/tests/proptests.rs
+
+crates/simt/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-e751e3992bfcab47.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-e751e3992bfcab47: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/race_freedom-45ff35d943cda839.d: tests/race_freedom.rs
+
+/root/repo/target/release/deps/race_freedom-45ff35d943cda839: tests/race_freedom.rs
+
+tests/race_freedom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/racecheck_tool-1047b95e86879778.d: crates/bench/src/bin/racecheck_tool.rs
+
+/root/repo/target/release/deps/racecheck_tool-1047b95e86879778: crates/bench/src/bin/racecheck_tool.rs
+
+crates/bench/src/bin/racecheck_tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/send_audit-c508a14becd62ed2.d: crates/simt/tests/send_audit.rs
+
+/root/repo/target/release/deps/send_audit-c508a14becd62ed2: crates/simt/tests/send_audit.rs
+
+crates/simt/tests/send_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_gpu-e3aacc00c0102aa7.d: examples/custom_gpu.rs
+
+/root/repo/target/release/examples/custom_gpu-e3aacc00c0102aa7: examples/custom_gpu.rs
+
+examples/custom_gpu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/external_graph-707544a57538a46a.d: examples/external_graph.rs
+
+/root/repo/target/release/examples/external_graph-707544a57538a46a: examples/external_graph.rs
+
+examples/external_graph.rs:

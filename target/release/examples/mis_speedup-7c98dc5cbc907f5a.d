@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mis_speedup-7c98dc5cbc907f5a.d: examples/mis_speedup.rs
+
+/root/repo/target/release/examples/mis_speedup-7c98dc5cbc907f5a: examples/mis_speedup.rs
+
+examples/mis_speedup.rs:

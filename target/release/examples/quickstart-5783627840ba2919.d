@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5783627840ba2919.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5783627840ba2919: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/race_detection-6fdd201989165d0d.d: examples/race_detection.rs
+
+/root/repo/target/release/examples/race_detection-6fdd201989165d0d: examples/race_detection.rs
+
+examples/race_detection.rs:

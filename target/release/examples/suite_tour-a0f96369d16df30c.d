@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/suite_tour-a0f96369d16df30c.d: examples/suite_tour.rs
+
+/root/repo/target/release/examples/suite_tour-a0f96369d16df30c: examples/suite_tour.rs
+
+examples/suite_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/word_tearing-391ec3eddbf0bd0a.d: examples/word_tearing.rs
+
+/root/repo/target/release/examples/word_tearing-391ec3eddbf0bd0a: examples/word_tearing.rs
+
+examples/word_tearing.rs:
