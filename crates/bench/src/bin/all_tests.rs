@@ -5,40 +5,230 @@
 //! ```text
 //! cargo run --release -p ecl-bench --bin all_tests -- [options]
 //!
-//! --scale <f64>   input scale multiplier        (default 1.0)
-//! --runs <n>      runs per configuration        (default 3; paper used 9)
-//! --gpu <name>    restrict to one GPU           (default: all four)
-//! --jobs <n>      sweep worker threads          (default: $ECL_JOBS, else
+//! --scale <f64>     input scale multiplier      (default 1.0)
+//! --runs <n>        runs per configuration      (default 3; paper used 9)
+//! --seed <n>        base experiment seed        (default 1)
+//! --sets <which>    undirected|directed|both    (default both)
+//! --gpu <name>      restrict to one GPU         (default: all four)
+//! --jobs <n>        sweep worker threads        (default: $ECL_JOBS, else
 //!                                                all cores; results are
 //!                                                bit-identical at any count)
-//! --out <dir>     output directory              (default ./output)
-//! --omit-timing   leave wall-clock metadata out of BENCH_RESULTS.json
-//!                 (for byte-exact diffs between runs)
-//! --list-gpus     print Table I and exit
-//! --list-inputs   print Tables II and III and exit
+//! --retries <n>     attempts per measurement    (default 1 = no retries)
+//! --watchdog <c>    per-launch watchdog budget in cycles
+//! --fault-rate <p>  bitflip probability per eligible load (default: none)
+//! --fault-level <l> dram | l2 | l1              (default dram)
+//! --fault-seed <n>  fault-plan seed             (default 42)
+//! --out <dir>       output directory            (default ./output)
+//! --omit-timing     leave wall-clock metadata out of BENCH_RESULTS.json
+//!                   (for byte-exact diffs between runs)
+//! --list-gpus       print Table I and exit
+//! --list-inputs     print Tables II and III and exit
+//!
+//! Crash safety:
+//! --journal <path>  append each finished cell to a fsync'd JSONL journal
+//! --resume <path>   skip cells already in <path>, verify the overlap by
+//!                   digest, append the rest to the same journal
+//! --isolate         run each cell in a worker subprocess: a panic, abort,
+//!                   OOM kill, or hang in one cell becomes one typed
+//!                   failure instead of taking the sweep down
+//! --cell-timeout <s> wall-clock budget per isolated cell (default 300)
+//! --replay <bundle> re-run exactly the failed cell a repro bundle under
+//!                   output/repro/ describes, and exit
 //! ```
 //!
 //! Besides the text tables and CSVs, writes `BENCH_RESULTS.json` — every
 //! measured cell, every failed cell, and the per-(GPU, algorithm) summary
-//! rows. Exits 1 if any cell failed (the failures are listed on stderr and
-//! recorded in the JSON; the sweep itself always runs to completion).
+//! rows — plus one `output/repro/<cell>.json` bundle per failed cell with
+//! the exact seeds and a one-command replay line. Exits 1 if any cell
+//! failed, 2 on a resume-identity mismatch, 130 on SIGINT (after flushing
+//! the journal, so the sweep is resumable).
 
-use ecl_bench::{format_fig6, format_table9, pool, to_csv, BenchReport, Matrix, SweepTiming};
-use ecl_graph::inputs::{directed_catalog, undirected_catalog};
+use ecl_bench::{
+    cell_key, format_fig6, format_table9, graph_seed, install_interrupt_handler, interrupted, pool,
+    sched_seed, to_csv, BenchReport, CellFailure, IsolateSpec, Journal, JournalWriter, Json,
+    Matrix, MeasuredTable, SweepControl, SweepTiming,
+};
+use ecl_core::suite::{Algorithm, RetryPolicy};
+use ecl_core::SimOptions;
+use ecl_graph::inputs::{directed_catalog, undirected_catalog, GraphInput};
 use ecl_graph::props::properties;
-use ecl_simt::GpuConfig;
+use ecl_simt::{FaultPlan, GpuConfig, MemLevel};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Everything the CLI configures, shared by the sweep, worker, and replay
+/// entry points so a forwarded flag means the same thing everywhere.
+#[derive(Debug, Clone)]
+struct Config {
+    scale: f64,
+    runs: usize,
+    seed: u64,
+    jobs: usize,
+    gpus: Vec<GpuConfig>,
+    retries: u32,
+    watchdog: Option<u64>,
+    fault_rate: f64,
+    fault_level: MemLevel,
+    fault_seed: u64,
+    sets: SetSelection,
+    out_dir: PathBuf,
+    omit_timing: bool,
+    isolate: bool,
+    cell_timeout: u64,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetSelection {
+    Undirected,
+    Directed,
+    Both,
+}
+
+impl SetSelection {
+    fn names(self) -> Vec<&'static str> {
+        match self {
+            SetSelection::Undirected => vec!["undirected"],
+            SetSelection::Directed => vec!["directed"],
+            SetSelection::Both => vec!["undirected", "directed"],
+        }
+    }
+}
+
+impl Config {
+    fn from_args(args: &[String]) -> Config {
+        let get = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        let sets = match get("--sets").as_deref() {
+            None | Some("both") => SetSelection::Both,
+            Some("undirected") => SetSelection::Undirected,
+            Some("directed") => SetSelection::Directed,
+            Some(other) => die(&format!(
+                "unknown --sets '{other}' (want undirected, directed, or both)"
+            )),
+        };
+        let gpus: Vec<GpuConfig> = match get("--gpu") {
+            Some(name) => match GpuConfig::by_name(&name) {
+                Some(g) => vec![g],
+                None => die(&format!("unknown GPU '{name}'; try --list-gpus")),
+            },
+            None => GpuConfig::paper_gpus(),
+        };
+        let fault_level = match get("--fault-level").as_deref() {
+            None | Some("dram") => MemLevel::Dram,
+            Some("l2") => MemLevel::L2,
+            Some("l1") => MemLevel::L1,
+            Some(other) => die(&format!(
+                "unknown --fault-level '{other}' (want dram, l2, or l1)"
+            )),
+        };
+        Config {
+            scale: get("--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0),
+            runs: get("--runs").and_then(|s| s.parse().ok()).unwrap_or(3),
+            seed: get("--seed").and_then(|s| s.parse().ok()).unwrap_or(1),
+            jobs: get("--jobs")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(pool::default_workers),
+            gpus,
+            retries: get("--retries").and_then(|s| s.parse().ok()).unwrap_or(1),
+            watchdog: get("--watchdog").and_then(|s| s.parse().ok()),
+            fault_rate: get("--fault-rate")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0),
+            fault_level,
+            fault_seed: get("--fault-seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42),
+            sets,
+            out_dir: PathBuf::from(get("--out").unwrap_or_else(|| "output".into())),
+            omit_timing: args.iter().any(|a| a == "--omit-timing"),
+            isolate: args.iter().any(|a| a == "--isolate"),
+            cell_timeout: get("--cell-timeout")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(300),
+            journal: get("--journal").map(PathBuf::from),
+            resume: get("--resume").map(PathBuf::from),
+        }
+    }
+
+    fn sim_options(&self, deadline: Option<Instant>) -> SimOptions {
+        SimOptions {
+            watchdog: self.watchdog,
+            fault: (self.fault_rate > 0.0).then(|| {
+                FaultPlan::new(self.fault_seed).with_bitflips(self.fault_rate, self.fault_level)
+            }),
+            deadline,
+        }
+    }
+
+    fn retry(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.retries.max(1),
+            seed_stride: 1,
+        }
+    }
+
+    fn matrix(&self, deadline: Option<Instant>) -> Matrix {
+        Matrix::quick()
+            .scale(self.scale)
+            .runs(self.runs)
+            .seed(self.seed)
+            .gpus(self.gpus.clone())
+            .jobs(self.jobs)
+            .sim_options(self.sim_options(deadline))
+            .retry(self.retry())
+    }
+
+    /// The flags a per-cell worker needs to reproduce this configuration.
+    /// The cell key (which carries the GPU) travels separately.
+    fn worker_args(&self) -> Vec<String> {
+        let mut a = vec![
+            "--scale".into(),
+            self.scale.to_string(),
+            "--runs".into(),
+            self.runs.to_string(),
+            "--seed".into(),
+            self.seed.to_string(),
+            "--retries".into(),
+            self.retries.to_string(),
+            "--cell-timeout".into(),
+            self.cell_timeout.to_string(),
+        ];
+        if let Some(w) = self.watchdog {
+            a.push("--watchdog".into());
+            a.push(w.to_string());
+        }
+        if self.fault_rate > 0.0 {
+            a.push("--fault-rate".into());
+            a.push(self.fault_rate.to_string());
+            a.push("--fault-level".into());
+            a.push(
+                match self.fault_level {
+                    MemLevel::Dram => "dram",
+                    MemLevel::L2 => "l2",
+                    MemLevel::L1 => "l1",
+                }
+                .into(),
+            );
+            a.push("--fault-seed".into());
+            a.push(self.fault_seed.to_string());
+        }
+        a
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let get = |flag: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-
     if args.iter().any(|a| a == "--list-gpus") {
         print_gpus();
         return;
@@ -47,82 +237,324 @@ fn main() {
         print_inputs();
         return;
     }
-
-    let scale: f64 = get("--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let runs: usize = get("--runs").and_then(|s| s.parse().ok()).unwrap_or(3);
-    let jobs: usize = get("--jobs")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(pool::default_workers);
-    let omit_timing = args.iter().any(|a| a == "--omit-timing");
-    let out_dir = PathBuf::from(get("--out").unwrap_or_else(|| "output".into()));
-    let gpus: Vec<GpuConfig> = match get("--gpu") {
-        Some(name) => GpuConfig::paper_gpus()
-            .into_iter()
-            .filter(|g| g.name.eq_ignore_ascii_case(&name))
-            .collect(),
-        None => GpuConfig::paper_gpus(),
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
     };
-    assert!(!gpus.is_empty(), "unknown GPU; try --list-gpus");
+    let cfg = Config::from_args(&args);
+    if let Some(key) = get("--worker-cell") {
+        worker_main(&cfg, &key);
+        return;
+    }
+    if let Some(bundle) = get("--replay") {
+        replay_main(&PathBuf::from(bundle));
+        return;
+    }
+    sweep_main(&cfg);
+}
 
-    let matrix = Matrix::quick()
-        .scale(scale)
-        .runs(runs)
-        .gpus(gpus.clone())
-        .jobs(jobs);
+/// Worker mode: measure exactly one cell and report on stdout. Exits 0
+/// whether the cell measured or failed — the verdict travels in the JSON;
+/// only a *dead* worker (abort, kill, timeout) exits otherwise.
+fn worker_main(cfg: &Config, key: &str) {
+    // Test hook: a worker whose key matches $ECL_WORKER_PANIC dies before
+    // the panic-containment of `run_cell` can see it — the process-level
+    // failure mode the isolation layer exists to catch.
+    if let Ok(needle) = std::env::var("ECL_WORKER_PANIC") {
+        if !needle.is_empty() && key.contains(&needle) {
+            panic!("ECL_WORKER_PANIC: injected worker death for '{key}'");
+        }
+    }
+    let mut parts = key.splitn(4, '/');
+    let (set, input, alg, gpu) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(s), Some(i), Some(a), Some(g)) => (s, i, a, g),
+        _ => die(&format!("malformed --worker-cell key '{key}'")),
+    };
+    let _ = set;
+    let input = GraphInput::by_name(input)
+        .unwrap_or_else(|| die(&format!("unknown input '{input}' in key '{key}'")));
+    let algorithm = Algorithm::parse(alg)
+        .unwrap_or_else(|| die(&format!("unknown algorithm '{alg}' in key '{key}'")));
+    let gpu = GpuConfig::by_name(gpu)
+        .unwrap_or_else(|| die(&format!("unknown gpu '{gpu}' in key '{key}'")));
+
+    // The tentpole deadline plumbing: the worker arms a host wall-clock
+    // deadline slightly inside the parent's kill budget, so a runaway
+    // launch dies as a *typed* SimError (journalable, replayable) rather
+    // than as an opaque SIGKILL.
+    let deadline = Instant::now() + Duration::from_secs_f64(cfg.cell_timeout as f64 * 0.9);
+    let matrix = cfg.matrix(Some(deadline)).gpus(vec![gpu.clone()]);
+    let graph = input.build(cfg.scale, graph_seed(cfg.seed));
+    let props = properties(&graph);
+    let verdict = match matrix.try_measure(input.name(), algorithm, &graph, &gpu, props) {
+        Ok(cell) => ecl_bench::isolate::WorkerVerdict::Ok(ecl_bench::cell_json(&cell)),
+        Err(failure) => {
+            ecl_bench::isolate::WorkerVerdict::Failed(ecl_bench::failure_json(&failure))
+        }
+    };
+    println!(
+        "{}",
+        ecl_bench::isolate::worker_doc(&verdict).render_compact()
+    );
+}
+
+/// Replay mode: re-run exactly the failed cell a repro bundle describes.
+fn replay_main(bundle_path: &std::path::Path) {
+    let text = std::fs::read_to_string(bundle_path).unwrap_or_else(|e| {
+        die(&format!(
+            "cannot read bundle {}: {e}",
+            bundle_path.display()
+        ))
+    });
+    let bundle = Json::parse(&text).unwrap_or_else(|e| {
+        die(&format!(
+            "bundle {} is not JSON: {e}",
+            bundle_path.display()
+        ))
+    });
+    if bundle.get("schema").and_then(Json::as_str) != Some(REPRO_SCHEMA) {
+        die(&format!(
+            "{} is not a {REPRO_SCHEMA} bundle",
+            bundle_path.display()
+        ));
+    }
+    let key = bundle
+        .get("key")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| die("bundle has no 'key'"));
+    let args: Vec<String> = bundle
+        .get("replay")
+        .and_then(|r| r.get("args"))
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| die("bundle has no replay.args"))
+        .iter()
+        .filter_map(|a| a.as_str().map(str::to_string))
+        .collect();
+    let cfg = Config::from_args(&args);
+    eprintln!("replaying {key} with {}", args.join(" "));
+    worker_main(&cfg, key);
+}
+
+/// Schema tag of a repro bundle.
+const REPRO_SCHEMA: &str = "ecl-bench/REPRO/v1";
+
+/// File-name slug for a cell key.
+fn slug(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Writes one repro bundle per failed cell and returns the bundle paths.
+fn write_repro_bundles(cfg: &Config, set: &str, failures: &[CellFailure]) -> Vec<PathBuf> {
+    let dir = cfg.out_dir.join("repro");
+    let mut paths = Vec::new();
+    for f in failures {
+        std::fs::create_dir_all(&dir).expect("create repro dir");
+        let key = cell_key(set, f.input, f.algorithm, f.gpu);
+        let path = dir.join(format!("{}.json", slug(&key)));
+        let mut replay_args = cfg.worker_args();
+        replay_args.push("--gpu".into());
+        replay_args.push(f.gpu.into());
+        let bundle = Json::obj(vec![
+            ("schema", Json::Str(REPRO_SCHEMA.into())),
+            ("key", Json::Str(key.clone())),
+            ("error", Json::Str(f.error.to_string())),
+            ("run", Json::Num(f.run as f64)),
+            (
+                "experiment",
+                Json::obj(vec![
+                    ("scale", Json::Num(cfg.scale)),
+                    ("runs", Json::Num(cfg.runs as f64)),
+                    ("seed", Json::Num(cfg.seed as f64)),
+                    (
+                        "graph_seed",
+                        Json::Str(format!("{:#x}", graph_seed(cfg.seed))),
+                    ),
+                    (
+                        "sched_seed0",
+                        Json::Str(format!("{:#x}", sched_seed(cfg.seed, 0))),
+                    ),
+                    ("retries", Json::Num(cfg.retries as f64)),
+                    (
+                        "watchdog",
+                        cfg.watchdog
+                            .map(|w| Json::Num(w as f64))
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("fault_rate", Json::Num(cfg.fault_rate)),
+                    ("fault_seed", Json::Num(cfg.fault_seed as f64)),
+                ]),
+            ),
+            (
+                "replay",
+                Json::obj(vec![
+                    (
+                        "args",
+                        Json::Arr(replay_args.into_iter().map(Json::Str).collect()),
+                    ),
+                    (
+                        "cli",
+                        Json::Str(format!(
+                            "cargo run --release -p ecl-bench --bin all_tests -- --replay {}",
+                            path.display()
+                        )),
+                    ),
+                ]),
+            ),
+        ]);
+        let mut text = bundle.render();
+        text.push('\n');
+        std::fs::write(&path, text).expect("write repro bundle");
+        paths.push(path);
+    }
+    paths
+}
+
+fn sweep_main(cfg: &Config) {
+    install_interrupt_handler();
+    let matrix = cfg.matrix(None);
+    let set_names = cfg.sets.names();
+    let identity = ecl_bench::journal::identity_json(matrix.experiment(), &set_names);
+
+    // Checkpointing: a fresh journal, or append to the one being resumed.
+    if cfg.journal.is_some() && cfg.resume.is_some() {
+        die(
+            "--journal and --resume are mutually exclusive (resume appends to the resumed journal)",
+        );
+    }
+    let resumed: Option<Journal> = cfg.resume.as_deref().map(|path| {
+        let j = Journal::load(path).unwrap_or_else(|e| die(&e));
+        if j.identity != identity {
+            eprintln!("error: journal identity mismatch — the journal was written by a different configuration.");
+            eprintln!("  journal: {}", j.identity.render_compact());
+            eprintln!("  current: {}", identity.render_compact());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "resuming from {} ({} completed cell(s) on record)",
+            path.display(),
+            j.records.iter().filter(|r| r.ok).count()
+        );
+        j
+    });
+    let writer: Option<JournalWriter> = match (&cfg.journal, &cfg.resume) {
+        (Some(path), None) => Some(JournalWriter::create(path, &identity).expect("create journal")),
+        (None, Some(path)) => Some(JournalWriter::append_to(path).expect("open journal")),
+        _ => None,
+    };
+
+    let isolate_spec: Option<IsolateSpec> = cfg.isolate.then(|| IsolateSpec {
+        exe: std::env::current_exe().expect("current_exe"),
+        base_args: cfg.worker_args(),
+        timeout: Duration::from_secs(cfg.cell_timeout),
+        scratch: cfg.out_dir.join("tmp"),
+    });
+
+    let ctl = SweepControl {
+        journal: writer.as_ref(),
+        resume: resumed.as_ref(),
+        isolate: isolate_spec.as_ref(),
+        interrupt: Some(ecl_bench::interrupt::interrupt_flag()),
+    };
+
     eprintln!(
-        "running the full matrix: scale {scale}, {runs} run(s) per config, {} GPU(s), {jobs} worker(s)…",
-        gpus.len()
+        "running the matrix: scale {}, {} run(s) per config, {} GPU(s), {} worker(s){}{}…",
+        cfg.scale,
+        cfg.runs,
+        cfg.gpus.len(),
+        cfg.jobs,
+        if cfg.isolate { ", isolated cells" } else { "" },
+        if writer.is_some() { ", journaled" } else { "" },
     );
 
-    let t0 = Instant::now();
-    let undirected = matrix.run_undirected();
-    let undirected_seconds = t0.elapsed().as_secs_f64();
-    eprintln!("undirected matrix done in {undirected_seconds:.1}s");
-    let t1 = Instant::now();
-    let directed = matrix.run_directed();
-    let directed_seconds = t1.elapsed().as_secs_f64();
-    eprintln!("directed matrix done in {directed_seconds:.1}s");
+    let run_one = |name: &str| -> (MeasuredTable, f64) {
+        if !set_names.contains(&name) || interrupted() {
+            return (MeasuredTable::default(), 0.0);
+        }
+        let t = Instant::now();
+        let table = match name {
+            "undirected" => matrix.run_undirected_with(&ctl),
+            _ => matrix.run_directed_with(&ctl),
+        };
+        let secs = t.elapsed().as_secs_f64();
+        eprintln!("{name} matrix done in {secs:.1}s");
+        (table, secs)
+    };
+    let (undirected, undirected_seconds) = run_one("undirected");
+    let (directed, directed_seconds) = run_one("directed");
+
+    if interrupted() {
+        let completed = undirected.cells.len() + directed.cells.len();
+        if let Some(w) = &writer {
+            let _ = w.append_note("interrupted", completed);
+        }
+        eprintln!("interrupted: {completed} cell(s) finished and journaled; resume with --resume");
+        std::process::exit(130);
+    }
 
     // Tables IV-VII (undirected) and VIII (directed), per GPU.
-    for gpu in &gpus {
-        println!("{}", undirected.table(gpu));
-        println!("{}", directed.table(gpu));
+    for gpu in &cfg.gpus {
+        if !undirected.cells.is_empty() {
+            println!("{}", undirected.table(gpu));
+        }
+        if !directed.cells.is_empty() {
+            println!("{}", directed.table(gpu));
+        }
     }
-    let gpu_names: Vec<&str> = gpus.iter().map(|g| g.name).collect();
+    let gpu_names: Vec<&str> = cfg.gpus.iter().map(|g| g.name).collect();
     println!("{}", format_table9(&undirected, &directed, &gpu_names));
     println!();
     println!("{}", format_fig6(&undirected, &directed, &gpu_names));
 
-    std::fs::create_dir_all(&out_dir).expect("create output dir");
-    std::fs::write(out_dir.join("undirected_speedups.csv"), to_csv(&undirected))
-        .expect("write undirected csv");
-    std::fs::write(out_dir.join("directed_speedups.csv"), to_csv(&directed))
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    std::fs::write(
+        cfg.out_dir.join("undirected_speedups.csv"),
+        to_csv(&undirected),
+    )
+    .expect("write undirected csv");
+    std::fs::write(cfg.out_dir.join("directed_speedups.csv"), to_csv(&directed))
         .expect("write directed csv");
     let mut fig = String::new();
     fig.push_str(&format_fig6(&undirected, &directed, &gpu_names));
-    std::fs::write(out_dir.join("geometric_means.txt"), fig).expect("write fig6");
+    std::fs::write(cfg.out_dir.join("geometric_means.txt"), fig).expect("write fig6");
 
     let report = BenchReport {
         experiment: matrix.experiment(),
         undirected: &undirected,
         directed: &directed,
-        timing: (!omit_timing).then_some(SweepTiming {
+        timing: (!cfg.omit_timing).then_some(SweepTiming {
             undirected_seconds,
             directed_seconds,
         }),
     };
-    std::fs::write(out_dir.join("BENCH_RESULTS.json"), report.render())
+    std::fs::write(cfg.out_dir.join("BENCH_RESULTS.json"), report.render())
         .expect("write BENCH_RESULTS.json");
     eprintln!(
         "CSV, chart, and BENCH_RESULTS.json written to {}",
-        out_dir.display()
+        cfg.out_dir.display()
     );
+
+    let mut bundles = write_repro_bundles(cfg, "undirected", &undirected.failures);
+    bundles.extend(write_repro_bundles(cfg, "directed", &directed.failures));
 
     let failed = undirected.failures.len() + directed.failures.len();
     if failed > 0 {
         eprintln!("\n{failed} cell(s) failed:");
         for f in undirected.failures.iter().chain(&directed.failures) {
             eprintln!("  {f}");
+        }
+        eprintln!("repro bundles (re-run one with --replay <bundle>):");
+        for b in &bundles {
+            eprintln!("  {}", b.display());
         }
         std::process::exit(1);
     }

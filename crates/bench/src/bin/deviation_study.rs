@@ -48,7 +48,9 @@ fn main() {
         }
     }
 
-    let rows = pool::run_indexed(jobs, cells.len(), |i| {
+    ecl_bench::install_interrupt_handler();
+    let interrupt = ecl_bench::interrupt::interrupt_flag();
+    let rows = pool::run_indexed_until(jobs, cells.len(), Some(interrupt), |i| {
         let (name, alg) = cells[i];
         let input = GraphInput::by_name(name).expect("catalog entry");
         let graph = cache.get_or_build(&input, 0.5, 1);
@@ -56,9 +58,17 @@ fn main() {
         let free = relative_deviation(alg, VariantArg::RaceFree, &graph.csr, &gpu, runs);
         (name, alg, base, free)
     });
+    if ecl_bench::interrupted() {
+        let done = rows.iter().flatten().count();
+        eprintln!(
+            "deviation_study: interrupted after {done}/{} cell(s)",
+            cells.len()
+        );
+        std::process::exit(130);
+    }
 
     let mut all = Vec::new();
-    for (name, alg, base, free) in rows {
+    for (name, alg, base, free) in rows.into_iter().flatten() {
         all.push(base);
         all.push(free);
         println!(

@@ -130,12 +130,15 @@ fn main() {
         outcome_class: u8, // 0 = ok, 1 = recovered, 2 = failed
     }
 
-    let reports = pool::run_indexed(jobs, cells.len(), |i| {
+    ecl_bench::install_interrupt_handler();
+    let interrupt = ecl_bench::interrupt::interrupt_flag();
+    let reports = pool::run_indexed_until(jobs, cells.len(), Some(interrupt), |i| {
         let (ri, level, rate, alg, variant) = cells[i];
         let graph = input_for(&cache, alg);
         let opts = SimOptions {
             watchdog: Some(WATCHDOG),
             fault: (rate > 0.0).then(|| FaultPlan::new(seed).with_bitflips(rate, level)),
+            deadline: None,
         };
         let mut sdc = 0u32;
         let mut crashed = 0u32;
@@ -178,6 +181,16 @@ fn main() {
             outcome_class,
         }
     });
+
+    if ecl_bench::interrupted() {
+        let done = reports.iter().flatten().count();
+        eprintln!(
+            "fault_study: interrupted after {done}/{} cell(s)",
+            cells.len()
+        );
+        std::process::exit(130);
+    }
+    let reports: Vec<CellReport> = reports.into_iter().flatten().collect();
 
     let mut totals = [(0u32, 0u32, 0u32); SWEEP.len()]; // (ok, recovered, failed)
     for report in &reports {

@@ -8,10 +8,13 @@
 //! experiment — at any worker count — must produce byte-identical reports,
 //! except for the optional `timing` block, which callers omit when diffing.
 
-use crate::matrix::{Experiment, MeasuredTable};
+use crate::matrix::{CellFailure, Experiment, MeasuredCell, MeasuredTable, VariantProfile};
 use crate::stats::geomean;
-use ecl_core::suite::Algorithm;
+use ecl_core::suite::{Algorithm, RunError};
+use ecl_graph::inputs::{directed_catalog, undirected_catalog};
+use ecl_graph::props::GraphProperties;
 use ecl_simt::metrics::RunStats;
+use ecl_simt::GpuConfig;
 use std::fmt::Write as _;
 
 /// A JSON value. Objects preserve insertion order so rendered output is
@@ -75,6 +78,53 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out, 0);
         out
+    }
+
+    /// Renders the value on a single line with no whitespace — the form the
+    /// JSONL journal writes (one record per line) and the form record
+    /// digests are computed over. Parses back to the same tree as
+    /// [`Json::render`]'s output.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, depth: usize) {
@@ -438,40 +488,8 @@ impl BenchReport<'_> {
 /// the per-(GPU, algorithm) min/geomean/max summary rows of the paper's
 /// tables.
 pub fn table_json(table: &MeasuredTable) -> Json {
-    let cells = table
-        .cells
-        .iter()
-        .map(|c| {
-            Json::obj(vec![
-                ("input", Json::Str(c.input.into())),
-                ("algorithm", Json::Str(c.algorithm.name().into())),
-                ("gpu", Json::Str(c.gpu.into())),
-                ("baseline_cycles", Json::Num(c.baseline_cycles)),
-                ("racefree_cycles", Json::Num(c.racefree_cycles)),
-                ("speedup", Json::Num(c.speedup)),
-                ("vertices", Json::Num(c.props.num_vertices as f64)),
-                ("edges", Json::Num(c.props.num_edges as f64)),
-                ("avg_degree", Json::Num(c.props.avg_degree)),
-                ("max_degree", Json::Num(c.props.max_degree as f64)),
-                ("baseline_profile", profile_json(&c.baseline_profile)),
-                ("racefree_profile", profile_json(&c.racefree_profile)),
-            ])
-        })
-        .collect();
-
-    let failures = table
-        .failures
-        .iter()
-        .map(|f| {
-            Json::obj(vec![
-                ("input", Json::Str(f.input.into())),
-                ("algorithm", Json::Str(f.algorithm.name().into())),
-                ("gpu", Json::Str(f.gpu.into())),
-                ("run", Json::Num(f.run as f64)),
-                ("error", Json::Str(f.error.to_string())),
-            ])
-        })
-        .collect();
+    let cells = table.cells.iter().map(cell_json).collect();
+    let failures = table.failures.iter().map(failure_json).collect();
 
     // Summary rows in first-appearance order, mirroring the text tables.
     let mut gpus: Vec<&'static str> = Vec::new();
@@ -509,6 +527,121 @@ pub fn table_json(table: &MeasuredTable) -> Json {
         ("failures", Json::Arr(failures)),
         ("summary", Json::Arr(summary)),
     ])
+}
+
+/// Serializes one measured cell. This is the *lossless* form: together with
+/// [`parse_cell`] it round-trips every field bit-exactly (floats use
+/// shortest round-trip formatting), which is what lets a resumed sweep
+/// reconstruct journaled cells without re-running them and still produce a
+/// byte-identical report.
+pub fn cell_json(c: &MeasuredCell) -> Json {
+    Json::obj(vec![
+        ("input", Json::Str(c.input.into())),
+        ("algorithm", Json::Str(c.algorithm.name().into())),
+        ("gpu", Json::Str(c.gpu.into())),
+        ("baseline_cycles", Json::Num(c.baseline_cycles)),
+        ("racefree_cycles", Json::Num(c.racefree_cycles)),
+        ("speedup", Json::Num(c.speedup)),
+        ("vertices", Json::Num(c.props.num_vertices as f64)),
+        ("edges", Json::Num(c.props.num_edges as f64)),
+        ("avg_degree", Json::Num(c.props.avg_degree)),
+        ("max_degree", Json::Num(c.props.max_degree as f64)),
+        ("min_degree", Json::Num(c.props.min_degree as f64)),
+        ("baseline_profile", profile_json(&c.baseline_profile)),
+        ("racefree_profile", profile_json(&c.racefree_profile)),
+    ])
+}
+
+/// Serializes one cell failure (same shape `BENCH_RESULTS.json` uses).
+pub fn failure_json(f: &CellFailure) -> Json {
+    Json::obj(vec![
+        ("input", Json::Str(f.input.into())),
+        ("algorithm", Json::Str(f.algorithm.name().into())),
+        ("gpu", Json::Str(f.gpu.into())),
+        ("run", Json::Num(f.run as f64)),
+        ("error", Json::Str(f.error.to_string())),
+    ])
+}
+
+/// Resolves an input name back to the catalog's `&'static str` for it, so
+/// deserialized cells compare pointer-free against freshly measured ones.
+pub fn resolve_input_name(name: &str) -> Option<&'static str> {
+    undirected_catalog()
+        .iter()
+        .chain(directed_catalog())
+        .map(|i| i.name())
+        .find(|n| *n == name)
+}
+
+fn field_num(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn field_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn parse_cell_key(j: &Json) -> Result<(&'static str, Algorithm, &'static str), String> {
+    let input = field_str(j, "input")?;
+    let input = resolve_input_name(input).ok_or_else(|| format!("unknown input '{input}'"))?;
+    let alg = field_str(j, "algorithm")?;
+    let algorithm = Algorithm::parse(alg).ok_or_else(|| format!("unknown algorithm '{alg}'"))?;
+    let gpu = field_str(j, "gpu")?;
+    let gpu = GpuConfig::by_name(gpu)
+        .map(|g| g.name)
+        .ok_or_else(|| format!("unknown gpu '{gpu}'"))?;
+    Ok((input, algorithm, gpu))
+}
+
+/// Inverse of [`cell_json`]. Input and GPU names are resolved back to the
+/// catalogs' `&'static str`s; unknown names are an error (the journal came
+/// from a different build).
+pub fn parse_cell(j: &Json) -> Result<MeasuredCell, String> {
+    let (input, algorithm, gpu) = parse_cell_key(j)?;
+    let profile = |key: &str| -> Result<VariantProfile, String> {
+        let p = j.get(key).ok_or_else(|| format!("missing '{key}'"))?;
+        Ok(VariantProfile {
+            l1_hit_rate: field_num(p, "l1_hit_rate")?,
+            atomic_accesses: field_num(p, "atomic_accesses")? as u64,
+            launches: field_num(p, "launches")? as u64,
+        })
+    };
+    Ok(MeasuredCell {
+        input,
+        algorithm,
+        gpu,
+        baseline_cycles: field_num(j, "baseline_cycles")?,
+        racefree_cycles: field_num(j, "racefree_cycles")?,
+        speedup: field_num(j, "speedup")?,
+        props: GraphProperties {
+            num_vertices: field_num(j, "vertices")? as usize,
+            num_edges: field_num(j, "edges")? as usize,
+            avg_degree: field_num(j, "avg_degree")?,
+            max_degree: field_num(j, "max_degree")? as usize,
+            min_degree: field_num(j, "min_degree")? as usize,
+        },
+        baseline_profile: profile("baseline_profile")?,
+        racefree_profile: profile("racefree_profile")?,
+    })
+}
+
+/// Inverse of [`failure_json`]. The typed [`RunError`] was flattened to its
+/// display string when serialized, so it comes back as
+/// [`RunError::Remote`] — which displays as exactly that string, keeping
+/// re-serialization stable.
+pub fn parse_failure(j: &Json) -> Result<CellFailure, String> {
+    let (input, algorithm, gpu) = parse_cell_key(j)?;
+    Ok(CellFailure {
+        input,
+        algorithm,
+        gpu,
+        run: field_num(j, "run")? as usize,
+        error: RunError::Remote(field_str(j, "error")?.to_string()),
+    })
 }
 
 fn profile_json(p: &crate::matrix::VariantProfile) -> Json {
@@ -608,6 +741,71 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn measured_cells_round_trip_losslessly() {
+        // Resume rebuilds cells from journal bodies; if any field were
+        // dropped or rounded, the resumed BENCH_RESULTS.json would differ
+        // from the uninterrupted one. Use awkward floats on purpose.
+        let cell = MeasuredCell {
+            input: resolve_input_name("rmat16.sym").unwrap(),
+            algorithm: Algorithm::Cc,
+            gpu: GpuConfig::a100().name,
+            baseline_cycles: 1.0 / 3.0,
+            racefree_cycles: 6.02e23,
+            speedup: 0.1 + 0.2,
+            props: GraphProperties {
+                num_vertices: 65536,
+                num_edges: 1 << 20,
+                avg_degree: 16.000000000000004,
+                max_degree: 1234,
+                min_degree: 1,
+            },
+            baseline_profile: VariantProfile {
+                l1_hit_rate: 0.6412705003113971,
+                atomic_accesses: 250,
+                launches: 5,
+            },
+            racefree_profile: VariantProfile {
+                l1_hit_rate: 0.4611485010051569,
+                atomic_accesses: 48968,
+                launches: 5,
+            },
+        };
+        let j = cell_json(&cell);
+        let text = j.render_compact();
+        let back = parse_cell(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(cell_json(&back).render_compact(), text, "lossy round-trip");
+        assert!(std::ptr::eq(back.input, cell.input), "static name resolved");
+    }
+
+    #[test]
+    fn failures_round_trip_through_remote() {
+        let f = CellFailure {
+            input: resolve_input_name("cage14").unwrap(),
+            algorithm: Algorithm::Scc,
+            gpu: GpuConfig::test_tiny().name,
+            run: 2,
+            error: RunError::Remote("kernel 'sweep': watchdog timeout".into()),
+        };
+        let j = failure_json(&f);
+        let back = parse_failure(&j).unwrap();
+        // The error string survives verbatim, so re-serialization is stable.
+        assert_eq!(failure_json(&back), j);
+        assert_eq!(back.run, 2);
+    }
+
+    #[test]
+    fn compact_and_pretty_renderings_parse_to_the_same_tree() {
+        let doc = Json::obj(vec![
+            ("a", Json::Num(0.1)),
+            ("b", Json::Arr(vec![Json::Null, Json::Str("x\n".into())])),
+            ("c", Json::Obj(vec![])),
+        ]);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render_compact()).unwrap(), doc);
+        assert!(!doc.render_compact().contains('\n'));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Graceful SIGINT/SIGTERM handling for long sweeps.
+//!
+//! The handler only sets an `AtomicBool` (the one operation that is
+//! unconditionally async-signal-safe); the sweep polls [`interrupted`]
+//! between cells, finishes the cells already in flight, flushes the
+//! journal, and exits 130 — so a Ctrl-C'd sweep is always resumable.
+//!
+//! The registration goes through the raw libc `signal(2)` symbol directly
+//! (declared here) because the repo vendors no `libc` crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the flag-setting handler for SIGINT and SIGTERM. Idempotent.
+pub fn install_interrupt_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = on_signal; // no handler on non-unix; sweeps die uncheckpointed
+    }
+}
+
+/// True once SIGINT/SIGTERM has been received.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// The flag itself, for wiring into `SweepControl::interrupt`.
+pub fn interrupt_flag() -> &'static AtomicBool {
+    &INTERRUPTED
+}
+
+/// Test hook: raise or clear the flag without a real signal.
+pub fn set_interrupted(v: bool) {
+    INTERRUPTED.store(v, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        install_interrupt_handler();
+        set_interrupted(false);
+        assert!(!interrupted());
+        set_interrupted(true);
+        assert!(interrupted());
+        set_interrupted(false);
+    }
+}

@@ -1,0 +1,261 @@
+//! Process isolation for sweep cells: one worker subprocess per cell.
+//!
+//! In-process, `ecl_core::suite::run_cell` already converts panics and
+//! launch failures into typed errors — but an *abort* (allocation failure,
+//! stack overflow, a `panic = "abort"` dependency), a runaway cell, or the
+//! OOM killer still takes the whole sweep down. `--isolate` closes that
+//! hole: the parent re-invokes its own binary as a per-cell worker with a
+//! wall-clock deadline, and a dead or deadlocked worker becomes one typed
+//! [`RunError::Worker`] failure while the sweep continues.
+//!
+//! Protocol: the worker receives `--worker-cell <set>/<input>/<alg>/<gpu>`
+//! plus the parent's experiment flags, measures exactly that cell, and
+//! prints a single JSON document to stdout:
+//!
+//! ```text
+//! {"schema":"ecl-bench/WORKER_CELL/v1","ok":{…cell body…}}
+//! {"schema":"ecl-bench/WORKER_CELL/v1","failed":{…failure body…}}
+//! ```
+//!
+//! It exits 0 in both cases — the verdict travels in the JSON. Any other
+//! exit (nonzero, signal, timeout) is a worker death. Stdout and stderr go
+//! to per-cell scratch files, not pipes, so a chatty worker can never
+//! deadlock against a parent that isn't reading.
+
+use crate::export::Json;
+use ecl_core::suite::RunError;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// How a sweep launches per-cell workers.
+#[derive(Debug, Clone)]
+pub struct IsolateSpec {
+    /// The worker executable — normally `std::env::current_exe()`.
+    pub exe: PathBuf,
+    /// Experiment flags forwarded to every worker (scale, runs, seed,
+    /// watchdog, fault plan…), excluding the `--worker-cell` key.
+    pub base_args: Vec<String>,
+    /// Wall-clock budget per cell; an overrunning worker is killed.
+    pub timeout: Duration,
+    /// Directory for per-cell stdout/stderr capture files.
+    pub scratch: PathBuf,
+}
+
+/// What a worker that *ran to completion* reported.
+#[derive(Debug, Clone)]
+pub enum WorkerVerdict {
+    /// The cell measured cleanly; the body parses with
+    /// [`crate::export::parse_cell`].
+    Ok(Json),
+    /// The cell failed in a typed, in-process way; the body parses with
+    /// [`crate::export::parse_failure`].
+    Failed(Json),
+}
+
+/// Last `limit` bytes of a capture file, trimmed, for failure reports.
+fn tail_of(path: &std::path::Path, limit: usize) -> String {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let start = text.len().saturating_sub(limit);
+    // Don't split a UTF-8 scalar.
+    let start = (start..text.len())
+        .find(|&i| text.is_char_boundary(i))
+        .unwrap_or(text.len());
+    text[start..].trim().to_string()
+}
+
+/// Runs one cell in a worker subprocess. `idx` names the scratch files, so
+/// concurrent cells never collide.
+///
+/// # Errors
+///
+/// [`RunError::Worker`] when the process dies (nonzero exit, signal, or
+/// deadline kill) or produces unparsable output.
+pub fn run_worker(spec: &IsolateSpec, key: &str, idx: usize) -> Result<WorkerVerdict, RunError> {
+    std::fs::create_dir_all(&spec.scratch).map_err(|e| RunError::Worker {
+        exit: None,
+        signal: None,
+        timed_out: false,
+        stderr_tail: format!("cannot create scratch dir: {e}"),
+    })?;
+    let out_path = spec.scratch.join(format!("cell-{idx}.out"));
+    let err_path = spec.scratch.join(format!("cell-{idx}.err"));
+    let spawn = |p: &std::path::Path| std::fs::File::create(p);
+    let child = spawn(&out_path)
+        .and_then(|out| Ok((out, spawn(&err_path)?)))
+        .and_then(|(out, err)| {
+            Command::new(&spec.exe)
+                .args(&spec.base_args)
+                .arg("--worker-cell")
+                .arg(key)
+                .stdin(std::process::Stdio::null())
+                .stdout(out)
+                .stderr(err)
+                .spawn()
+        });
+    let mut child = match child {
+        Ok(c) => c,
+        Err(e) => {
+            return Err(RunError::Worker {
+                exit: None,
+                signal: None,
+                timed_out: false,
+                stderr_tail: format!("failed to spawn worker: {e}"),
+            })
+        }
+    };
+
+    let deadline = Instant::now() + spec.timeout;
+    let (status, timed_out) = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break (status, false),
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let status = child.wait().expect("wait on killed worker");
+                    break (status, true);
+                }
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                return Err(RunError::Worker {
+                    exit: None,
+                    signal: None,
+                    timed_out: false,
+                    stderr_tail: format!("wait failed: {e}"),
+                });
+            }
+        }
+    };
+
+    let dead = |stderr_tail: String| RunError::Worker {
+        exit: status.code(),
+        signal: unix_signal(&status),
+        timed_out,
+        stderr_tail,
+    };
+    if timed_out || !status.success() {
+        return Err(dead(tail_of(&err_path, 2048)));
+    }
+
+    let stdout = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let doc = Json::parse(stdout.trim())
+        .map_err(|e| dead(format!("unparsable worker output ({e}): {}", stdout.trim())))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(WORKER_SCHEMA) {
+        return Err(dead(format!(
+            "worker spoke the wrong schema: {}",
+            stdout.trim()
+        )));
+    }
+    let _ = std::fs::remove_file(&out_path);
+    let _ = std::fs::remove_file(&err_path);
+    if let Some(body) = doc.get("ok") {
+        Ok(WorkerVerdict::Ok(body.clone()))
+    } else if let Some(body) = doc.get("failed") {
+        Ok(WorkerVerdict::Failed(body.clone()))
+    } else {
+        Err(dead("worker reported neither ok nor failed".to_string()))
+    }
+}
+
+/// Schema tag of the worker's stdout document.
+pub const WORKER_SCHEMA: &str = "ecl-bench/WORKER_CELL/v1";
+
+/// Builds the worker's stdout document (the worker side of the protocol).
+pub fn worker_doc(verdict: &WorkerVerdict) -> Json {
+    let (tag, body) = match verdict {
+        WorkerVerdict::Ok(b) => ("ok", b),
+        WorkerVerdict::Failed(b) => ("failed", b),
+    };
+    Json::obj(vec![
+        ("schema", Json::Str(WORKER_SCHEMA.into())),
+        (tag, body.clone()),
+    ])
+}
+
+#[cfg(unix)]
+fn unix_signal(status: &std::process::ExitStatus) -> Option<i32> {
+    use std::os::unix::process::ExitStatusExt;
+    status.signal()
+}
+
+#[cfg(not(unix))]
+fn unix_signal(_status: &std::process::ExitStatus) -> Option<i32> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The fake worker is `sh -c <script>`: the script sits in `base_args`,
+    // and the `--worker-cell <key>` tokens run_worker appends land in the
+    // script's $0/$1, harmlessly. Real protocol end-to-end coverage (the
+    // actual binary as the worker) lives in tests/crash_safety.rs.
+    fn spec(script: &str, timeout_ms: u64) -> IsolateSpec {
+        IsolateSpec {
+            exe: PathBuf::from("/bin/sh"),
+            base_args: vec!["-c".into(), script.into()],
+            timeout: Duration::from_millis(timeout_ms),
+            scratch: std::env::temp_dir().join(format!("ecl-isolate-{}", std::process::id())),
+        }
+    }
+
+    #[test]
+    fn well_formed_worker_output_parses() {
+        let doc = r#"{"schema":"ecl-bench/WORKER_CELL/v1","ok":{"speedup":1.5}}"#;
+        let s = spec(&format!("printf '%s' '{doc}'"), 5_000);
+        let v = run_worker(&s, "k", 0).unwrap();
+        match v {
+            WorkerVerdict::Ok(body) => {
+                assert_eq!(body.get("speedup").and_then(Json::as_num), Some(1.5));
+            }
+            WorkerVerdict::Failed(_) => panic!("expected ok"),
+        }
+    }
+
+    #[test]
+    fn dying_worker_becomes_typed_error() {
+        let s = spec("echo boom >&2; exit 3", 5_000);
+        let err = run_worker(&s, "k", 1).unwrap_err();
+        match err {
+            RunError::Worker {
+                exit,
+                timed_out,
+                stderr_tail,
+                ..
+            } => {
+                assert_eq!(exit, Some(3));
+                assert!(!timed_out);
+                assert!(stderr_tail.contains("boom"), "tail: {stderr_tail}");
+            }
+            other => panic!("expected Worker, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overrunning_worker_is_killed() {
+        let s = spec("sleep 30", 100);
+        let err = run_worker(&s, "k", 2).unwrap_err();
+        match err {
+            RunError::Worker { timed_out, .. } => assert!(timed_out),
+            other => panic!("expected Worker, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_output_is_a_worker_error() {
+        let s = spec("echo not-json", 5_000);
+        let err = run_worker(&s, "k", 3).unwrap_err();
+        match err {
+            RunError::Worker {
+                exit, stderr_tail, ..
+            } => {
+                assert_eq!(exit, Some(0));
+                assert!(stderr_tail.contains("unparsable"), "tail: {stderr_tail}");
+            }
+            other => panic!("expected Worker, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Crash-safe sweep checkpointing: an append-only, fsync'd JSONL journal.
+//!
+//! A multi-hour sweep records every finished cell to the journal *as it
+//! completes* — one compact JSON object per line, `File::sync_data` after
+//! each, so a SIGKILL (or a power cut) loses at most the line being written.
+//! `--resume <journal>` then skips every journaled cell, re-runs only the
+//! rest, and — because each record carries a digest of its body and all
+//! cell randomness is position-derived — can *verify* the overlap: one
+//! journaled cell is deliberately re-executed and its fresh digest compared
+//! against the recorded one. A mismatch means the run is not deterministic
+//! (wrong binary, wrong flags, cosmic rays) and is a hard error, never a
+//! silently mixed report.
+//!
+//! Line schema (`ecl-bench/JOURNAL/v1`):
+//!
+//! ```text
+//! {"schema":"ecl-bench/JOURNAL/v1","type":"header","identity":{…}}
+//! {"type":"cell","key":"undirected/<input>/<alg>/<gpu>","ok":true,"digest":"<16 hex>","body":{…}}
+//! {"type":"note","text":"interrupted","completed":37}
+//! ```
+//!
+//! The `identity` object pins what the results *are* (seed, scale, runs,
+//! GPUs, retry policy, watchdog, fault plan, sets) and deliberately excludes
+//! what only affects *how* they are computed (worker count, `--isolate`,
+//! cell timeouts) — a sweep started in-process can be resumed isolated and
+//! vice versa, because cells are bit-identical either way.
+
+use crate::export::Json;
+use crate::matrix::Experiment;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Schema tag of the journal header line.
+pub const SCHEMA: &str = "ecl-bench/JOURNAL/v1";
+
+/// FNV-1a over a byte stream — the record digest primitive.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a record body: FNV-1a over its compact rendering, as fixed
+/// width hex (a string, because JSON numbers are f64 and would corrupt
+/// u64 digests above 2^53).
+pub fn digest_of(body: &Json) -> String {
+    format!("{:016x}", fnv1a(body.render_compact().as_bytes()))
+}
+
+/// The sweep-identity object pinned by the header line. Two configurations
+/// with equal identities produce bit-identical cells, so resuming across
+/// them is sound.
+pub fn identity_json(e: &Experiment, sets: &[&str]) -> Json {
+    let fault = match &e.opts.fault {
+        None => Json::Null,
+        Some(p) => Json::obj(vec![
+            ("seed", Json::Num(p.seed as f64)),
+            ("bitflip_rate", Json::Num(p.bitflip_rate)),
+            ("bitflip_level", Json::Str(format!("{:?}", p.bitflip_level))),
+        ]),
+    };
+    Json::obj(vec![
+        ("seed", Json::Num(e.seed as f64)),
+        ("scale", Json::Num(e.scale)),
+        ("runs", Json::Num(e.runs as f64)),
+        (
+            "gpus",
+            Json::Arr(e.gpus.iter().map(|g| Json::Str(g.name.into())).collect()),
+        ),
+        ("retries", Json::Num(e.retry.max_attempts as f64)),
+        ("retry_stride", Json::Num(e.retry.seed_stride as f64)),
+        (
+            "watchdog",
+            match e.opts.watchdog {
+                Some(w) => Json::Num(w as f64),
+                None => Json::Null,
+            },
+        ),
+        ("fault", fault),
+        (
+            "sets",
+            Json::Arr(sets.iter().map(|s| Json::Str((*s).into())).collect()),
+        ),
+    ])
+}
+
+/// The append side: thread-safe, one fsync'd line per record.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<File>,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal and writes its header line.
+    pub fn create(path: &Path, identity: &Json) -> std::io::Result<JournalWriter> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(path)?;
+        let w = JournalWriter {
+            file: Mutex::new(file),
+        };
+        w.append(&Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            ("type", Json::Str("header".into())),
+            ("identity", identity.clone()),
+        ]))?;
+        Ok(w)
+    }
+
+    /// Opens an existing journal for appending (the resume side — the
+    /// header is already on disk). A partial trailing line — the artifact
+    /// of the kill being resumed from — is truncated away first, so the
+    /// records appended now start on a fresh line instead of gluing
+    /// themselves onto the corpse and corrupting it.
+    pub fn append_to(path: &Path) -> std::io::Result<JournalWriter> {
+        use std::io::{Seek, SeekFrom};
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        let keep = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        file.set_len(keep as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    fn append(&self, line: &Json) -> std::io::Result<()> {
+        let mut text = line.render_compact();
+        text.push('\n');
+        let mut f = self.file.lock().unwrap();
+        f.write_all(text.as_bytes())?;
+        // One fsync per cell: a killed sweep loses at most the in-flight
+        // line, which the tolerant loader drops.
+        f.sync_data()
+    }
+
+    /// Records one finished cell (measurement or typed failure).
+    pub fn append_cell(&self, key: &str, ok: bool, body: &Json) -> std::io::Result<()> {
+        self.append(&Json::obj(vec![
+            ("type", Json::Str("cell".into())),
+            ("key", Json::Str(key.into())),
+            ("ok", Json::Bool(ok)),
+            ("digest", Json::Str(digest_of(body))),
+            ("body", body.clone()),
+        ]))
+    }
+
+    /// Records a free-form note line (e.g. "interrupted" on SIGINT, with
+    /// how many cells had completed).
+    pub fn append_note(&self, text: &str, completed: usize) -> std::io::Result<()> {
+        self.append(&Json::obj(vec![
+            ("type", Json::Str("note".into())),
+            ("text", Json::Str(text.into())),
+            ("completed", Json::Num(completed as f64)),
+        ]))
+    }
+}
+
+/// One journaled cell record.
+#[derive(Debug, Clone)]
+pub struct JournalRecord {
+    /// `<set>/<input>/<algorithm>/<gpu>`.
+    pub key: String,
+    /// Whether the body is a measurement (`true`) or a typed failure.
+    pub ok: bool,
+    /// Digest of the compact-rendered body, as written.
+    pub digest: String,
+    /// The full record body — enough to reconstruct the cell without
+    /// re-running it.
+    pub body: Json,
+}
+
+/// A parsed journal: the identity header plus every intact cell record.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    /// The sweep identity the journal was started with.
+    pub identity: Json,
+    /// Cell records in append order.
+    pub records: Vec<JournalRecord>,
+}
+
+impl Journal {
+    /// Loads a journal, tolerating exactly one truncated line at the end
+    /// (the kill artifact). A malformed line anywhere else is corruption
+    /// and a hard error.
+    pub fn load(path: &Path) -> Result<Journal, String> {
+        let mut text = String::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+        let lines: Vec<&str> = text.split('\n').collect();
+        let last_content = lines.iter().rposition(|l| !l.trim().is_empty());
+        let mut identity = None;
+        let mut records = Vec::new();
+        for (idx, line) in lines.iter().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed = match Json::parse(line) {
+                Ok(v) => v,
+                // Only the final non-empty line may be partial: everything
+                // before it was written whole and fsync'd.
+                Err(_) if Some(idx) == last_content => break,
+                Err(e) => return Err(format!("journal line {} is corrupt: {e}", idx + 1)),
+            };
+            let kind = parsed.get("type").and_then(Json::as_str).unwrap_or("");
+            match kind {
+                "header" => {
+                    if parsed.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+                        return Err(format!("not a {SCHEMA} journal"));
+                    }
+                    identity = parsed.get("identity").cloned();
+                }
+                "cell" => {
+                    let want = |k: &str| {
+                        parsed
+                            .get(k)
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("journal line {}: missing '{k}'", idx + 1))
+                    };
+                    records.push(JournalRecord {
+                        key: want("key")?,
+                        ok: matches!(parsed.get("ok"), Some(Json::Bool(true))),
+                        digest: want("digest")?,
+                        body: parsed
+                            .get("body")
+                            .cloned()
+                            .ok_or_else(|| format!("journal line {}: missing 'body'", idx + 1))?,
+                    });
+                }
+                "note" => {}
+                other => {
+                    return Err(format!(
+                        "journal line {}: unknown record type '{other}'",
+                        idx + 1
+                    ))
+                }
+            }
+        }
+        Ok(Journal {
+            identity: identity.ok_or("journal has no header line")?,
+            records,
+        })
+    }
+
+    /// The completed cells a resume may skip, keyed by cell key.
+    ///
+    /// Failed records are *not* returned — a resume retries them. If the
+    /// same key was journaled `ok` twice with different digests the journal
+    /// itself witnesses a determinism violation, which is a hard error.
+    pub fn ok_records(&self) -> Result<HashMap<&str, &JournalRecord>, String> {
+        let mut map: HashMap<&str, &JournalRecord> = HashMap::new();
+        for rec in self.records.iter().filter(|r| r.ok) {
+            if let Some(prev) = map.insert(rec.key.as_str(), rec) {
+                if prev.digest != rec.digest {
+                    return Err(format!(
+                        "determinism violation inside the journal: cell '{}' was \
+                         recorded ok twice with digests {} and {}",
+                        rec.key, prev.digest, rec.digest
+                    ));
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// The most recently journaled `ok` cell whose key starts with
+    /// `prefix` — the cell a resume re-executes to verify the overlap.
+    pub fn last_ok_key(&self, prefix: &str) -> Option<String> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.ok && r.key.starts_with(prefix))
+            .map(|r| r.key.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ecl-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn body(v: f64) -> Json {
+        Json::obj(vec![("speedup", Json::Num(v))])
+    }
+
+    #[test]
+    fn round_trips_records_and_digests() {
+        let path = tmp("roundtrip.jsonl");
+        let identity = Json::obj(vec![("seed", Json::Num(7.0))]);
+        let w = JournalWriter::create(&path, &identity).unwrap();
+        w.append_cell("undirected/a/CC/A100", true, &body(1.25))
+            .unwrap();
+        w.append_cell("undirected/b/CC/A100", false, &body(0.0))
+            .unwrap();
+        w.append_note("interrupted", 2).unwrap();
+        drop(w);
+
+        let j = Journal::load(&path).unwrap();
+        assert_eq!(j.identity, identity);
+        assert_eq!(j.records.len(), 2);
+        assert!(j.records[0].ok);
+        assert!(!j.records[1].ok);
+        assert_eq!(j.records[0].digest, digest_of(&body(1.25)));
+        assert_eq!(j.records[0].body, body(1.25));
+        // Only the ok record is resumable; the failed one re-runs.
+        let ok = j.ok_records().unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(ok.contains_key("undirected/a/CC/A100"));
+        assert_eq!(
+            j.last_ok_key("undirected/"),
+            Some("undirected/a/CC/A100".to_string())
+        );
+        assert_eq!(j.last_ok_key("directed/"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_not_fatal() {
+        let path = tmp("truncated.jsonl");
+        let w = JournalWriter::create(&path, &Json::Null).unwrap();
+        w.append_cell("undirected/a/CC/A100", true, &body(2.0))
+            .unwrap();
+        w.append_cell("undirected/b/CC/A100", true, &body(3.0))
+            .unwrap();
+        drop(w);
+        // Simulate a SIGKILL mid-write: chop the file inside the last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 17]).unwrap();
+
+        let j = Journal::load(&path).unwrap();
+        assert_eq!(j.records.len(), 1, "partial trailing record is dropped");
+        assert_eq!(j.records[0].key, "undirected/a/CC/A100");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_fatal() {
+        let path = tmp("corrupt.jsonl");
+        let w = JournalWriter::create(&path, &Json::Null).unwrap();
+        w.append_cell("k1", true, &body(1.0)).unwrap();
+        w.append_cell("k2", true, &body(2.0)).unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mangled = text.replacen("\"type\":\"cell\"", "\"type\":cell\"", 1);
+        std::fs::write(&path, mangled).unwrap();
+        assert!(Journal::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn conflicting_ok_duplicates_are_a_determinism_violation() {
+        let path = tmp("dups.jsonl");
+        let w = JournalWriter::create(&path, &Json::Null).unwrap();
+        w.append_cell("k", true, &body(1.0)).unwrap();
+        w.append_cell("k", true, &body(1.0)).unwrap(); // benign duplicate
+        drop(w);
+        assert!(Journal::load(&path).unwrap().ok_records().is_ok());
+
+        let w = JournalWriter::append_to(&path).unwrap();
+        w.append_cell("k", true, &body(9.0)).unwrap(); // conflicting
+        drop(w);
+        assert!(Journal::load(&path).unwrap().ok_records().is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_appends_after_existing_records() {
+        let path = tmp("append.jsonl");
+        let w = JournalWriter::create(&path, &Json::Null).unwrap();
+        w.append_cell("k1", true, &body(1.0)).unwrap();
+        drop(w);
+        let w = JournalWriter::append_to(&path).unwrap();
+        w.append_cell("k2", true, &body(2.0)).unwrap();
+        drop(w);
+        let j = Journal::load(&path).unwrap();
+        assert_eq!(j.records.len(), 2);
+        assert_eq!(j.records[1].key, "k2");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_to_truncates_a_partial_trailing_line() {
+        // Regression: appending after a kill artifact used to glue the new
+        // record onto the partial line, corrupting a *non-final* line —
+        // which a later load correctly refuses. The artifact must be
+        // truncated on open instead.
+        let path = tmp("append-partial.jsonl");
+        let w = JournalWriter::create(&path, &Json::Null).unwrap();
+        w.append_cell("k1", true, &body(1.0)).unwrap();
+        w.append_cell("k2", true, &body(2.0)).unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap(); // chop k2's line
+        let w = JournalWriter::append_to(&path).unwrap();
+        w.append_cell("k3", true, &body(3.0)).unwrap();
+        drop(w);
+        let j = Journal::load(&path).unwrap();
+        let keys: Vec<&str> = j.records.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["k1", "k3"], "partial k2 dropped, k3 clean");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -19,15 +19,24 @@
 //! ```
 
 pub mod export;
+pub mod interrupt;
+pub mod isolate;
+pub mod journal;
 mod matrix;
 pub mod pool;
 mod stats;
 mod tables;
 
-pub use export::{run_stats_json, table_json, BenchReport, Json, SweepTiming};
+pub use export::{
+    cell_json, failure_json, parse_cell, parse_failure, resolve_input_name, run_stats_json,
+    table_json, BenchReport, Json, SweepTiming,
+};
+pub use interrupt::{install_interrupt_handler, interrupted};
+pub use isolate::IsolateSpec;
+pub use journal::{Journal, JournalWriter};
 pub use matrix::{
-    graph_seed, relative_deviation, sched_seed, CellFailure, Experiment, Matrix, MeasuredCell,
-    MeasuredTable, VariantArg, VariantProfile,
+    cell_key, graph_seed, relative_deviation, sched_seed, CellFailure, Experiment, Matrix,
+    MeasuredCell, MeasuredTable, SweepControl, VariantArg, VariantProfile,
 };
 pub use stats::{geomean, median, pearson};
 pub use tables::{format_fig6, format_speedup_table, format_table9, to_csv};

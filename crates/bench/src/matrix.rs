@@ -8,14 +8,17 @@
 //! order — so the [`MeasuredTable`] of an N-worker run is bit-identical to
 //! the serial run's (pinned by `tests/parallel_determinism.rs`).
 
+use crate::isolate::{self, IsolateSpec, WorkerVerdict};
+use crate::journal::{self, Journal, JournalWriter};
 use crate::pool;
 use crate::stats::median;
-use ecl_core::suite::{run_algorithm, run_cell, Algorithm, RunError, Variant};
+use ecl_core::suite::{run_algorithm, run_cell, Algorithm, RetryPolicy, RunError, Variant};
 use ecl_core::SimOptions;
 use ecl_graph::cache::GraphCache;
 use ecl_graph::inputs::{directed_catalog, undirected_catalog, GraphInput};
 use ecl_graph::props::GraphProperties;
 use ecl_simt::GpuConfig;
+use std::sync::atomic::AtomicBool;
 
 /// Aggregate profiler counters for one variant of a measured cell, summed
 /// across all of the cell's runs (the compact form exported to
@@ -150,6 +153,11 @@ pub struct Experiment {
     /// Simulator options applied to every run (watchdog budget, fault
     /// injection) — the PR 1 machinery, now reachable from the matrix.
     pub opts: SimOptions,
+    /// Per-(run, variant) retry policy: a failed measurement is retried
+    /// with a stride-bumped scheduler seed before the cell is declared
+    /// failed. The default (one attempt) is exactly the old no-retry
+    /// behavior, so plain sweeps stay bit-identical.
+    pub retry: RetryPolicy,
 }
 
 impl Default for Experiment {
@@ -161,8 +169,36 @@ impl Default for Experiment {
             seed: 1,
             jobs: 1,
             opts: SimOptions::default(),
+            retry: RetryPolicy {
+                max_attempts: 1,
+                seed_stride: 1,
+            },
         }
     }
+}
+
+/// Crash-safety controls for one sweep: checkpointing, resume, process
+/// isolation, and cooperative interruption. `SweepControl::default()` is a
+/// plain sweep — no journal, no resume, in-process cells, uninterruptible —
+/// and produces exactly the same [`MeasuredTable`] as before these controls
+/// existed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SweepControl<'a> {
+    /// Journal to append each finished cell to.
+    pub journal: Option<&'a JournalWriter>,
+    /// A previously written journal: its completed cells are reconstructed
+    /// instead of re-run, and the most recent one is re-executed anyway to
+    /// verify (by digest) that this process reproduces the journaled bits.
+    pub resume: Option<&'a Journal>,
+    /// Run each cell in a worker subprocess instead of in-process.
+    pub isolate: Option<&'a IsolateSpec>,
+    /// Checked between cells; once `true`, no new cell starts.
+    pub interrupt: Option<&'a AtomicBool>,
+}
+
+/// The journal/repro key of one cell: `<set>/<input>/<algorithm>/<gpu>`.
+pub fn cell_key(set: &str, input: &str, algorithm: Algorithm, gpu: &str) -> String {
+    format!("{set}/{input}/{}/{gpu}", algorithm.name())
 }
 
 /// Domain-separation tag for the graph-generation RNG stream.
@@ -252,6 +288,18 @@ impl Matrix {
         self
     }
 
+    /// Sets the per-measurement retry policy (see [`Experiment::retry`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.experiment.retry = policy;
+        self
+    }
+
+    /// Sets the base experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.experiment.seed = seed;
+        self
+    }
+
     /// The current configuration.
     pub fn experiment(&self) -> &Experiment {
         &self.experiment
@@ -259,15 +307,36 @@ impl Matrix {
 
     /// Runs CC/GC/MIS/MST on the 17 undirected inputs (Tables IV–VII).
     pub fn run_undirected(&self) -> MeasuredTable {
-        self.run_set(undirected_catalog(), &Algorithm::UNDIRECTED)
+        self.run_undirected_with(&SweepControl::default())
+    }
+
+    /// [`Matrix::run_undirected`] under crash-safety controls.
+    pub fn run_undirected_with(&self, ctl: &SweepControl<'_>) -> MeasuredTable {
+        self.run_set(
+            "undirected",
+            undirected_catalog(),
+            &Algorithm::UNDIRECTED,
+            ctl,
+        )
     }
 
     /// Runs SCC on the 10 directed inputs (Table VIII).
     pub fn run_directed(&self) -> MeasuredTable {
-        self.run_set(directed_catalog(), &[Algorithm::Scc])
+        self.run_directed_with(&SweepControl::default())
     }
 
-    fn run_set(&self, inputs: &[GraphInput], algorithms: &[Algorithm]) -> MeasuredTable {
+    /// [`Matrix::run_directed`] under crash-safety controls.
+    pub fn run_directed_with(&self, ctl: &SweepControl<'_>) -> MeasuredTable {
+        self.run_set("directed", directed_catalog(), &[Algorithm::Scc], ctl)
+    }
+
+    fn run_set(
+        &self,
+        set: &str,
+        inputs: &[GraphInput],
+        algorithms: &[Algorithm],
+        ctl: &SweepControl<'_>,
+    ) -> MeasuredTable {
         let e = &self.experiment;
         let gseed = graph_seed(e.seed);
         let cache = GraphCache::new();
@@ -283,21 +352,85 @@ impl Matrix {
             }
         }
 
-        let results = pool::run_indexed(e.jobs, cells.len(), |i| {
+        // Resume bookkeeping: completed cells to reconstruct, and the one
+        // journaled cell that is re-executed anyway so its digest can
+        // certify the overlap between the old run and this one.
+        let resumed = match ctl.resume {
+            Some(j) => j.ok_records().unwrap_or_else(|e| panic!("{e}")),
+            None => std::collections::HashMap::new(),
+        };
+        let verify_key = ctl.resume.and_then(|j| j.last_ok_key(&format!("{set}/")));
+
+        let results = pool::run_indexed_until(e.jobs, cells.len(), ctl.interrupt, |i| {
             let (input_idx, algorithm, gpu_idx) = cells[i];
             let input = &inputs[input_idx];
-            let graph = cache.get_or_build(input, e.scale, gseed);
-            self.try_measure(
-                input.name(),
-                algorithm,
-                &graph.csr,
-                &e.gpus[gpu_idx],
-                graph.props,
-            )
+            let gpu = &e.gpus[gpu_idx];
+            let key = cell_key(set, input.name(), algorithm, gpu.name);
+
+            let journaled = resumed.get(key.as_str()).copied();
+            if let Some(rec) = journaled {
+                if verify_key.as_deref() != Some(key.as_str()) {
+                    // Skip: reconstruct the cell from the journal body.
+                    let cell = crate::export::parse_cell(&rec.body)
+                        .unwrap_or_else(|e| panic!("journal body for '{key}' is unusable: {e}"));
+                    return Ok(cell);
+                }
+            }
+
+            let outcome: Result<MeasuredCell, CellFailure> = if let Some(spec) = ctl.isolate {
+                let fail = |error: RunError| CellFailure {
+                    input: input.name(),
+                    algorithm,
+                    gpu: gpu.name,
+                    run: 0,
+                    error,
+                };
+                match isolate::run_worker(spec, &key, i) {
+                    Ok(WorkerVerdict::Ok(body)) => Ok(crate::export::parse_cell(&body)
+                        .unwrap_or_else(|e| {
+                            panic!("worker for '{key}' returned an unusable cell: {e}")
+                        })),
+                    Ok(WorkerVerdict::Failed(body)) => Err(crate::export::parse_failure(&body)
+                        .unwrap_or_else(|e| {
+                            panic!("worker for '{key}' returned an unusable failure: {e}")
+                        })),
+                    Err(error) => Err(fail(error)),
+                }
+            } else {
+                let graph = cache.get_or_build(input, e.scale, gseed);
+                self.try_measure(input.name(), algorithm, &graph.csr, gpu, graph.props)
+            };
+
+            let (ok, body) = match &outcome {
+                Ok(cell) => (true, crate::export::cell_json(cell)),
+                Err(failure) => (false, crate::export::failure_json(failure)),
+            };
+
+            if let Some(rec) = journaled {
+                // The overlap-verification cell: its fresh digest must match
+                // what the journal recorded, or the resumed report would
+                // silently mix results from two non-identical runs.
+                let fresh = journal::digest_of(&body);
+                assert!(
+                    ok && fresh == rec.digest,
+                    "determinism violation on resume: cell '{key}' re-ran to \
+                     digest {fresh} but the journal recorded {} — the journal \
+                     was produced by a different binary or configuration",
+                    rec.digest
+                );
+                // Already journaled; don't append a duplicate.
+                return outcome;
+            }
+
+            if let Some(w) = ctl.journal {
+                w.append_cell(&key, ok, &body)
+                    .unwrap_or_else(|e| panic!("journal write failed for '{key}': {e}"));
+            }
+            outcome
         });
 
         let mut out = MeasuredTable::default();
-        for result in results {
+        for result in results.into_iter().flatten() {
             match result {
                 Ok(cell) => out.cells.push(cell),
                 Err(failure) => out.failures.push(failure),
@@ -329,13 +462,32 @@ impl Matrix {
         let mut free = Vec::with_capacity(e.runs);
         // (l1 hits, l1 misses, atomics, launches) per variant.
         let mut counters = [[0u64; 4]; 2];
+        let max_attempts = e.retry.max_attempts.max(1);
         for run in 0..e.runs {
             let seed = sched_seed(e.seed, run);
             for (vi, variant) in [Variant::Baseline, Variant::RaceFree]
                 .into_iter()
                 .enumerate()
             {
-                let r = run_cell(algorithm, variant, graph, gpu, seed, &e.opts)
+                // Bounded retry with a stride-bumped scheduler seed: under
+                // fault injection a transient failure gets fresh attempts
+                // (each with an i.i.d. fault stream — the run seed is mixed
+                // into the plan seed by `SimOptions::make_gpu`) before the
+                // cell is journaled as failed. Attempt 0 uses the plain
+                // seed, so `max_attempts: 1` is bit-identical to no-retry.
+                let mut attempt_result = None;
+                for attempt in 0..max_attempts {
+                    let seed = seed.wrapping_add(attempt as u64 * e.retry.seed_stride);
+                    match run_cell(algorithm, variant, graph, gpu, seed, &e.opts) {
+                        Ok(r) => {
+                            attempt_result = Some(Ok(r));
+                            break;
+                        }
+                        Err(err) => attempt_result = Some(Err(err)),
+                    }
+                }
+                let r = attempt_result
+                    .expect("max_attempts >= 1")
                     .map_err(|err| fail(run, err))?;
                 if vi == 0 {
                     base.push(r.cycles as f64);
@@ -501,6 +653,7 @@ mod tests {
             .sim_options(SimOptions {
                 watchdog: Some(1),
                 fault: None,
+                deadline: None,
             });
         let t = matrix.run_directed();
         assert!(t.cells.is_empty());

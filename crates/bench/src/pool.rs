@@ -15,7 +15,7 @@
 //! No external dependencies: `std::thread::scope` borrows the job closure
 //! and job list directly, so the pool works with non-`'static` data.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Runs `jobs` independent jobs on up to `workers` threads and returns the
 /// results in job order.
@@ -69,6 +69,71 @@ where
     tagged.sort_unstable_by_key(|&(i, _)| i);
     debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
     tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// [`run_indexed`] with a cooperative stop flag: once `stop` reads `true`,
+/// no *new* job index is claimed — jobs already in flight run to completion
+/// (a half-measured cell is worthless; a completed one is journalable).
+///
+/// Returns one slot per job index: `Some(result)` for jobs that ran,
+/// `None` for jobs abandoned to the stop flag. With `stop` never raised
+/// the output is exactly `run_indexed`'s, every slot `Some` — the abort
+/// path costs one relaxed load per claim.
+pub fn run_indexed_until<T, F>(
+    workers: usize,
+    jobs: usize,
+    stop: Option<&AtomicBool>,
+    f: F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let stopped = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
+    let workers = workers.max(1).min(jobs.max(1));
+    let mut out: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    if workers == 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            if stopped() {
+                break;
+            }
+            *slot = Some(f(i));
+        }
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        if stopped() {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+
+    for (i, v) in tagged {
+        out[i] = Some(v);
+    }
+    out
 }
 
 /// The worker count a sweep should default to: the `ECL_JOBS` environment
@@ -125,6 +190,44 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn until_without_a_stop_flag_matches_run_indexed() {
+        for workers in [1, 3] {
+            let out = run_indexed_until(workers, 20, None, |i| i * 3);
+            assert_eq!(
+                out,
+                (0..20).map(|i| Some(i * 3)).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn raised_stop_flag_abandons_unclaimed_jobs() {
+        let stop = AtomicBool::new(false);
+        let out = run_indexed_until(2, 64, Some(&stop), |i| {
+            if i == 4 {
+                stop.store(true, Ordering::Relaxed);
+            }
+            i
+        });
+        // In-flight jobs complete; the tail is abandoned.
+        assert_eq!(out[4], Some(4));
+        assert!(out.iter().any(|s| s.is_none()), "nothing was abandoned");
+        for (i, s) in out.iter().enumerate() {
+            if let Some(v) = s {
+                assert_eq!(*v, i);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_runs_nothing() {
+        let stop = AtomicBool::new(true);
+        let out = run_indexed_until(4, 16, Some(&stop), |i| i);
+        assert!(out.iter().all(Option::is_none));
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! End-to-end crash-safety tests driving the real `all_tests` binary:
+//! journal/resume byte-identity after a mid-sweep kill, isolated-worker
+//! death capture, and repro-bundle replay.
+//!
+//! Everything runs the tiny directed set (10 cells) on the TestTiny GPU at
+//! scale 0.05 so the whole file stays in CI-smoke territory.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn exe() -> &'static str {
+    env!("CARGO_BIN_EXE_all_tests")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecl-crash-safety-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Common flags: deterministic tiny sweep, stable worker count (the worker
+/// count is recorded in the report, so both runs of a diff must pin it).
+fn base_args(out: &Path) -> Vec<String> {
+    [
+        "--scale",
+        "0.05",
+        "--runs",
+        "1",
+        "--seed",
+        "1",
+        "--gpu",
+        "test-tiny",
+        "--jobs",
+        "2",
+        "--sets",
+        "directed",
+        "--omit-timing",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain(["--out".to_string(), out.display().to_string()])
+    .collect()
+}
+
+fn run(args: &[String], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(exe());
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn all_tests")
+}
+
+fn results(out: &Path) -> String {
+    std::fs::read_to_string(out.join("BENCH_RESULTS.json")).expect("read BENCH_RESULTS.json")
+}
+
+#[test]
+fn killed_sweep_resumes_to_a_byte_identical_report() {
+    let dir = scratch("resume");
+    let (full_out, part_out) = (dir.join("full"), dir.join("part"));
+    let journal = dir.join("journal.jsonl");
+
+    // Reference: one uninterrupted journaled sweep.
+    let mut args = base_args(&full_out);
+    args.extend(["--journal".into(), journal.display().to_string()]);
+    let out = run(&args, &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = results(&full_out);
+
+    // Simulate a SIGKILL mid-sweep: keep the header, four complete cell
+    // records, and a torn fifth line with no trailing newline — exactly
+    // what a kill between write and fsync leaves behind.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 6, "sweep journaled too few cells to truncate");
+    let mut torn = lines[..5].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[5][..lines[5].len() / 2]);
+    let torn_journal = dir.join("torn.jsonl");
+    std::fs::write(&torn_journal, torn).unwrap();
+
+    // Resume must skip the four journaled cells, re-verify one of them by
+    // digest, re-run the rest, and emit a byte-identical report.
+    let mut args = base_args(&part_out);
+    args.extend(["--resume".into(), torn_journal.display().to_string()]);
+    let out = run(&args, &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("resuming from"),
+        "resume path not taken"
+    );
+    assert_eq!(
+        results(&part_out),
+        reference,
+        "resumed report differs from the uninterrupted one"
+    );
+
+    // The repaired journal is complete: resuming again re-runs nothing
+    // fatal and reproduces the same bytes once more.
+    let mut args = base_args(&part_out);
+    args.extend(["--resume".into(), torn_journal.display().to_string()]);
+    let out = run(&args, &[]);
+    assert!(out.status.success());
+    assert_eq!(results(&part_out), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_a_different_config_is_refused() {
+    let dir = scratch("identity");
+    let out_dir = dir.join("out");
+    let journal = dir.join("journal.jsonl");
+    let mut args = base_args(&out_dir);
+    args.extend(["--journal".into(), journal.display().to_string()]);
+    assert!(run(&args, &[]).status.success());
+
+    // Same journal, different seed: the identity check must refuse (exit 2)
+    // rather than splice two incompatible runs into one report.
+    let mut args = base_args(&out_dir);
+    let pos = args.iter().position(|a| a == "--seed").unwrap();
+    args[pos + 1] = "99".into();
+    args.extend(["--resume".into(), journal.display().to_string()]);
+    let out = run(&args, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("identity mismatch"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn isolated_worker_death_is_one_typed_failure_with_a_replayable_bundle() {
+    let dir = scratch("isolate");
+    let out_dir = dir.join("out");
+    let mut args = base_args(&out_dir);
+    args.push("--isolate".into());
+
+    // ECL_WORKER_PANIC kills the worker whose cell key contains "cage14"
+    // *before* in-process panic containment can see it — a process-level
+    // death, the failure mode --isolate exists to survive.
+    let out = run(&args, &[("ECL_WORKER_PANIC", "cage14")]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "sweep must finish and report the failure"
+    );
+    let report = results(&out_dir);
+    assert!(
+        report.contains("worker process died"),
+        "typed Worker failure missing from report: {report}"
+    );
+    // The other nine cells all measured: the death did not spread.
+    assert_eq!(report.matches("\"baseline_cycles\"").count(), 9);
+
+    // The failed cell left a replayable bundle; replayed without the env
+    // hook it measures cleanly.
+    let bundle = out_dir
+        .join("repro")
+        .join("directed-cage14-SCC-TestTiny.json");
+    assert!(bundle.exists(), "repro bundle not written");
+    let replay = run(&["--replay".to_string(), bundle.display().to_string()], &[]);
+    assert!(replay.status.success());
+    let stdout = String::from_utf8_lossy(&replay.stdout);
+    assert!(
+        stdout.contains("\"ok\":") && stdout.contains("cage14"),
+        "replay did not measure the cell: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn isolated_and_in_process_sweeps_are_byte_identical() {
+    let dir = scratch("iso-identity");
+    let (a, b) = (dir.join("a"), dir.join("b"));
+    assert!(run(&base_args(&a), &[]).status.success());
+    let mut args = base_args(&b);
+    args.push("--isolate".into());
+    let out = run(&args, &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(results(&a), results(&b));
+    let _ = std::fs::remove_dir_all(&dir);
+}

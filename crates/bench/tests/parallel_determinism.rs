@@ -162,6 +162,7 @@ fn failures_survive_the_pool_in_order() {
             .sim_options(SimOptions {
                 watchdog: Some(1),
                 fault: None,
+                deadline: None,
             })
             .run_directed()
     };

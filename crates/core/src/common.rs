@@ -15,6 +15,11 @@ pub struct SimOptions {
     pub watchdog: Option<u64>,
     /// Seeded fault plan to arm before the first launch.
     pub fault: Option<FaultPlan>,
+    /// Host wall-clock deadline for the whole run: any launch still running
+    /// when it passes fails with [`ecl_simt::SimError::DeadlineExceeded`].
+    /// Isolated sweep workers derive this from their cell's wall-clock
+    /// budget; it never perturbs runs that finish in time.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl SimOptions {
@@ -25,6 +30,9 @@ impl SimOptions {
         gpu.set_seed(seed);
         if let Some(budget) = self.watchdog {
             gpu.set_watchdog(Some(budget));
+        }
+        if let Some(deadline) = self.deadline {
+            gpu.set_deadline(Some(deadline));
         }
         if let Some(plan) = &self.fault {
             let mut plan = plan.clone();

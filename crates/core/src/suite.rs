@@ -53,6 +53,22 @@ impl Algorithm {
     pub fn weighted(self) -> bool {
         matches!(self, Algorithm::Apsp | Algorithm::Mst)
     }
+
+    /// Parses a table-style name (`"CC"`, `"mis"`, …), case-insensitively —
+    /// the inverse of [`Algorithm::name`], used by journal records, repro
+    /// bundles, and worker-cell CLI keys.
+    pub fn parse(name: &str) -> Option<Algorithm> {
+        [
+            Algorithm::Apsp,
+            Algorithm::Cc,
+            Algorithm::Gc,
+            Algorithm::Mis,
+            Algorithm::Mst,
+            Algorithm::Scc,
+        ]
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
 }
 
 impl fmt::Display for Algorithm {
@@ -326,6 +342,25 @@ pub enum RunError {
     /// Host-side code around the launch panicked (e.g. an index computed
     /// from corrupted device data); the message is the panic payload.
     Panicked(String),
+    /// A typed failure reported by an isolated worker subprocess, carried as
+    /// its rendered message. Displays verbatim, so a sweep run with cell
+    /// isolation serializes the same failure text as an in-process run.
+    Remote(String),
+    /// An isolated worker subprocess died without reporting a result: it
+    /// panicked/aborted, was killed by a signal, or overran its wall-clock
+    /// deadline. This failure class has no in-process analogue — without
+    /// isolation it would have taken the whole sweep down.
+    Worker {
+        /// The process exit code, if it exited normally.
+        exit: Option<i32>,
+        /// The signal that killed it, if any (Unix only).
+        signal: Option<i32>,
+        /// Whether the parent killed it for exceeding the cell deadline.
+        timed_out: bool,
+        /// The tail of the worker's captured stderr (panic messages live
+        /// here).
+        stderr_tail: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -336,6 +371,28 @@ impl fmt::Display for RunError {
                 write!(f, "{algorithm} {variant} solution failed verification")
             }
             RunError::Panicked(msg) => write!(f, "host panic: {msg}"),
+            RunError::Remote(msg) => f.write_str(msg),
+            RunError::Worker {
+                exit,
+                signal,
+                timed_out,
+                stderr_tail,
+            } => {
+                write!(f, "worker process died")?;
+                if *timed_out {
+                    write!(f, " (cell deadline exceeded, killed)")?;
+                }
+                if let Some(code) = exit {
+                    write!(f, " (exit {code})")?;
+                }
+                if let Some(sig) = signal {
+                    write!(f, " (signal {sig})")?;
+                }
+                if !stderr_tail.is_empty() {
+                    write!(f, ": {}", stderr_tail.trim_end())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -612,6 +669,7 @@ mod tests {
         let opts = SimOptions {
             watchdog: Some(2_000_000),
             fault: Some(ecl_simt::FaultPlan::new(7).with_bitflips(0.05, ecl_simt::MemLevel::Dram)),
+            deadline: None,
         };
         let mut attempts = Vec::new();
         let outcome = run_resilient_observed(
@@ -647,6 +705,7 @@ mod tests {
         let opts = SimOptions {
             watchdog: Some(1),
             fault: None,
+            deadline: None,
         };
         let outcome = run_resilient(
             Algorithm::Mis,
@@ -672,6 +731,7 @@ mod tests {
         let opts = SimOptions {
             watchdog: Some(1),
             fault: None,
+            deadline: None,
         };
         let r = run_algorithm_checked(
             Algorithm::Gc,
@@ -705,6 +765,7 @@ mod tests {
         let opts = SimOptions {
             watchdog: Some(1),
             fault: None,
+            deadline: None,
         };
         let r = run_cell(
             Algorithm::Gc,
@@ -729,6 +790,122 @@ mod tests {
         assert_send::<RunError>();
         assert_send::<RunOutcome>();
         assert_send::<Attempt>();
+    }
+
+    #[test]
+    fn retries_observe_iid_fault_streams() {
+        // The doc on `SimOptions::make_gpu` promises that the run seed is
+        // mixed into the fault-plan seed, so a retry (same plan, bumped
+        // scheduler seed) sees a fresh, independent fault schedule rather
+        // than a replay of the one that just corrupted it. Pin exactly that:
+        // distinct run seeds must arm distinct effective plan seeds, and
+        // never the raw plan seed itself.
+        let opts = SimOptions {
+            watchdog: None,
+            fault: Some(
+                ecl_simt::FaultPlan::new(0xFA17).with_bitflips(0.01, ecl_simt::MemLevel::Dram),
+            ),
+            deadline: None,
+        };
+        let cfg = GpuConfig::test_tiny();
+        let armed = |run_seed: u64| {
+            opts.make_gpu(&cfg, run_seed)
+                .fault_plan()
+                .expect("plan armed")
+                .seed
+        };
+        let raw = opts.fault.as_ref().unwrap().seed;
+        let mut seen = std::collections::HashSet::new();
+        // Run seed 0 is the XOR identity; sweeps never pass it (scheduler
+        // seeds are themselves stream-mixed), so assert over 1..=8.
+        for run_seed in 1..=8 {
+            let s = armed(run_seed);
+            assert_ne!(s, raw, "run seed {run_seed} armed the raw plan seed");
+            assert!(seen.insert(s), "run seeds collide on plan seed {s:#x}");
+        }
+        // Deterministic for a fixed (plan seed, run seed) pair.
+        assert_eq!(armed(3), armed(3));
+    }
+
+    #[test]
+    fn recovered_outcome_reports_attempt_count() {
+        // Hunt a small space of base seeds for a configuration where the
+        // first attempt fails and a retry succeeds — the simulator is
+        // deterministic, so once found the recovery replays forever. Then
+        // assert `RunOutcome::Recovered` counts every attempt the observer
+        // saw, including the successful one.
+        let g = gen::rmat(128, 512, 0.57, 0.19, 0.19, true, 2);
+        let cfg = GpuConfig::test_tiny();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            seed_stride: 1,
+        };
+        let mut recovered_somewhere = false;
+        for base_seed in 0..24u64 {
+            let opts = SimOptions {
+                watchdog: Some(20_000_000),
+                fault: Some(
+                    ecl_simt::FaultPlan::new(base_seed)
+                        .with_bitflips(0.002, ecl_simt::MemLevel::L2),
+                ),
+                deadline: None,
+            };
+            let mut observed = Vec::new();
+            let outcome = run_resilient_observed(
+                Algorithm::Mis,
+                Variant::Baseline,
+                &g,
+                &cfg,
+                base_seed,
+                &opts,
+                &policy,
+                |i, what| observed.push((i, what.clone())),
+            );
+            match outcome {
+                RunOutcome::Ok(_) => {
+                    assert_eq!(observed.len(), 1);
+                    assert!(matches!(observed[0], (0, Attempt::Valid)));
+                }
+                RunOutcome::Recovered { attempts, .. } => {
+                    recovered_somewhere = true;
+                    assert!(attempts >= 2, "Recovered implies a discarded attempt");
+                    assert_eq!(
+                        attempts as usize,
+                        observed.len(),
+                        "attempt count must include every attempt made"
+                    );
+                    assert!(matches!(observed.last(), Some((_, Attempt::Valid))));
+                    assert!(observed[..observed.len() - 1]
+                        .iter()
+                        .all(|(_, what)| !matches!(what, Attempt::Valid)));
+                }
+                RunOutcome::Failed { attempts, .. } => {
+                    assert_eq!(attempts, policy.max_attempts);
+                    assert_eq!(observed.len(), policy.max_attempts as usize);
+                }
+            }
+        }
+        assert!(
+            recovered_somewhere,
+            "no base seed in the hunt space recovered; the fault rate no longer \
+             exercises the retry path — tune the rate or the seed range"
+        );
+    }
+
+    #[test]
+    fn algorithm_parse_is_the_inverse_of_name() {
+        for alg in [
+            Algorithm::Apsp,
+            Algorithm::Cc,
+            Algorithm::Gc,
+            Algorithm::Mis,
+            Algorithm::Mst,
+            Algorithm::Scc,
+        ] {
+            assert_eq!(Algorithm::parse(alg.name()), Some(alg));
+            assert_eq!(Algorithm::parse(&alg.name().to_lowercase()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("BFS"), None);
     }
 
     #[test]

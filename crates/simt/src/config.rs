@@ -186,6 +186,20 @@ impl GpuConfig {
         ]
     }
 
+    /// Looks a preset up by name, case-insensitively: the four paper GPUs
+    /// plus the [`GpuConfig::test_tiny`] test device (accepted as either
+    /// `TestTiny` or `test-tiny`). This is how CLI flags, journal records,
+    /// and repro bundles — which carry GPU *names* — get back to a
+    /// configuration.
+    pub fn by_name(name: &str) -> Option<GpuConfig> {
+        let mut candidates = Self::paper_gpus();
+        candidates.push(Self::test_tiny());
+        candidates.into_iter().find(|g| {
+            g.name.eq_ignore_ascii_case(name)
+                || (g.name == "TestTiny" && name.eq_ignore_ascii_case("test-tiny"))
+        })
+    }
+
     /// A tiny 4-SM device for unit tests: small caches make hit/miss
     /// behavior easy to exercise deterministically.
     pub fn test_tiny() -> Self {
@@ -258,5 +272,15 @@ mod tests {
     fn cycles_to_ns_uses_clock() {
         let g = GpuConfig::test_tiny();
         assert_eq!(g.cycles_to_ns(1000), 1000.0);
+    }
+
+    #[test]
+    fn by_name_resolves_presets() {
+        assert_eq!(GpuConfig::by_name("A100").unwrap().num_sms, 108);
+        assert_eq!(GpuConfig::by_name("titan v").unwrap().name, "Titan V");
+        assert_eq!(GpuConfig::by_name("2070 Super").unwrap().name, "2070 Super");
+        assert_eq!(GpuConfig::by_name("test-tiny").unwrap().name, "TestTiny");
+        assert_eq!(GpuConfig::by_name("TESTTINY").unwrap().name, "TestTiny");
+        assert!(GpuConfig::by_name("H100").is_none());
     }
 }

@@ -71,6 +71,15 @@ pub enum SimError {
         /// The diverging block.
         block: u32,
     },
+    /// The host-side wall-clock deadline expired while the launch was still
+    /// running (see [`crate::Gpu::set_deadline`]). Unlike the cycle-budget
+    /// watchdog this is a *real-time* bound: isolated sweep workers arm it
+    /// from their cell budget so a runaway launch dies as a typed error
+    /// before the parent has to SIGKILL the whole process.
+    DeadlineExceeded {
+        /// Kernel name.
+        kernel: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -106,6 +115,10 @@ impl std::fmt::Display for SimError {
                 f,
                 "kernel '{kernel}': block {block} reached a barrier while sibling threads \
                  already exited (barrier divergence, undefined behavior on a GPU)"
+            ),
+            SimError::DeadlineExceeded { kernel } => write!(
+                f,
+                "kernel '{kernel}': host wall-clock deadline expired mid-launch: killed"
             ),
         }
     }
@@ -253,6 +266,8 @@ mod tests {
             elapsed_cycles: 11,
         };
         assert!(e.to_string().contains("watchdog"));
+        let e = SimError::DeadlineExceeded { kernel: "d".into() };
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

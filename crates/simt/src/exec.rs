@@ -970,6 +970,7 @@ pub(crate) fn run_kernel<K: Kernel>(
     launch_id: u32,
     seed: u64,
     watchdog: Option<u64>,
+    deadline: Option<std::time::Instant>,
     mut fault: Option<&mut FaultState>,
     launch: LaunchConfig,
     kernel: &K,
@@ -1043,6 +1044,7 @@ pub(crate) fn run_kernel<K: Kernel>(
             &sm_of,
             wave_len,
             watchdog,
+            deadline,
             &mut fault,
         )?;
         wave_start = wave_end;
@@ -1089,6 +1091,7 @@ fn run_wave<K: Kernel>(
     sm_of: &dyn Fn(u32) -> u32,
     wave_len: usize,
     watchdog: Option<u64>,
+    deadline: Option<std::time::Instant>,
     fault: &mut Option<&mut FaultState>,
 ) -> Result<(), SimError> {
     let mut alive: u32 = block_order
@@ -1225,6 +1228,18 @@ fn run_wave<K: Kernel>(
                 return Err(SimError::FaultBudgetExhausted {
                     kernel: kernel.name().to_string(),
                     budget: f.budget(),
+                });
+            }
+        }
+        // The wall-clock deadline is real time, not simulated time, so it
+        // can only influence the error path: runs that finish in time are
+        // bit-identical whether or not a deadline is armed. A round covers
+        // hundreds of thread steps, so one `Instant::now` here is noise —
+        // and only paid when a deadline is actually armed.
+        if let Some(d) = deadline {
+            if alive > 0 && std::time::Instant::now() >= d {
+                return Err(SimError::DeadlineExceeded {
+                    kernel: kernel.name().to_string(),
                 });
             }
         }

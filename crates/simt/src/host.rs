@@ -38,6 +38,7 @@ pub struct Gpu {
     trace: Option<Trace>,
     seed: u64,
     watchdog: Option<u64>,
+    deadline: Option<std::time::Instant>,
     fault: Option<FaultState>,
     launches: RunStats,
     total_cycles: u64,
@@ -65,6 +66,7 @@ impl Gpu {
             trace: None,
             seed: 0,
             watchdog,
+            deadline: None,
             fault: None,
             launches: RunStats::default(),
             total_cycles: 0,
@@ -94,6 +96,31 @@ impl Gpu {
     /// The active watchdog budget, if any.
     pub fn watchdog(&self) -> Option<u64> {
         self.watchdog
+    }
+
+    /// Sets (or clears) a host wall-clock deadline for subsequent launches.
+    /// A launch still running when the deadline passes fails with
+    /// [`SimError::DeadlineExceeded`] — the real-time complement to the
+    /// cycle-budget watchdog, checked at the same per-round granularity.
+    /// Isolated sweep workers arm this from their cell's wall-clock budget
+    /// so an overrunning simulation dies as a typed, journalable error
+    /// instead of being SIGKILLed from outside.
+    ///
+    /// The deadline only affects the *error* path: runs that finish in time
+    /// are bit-identical with or without one armed.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// The active wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+
+    /// The armed fault plan, if any (the running state's counters are
+    /// internal; see [`Gpu::fault_report`] for what it has injected).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
     }
 
     /// Arms seeded fault injection for subsequent launches. The plan's
@@ -214,10 +241,11 @@ impl Gpu {
             trace,
             seed,
             watchdog,
+            deadline,
             fault,
             ..
         } = self;
-        let (seed, watchdog) = (*seed, *watchdog);
+        let (seed, watchdog, deadline) = (*seed, *watchdog, *deadline);
         let stats = catch_sim(|| {
             run_kernel(
                 config,
@@ -227,6 +255,7 @@ impl Gpu {
                 id,
                 seed,
                 watchdog,
+                deadline,
                 fault.as_mut(),
                 launch,
                 kernel,

@@ -278,3 +278,44 @@ fn livelock_is_detected() {
     let mut gpu = Gpu::new(GpuConfig::test_tiny());
     gpu.launch(single_thread_launch(StoreVisibility::Immediate), Forever);
 }
+
+#[test]
+fn expired_wall_deadline_kills_a_running_launch() {
+    // A would-be livelock dies with a typed DeadlineExceeded long before the
+    // livelock round limit: the wall-clock deadline is the host's real-time
+    // bound on a launch, independent of simulated cycles.
+    struct Forever;
+    impl Kernel for Forever {
+        type State = ();
+        fn name(&self) -> &str {
+            "forever"
+        }
+        fn init(&self, _: ThreadInfo) {}
+        fn step(&self, _: &mut (), _: &mut Ctx<'_>) -> Step {
+            Step::Yield
+        }
+    }
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    gpu.set_deadline(Some(std::time::Instant::now()));
+    let r = gpu.try_launch(single_thread_launch(StoreVisibility::Immediate), Forever);
+    assert!(matches!(
+        r,
+        Err(ecl_simt::SimError::DeadlineExceeded { .. })
+    ));
+}
+
+#[test]
+fn deadline_does_not_perturb_a_run_that_finishes_in_time() {
+    let run = |deadline: Option<std::time::Instant>| -> (Vec<u32>, u64) {
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.set_deadline(deadline);
+        let buf = gpu.alloc::<u32>(128);
+        gpu.launch(
+            LaunchConfig::for_items(128),
+            ForEach::new("w", 128, move |ctx, i| ctx.store(buf.at(i as usize), i * 7)),
+        );
+        (gpu.download(&buf), gpu.elapsed_cycles())
+    };
+    let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+    assert_eq!(run(None), run(Some(far)));
+}

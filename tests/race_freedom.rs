@@ -141,6 +141,7 @@ fn resilient_runner_contains_aggressive_faults() {
     let opts = SimOptions {
         watchdog: Some(20_000_000),
         fault: Some(FaultPlan::new(0xbad).with_bitflips(0.001, MemLevel::L2)),
+        deadline: None,
     };
     let policy = RetryPolicy {
         max_attempts: 2,
