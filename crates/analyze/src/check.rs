@@ -1,0 +1,441 @@
+//! The static checker: pair analysis over declared kernel footprints.
+//!
+//! For every kernel contract, every unordered pair of footprint entries on
+//! the same buffer (including an entry paired with itself) with at least one
+//! write is either **discharged** by one of four safety rules or reported as
+//! a statically-possible conflict:
+//!
+//! 1. *Atomic-atomic*: both entries are [`AccessMode::Atomic`]. The suite's
+//!    atomics are device-scoped, so atomic pairs never race (the detector's
+//!    block-scope exception has no counterpart in these codes).
+//! 2. *Barrier-ordered*: both entries are shared-memory and carry different
+//!    [`FootprintEntry::phase`] epoch tags — a block barrier separates the
+//!    epochs, and shared memory is only visible within the block the barrier
+//!    covers. Global entries never use this rule (block barriers do not
+//!    order accesses across blocks).
+//! 3. *Declared-disjoint regions*: both entries carry different
+//!    [`FootprintEntry::region`] tags, asserting their element sets never
+//!    overlap within an epoch (e.g. APSP's pivot-line reads vs. owned-tile
+//!    writes). The checker trusts the declaration; the differential harness
+//!    discharges it dynamically — an overlapping access would surface as an
+//!    unpredicted dynamic race.
+//! 4. *Owner-disjoint*: both entries have an owned index discipline
+//!    ([`ecl_simt::IndexDiscipline::is_owned`]), so each element is touched
+//!    by exactly one thread. The dynamic sanitizer enforces exactly this
+//!    invariant per access, which is what makes the rule sound rather than
+//!    aspirational.
+//!
+//! Conflicts are classified with the same rules the dynamic detector uses
+//! ([`RaceReport::classify`]) and tagged with the benign class the contract
+//! declares; a conflict with no benign class fails the check.
+
+use ecl_core::contracts::for_algorithm;
+use ecl_core::suite::{Algorithm, Variant};
+use ecl_racecheck::{RaceClass, RaceReport};
+use ecl_simt::{AccessMode, BenignClass, FootprintEntry, KernelContract, Space};
+
+/// One statically-possible cross-thread conflict, deduplicated by
+/// (kernel, buffer, space, class) the way the dynamic detector groups its
+/// findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// Kernel whose contract admits the conflict.
+    pub kernel: String,
+    /// The buffer both entries touch.
+    pub buffer: &'static str,
+    /// Address space of the buffer.
+    pub space: Space,
+    /// Classification, shared with the dynamic detector.
+    pub class: RaceClass,
+    /// The declared benign class, if any entry of any contributing pair
+    /// carries one. `None` means the conflict is *unclassified* — a checker
+    /// failure.
+    pub benign: Option<BenignClass>,
+    /// Description of one contributing entry pair.
+    pub first: String,
+    /// The other side of the example pair.
+    pub second: String,
+    /// How many entry pairs folded into this conflict.
+    pub pairs: u32,
+}
+
+impl std::fmt::Display for Conflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} conflict in '{}' on {:?} '{}': {} vs {} — {}",
+            self.class,
+            self.kernel,
+            self.space,
+            self.buffer,
+            self.first,
+            self.second,
+            match self.benign {
+                Some(b) => format!("benign ({b})"),
+                None => "UNCLASSIFIED".to_string(),
+            }
+        )
+    }
+}
+
+/// Whether a pair of same-buffer entries is discharged by the safety rules.
+fn pair_is_safe(a: &FootprintEntry, b: &FootprintEntry) -> bool {
+    // Rule 1: atomic-atomic (device scope throughout the suite).
+    if a.mode == AccessMode::Atomic && b.mode == AccessMode::Atomic {
+        return true;
+    }
+    // Rule 2: barrier epochs — shared memory only (a block barrier orders
+    // nothing across blocks, and global buffers are visible to all blocks).
+    if a.space == Space::Shared {
+        if let (Some(pa), Some(pb)) = (a.phase, b.phase) {
+            if pa != pb {
+                return true;
+            }
+        }
+    }
+    // Rule 3: declared-disjoint regions (discharged dynamically by the
+    // differential harness).
+    if let (Some(ra), Some(rb)) = (a.region, b.region) {
+        if ra != rb {
+            return true;
+        }
+    }
+    // Rule 4: both sides owner-disjoint (enforced per-access by the
+    // sanitizer's modular / first-touch checks).
+    a.discipline.is_owned() && b.discipline.is_owned()
+}
+
+/// Runs the pair analysis over a set of kernel contracts and returns every
+/// undischarged conflict, deduplicated by (kernel, buffer, space, class).
+pub fn check_contracts(contracts: &[KernelContract]) -> Vec<Conflict> {
+    let mut out: Vec<Conflict> = Vec::new();
+    for contract in contracts {
+        let n = contract.entries.len();
+        for i in 0..n {
+            for j in i..n {
+                let (a, b) = (&contract.entries[i], &contract.entries[j]);
+                if a.space != b.space || a.buffer != b.buffer {
+                    continue;
+                }
+                if !(a.kind.writes() || b.kind.writes()) {
+                    continue;
+                }
+                if pair_is_safe(a, b) {
+                    continue;
+                }
+                let class = RaceReport::classify((a.mode, a.kind), (b.mode, b.kind));
+                let benign = a.benign.or(b.benign);
+                match out.iter_mut().find(|c| {
+                    c.kernel == contract.kernel
+                        && c.buffer == a.buffer
+                        && c.space == a.space
+                        && c.class == class
+                }) {
+                    Some(existing) => {
+                        existing.pairs += 1;
+                        existing.benign = existing.benign.or(benign);
+                    }
+                    None => out.push(Conflict {
+                        kernel: contract.kernel.clone(),
+                        buffer: a.buffer,
+                        space: a.space,
+                        class,
+                        benign,
+                        first: a.describe(),
+                        second: b.describe(),
+                        pairs: 1,
+                    }),
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.kernel, a.buffer).cmp(&(&b.kernel, b.buffer)));
+    out
+}
+
+/// The static verdict for one algorithm × variant.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Which code was checked.
+    pub algorithm: Algorithm,
+    /// Which flavor.
+    pub variant: Variant,
+    /// Kernel names covered by the contract set.
+    pub kernels: Vec<String>,
+    /// Every statically-possible conflict.
+    pub conflicts: Vec<Conflict>,
+}
+
+impl CheckReport {
+    /// `true` when the pair analysis discharged every write-involving pair —
+    /// the *race-freedom proof* the race-free variants must pass.
+    pub fn is_race_free(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// Conflicts with no declared benign class.
+    pub fn unclassified(&self) -> Vec<&Conflict> {
+        self.conflicts
+            .iter()
+            .filter(|c| c.benign.is_none())
+            .collect()
+    }
+
+    /// `true` when every conflict carries a benign class — the bar the racy
+    /// baselines must clear.
+    pub fn fully_classified(&self) -> bool {
+        self.unclassified().is_empty()
+    }
+
+    /// The per-variant acceptance rule: race-free variants must *prove*
+    /// freedom; baselines must classify 100% of their conflicts.
+    pub fn passes(&self) -> bool {
+        match self.variant {
+            Variant::RaceFree => self.is_race_free(),
+            Variant::Baseline => self.fully_classified(),
+        }
+    }
+}
+
+/// Checks one algorithm × variant.
+pub fn check_algorithm(algorithm: Algorithm, variant: Variant) -> CheckReport {
+    let contracts = for_algorithm(algorithm, variant);
+    let kernels = contracts.iter().map(|c| c.kernel.clone()).collect();
+    CheckReport {
+        algorithm,
+        variant,
+        kernels,
+        conflicts: check_contracts(&contracts),
+    }
+}
+
+/// Checks all six codes in both variants (twelve reports, paper table
+/// order, baseline first).
+pub fn check_suite() -> Vec<CheckReport> {
+    let mut out = Vec::new();
+    for alg in Algorithm::ALL {
+        for variant in [Variant::Baseline, Variant::RaceFree] {
+            out.push(check_algorithm(alg, variant));
+        }
+    }
+    out
+}
+
+/// The gate the CI job enforces: every race-free report proves freedom and
+/// every baseline report is fully classified.
+pub fn suite_passes(reports: &[CheckReport]) -> bool {
+    reports.iter().all(CheckReport::passes)
+}
+
+/// Renders the Table-II-style race census as a markdown table: per code and
+/// variant, every statically-possible conflict with its classification and
+/// benign category.
+pub fn format_census(reports: &[CheckReport]) -> String {
+    let mut out = String::from(
+        "| Code | Variant | Kernel | Buffer | Class | Benign category |\n\
+         |------|---------|--------|--------|-------|-----------------|\n",
+    );
+    for r in reports {
+        if r.conflicts.is_empty() {
+            out.push_str(&format!(
+                "| {} | {} | — | — | — | *proven race-free* |\n",
+                r.algorithm, r.variant
+            ));
+            continue;
+        }
+        for c in &r.conflicts {
+            let class = match c.class {
+                RaceClass::WriteWrite => "write-write",
+                RaceClass::ReadWrite => "read-write",
+                RaceClass::MixedAtomic => "mixed-atomic",
+                // Contract atomics are device-scoped, so the static checker
+                // never predicts a scope failure; kept for exhaustiveness.
+                RaceClass::ScopedAtomic => "scoped-atomic",
+            };
+            let benign = match c.benign {
+                Some(b) => b.to_string(),
+                None => "**unclassified**".to_string(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | `{}` | `{}` | {} | {} |\n",
+                r.algorithm, r.variant, c.kernel, c.buffer, class, benign
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_simt::AccessKind::{Load, Store};
+    use ecl_simt::IndexDiscipline::{Arbitrary, OwnedByGlobalId};
+
+    fn own() -> ecl_simt::IndexDiscipline {
+        OwnedByGlobalId { elem_bytes: 4 }
+    }
+
+    #[test]
+    fn owned_pairs_are_safe() {
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Load, own()))
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Store, own()));
+        assert!(check_contracts(&[c]).is_empty());
+    }
+
+    #[test]
+    fn arbitrary_read_vs_owned_write_conflicts() {
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Plain,
+                Load,
+                Arbitrary,
+            ))
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Store, own()));
+        let conflicts = check_contracts(&[c]);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].class, RaceClass::ReadWrite);
+        assert!(conflicts[0].benign.is_none());
+    }
+
+    #[test]
+    fn atomic_pairs_are_safe() {
+        use ecl_simt::AccessKind::Rmw;
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Atomic,
+                Rmw,
+                Arbitrary,
+            ))
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Atomic,
+                Load,
+                Arbitrary,
+            ));
+        assert!(check_contracts(&[c]).is_empty());
+    }
+
+    #[test]
+    fn shared_epochs_order_but_global_epochs_do_not() {
+        use ecl_simt::IndexDiscipline::OwnedRange;
+        // Owned staging store in epoch 0, arbitrary load in epoch 1: only
+        // the epoch rule can discharge the cross pair (the load is not
+        // owned), and the store's self pair is owner-disjoint.
+        let stage = |entry: FootprintEntry| {
+            KernelContract::new("k")
+                .entry(entry.phase(0))
+                .entry(FootprintEntry::shared(AccessMode::Plain, Load, Arbitrary).phase(1))
+        };
+        let shared = stage(FootprintEntry::shared(
+            AccessMode::Plain,
+            Store,
+            OwnedRange { elem_bytes: 4 },
+        ));
+        assert!(check_contracts(&[shared]).is_empty());
+        // Same shape without epoch tags: the cross pair conflicts.
+        let untagged = KernelContract::new("k")
+            .entry(FootprintEntry::shared(
+                AccessMode::Plain,
+                Store,
+                OwnedRange { elem_bytes: 4 },
+            ))
+            .entry(FootprintEntry::shared(AccessMode::Plain, Load, Arbitrary));
+        assert_eq!(check_contracts(&[untagged]).len(), 1);
+        // The same tags on a *global* buffer discharge nothing: block
+        // barriers do not order accesses across blocks.
+        let global = KernelContract::new("k")
+            .entry(
+                FootprintEntry::global("b", AccessMode::Plain, Store, OwnedRange { elem_bytes: 4 })
+                    .phase(0),
+            )
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Load, Arbitrary).phase(1));
+        assert_eq!(check_contracts(&[global]).len(), 1);
+    }
+
+    #[test]
+    fn distinct_regions_are_trusted() {
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Store, own()).region("mine"))
+            .entry(
+                FootprintEntry::global("b", AccessMode::Plain, Load, Arbitrary).region("theirs"),
+            );
+        assert!(check_contracts(&[c]).is_empty());
+    }
+
+    #[test]
+    fn write_write_self_pair_conflicts() {
+        let c = KernelContract::new("k").entry(
+            FootprintEntry::global("b", AccessMode::Plain, Store, Arbitrary)
+                .benign(BenignClass::IdempotentWrite),
+        );
+        let conflicts = check_contracts(&[c]);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].class, RaceClass::WriteWrite);
+        assert_eq!(conflicts[0].benign, Some(BenignClass::IdempotentWrite));
+    }
+
+    #[test]
+    fn read_only_buffers_never_conflict() {
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Plain,
+                Load,
+                Arbitrary,
+            ))
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Volatile,
+                Load,
+                Arbitrary,
+            ));
+        assert!(check_contracts(&[c]).is_empty());
+    }
+
+    #[test]
+    fn race_free_variants_prove_clean_and_baselines_classify() {
+        let reports = check_suite();
+        assert_eq!(reports.len(), 12);
+        assert!(suite_passes(&reports), "{:#?}", reports);
+        for r in &reports {
+            if r.variant == Variant::RaceFree || r.algorithm == Algorithm::Apsp {
+                assert!(
+                    r.is_race_free(),
+                    "{} {} not proven race-free: {:#?}",
+                    r.algorithm,
+                    r.variant,
+                    r.conflicts
+                );
+            }
+        }
+        // The racy baselines must actually *have* races — a census with no
+        // entries would mean the contracts stopped modeling the paper.
+        for alg in [
+            Algorithm::Cc,
+            Algorithm::Gc,
+            Algorithm::Mis,
+            Algorithm::Mst,
+            Algorithm::Scc,
+        ] {
+            let r = check_algorithm(alg, Variant::Baseline);
+            assert!(
+                !r.conflicts.is_empty(),
+                "{alg} baseline census is empty — contracts lost the races"
+            );
+            assert!(r.fully_classified(), "{alg}: {:#?}", r.unclassified());
+        }
+    }
+
+    #[test]
+    fn census_renders_every_algorithm() {
+        let census = format_census(&check_suite());
+        for alg in Algorithm::ALL {
+            assert!(census.contains(alg.name()), "census missing {alg}");
+        }
+        assert!(census.contains("proven race-free"));
+        assert!(!census.contains("unclassified"));
+    }
+}

@@ -33,6 +33,8 @@ struct SeqCstAtomic;
 impl AccessPolicy for SeqCstAtomic {
     const NAME: &'static str = "seq_cst-atomic";
     const IS_RACE_FREE: bool = true;
+    const READ_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
+    const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
 
     fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
         ctx.atomic_load_explicit(p, MemOrder::SeqCst, Scope::Device)

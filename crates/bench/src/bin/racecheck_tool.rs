@@ -6,20 +6,55 @@
 //! cargo run --release -p ecl-bench --bin racecheck_tool -- \
 //!     --alg cc --variant baseline --input rmat16.sym [--scale 0.25] \
 //!     [--mtx path/to/graph.mtx] \
-//!     [--mode precise|shared-only|no-launch-barrier|happens-before] [--profile]
+//!     [--mode precise|shared-only|no-launch-barrier|happens-before] \
+//!     [--profile] [--json]
 //! ```
+//!
+//! `--json` replaces the human-readable summary with one JSON document
+//! (schema `ecl-bench/RACECHECK/v1`) carrying every deduplicated finding —
+//! the machine-readable form CI jobs and the differential harness diff
+//! against.
 //!
 //! Exit codes (for CI gating): 0 = no races, 1 = races detected, 2 = usage
 //! or I/O error (unknown algorithm/input/mode, unreadable `--mtx` file).
 
+use ecl_bench::export::Json;
 use ecl_core::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
 use ecl_core::{cc, gc, mis, mst, scc};
 use ecl_racecheck::{
     access_profile, check_races_hb, check_races_with_mode, format_profile, format_summary,
-    DetectorMode,
+    DetectorMode, RaceReport, RaceSite,
 };
 use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
 use std::process::ExitCode;
+
+fn site_json(s: &RaceSite) -> Json {
+    Json::obj(vec![
+        ("thread", Json::Num(s.thread as f64)),
+        ("mode", Json::Str(format!("{:?}", s.mode))),
+        ("kind", Json::Str(format!("{:?}", s.kind))),
+    ])
+}
+
+fn report_json(r: &RaceReport) -> Json {
+    Json::obj(vec![
+        ("kernel", Json::Str(r.kernel.clone())),
+        ("space", Json::Str(format!("{:?}", r.space))),
+        ("allocation", Json::Num(r.allocation as f64)),
+        (
+            "allocation_name",
+            match &r.allocation_name {
+                Some(n) => Json::Str(n.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("example_addr", Json::Num(r.example_addr as f64)),
+        ("class", Json::Str(format!("{:?}", r.class))),
+        ("first", site_json(&r.first)),
+        ("second", site_json(&r.second)),
+        ("occurrences", Json::Num(r.occurrences as f64)),
+    ])
+}
 
 /// Prints a diagnostic to stderr and exits with the usage/I/O error code.
 fn usage_error(message: String) -> ExitCode {
@@ -109,6 +144,32 @@ fn main() -> ExitCode {
         "happens-before" | "hb" => check_races_hb(&gpu),
         other => return usage_error(format!("unknown detector mode '{other}'")),
     };
+    if args.iter().any(|a| a == "--json") {
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("ecl-bench/RACECHECK/v1".into())),
+            ("alg", Json::Str(alg.clone())),
+            ("variant", Json::Str(variant.clone())),
+            ("input", Json::Str(input_label.clone())),
+            ("mode", Json::Str(mode.clone())),
+            ("trace_len", Json::Num(trace_len as f64)),
+            ("findings", Json::Num(reports.len() as f64)),
+            (
+                "occurrences",
+                Json::Num(reports.iter().map(|r| r.occurrences).sum::<u64>() as f64),
+            ),
+            (
+                "reports",
+                Json::Arr(reports.iter().map(report_json).collect()),
+            ),
+            ("pass", Json::Bool(reports.is_empty())),
+        ]);
+        println!("{}", doc.render());
+        return if reports.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
     println!("{alg} {variant} on {input_label}: {trace_len} traced accesses\n");
     print!("{}", format_summary(&reports));
     if args.iter().any(|a| a == "--profile") {

@@ -78,7 +78,7 @@ pub fn run_with(g: &Csr, cfg: &GpuConfig, seed: u64, opts: &SimOptions) -> ApspR
     }
 
     let mut gpu = opts.make_gpu(cfg, seed);
-    let dist = gpu.alloc::<u32>(padded * padded);
+    let dist = gpu.alloc_named::<u32>(padded * padded, "dist");
     gpu.upload(&dist, &init);
     kernels::run_on(&mut gpu, dist, padded);
     let full = gpu.download(&dist);
@@ -111,6 +111,107 @@ pub fn run_checked(
     opts: &SimOptions,
 ) -> Result<ApspResult, SimError> {
     catch_sim(|| run_with(g, cfg, seed, opts))
+}
+
+/// Runs the blocked Floyd-Warshall kernels on a caller-provided GPU (e.g.
+/// with tracing enabled for the race detector). Returns the unpadded
+/// row-major distance matrix.
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices or carries no weights.
+pub fn run_traced(gpu: &mut ecl_simt::Gpu, g: &Csr) -> Vec<u32> {
+    assert!(g.num_vertices() > 0, "empty graph");
+    let weights = g.weights().expect("APSP needs edge weights");
+    let n = g.num_vertices();
+    let padded = n.div_ceil(TILE).max(1) * TILE;
+    let mut init = vec![INF; padded * padded];
+    for v in 0..n {
+        init[v * padded + v] = 0;
+    }
+    for (e, (u, v)) in g.edges().enumerate() {
+        let slot = &mut init[u as usize * padded + v as usize];
+        *slot = (*slot).min(weights[e]);
+    }
+    let dist = gpu.alloc_named::<u32>(padded * padded, "dist");
+    gpu.upload(&dist, &init);
+    kernels::run_on(gpu, dist, padded);
+    let full = gpu.download(&dist);
+    let mut out = vec![INF; n * n];
+    for i in 0..n {
+        out[i * n..(i + 1) * n].copy_from_slice(&full[i * padded..i * padded + n]);
+    }
+    out
+}
+
+/// Access contracts for the blocked Floyd-Warshall kernels. APSP has no
+/// variants: the published code is race-free (paper §IV-A), and the
+/// contracts express why — every matrix element and staged tile slot has a
+/// single owning thread, barrier epochs order staging against relaxation,
+/// and the pivot-line reads are declared disjoint from the owned-element
+/// writes (the `if new < cur` guard keeps a tile's pivot row and column
+/// unwritten during the step that reads them).
+pub fn contracts() -> Vec<ecl_simt::KernelContract> {
+    use crate::contracts::*;
+    use ecl_simt::KernelContract;
+
+    // Epoch 0: staging stores before the first block barrier. Epoch 1: the
+    // relaxation steps after it.
+    let stage_store = || {
+        FootprintEntry::shared(AccessMode::Plain, Store, claim4())
+            .region("elem")
+            .phase(0)
+    };
+    let elem_load = || {
+        FootprintEntry::shared(AccessMode::Plain, Load, claim4())
+            .region("elem")
+            .phase(1)
+    };
+    let pivot_load = || {
+        FootprintEntry::shared(AccessMode::Plain, Load, Arbitrary)
+            .region("pivot-line")
+            .phase(1)
+    };
+    let elem_store = || {
+        FootprintEntry::shared(AccessMode::Plain, Store, claim4())
+            .region("elem")
+            .phase(1)
+    };
+    let own_tile_load =
+        || FootprintEntry::global("dist", AccessMode::Plain, Load, claim4()).region("own-tile");
+    let own_tile_store =
+        || FootprintEntry::global("dist", AccessMode::Plain, Store, claim4()).region("own-tile");
+    let pivot_tile_load = |tag: &'static str| {
+        FootprintEntry::global("dist", AccessMode::Plain, Load, Arbitrary).region(tag)
+    };
+
+    vec![
+        KernelContract::new("apsp_phase1")
+            .entry(own_tile_load())
+            .entry(own_tile_store())
+            .entry(stage_store())
+            .entry(elem_load())
+            .entry(pivot_load())
+            .entry(elem_store()),
+        // Phase 2 additionally stages and reads the finished diagonal tile,
+        // which it never writes.
+        KernelContract::new("apsp_phase2")
+            .entry(own_tile_load())
+            .entry(pivot_tile_load("pivot-diag"))
+            .entry(own_tile_store())
+            .entry(stage_store())
+            .entry(elem_load())
+            .entry(pivot_load())
+            .entry(elem_store()),
+        // Phase 3 stages the pivot row/column tiles (read-shared across
+        // blocks, never written here) and updates only its own tile.
+        KernelContract::new("apsp_phase3")
+            .entry(pivot_tile_load("pivot-cross"))
+            .entry(own_tile_load())
+            .entry(own_tile_store())
+            .entry(stage_store())
+            .entry(pivot_load()),
+    ]
 }
 
 #[cfg(test)]
@@ -176,7 +277,7 @@ mod tests {
         for (e, (u, v)) in g.edges().enumerate() {
             init[u as usize * padded + v as usize] = weights[e];
         }
-        let dist = gpu.alloc::<u32>(padded * padded);
+        let dist = gpu.alloc_named::<u32>(padded * padded, "dist");
         gpu.upload(&dist, &init);
         super::kernels::run_on(&mut gpu, dist, padded);
         assert!(ecl_racecheck::check_races(&gpu).is_empty());

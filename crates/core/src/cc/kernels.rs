@@ -25,8 +25,8 @@ pub(super) fn run_on<P: AccessPolicy>(
     let n = dg.n;
     let labels = gpu.alloc_named::<u32>(n as usize, "label");
     // Worklist of heavy vertices plus its append cursor.
-    let heavy = gpu.alloc::<u32>(n as usize);
-    let heavy_count = gpu.alloc::<u32>(1);
+    let heavy = gpu.alloc_named::<u32>(n as usize, "heavy");
+    let heavy_count = gpu.alloc_named::<u32>(1, "heavy_count");
     let g = *dg;
 
     // Init: label[v] = the first neighbor smaller than v, else v. This
@@ -89,7 +89,7 @@ pub(super) fn run_on<P: AccessPolicy>(
             out
         };
         let total_heavy_edges = *offsets.last().unwrap();
-        let heavy_offsets = gpu.alloc::<u32>(offsets.len());
+        let heavy_offsets = gpu.alloc_named::<u32>(offsets.len(), "heavy_offsets");
         gpu.upload(&heavy_offsets, &offsets);
         let heavy_list = heavy;
         gpu.launch(

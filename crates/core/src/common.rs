@@ -65,12 +65,12 @@ pub struct DeviceGraph {
 impl DeviceGraph {
     /// Copies a graph into device memory.
     pub fn upload(gpu: &mut Gpu, g: &Csr) -> DeviceGraph {
-        let row_offsets = gpu.alloc::<u32>(g.num_vertices() + 1);
+        let row_offsets = gpu.alloc_named::<u32>(g.num_vertices() + 1, "row_offsets");
         gpu.upload(&row_offsets, g.row_offsets());
-        let col_indices = gpu.alloc::<u32>(g.num_edges().max(1));
+        let col_indices = gpu.alloc_named::<u32>(g.num_edges().max(1), "col_indices");
         gpu.upload(&col_indices, g.col_indices());
         let weights = g.weights().map(|w| {
-            let buf = gpu.alloc::<u32>(w.len().max(1));
+            let buf = gpu.alloc_named::<u32>(w.len().max(1), "weights");
             gpu.upload(&buf, w);
             buf
         });

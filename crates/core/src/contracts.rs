@@ -1,0 +1,247 @@
+//! Access contracts for every kernel in the suite.
+//!
+//! Each algorithm module declares, per kernel, the complete footprint its
+//! threads may touch (see [`ecl_simt::KernelContract`]): which buffers, in
+//! which [`ecl_simt::AccessMode`] and [`ecl_simt::AccessKind`], under which
+//! index discipline. The helpers here capture the access *shapes* the
+//! [`crate::primitives::AccessPolicy`] layer issues — a policy's `write_byte`
+//! is a byte-wide store in the baselines but a word-wide CAS loop in the
+//! race-free conversion (paper Figs. 3–4), and the contracts must match what
+//! the simulator actually records.
+//!
+//! The contracts are consumed by two tools:
+//!
+//! - `ecl-analyze` checks them statically (race-freedom proof for the
+//!   race-free variants, benign-race census for the baselines);
+//! - [`ecl_simt::Gpu::install_contracts`] enforces them dynamically,
+//!   failing any launch that touches memory outside its declaration.
+
+use crate::primitives::AccessPolicy;
+use crate::suite::{Algorithm, Variant};
+use ecl_simt::BenignClass::{MonotonicUpdate, RePropagatedLostUpdate};
+use ecl_simt::IndexDiscipline::{self, OwnedByGlobalId, OwnedRange};
+
+pub use ecl_simt::AccessKind::{Load, Rmw, Store};
+pub use ecl_simt::AccessMode;
+pub use ecl_simt::IndexDiscipline::Arbitrary;
+pub use ecl_simt::{BenignClass, FootprintEntry, KernelContract};
+
+/// Plain read-only loads of CSR structure arrays (row offsets, column
+/// indices, weights, edge sources): never written after upload, so any
+/// thread may read any element.
+pub fn csr_loads(buffers: &[&'static str]) -> Vec<FootprintEntry> {
+    buffers
+        .iter()
+        .map(|b| FootprintEntry::global(b, AccessMode::Plain, Load, Arbitrary))
+        .collect()
+}
+
+/// The `u32` load shape `P::read_u32` issues.
+pub fn word_read<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> FootprintEntry {
+    FootprintEntry::global(buffer, P::READ_MODE, Load, discipline)
+}
+
+/// The `u32` store shape `P::write_u32` issues.
+pub fn word_write<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> FootprintEntry {
+    FootprintEntry::global(buffer, P::WRITE_MODE, Store, discipline)
+}
+
+/// The `u64` load shape `P::read_u64` issues. On devices without native
+/// 64-bit accesses the simulator splits plain/volatile loads into two word
+/// halves; an 8-byte element discipline maps both halves to the same element.
+pub fn word64_read<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> FootprintEntry {
+    FootprintEntry::global(buffer, P::READ_MODE, Load, discipline)
+}
+
+/// A device-scope atomic read-modify-write (counters, tickets, CAS hooks).
+pub fn atomic_rmw(buffer: &'static str) -> FootprintEntry {
+    FootprintEntry::global(buffer, AccessMode::Atomic, Rmw, Arbitrary)
+}
+
+/// The footprint of [`crate::common::union_find_rep`] over `buffer`: racy
+/// arbitrary-index reads plus path-shortening writes. Lost shortening
+/// updates are re-propagated by later hops (the paper's §VI-A benign race).
+pub fn union_find_rep_entries<P: AccessPolicy>(buffer: &'static str) -> Vec<FootprintEntry> {
+    vec![
+        word_read::<P>(buffer, Arbitrary).benign(RePropagatedLostUpdate),
+        word_write::<P>(buffer, Arbitrary).benign(RePropagatedLostUpdate),
+    ]
+}
+
+/// The footprint of [`crate::common::union_find_hook`] over `buffer`:
+/// representative chasing plus the `atomicCAS` hook itself (atomic in both
+/// the baseline and the conversion, as in the ECL codes).
+pub fn union_find_hook_entries<P: AccessPolicy>(buffer: &'static str) -> Vec<FootprintEntry> {
+    let mut entries = union_find_rep_entries::<P>(buffer);
+    entries.push(atomic_rmw(buffer));
+    entries
+}
+
+/// The byte-array load shape `P::read_byte` issues: a byte load in the
+/// baselines, a word-wide atomic load (Fig. 3b) in the conversion — which is
+/// why the race-free entries drop to `Arbitrary` (the word spans four
+/// threads' bytes).
+pub fn byte_read_entries<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> Vec<FootprintEntry> {
+    if P::IS_RACE_FREE {
+        vec![FootprintEntry::global(
+            buffer,
+            AccessMode::Atomic,
+            Load,
+            Arbitrary,
+        )]
+    } else {
+        vec![FootprintEntry::global(
+            buffer,
+            P::READ_MODE,
+            Load,
+            discipline,
+        )]
+    }
+}
+
+/// The byte-array store shape `P::write_byte` issues: a byte store in the
+/// baselines; in the conversion either one `atomicAnd` (zero bytes, Fig. 4b)
+/// or an atomic-load + CAS loop on the containing word.
+pub fn byte_write_entries<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> Vec<FootprintEntry> {
+    if P::IS_RACE_FREE {
+        vec![
+            FootprintEntry::global(buffer, AccessMode::Atomic, Load, Arbitrary),
+            FootprintEntry::global(buffer, AccessMode::Atomic, Rmw, Arbitrary),
+        ]
+    } else {
+        vec![FootprintEntry::global(
+            buffer,
+            P::WRITE_MODE,
+            Store,
+            discipline,
+        )]
+    }
+}
+
+/// The pair-half load shape `P::read_pair_first/second` issues (Fig. 5):
+/// a `u32` load of either half of the packed `u64`.
+pub fn pair_read<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> FootprintEntry {
+    FootprintEntry::global(buffer, P::READ_MODE, Load, discipline)
+}
+
+/// The pair-half monotonic max shape `P::max_pair_first/second` issues:
+/// a racy load + conditional store of one half in the baselines (lost maxima
+/// are re-propagated — monotone convergence), one `atomicMax` per half in
+/// the conversion.
+pub fn pair_max_entries<P: AccessPolicy>(buffer: &'static str) -> Vec<FootprintEntry> {
+    if P::IS_RACE_FREE {
+        vec![
+            FootprintEntry::global(buffer, AccessMode::Atomic, Load, Arbitrary),
+            atomic_rmw(buffer),
+        ]
+    } else {
+        vec![
+            FootprintEntry::global(buffer, P::READ_MODE, Load, Arbitrary).benign(MonotonicUpdate),
+            FootprintEntry::global(buffer, P::WRITE_MODE, Store, Arbitrary).benign(MonotonicUpdate),
+        ]
+    }
+}
+
+/// The flag-raise shape `P::raise_flag` issues: a store of the constant 1 —
+/// idempotent however the racing writers interleave.
+pub fn flag_raise<P: AccessPolicy>(buffer: &'static str) -> FootprintEntry {
+    FootprintEntry::global(buffer, P::WRITE_MODE, Store, Arbitrary)
+        .benign(ecl_simt::BenignClass::IdempotentWrite)
+}
+
+/// Grid-stride ownership of 4-byte elements (non-chunked `ForEach`: item
+/// index equals element index, so `element % num_threads == global_id`).
+pub fn own4() -> IndexDiscipline {
+    OwnedByGlobalId { elem_bytes: 4 }
+}
+
+/// Grid-stride ownership of 8-byte elements.
+pub fn own8() -> IndexDiscipline {
+    OwnedByGlobalId { elem_bytes: 8 }
+}
+
+/// Grid-stride ownership of single bytes.
+pub fn own1() -> IndexDiscipline {
+    OwnedByGlobalId { elem_bytes: 1 }
+}
+
+/// First-touch ownership of 4-byte elements (chunked or data-dependent
+/// per-thread partitions).
+pub fn claim4() -> IndexDiscipline {
+    OwnedRange { elem_bytes: 4 }
+}
+
+/// First-touch ownership of 8-byte elements.
+pub fn claim8() -> IndexDiscipline {
+    OwnedRange { elem_bytes: 8 }
+}
+
+/// First-touch ownership of single bytes.
+pub fn claim1() -> IndexDiscipline {
+    OwnedRange { elem_bytes: 1 }
+}
+
+/// The full contract set for one algorithm × variant, keyed on the canonical
+/// policy/visibility mapping the suite and the race-detection tools use.
+pub fn for_algorithm(algorithm: Algorithm, variant: Variant) -> Vec<KernelContract> {
+    let race_free = variant == Variant::RaceFree;
+    match algorithm {
+        Algorithm::Apsp => crate::apsp::contracts(),
+        Algorithm::Cc => crate::cc::contracts(race_free),
+        Algorithm::Gc => crate::gc::contracts(race_free),
+        Algorithm::Mis => crate::mis::contracts(race_free),
+        Algorithm::Mst => crate::mst::contracts(race_free),
+        Algorithm::Scc => crate::scc::contracts(race_free),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::{Atomic, Plain};
+
+    #[test]
+    fn race_free_byte_writes_are_word_wide_atomics() {
+        let entries = byte_write_entries::<Atomic>("s", own1());
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.mode == AccessMode::Atomic));
+        let plain = byte_write_entries::<Plain>("s", own1());
+        assert_eq!(plain.len(), 1);
+        assert_eq!(plain[0].kind, Store);
+        assert_eq!(plain[0].discipline, own1());
+    }
+
+    #[test]
+    fn every_algorithm_variant_has_contracts() {
+        for alg in Algorithm::ALL {
+            for variant in [Variant::Baseline, Variant::RaceFree] {
+                let contracts = for_algorithm(alg, variant);
+                assert!(
+                    !contracts.is_empty(),
+                    "{alg:?} {variant:?} has no contracts"
+                );
+                for c in &contracts {
+                    assert!(!c.entries.is_empty(), "{} has an empty contract", c.kernel);
+                }
+            }
+        }
+    }
+}

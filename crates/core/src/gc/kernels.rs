@@ -38,7 +38,7 @@ pub(super) fn run_on_with<P: AccessPolicy, Q: AccessPolicy>(
     let n = dg.n;
     let colors = gpu.alloc_named::<u32>(n as usize, "color");
     let minposs = gpu.alloc_named::<u32>(n as usize, "minposs");
-    let remaining = gpu.alloc::<u32>(1);
+    let remaining = gpu.alloc_named::<u32>(1, "remaining");
     let g = *dg;
 
     gpu.launch(

@@ -42,6 +42,7 @@ pub use common::SimOptions;
 pub mod apsp;
 pub mod cc;
 pub mod common;
+pub mod contracts;
 pub mod gc;
 pub mod mis;
 pub mod mst;

@@ -66,7 +66,7 @@ pub(super) fn run_synchronous_on<P: AccessPolicy>(
 ) -> DeviceBuffer<u8> {
     let n = dg.n;
     let statuses = gpu.alloc_named::<u8>(((n as usize) + 3) & !3, "node_stat");
-    let undecided = gpu.alloc::<u32>(1);
+    let undecided = gpu.alloc_named::<u32>(1, "undecided");
     let g = *dg;
 
     gpu.launch(

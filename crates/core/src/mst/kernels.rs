@@ -31,12 +31,12 @@ pub(super) fn run_on<P: AccessPolicy>(
     let parent = gpu.alloc_named::<u32>(n as usize, "parent");
     let best = gpu.alloc_named::<u64>(n as usize, "best");
     // Padded to a word multiple for the race-free byte writes (Fig. 4).
-    let in_mst = gpu.alloc::<u8>(((m as usize).max(1) + 3) & !3);
-    let changed = gpu.alloc::<u32>(1);
+    let in_mst = gpu.alloc_named::<u8>(((m as usize).max(1) + 3) & !3, "in_mst");
+    let changed = gpu.alloc_named::<u32>(1, "changed");
 
     // The edge-centric kernels need each edge's source vertex.
     let edge_src_host: Vec<u32> = g.edges().map(|(s, _)| s).collect();
-    let edge_src = gpu.alloc::<u32>((m as usize).max(1));
+    let edge_src = gpu.alloc_named::<u32>((m as usize).max(1), "edge_src");
     gpu.upload(&edge_src, &edge_src_host);
     let graph = *dg;
     let weights = dg.weights.expect("weights uploaded");

@@ -50,6 +50,11 @@ pub trait AccessPolicy: Copy + Default + Send + Sync + 'static {
     const NAME: &'static str;
     /// `true` only for the race-free conversion.
     const IS_RACE_FREE: bool;
+    /// The [`ecl_simt::AccessMode`] this policy's reads issue — what the
+    /// access-contract constructors declare for read entries.
+    const READ_MODE: ecl_simt::AccessMode;
+    /// The [`ecl_simt::AccessMode`] this policy's writes issue.
+    const WRITE_MODE: ecl_simt::AccessMode;
 
     /// Reads a shared `u32`.
     fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32;
@@ -101,6 +106,8 @@ pub struct Plain;
 impl AccessPolicy for Plain {
     const NAME: &'static str = "plain";
     const IS_RACE_FREE: bool = false;
+    const READ_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Plain;
+    const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Plain;
 
     #[inline]
     fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
@@ -167,6 +174,8 @@ pub struct Volatile;
 impl AccessPolicy for Volatile {
     const NAME: &'static str = "volatile";
     const IS_RACE_FREE: bool = false;
+    const READ_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Volatile;
+    const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Volatile;
 
     #[inline]
     fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
@@ -236,6 +245,8 @@ pub struct VolatileReadPlainWrite;
 impl AccessPolicy for VolatileReadPlainWrite {
     const NAME: &'static str = "volatile-read/plain-write";
     const IS_RACE_FREE: bool = false;
+    const READ_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Volatile;
+    const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Plain;
 
     #[inline]
     fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
@@ -301,6 +312,8 @@ pub struct Atomic;
 impl AccessPolicy for Atomic {
     const NAME: &'static str = "atomic";
     const IS_RACE_FREE: bool = true;
+    const READ_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
+    const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
 
     #[inline]
     fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {

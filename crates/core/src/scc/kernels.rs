@@ -20,14 +20,14 @@ pub(super) fn run_on<P: AccessPolicy>(
     // "none".
     let pairs = gpu.alloc_named::<u64>(n as usize, "max_id_pair");
     // scc_ids[v]: 0 = unsettled, otherwise pivot id + 1.
-    let scc_ids = gpu.alloc::<u32>(n as usize);
+    let scc_ids = gpu.alloc_named::<u32>(n as usize, "scc_id");
     // The global "repeat" flag: a plain bool in the baseline, an int with
     // atomic accesses in the race-free code (paper §IV-C).
     let repeat = gpu.alloc_named::<u32>(1, "repeat_flag");
-    let settled_count = gpu.alloc::<u32>(1);
+    let settled_count = gpu.alloc_named::<u32>(1, "settled_count");
 
     let edge_src_host: Vec<u32> = g.edges().map(|(s, _)| s).collect();
-    let edge_src = gpu.alloc::<u32>((m as usize).max(1));
+    let edge_src = gpu.alloc_named::<u32>((m as usize).max(1), "edge_src");
     gpu.upload(&edge_src, &edge_src_host);
     let graph = *dg;
 

@@ -24,18 +24,18 @@ pub(super) fn run_on<P: AccessPolicy>(
 ) -> DeviceBuffer<u32> {
     let n = dg.n;
     let pairs = gpu.alloc_named::<u64>(n as usize, "max_id_pair");
-    let scc_ids = gpu.alloc::<u32>(n as usize);
-    let settled_count = gpu.alloc::<u32>(1);
+    let scc_ids = gpu.alloc_named::<u32>(n as usize, "scc_id");
+    let settled_count = gpu.alloc_named::<u32>(1, "settled_count");
 
     // Two worklists (current and next) plus their cursors. A vertex can be
     // pushed more than once per round (by different improving neighbors);
     // the 2x capacity plus clamping in the push keeps that safe, and
     // duplicates only cost repeated (idempotent) relaxations.
     let capacity = 2 * n as usize + 64;
-    let wl_a = gpu.alloc::<u32>(capacity);
-    let wl_b = gpu.alloc::<u32>(capacity);
-    let count_a = gpu.alloc::<u32>(1);
-    let count_b = gpu.alloc::<u32>(1);
+    let wl_a = gpu.alloc_named::<u32>(capacity, "worklist_a");
+    let wl_b = gpu.alloc_named::<u32>(capacity, "worklist_b");
+    let count_a = gpu.alloc_named::<u32>(1, "worklist_count_a");
+    let count_b = gpu.alloc_named::<u32>(1, "worklist_count_b");
 
     // The reverse graph drives backward propagation.
     let transpose = g.transpose();

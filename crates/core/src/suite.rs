@@ -28,6 +28,16 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// All six codes, in the paper's table order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Apsp,
+        Algorithm::Cc,
+        Algorithm::Gc,
+        Algorithm::Mis,
+        Algorithm::Mst,
+        Algorithm::Scc,
+    ];
+
     /// The four undirected-input algorithms of Tables IV–VII, in order.
     pub const UNDIRECTED: [Algorithm; 4] =
         [Algorithm::Cc, Algorithm::Gc, Algorithm::Mis, Algorithm::Mst];
@@ -58,16 +68,9 @@ impl Algorithm {
     /// the inverse of [`Algorithm::name`], used by journal records, repro
     /// bundles, and worker-cell CLI keys.
     pub fn parse(name: &str) -> Option<Algorithm> {
-        [
-            Algorithm::Apsp,
-            Algorithm::Cc,
-            Algorithm::Gc,
-            Algorithm::Mis,
-            Algorithm::Mst,
-            Algorithm::Scc,
-        ]
-        .into_iter()
-        .find(|a| a.name().eq_ignore_ascii_case(name))
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
     }
 }
 

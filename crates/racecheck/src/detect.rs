@@ -267,6 +267,78 @@ mod tests {
     }
 
     #[test]
+    fn sub_word_overlap_is_detected() {
+        // A full-word store vs a one-byte store into the middle of the same
+        // word: the accesses have different widths and different base
+        // addresses, but overlap on exactly one byte — which is where the
+        // detector's per-byte location model must catch them.
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let words = gpu.alloc::<u32>(2);
+        gpu.launch(
+            LaunchConfig::for_items(2),
+            ForEach::new("subword", 2, move |ctx, i| {
+                if i == 0 {
+                    ctx.store(words.at(0), 0xdead_beef);
+                } else {
+                    ctx.store(words.at(0).cast::<u8>().offset(2), 7u8);
+                }
+            }),
+        );
+        let reports = check_races(&gpu);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].class, RaceClass::WriteWrite);
+    }
+
+    #[test]
+    fn atomic_word_vs_plain_byte_in_same_word_is_mixed() {
+        // An atomic CAS covers all four bytes of its word: a *plain* byte
+        // store inside that word races with it even though their base
+        // addresses differ.
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let word = gpu.alloc::<u32>(1);
+        gpu.launch(
+            LaunchConfig::for_items(2),
+            ForEach::new("cas_vs_byte", 2, move |ctx, i| {
+                if i == 0 {
+                    ctx.atomic_cas_u32(word.at(0), 0, 1);
+                } else {
+                    ctx.store(word.at(0).cast::<u8>().offset(1), 3u8);
+                }
+            }),
+        );
+        let reports = check_races(&gpu);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].class, RaceClass::MixedAtomic);
+    }
+
+    #[test]
+    fn shared_only_mode_catches_shared_but_misses_global() {
+        // One kernel races in BOTH spaces; the Compute-Sanitizer-style mode
+        // reports the shared-memory race and is blind to the global one.
+        let mut gpu = Gpu::new(GpuConfig::test_tiny());
+        gpu.enable_tracing();
+        let cell = gpu.alloc::<u32>(1);
+        gpu.launch(
+            LaunchConfig::for_items(8).with_shared_bytes(4),
+            ForEach::new("both_spaces", 8, move |ctx, i| {
+                ctx.shared_write::<u32>(0, i);
+                ctx.store(cell.at(0), i);
+            }),
+        );
+        let precise = check_races(&gpu);
+        assert!(precise.iter().any(|r| r.space == Space::Shared));
+        assert!(precise.iter().any(|r| r.space == Space::Global));
+        let shared_only = check_races_with_mode(&gpu, DetectorMode::SharedOnly);
+        assert!(!shared_only.is_empty(), "the shared race must be reported");
+        assert!(
+            shared_only.iter().all(|r| r.space == Space::Shared),
+            "SharedOnly must not report global findings: {shared_only:?}"
+        );
+    }
+
+    #[test]
     fn launch_boundary_orders_accesses() {
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
         gpu.enable_tracing();
@@ -325,6 +397,13 @@ mod tests {
         assert!(
             !reports.is_empty(),
             "block-scoped atomics from different blocks must race"
+        );
+        // Both sides are atomic: the finding is a scope failure, not a
+        // mixed atomic/non-atomic race.
+        assert!(
+            reports.iter().all(|r| r.class == RaceClass::ScopedAtomic),
+            "cross-block block-scoped atomic pairs must classify as \
+             scoped-atomic: {reports:?}"
         );
     }
 

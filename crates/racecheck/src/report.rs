@@ -24,6 +24,12 @@ pub enum RaceClass {
     /// An atomic access concurrent with a non-atomic access to the same
     /// location — still a race per the CUDA memory model.
     MixedAtomic,
+    /// Two atomic accesses whose scopes do not cover each other —
+    /// block-scoped atomics issued from *different* blocks. Atomics only
+    /// synchronize when each access's scope includes the other thread, so
+    /// such a pair races exactly like plain accesses despite both sides
+    /// being atomic (CUDA memory model §scopes; the paper's §II-A).
+    ScopedAtomic,
 }
 
 /// A deduplicated data-race finding.
@@ -82,10 +88,18 @@ impl fmt::Display for RaceReport {
 }
 
 impl RaceReport {
-    /// Classifies a conflicting pair.
+    /// Classifies a conflicting pair. Callers only pass pairs a detector has
+    /// already found to conflict, so a both-atomic pair here means the
+    /// atomics' scopes failed to cover each other (the detectors filter out
+    /// properly-scoped atomic pairs before classification): that is
+    /// [`RaceClass::ScopedAtomic`], not a mixed race — neither side is
+    /// non-atomic.
     pub fn classify(a: (AccessMode, AccessKind), b: (AccessMode, AccessKind)) -> RaceClass {
-        let any_atomic = a.0 == AccessMode::Atomic || b.0 == AccessMode::Atomic;
-        if any_atomic {
+        let a_atomic = a.0 == AccessMode::Atomic;
+        let b_atomic = b.0 == AccessMode::Atomic;
+        if a_atomic && b_atomic {
+            RaceClass::ScopedAtomic
+        } else if a_atomic || b_atomic {
             RaceClass::MixedAtomic
         } else if a.1.writes() && b.1.writes() {
             RaceClass::WriteWrite
@@ -114,6 +128,7 @@ pub fn format_summary(reports: &[RaceReport]) -> String {
             RaceClass::WriteWrite => "write-write",
             RaceClass::ReadWrite => "read-write",
             RaceClass::MixedAtomic => "mixed-atomic",
+            RaceClass::ScopedAtomic => "scoped-atomic",
         };
         *by_class.entry(class).or_insert(0) += 1;
     }
@@ -159,6 +174,76 @@ mod tests {
             RaceReport::classify((Atomic, Rmw), (Plain, Load)),
             RaceClass::MixedAtomic
         );
+        // A conflicting atomic-atomic pair can only mean a scope failure —
+        // not "mixed", since neither side is non-atomic.
+        assert_eq!(
+            RaceReport::classify((Atomic, Rmw), (Atomic, Rmw)),
+            RaceClass::ScopedAtomic
+        );
+    }
+
+    /// Pins the full (mode, kind) × (mode, kind) classification matrix so a
+    /// future edit to `classify` cannot silently relabel a class: both
+    /// atomic → scoped-atomic, exactly one atomic → mixed-atomic, otherwise
+    /// write-write iff both sides write, else read-write. Also pins symmetry.
+    #[test]
+    fn classification_matrix_is_pinned() {
+        use AccessKind::*;
+        use AccessMode::*;
+        let modes = [Plain, Volatile, Atomic];
+        let kinds = [Load, Store, Rmw];
+        for &am in &modes {
+            for &ak in &kinds {
+                for &bm in &modes {
+                    for &bk in &kinds {
+                        let a = (am, ak);
+                        let b = (bm, bk);
+                        let expected = match (am == Atomic, bm == Atomic) {
+                            (true, true) => RaceClass::ScopedAtomic,
+                            (true, false) | (false, true) => RaceClass::MixedAtomic,
+                            (false, false) => {
+                                if ak.writes() && bk.writes() {
+                                    RaceClass::WriteWrite
+                                } else {
+                                    RaceClass::ReadWrite
+                                }
+                            }
+                        };
+                        assert_eq!(
+                            RaceReport::classify(a, b),
+                            expected,
+                            "classify({a:?}, {b:?})"
+                        );
+                        assert_eq!(
+                            RaceReport::classify(a, b),
+                            RaceReport::classify(b, a),
+                            "classify must be symmetric for ({a:?}, {b:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_names_scoped_atomic() {
+        let site = RaceSite {
+            thread: 0,
+            mode: AccessMode::Atomic,
+            kind: AccessKind::Rmw,
+        };
+        let reports = vec![RaceReport {
+            kernel: "k".into(),
+            space: Space::Global,
+            allocation: 0,
+            allocation_name: None,
+            example_addr: 0,
+            class: RaceClass::ScopedAtomic,
+            first: site,
+            second: site,
+            occurrences: 1,
+        }];
+        assert!(format_summary(&reports).contains("scoped-atomic"));
     }
 
     #[test]

@@ -80,6 +80,30 @@ pub enum SimError {
         /// Kernel name.
         kernel: String,
     },
+    /// A device access fell outside the kernel's declared access contract
+    /// while the sanitizer was armed (see [`crate::Gpu::install_contracts`]).
+    ContractViolation {
+        /// Kernel name.
+        kernel: String,
+        /// The where/what of the violation, boxed so the happy-path
+        /// `Result` size stays small (the detail carries three strings).
+        detail: Box<ContractViolationDetail>,
+    },
+}
+
+/// The payload of a [`SimError::ContractViolation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractViolationDetail {
+    /// The faulting thread's global id.
+    pub thread: u32,
+    /// The faulting byte address (a byte offset for shared memory).
+    pub addr: u32,
+    /// Name of the buffer touched (or `?` when unresolvable).
+    pub buffer: String,
+    /// The declared footprint the access was checked against.
+    pub declared: String,
+    /// What the access actually was (mode, kind, thread).
+    pub actual: String,
 }
 
 impl std::fmt::Display for SimError {
@@ -119,6 +143,12 @@ impl std::fmt::Display for SimError {
             SimError::DeadlineExceeded { kernel } => write!(
                 f,
                 "kernel '{kernel}': host wall-clock deadline expired mid-launch: killed"
+            ),
+            SimError::ContractViolation { kernel, detail } => write!(
+                f,
+                "kernel '{kernel}': access contract violation on '{}' at {:#x}: \
+                 {}, but thread {}'s declared footprint is: {}",
+                detail.buffer, detail.addr, detail.actual, detail.thread, detail.declared
             ),
         }
     }
@@ -268,6 +298,17 @@ mod tests {
         assert!(e.to_string().contains("watchdog"));
         let e = SimError::DeadlineExceeded { kernel: "d".into() };
         assert!(e.to_string().contains("deadline"));
+        let e = SimError::ContractViolation {
+            kernel: "c".into(),
+            detail: Box::new(ContractViolationDetail {
+                thread: 3,
+                addr: 0x100,
+                buffer: "label".into(),
+                declared: "Plain Store label [arbitrary]".into(),
+                actual: "Volatile Store by thread 3".into(),
+            }),
+        };
+        assert!(e.to_string().contains("contract violation"));
     }
 
     #[test]

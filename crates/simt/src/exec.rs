@@ -13,6 +13,7 @@
 
 use crate::access::{AccessKind, AccessMode, MemOrder, Scope};
 use crate::config::GpuConfig;
+use crate::contract::SanitizerState;
 use crate::error::{self, SimError};
 use crate::fault::FaultState;
 use crate::mem::{DevicePtr, DeviceValue, MemLevel, MemSystem, Memory};
@@ -255,6 +256,7 @@ pub struct Ctx<'a> {
     pub(crate) msys: &'a mut MemSystem,
     pub(crate) trace: Option<&'a mut Trace>,
     fault: Option<&'a mut FaultState>,
+    sanitizer: Option<&'a mut SanitizerState>,
     kernel: &'a str,
     sbuf: &'a mut StoreBuf,
     shared: &'a mut [u8],
@@ -349,6 +351,9 @@ impl<'a> Ctx<'a> {
         scope: Scope,
         order: MemOrder,
     ) {
+        if self.sanitizer.is_some() {
+            self.sanitize(space, addr, mode, kind);
+        }
         if let Some(trace) = self.trace.as_deref_mut() {
             trace.record(AccessEvent {
                 space,
@@ -363,6 +368,30 @@ impl<'a> Ctx<'a> {
                 scope,
                 order,
             });
+        }
+    }
+
+    /// Validates one access against the armed contract sanitizer; raises a
+    /// typed [`SimError::ContractViolation`] on the first out-of-contract
+    /// access. Runs on every access (unlike tracing, which is opt-in and
+    /// orthogonal): the check is the enforcement, not an observation.
+    fn sanitize(&mut self, space: Space, addr: u32, mode: AccessMode, kind: AccessKind) {
+        let (kernel, thread, num_threads, block) =
+            (self.kernel, self.thread, self.num_threads, self.block);
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            if let Err(e) = s.check(
+                kernel,
+                space,
+                addr,
+                mode,
+                kind,
+                thread,
+                num_threads,
+                block,
+                self.mem,
+            ) {
+                error::raise(e);
+            }
         }
     }
 
@@ -972,6 +1001,7 @@ pub(crate) fn run_kernel<K: Kernel>(
     watchdog: Option<u64>,
     deadline: Option<std::time::Instant>,
     mut fault: Option<&mut FaultState>,
+    mut sanitizer: Option<&mut SanitizerState>,
     launch: LaunchConfig,
     kernel: &K,
 ) -> Result<KernelStats, SimError> {
@@ -980,6 +1010,9 @@ pub(crate) fn run_kernel<K: Kernel>(
 
     if let Some(t) = trace.as_deref_mut() {
         t.name_launch(launch_id, kernel.name());
+    }
+    if let Some(s) = sanitizer.as_deref_mut() {
+        s.begin_launch();
     }
 
     // Per-thread coroutine states and store buffers.
@@ -1046,6 +1079,7 @@ pub(crate) fn run_kernel<K: Kernel>(
             watchdog,
             deadline,
             &mut fault,
+            &mut sanitizer,
         )?;
         wave_start = wave_end;
     }
@@ -1093,6 +1127,7 @@ fn run_wave<K: Kernel>(
     watchdog: Option<u64>,
     deadline: Option<std::time::Instant>,
     fault: &mut Option<&mut FaultState>,
+    sanitizer: &mut Option<&mut SanitizerState>,
 ) -> Result<(), SimError> {
     let mut alive: u32 = block_order
         .iter()
@@ -1134,6 +1169,7 @@ fn run_wave<K: Kernel>(
                     msys: &mut *msys,
                     trace: trace.as_deref_mut(),
                     fault: fault.as_deref_mut(),
+                    sanitizer: sanitizer.as_deref_mut(),
                     kernel: kernel.name(),
                     sbuf: &mut sbufs[t as usize],
                     shared: &mut shared[block as usize],

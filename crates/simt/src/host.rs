@@ -3,6 +3,7 @@
 //! `<<<grid, block>>>` surface.
 
 use crate::config::GpuConfig;
+use crate::contract::{KernelContract, SanitizerState};
 use crate::error::{self, catch_sim, SimError};
 use crate::exec::{run_kernel, Kernel, LaunchConfig};
 use crate::fault::{FaultPlan, FaultReport, FaultState};
@@ -40,6 +41,7 @@ pub struct Gpu {
     watchdog: Option<u64>,
     deadline: Option<std::time::Instant>,
     fault: Option<FaultState>,
+    sanitizer: Option<SanitizerState>,
     launches: RunStats,
     total_cycles: u64,
 }
@@ -68,6 +70,7 @@ impl Gpu {
             watchdog,
             deadline: None,
             fault: None,
+            sanitizer: None,
             launches: RunStats::default(),
             total_cycles: 0,
         }
@@ -138,6 +141,26 @@ impl Gpu {
     /// What the armed fault plan has injected so far, if one is armed.
     pub fn fault_report(&self) -> Option<&FaultReport> {
         self.fault.as_ref().map(|f| f.report())
+    }
+
+    /// Installs kernel access contracts and arms the dynamic sanitizer:
+    /// every subsequent device access is validated against the launched
+    /// kernel's declared footprint, and the first out-of-contract access
+    /// fails the launch with a typed [`SimError::ContractViolation`].
+    /// Kernels without a contract and accesses to unnamed allocations are
+    /// violations too — enforcement is strict by design.
+    pub fn install_contracts(&mut self, contracts: impl IntoIterator<Item = KernelContract>) {
+        self.sanitizer = Some(SanitizerState::new(contracts));
+    }
+
+    /// Disarms the contract sanitizer.
+    pub fn clear_contracts(&mut self) {
+        self.sanitizer = None;
+    }
+
+    /// True when the contract sanitizer is armed.
+    pub fn sanitizer_armed(&self) -> bool {
+        self.sanitizer.is_some()
     }
 
     /// Enables access tracing for race detection. Tracing is off by default
@@ -243,6 +266,7 @@ impl Gpu {
             watchdog,
             deadline,
             fault,
+            sanitizer,
             ..
         } = self;
         let (seed, watchdog, deadline) = (*seed, *watchdog, *deadline);
@@ -257,6 +281,7 @@ impl Gpu {
                 watchdog,
                 deadline,
                 fault.as_mut(),
+                sanitizer.as_mut(),
                 launch,
                 kernel,
             )

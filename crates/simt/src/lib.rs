@@ -48,6 +48,7 @@
 
 pub mod access;
 pub mod config;
+pub mod contract;
 pub mod error;
 pub mod exec;
 pub mod fault;
@@ -58,7 +59,8 @@ pub mod trace;
 
 pub use access::{AccessKind, AccessMode, MemOrder, Scope};
 pub use config::GpuConfig;
-pub use error::{catch_any, catch_sim, SimError};
+pub use contract::{BenignClass, FootprintEntry, IndexDiscipline, KernelContract, SHARED_BUFFER};
+pub use error::{catch_any, catch_sim, ContractViolationDetail, SimError};
 pub use exec::{Ctx, ForEach, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo};
 pub use fault::{FaultPlan, FaultReport};
 pub use host::Gpu;
