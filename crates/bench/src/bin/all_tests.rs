@@ -338,83 +338,53 @@ fn replay_main(bundle_path: &std::path::Path) {
 }
 
 /// Schema tag of a repro bundle.
-const REPRO_SCHEMA: &str = "ecl-bench/REPRO/v1";
+const REPRO_SCHEMA: &str = ecl_bench::repro::SCHEMA;
 
-/// File-name slug for a cell key.
-fn slug(key: &str) -> String {
-    key.chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
-                c
-            } else {
-                '-'
-            }
-        })
-        .collect()
+/// The `experiment` block every repro bundle records.
+fn repro_experiment_json(cfg: &Config) -> Json {
+    Json::obj(vec![
+        ("scale", Json::Num(cfg.scale)),
+        ("runs", Json::Num(cfg.runs as f64)),
+        ("seed", Json::Num(cfg.seed as f64)),
+        (
+            "graph_seed",
+            Json::Str(format!("{:#x}", graph_seed(cfg.seed))),
+        ),
+        (
+            "sched_seed0",
+            Json::Str(format!("{:#x}", sched_seed(cfg.seed, 0))),
+        ),
+        ("retries", Json::Num(cfg.retries as f64)),
+        (
+            "watchdog",
+            cfg.watchdog
+                .map(|w| Json::Num(w as f64))
+                .unwrap_or(Json::Null),
+        ),
+        ("fault_rate", Json::Num(cfg.fault_rate)),
+        ("fault_seed", Json::Num(cfg.fault_seed as f64)),
+    ])
 }
 
 /// Writes one repro bundle per failed cell and returns the bundle paths.
+/// Paths are collision-free: a cell failing again on a resumed or retried
+/// run gets an `.attemptN` suffix instead of overwriting the first bundle.
 fn write_repro_bundles(cfg: &Config, set: &str, failures: &[CellFailure]) -> Vec<PathBuf> {
     let dir = cfg.out_dir.join("repro");
     let mut paths = Vec::new();
     for f in failures {
-        std::fs::create_dir_all(&dir).expect("create repro dir");
         let key = cell_key(set, f.input, f.algorithm, f.gpu);
-        let path = dir.join(format!("{}.json", slug(&key)));
         let mut replay_args = cfg.worker_args();
         replay_args.push("--gpu".into());
         replay_args.push(f.gpu.into());
-        let bundle = Json::obj(vec![
-            ("schema", Json::Str(REPRO_SCHEMA.into())),
-            ("key", Json::Str(key.clone())),
-            ("error", Json::Str(f.error.to_string())),
-            ("run", Json::Num(f.run as f64)),
-            (
-                "experiment",
-                Json::obj(vec![
-                    ("scale", Json::Num(cfg.scale)),
-                    ("runs", Json::Num(cfg.runs as f64)),
-                    ("seed", Json::Num(cfg.seed as f64)),
-                    (
-                        "graph_seed",
-                        Json::Str(format!("{:#x}", graph_seed(cfg.seed))),
-                    ),
-                    (
-                        "sched_seed0",
-                        Json::Str(format!("{:#x}", sched_seed(cfg.seed, 0))),
-                    ),
-                    ("retries", Json::Num(cfg.retries as f64)),
-                    (
-                        "watchdog",
-                        cfg.watchdog
-                            .map(|w| Json::Num(w as f64))
-                            .unwrap_or(Json::Null),
-                    ),
-                    ("fault_rate", Json::Num(cfg.fault_rate)),
-                    ("fault_seed", Json::Num(cfg.fault_seed as f64)),
-                ]),
-            ),
-            (
-                "replay",
-                Json::obj(vec![
-                    (
-                        "args",
-                        Json::Arr(replay_args.into_iter().map(Json::Str).collect()),
-                    ),
-                    (
-                        "cli",
-                        Json::Str(format!(
-                            "cargo run --release -p ecl-bench --bin all_tests -- --replay {}",
-                            path.display()
-                        )),
-                    ),
-                ]),
-            ),
-        ]);
-        let mut text = bundle.render();
-        text.push('\n');
-        std::fs::write(&path, text).expect("write repro bundle");
-        paths.push(path);
+        let bundle = ecl_bench::repro::Bundle {
+            key: &key,
+            error: f.error.to_string(),
+            run: f.run,
+            experiment: repro_experiment_json(cfg),
+            replay_args,
+        };
+        paths.push(ecl_bench::repro::write_bundle(&dir, &bundle).expect("write repro bundle"));
     }
     paths
 }
@@ -433,10 +403,8 @@ fn sweep_main(cfg: &Config) {
     }
     let resumed: Option<Journal> = cfg.resume.as_deref().map(|path| {
         let j = Journal::load(path).unwrap_or_else(|e| die(&e));
-        if j.identity != identity {
-            eprintln!("error: journal identity mismatch — the journal was written by a different configuration.");
-            eprintln!("  journal: {}", j.identity.render_compact());
-            eprintln!("  current: {}", identity.render_compact());
+        if let Err(e) = j.check_identity(&identity) {
+            eprintln!("error: {e}");
             std::process::exit(2);
         }
         eprintln!(
@@ -446,11 +414,22 @@ fn sweep_main(cfg: &Config) {
         );
         j
     });
-    let writer: Option<JournalWriter> = match (&cfg.journal, &cfg.resume) {
+    let writer: Option<std::sync::Arc<JournalWriter>> = match (&cfg.journal, &cfg.resume) {
         (Some(path), None) => Some(JournalWriter::create(path, &identity).expect("create journal")),
         (None, Some(path)) => Some(JournalWriter::append_to(path).expect("open journal")),
         _ => None,
-    };
+    }
+    .map(std::sync::Arc::new);
+
+    // A second Ctrl-C during the cooperative drain stops the wait on
+    // in-flight cells: flush the journal note (finished cells are already
+    // fsync'd line-by-line) and exit 130 immediately.
+    let watcher_journal = writer.clone();
+    ecl_bench::spawn_force_quit_watcher(move || {
+        if let Some(w) = watcher_journal {
+            let _ = w.append_note("force-quit", w.cells_recorded());
+        }
+    });
 
     let isolate_spec: Option<IsolateSpec> = cfg.isolate.then(|| IsolateSpec {
         exe: std::env::current_exe().expect("current_exe"),
@@ -460,7 +439,7 @@ fn sweep_main(cfg: &Config) {
     });
 
     let ctl = SweepControl {
-        journal: writer.as_ref(),
+        journal: writer.as_deref(),
         resume: resumed.as_ref(),
         isolate: isolate_spec.as_ref(),
         interrupt: Some(ecl_bench::interrupt::interrupt_flag()),

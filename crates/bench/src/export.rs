@@ -644,6 +644,39 @@ pub fn parse_failure(j: &Json) -> Result<CellFailure, String> {
     })
 }
 
+/// Reassembles a [`MeasuredTable`] from journaled cell bodies, in the
+/// canonical order `keys` dictates (see `matrix::set_cell_keys`). This is
+/// how an out-of-order executor — the farm fleet, a resumed sweep — emits a
+/// report byte-identical to a serial in-process run: the bodies carry the
+/// lossless cell serialization, and this function restores the ordering.
+///
+/// # Errors
+///
+/// A key with no record (the sweep is incomplete) or an unparsable body
+/// (the records came from a different build) is an error.
+pub fn table_from_records(
+    records: &std::collections::HashMap<String, (bool, Json)>,
+    keys: &[String],
+) -> Result<MeasuredTable, String> {
+    let mut table = MeasuredTable::default();
+    for key in keys {
+        let (ok, body) = records
+            .get(key)
+            .ok_or_else(|| format!("no record for cell '{key}' — the sweep is incomplete"))?;
+        if *ok {
+            table.cells.push(
+                parse_cell(body).map_err(|e| format!("record for '{key}' is unusable: {e}"))?,
+            );
+        } else {
+            table.failures.push(
+                parse_failure(body)
+                    .map_err(|e| format!("failure record for '{key}' is unusable: {e}"))?,
+            );
+        }
+    }
+    Ok(table)
+}
+
 fn profile_json(p: &crate::matrix::VariantProfile) -> Json {
     Json::obj(vec![
         ("l1_hit_rate", Json::Num(p.l1_hit_rate)),

@@ -1,22 +1,34 @@
-//! Graceful SIGINT/SIGTERM handling for long sweeps.
+//! Graceful SIGINT/SIGTERM handling for long sweeps and the farm daemon.
 //!
-//! The handler only sets an `AtomicBool` (the one operation that is
-//! unconditionally async-signal-safe); the sweep polls [`interrupted`]
-//! between cells, finishes the cells already in flight, flushes the
-//! journal, and exits 130 — so a Ctrl-C'd sweep is always resumable.
+//! The handler only bumps an `AtomicU32` (the one operation that is
+//! unconditionally async-signal-safe). What the count means:
+//!
+//! - **1 signal** — cooperative drain: the sweep polls [`interrupted`]
+//!   between cells, finishes the cells already in flight, flushes the
+//!   journal, and exits 130 — so a Ctrl-C'd sweep is always resumable.
+//! - **2+ signals** — force-quit: the operator pressed Ctrl-C again because
+//!   the drain is taking too long (a wedged in-flight cell, a huge one).
+//!   A watcher thread ([`spawn_force_quit_watcher`]) notices within ~25 ms,
+//!   runs the registered cleanup (append the journal note — every finished
+//!   cell is already fsync'd, so nothing else needs saving), and exits 130
+//!   immediately instead of waiting on the in-flight cells.
 //!
 //! The registration goes through the raw libc `signal(2)` symbol directly
 //! (declared here) because the repo vendors no `libc` crate.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
+static SIGNALS: AtomicU32 = AtomicU32::new(0);
+// Mirror of `SIGNALS >= 1` that the sweep pool polls directly; the handler
+// maintains both (a store and a fetch_add are each async-signal-safe).
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(_signum: i32) {
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
     INTERRUPTED.store(true, Ordering::SeqCst);
 }
 
-/// Installs the flag-setting handler for SIGINT and SIGTERM. Idempotent.
+/// Installs the counting handler for SIGINT and SIGTERM. Idempotent.
 pub fn install_interrupt_handler() {
     #[cfg(unix)]
     {
@@ -37,19 +49,51 @@ pub fn install_interrupt_handler() {
     }
 }
 
-/// True once SIGINT/SIGTERM has been received.
+/// True once at least one SIGINT/SIGTERM has been received: stop claiming
+/// new work, drain what is in flight.
 pub fn interrupted() -> bool {
-    INTERRUPTED.load(Ordering::SeqCst)
+    SIGNALS.load(Ordering::SeqCst) >= 1
 }
 
-/// The flag itself, for wiring into `SweepControl::interrupt`.
+/// True once a *second* signal has arrived during the drain: stop waiting
+/// on in-flight work and exit now.
+pub fn force_quit_requested() -> bool {
+    SIGNALS.load(Ordering::SeqCst) >= 2
+}
+
+/// The flag the sweep pool polls, for wiring into `SweepControl::interrupt`.
+/// The handler holds it `true` from the first signal on.
 pub fn interrupt_flag() -> &'static AtomicBool {
     &INTERRUPTED
 }
 
-/// Test hook: raise or clear the flag without a real signal.
+/// Spawns the force-quit watcher: a detached thread that polls the signal
+/// count and, once [`force_quit_requested`], runs `cleanup` and exits the
+/// process with status 130. Call it once per process, after the journal
+/// writer (if any) exists so the cleanup can flush the note line.
+pub fn spawn_force_quit_watcher<F>(cleanup: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::spawn(move || loop {
+        if force_quit_requested() {
+            cleanup();
+            eprintln!("second interrupt: force-quitting without waiting on in-flight cells");
+            std::process::exit(130);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    });
+}
+
+/// Test hook: set the signal count directly without a real signal.
+pub fn set_signal_count(n: u32) {
+    SIGNALS.store(n, Ordering::SeqCst);
+    INTERRUPTED.store(n >= 1, Ordering::SeqCst);
+}
+
+/// Test/compat hook: raise or clear the first-signal state.
 pub fn set_interrupted(v: bool) {
-    INTERRUPTED.store(v, Ordering::SeqCst);
+    set_signal_count(if v { 1 } else { 0 });
 }
 
 #[cfg(test)]
@@ -57,12 +101,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn flag_round_trips() {
+    fn one_signal_drains_two_signals_force_quit() {
         install_interrupt_handler();
+        set_signal_count(0);
+        assert!(!interrupted());
+        assert!(!force_quit_requested());
+        assert!(!interrupt_flag().load(Ordering::SeqCst));
+
+        set_signal_count(1);
+        assert!(interrupted(), "first signal starts the drain");
+        assert!(!force_quit_requested(), "one signal never force-quits");
+        assert!(interrupt_flag().load(Ordering::SeqCst));
+
+        set_signal_count(2);
+        assert!(interrupted());
+        assert!(force_quit_requested(), "second signal forces the exit");
+        set_signal_count(0);
+    }
+
+    #[test]
+    fn compat_hook_round_trips() {
         set_interrupted(false);
         assert!(!interrupted());
         set_interrupted(true);
         assert!(interrupted());
+        assert!(!force_quit_requested());
         set_interrupted(false);
     }
 }

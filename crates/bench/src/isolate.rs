@@ -24,9 +24,28 @@
 
 use crate::export::Json;
 use ecl_core::suite::RunError;
+use std::io::{Read, Seek, SeekFrom};
 use std::path::PathBuf;
 use std::process::Command;
 use std::time::{Duration, Instant};
+
+/// Byte budget for every stderr/stdout tail a dead worker leaves behind in
+/// a [`RunError::Worker`]. The tail travels into journal lines, repro
+/// bundles, and `BENCH_RESULTS.json`, so a log-spamming worker must not be
+/// able to balloon those artifacts: whatever the worker wrote, at most this
+/// many bytes of it survive.
+pub const STDERR_TAIL_BUDGET: usize = 2048;
+
+/// Truncates `text` to its last `limit` bytes on a UTF-8 boundary. The
+/// in-memory counterpart of [`tail_of`], for tails that arrive as strings
+/// (worker stdout echoes, farm supervisor captures).
+pub fn cap_tail(text: &str, limit: usize) -> String {
+    let start = text.len().saturating_sub(limit);
+    let start = (start..=text.len())
+        .find(|&i| text.is_char_boundary(i))
+        .unwrap_or(text.len());
+    text[start..].to_string()
+}
 
 /// How a sweep launches per-cell workers.
 #[derive(Debug, Clone)]
@@ -54,14 +73,22 @@ pub enum WorkerVerdict {
 }
 
 /// Last `limit` bytes of a capture file, trimmed, for failure reports.
-fn tail_of(path: &std::path::Path, limit: usize) -> String {
-    let text = std::fs::read_to_string(path).unwrap_or_default();
-    let start = text.len().saturating_sub(limit);
-    // Don't split a UTF-8 scalar.
-    let start = (start..text.len())
-        .find(|&i| text.is_char_boundary(i))
-        .unwrap_or(text.len());
-    text[start..].trim().to_string()
+/// Seeks instead of slurping: a worker that spammed gigabytes of stderr
+/// costs `limit` bytes of memory here, not its file size.
+pub fn tail_of(path: &std::path::Path, limit: usize) -> String {
+    let read_tail = || -> std::io::Result<Vec<u8>> {
+        let mut f = std::fs::File::open(path)?;
+        let len = f.seek(SeekFrom::End(0))?;
+        let start = len.saturating_sub(limit as u64);
+        f.seek(SeekFrom::Start(start))?;
+        let mut buf = Vec::with_capacity(limit.min(len as usize));
+        f.take(limit as u64).read_to_end(&mut buf)?;
+        Ok(buf)
+    };
+    let bytes = read_tail().unwrap_or_default();
+    // Seeking may have landed mid-scalar (and spam may not be UTF-8 at
+    // all); lossy conversion keeps whatever is readable.
+    String::from_utf8_lossy(&bytes).trim().to_string()
 }
 
 /// Runs one cell in a worker subprocess. `idx` names the scratch files, so
@@ -136,12 +163,19 @@ pub fn run_worker(spec: &IsolateSpec, key: &str, idx: usize) -> Result<WorkerVer
         stderr_tail,
     };
     if timed_out || !status.success() {
-        return Err(dead(tail_of(&err_path, 2048)));
+        return Err(dead(tail_of(&err_path, STDERR_TAIL_BUDGET)));
     }
 
     let stdout = std::fs::read_to_string(&out_path).unwrap_or_default();
-    let doc = Json::parse(stdout.trim())
-        .map_err(|e| dead(format!("unparsable worker output ({e}): {}", stdout.trim())))?;
+    // The stdout echo in the error is capped too: a worker spamming garbage
+    // to stdout must not balloon the failure payload any more than a
+    // stderr-spammer can.
+    let doc = Json::parse(stdout.trim()).map_err(|e| {
+        dead(format!(
+            "unparsable worker output ({e}): {}",
+            cap_tail(stdout.trim(), STDERR_TAIL_BUDGET)
+        ))
+    })?;
     if doc.get("schema").and_then(Json::as_str) != Some(WORKER_SCHEMA) {
         return Err(dead(format!(
             "worker spoke the wrong schema: {}",
@@ -242,6 +276,55 @@ mod tests {
             RunError::Worker { timed_out, .. } => assert!(timed_out),
             other => panic!("expected Worker, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn log_spamming_worker_tails_are_capped() {
+        // 4 MiB of stderr spam, then a marker, then death: the captured
+        // tail must stay within the byte budget and keep the *end* of the
+        // stream (where the actual panic message lives).
+        let s = spec(
+            "yes spamspamspamspam | head -c 4194304 >&2; echo FINAL-MARKER >&2; exit 7",
+            30_000,
+        );
+        let err = run_worker(&s, "k", 10).unwrap_err();
+        match err {
+            RunError::Worker { stderr_tail, .. } => {
+                assert!(
+                    stderr_tail.len() <= STDERR_TAIL_BUDGET,
+                    "tail ballooned to {} bytes",
+                    stderr_tail.len()
+                );
+                assert!(stderr_tail.ends_with("FINAL-MARKER"), "tail lost the end");
+            }
+            other => panic!("expected Worker, got {other:?}"),
+        }
+
+        // Same budget for stdout spam that fails to parse as the protocol.
+        let s = spec("yes notjson | head -c 4194304", 30_000);
+        let err = run_worker(&s, "k", 11).unwrap_err();
+        match err {
+            RunError::Worker { stderr_tail, .. } => {
+                assert!(stderr_tail.contains("unparsable"));
+                assert!(
+                    stderr_tail.len() <= STDERR_TAIL_BUDGET + 128,
+                    "stdout echo ballooned to {} bytes",
+                    stderr_tail.len()
+                );
+            }
+            other => panic!("expected Worker, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_tail_respects_utf8_boundaries() {
+        assert_eq!(cap_tail("abcdef", 3), "def");
+        assert_eq!(cap_tail("abc", 10), "abc");
+        assert_eq!(cap_tail("", 4), "");
+        // 'é' is two bytes; a cut landing inside it must skip the scalar.
+        let s = "xéy";
+        assert_eq!(cap_tail(s, 2), "y");
+        assert_eq!(cap_tail(s, 3), "éy");
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub fn identity_json(e: &Experiment, sets: &[&str]) -> Json {
 #[derive(Debug)]
 pub struct JournalWriter {
     file: Mutex<File>,
+    cells: std::sync::atomic::AtomicUsize,
 }
 
 impl JournalWriter {
@@ -107,6 +108,7 @@ impl JournalWriter {
         let file = File::create(path)?;
         let w = JournalWriter {
             file: Mutex::new(file),
+            cells: std::sync::atomic::AtomicUsize::new(0),
         };
         w.append(&Json::obj(vec![
             ("schema", Json::Str(SCHEMA.into())),
@@ -131,6 +133,7 @@ impl JournalWriter {
         file.seek(SeekFrom::End(0))?;
         Ok(JournalWriter {
             file: Mutex::new(file),
+            cells: std::sync::atomic::AtomicUsize::new(0),
         })
     }
 
@@ -152,7 +155,16 @@ impl JournalWriter {
             ("ok", Json::Bool(ok)),
             ("digest", Json::Str(digest_of(body))),
             ("body", body.clone()),
-        ]))
+        ]))?;
+        self.cells
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// How many cell records this writer has appended (not counting records
+    /// already on disk when resuming) — what an interrupt note reports.
+    pub fn cells_recorded(&self) -> usize {
+        self.cells.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Records a free-form note line (e.g. "interrupted" on SIGINT, with
@@ -190,6 +202,23 @@ pub struct Journal {
 }
 
 impl Journal {
+    /// Verifies this journal was written by a sweep with exactly the given
+    /// identity. A mismatch means the journaled cells were produced by a
+    /// different configuration and resuming over them would splice two
+    /// incompatible runs into one report.
+    pub fn check_identity(&self, expected: &Json) -> Result<(), String> {
+        if &self.identity == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "journal identity mismatch — the journal was written by a \
+                 different configuration.\n  journal: {}\n  current: {}",
+                self.identity.render_compact(),
+                expected.render_compact()
+            ))
+        }
+    }
+
     /// Loads a journal, tolerating exactly one truncated line at the end
     /// (the kill artifact). A malformed line anywhere else is corruption
     /// and a hard error.
@@ -393,6 +422,94 @@ mod tests {
         let j = Journal::load(&path).unwrap();
         assert_eq!(j.records.len(), 2);
         assert_eq!(j.records[1].key, "k2");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_mid_record_drops_only_the_torn_record() {
+        // A SIGKILL can land anywhere inside the in-flight line. Tear at
+        // every byte offset of the final record — inside the key, inside
+        // the digest hex, inside the body, one byte short of the newline —
+        // and the loader must always recover exactly the intact prefix.
+        let path = tmp("torn-everywhere.jsonl");
+        let w = JournalWriter::create(&path, &Json::Null).unwrap();
+        w.append_cell("set/a/CC/GPU", true, &body(1.5)).unwrap();
+        w.append_cell("set/b/CC/GPU", true, &body(2.5)).unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let last_start = text[..text.len() - 1].rfind('\n').unwrap() + 1;
+        for cut in last_start + 1..text.len() - 1 {
+            std::fs::write(&path, &text[..cut]).unwrap();
+            let j = Journal::load(&path)
+                .unwrap_or_else(|e| panic!("tear at byte {cut} was fatal: {e}"));
+            assert_eq!(j.records.len(), 1, "tear at byte {cut}");
+            assert_eq!(j.records[0].key, "set/a/CC/GPU");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_records_from_a_resume_race_are_reconciled_by_digest() {
+        // Two processes resuming the same journal (a restarted daemon plus
+        // a stale worker, or an operator double-starting a resume) can both
+        // append the same cell. Identical bodies are benign — the cell is
+        // deterministic, the duplicate collapses to one record. Divergent
+        // bodies mean the two writers were *not* running the same sweep,
+        // which must surface as a hard error, not a silent last-wins.
+        let path = tmp("resume-race.jsonl");
+        let w = JournalWriter::create(&path, &Json::Null).unwrap();
+        w.append_cell("set/a/CC/GPU", true, &body(1.0)).unwrap();
+        drop(w);
+        for _ in 0..2 {
+            // Each racer opens the journal independently and re-appends.
+            let racer = JournalWriter::append_to(&path).unwrap();
+            racer.append_cell("set/a/CC/GPU", true, &body(1.0)).unwrap();
+            racer.append_cell("set/b/CC/GPU", true, &body(2.0)).unwrap();
+            drop(racer);
+        }
+        let j = Journal::load(&path).unwrap();
+        assert_eq!(j.records.len(), 5, "all appends are on disk");
+        let ok = j.ok_records().expect("identical duplicates are benign");
+        assert_eq!(ok.len(), 2, "duplicates collapse by key");
+
+        // Now one racer disagrees about the bytes: hard error.
+        let rogue = JournalWriter::append_to(&path).unwrap();
+        rogue
+            .append_cell("set/b/CC/GPU", true, &body(99.0))
+            .unwrap();
+        drop(rogue);
+        let err = Journal::load(&path).unwrap().ok_records().unwrap_err();
+        assert!(err.contains("determinism violation"), "got: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn identity_header_mismatch_is_refused() {
+        let path = tmp("identity.jsonl");
+        let identity = Json::obj(vec![("seed", Json::Num(1.0)), ("scale", Json::Num(0.05))]);
+        let w = JournalWriter::create(&path, &identity).unwrap();
+        w.append_cell("k", true, &body(1.0)).unwrap();
+        drop(w);
+        let j = Journal::load(&path).unwrap();
+        j.check_identity(&identity).expect("same identity resumes");
+        // Any drift — a different seed, a missing field, a reordered key —
+        // is a refusal; the message names both identities for the operator.
+        let other = Json::obj(vec![("seed", Json::Num(2.0)), ("scale", Json::Num(0.05))]);
+        let err = j.check_identity(&other).unwrap_err();
+        assert!(err.contains("identity mismatch"), "got: {err}");
+        assert!(err.contains("\"seed\":1") && err.contains("\"seed\":2"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writer_counts_its_own_cells() {
+        let path = tmp("counts.jsonl");
+        let w = JournalWriter::create(&path, &Json::Null).unwrap();
+        assert_eq!(w.cells_recorded(), 0);
+        w.append_cell("a", true, &body(1.0)).unwrap();
+        w.append_cell("b", false, &body(2.0)).unwrap();
+        w.append_note("interrupted", w.cells_recorded()).unwrap();
+        assert_eq!(w.cells_recorded(), 2, "notes don't count");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -24,19 +24,22 @@ pub mod isolate;
 pub mod journal;
 mod matrix;
 pub mod pool;
+pub mod repro;
 mod stats;
 mod tables;
 
 pub use export::{
     cell_json, failure_json, parse_cell, parse_failure, resolve_input_name, run_stats_json,
-    table_json, BenchReport, Json, SweepTiming,
+    table_from_records, table_json, BenchReport, Json, SweepTiming,
 };
-pub use interrupt::{install_interrupt_handler, interrupted};
-pub use isolate::IsolateSpec;
+pub use interrupt::{
+    force_quit_requested, install_interrupt_handler, interrupted, spawn_force_quit_watcher,
+};
+pub use isolate::{cap_tail, IsolateSpec, STDERR_TAIL_BUDGET};
 pub use journal::{Journal, JournalWriter};
 pub use matrix::{
-    cell_key, graph_seed, relative_deviation, sched_seed, CellFailure, Experiment, Matrix,
-    MeasuredCell, MeasuredTable, SweepControl, VariantArg, VariantProfile,
+    cell_key, graph_seed, relative_deviation, sched_seed, set_cell_keys, set_plan, CellFailure,
+    Experiment, Matrix, MeasuredCell, MeasuredTable, SweepControl, VariantArg, VariantProfile,
 };
 pub use stats::{geomean, median, pearson};
 pub use tables::{format_fig6, format_speedup_table, format_table9, to_csv};

@@ -201,6 +201,37 @@ pub fn cell_key(set: &str, input: &str, algorithm: Algorithm, gpu: &str) -> Stri
     format!("{set}/{input}/{}/{gpu}", algorithm.name())
 }
 
+/// The catalog and algorithm list of one named cell set, exactly as
+/// [`Matrix::run_undirected`]/[`Matrix::run_directed`] sweep them.
+pub fn set_plan(set: &str) -> Option<(&'static [GraphInput], &'static [Algorithm])> {
+    match set {
+        "undirected" => Some((undirected_catalog(), &Algorithm::UNDIRECTED)),
+        "directed" => Some((directed_catalog(), &[Algorithm::Scc])),
+        _ => None,
+    }
+}
+
+/// Every cell key of one set for one experiment, in the canonical serial
+/// order (input-major, then algorithm, then GPU) — the order `run_set`
+/// executes them in and the order reports list them in. This is what lets
+/// an out-of-order executor (the farm fleet, a resumed sweep) reassemble a
+/// byte-identical report from its journal: completion order is irrelevant,
+/// only this enumeration order matters.
+pub fn set_cell_keys(e: &Experiment, set: &str) -> Vec<String> {
+    let Some((inputs, algorithms)) = set_plan(set) else {
+        return Vec::new();
+    };
+    let mut keys = Vec::with_capacity(inputs.len() * algorithms.len() * e.gpus.len());
+    for input in inputs {
+        for &algorithm in algorithms {
+            for gpu in &e.gpus {
+                keys.push(cell_key(set, input.name(), algorithm, gpu.name));
+            }
+        }
+    }
+    keys
+}
+
 /// Domain-separation tag for the graph-generation RNG stream.
 const GRAPH_STREAM: u64 = 0x6772_6170_685f_7374; // "graph_st"
 /// Domain-separation tag for the scheduler-seed RNG stream.
@@ -312,12 +343,7 @@ impl Matrix {
 
     /// [`Matrix::run_undirected`] under crash-safety controls.
     pub fn run_undirected_with(&self, ctl: &SweepControl<'_>) -> MeasuredTable {
-        self.run_set(
-            "undirected",
-            undirected_catalog(),
-            &Algorithm::UNDIRECTED,
-            ctl,
-        )
+        self.run_set("undirected", ctl)
     }
 
     /// Runs SCC on the 10 directed inputs (Table VIII).
@@ -327,16 +353,11 @@ impl Matrix {
 
     /// [`Matrix::run_directed`] under crash-safety controls.
     pub fn run_directed_with(&self, ctl: &SweepControl<'_>) -> MeasuredTable {
-        self.run_set("directed", directed_catalog(), &[Algorithm::Scc], ctl)
+        self.run_set("directed", ctl)
     }
 
-    fn run_set(
-        &self,
-        set: &str,
-        inputs: &[GraphInput],
-        algorithms: &[Algorithm],
-        ctl: &SweepControl<'_>,
-    ) -> MeasuredTable {
+    fn run_set(&self, set: &str, ctl: &SweepControl<'_>) -> MeasuredTable {
+        let (inputs, algorithms) = set_plan(set).expect("known cell set");
         let e = &self.experiment;
         let gseed = graph_seed(e.seed);
         let cache = GraphCache::new();

@@ -1,0 +1,155 @@
+//! Repro bundles: one self-contained JSON file per failed cell.
+//!
+//! A bundle (`ecl-bench/REPRO/v1`) records the cell key, the typed error,
+//! the exact experiment seeds, and a ready-to-run `--replay` command line —
+//! everything needed to re-execute precisely the failing configuration
+//! without the rest of the sweep. Both the `all_tests` sweep and the farm
+//! daemon write them through this module.
+//!
+//! File naming: the first failure of a cell gets `<slug>.json`. A cell that
+//! fails *again* — on a resumed run, a retried run, or a later attempt of a
+//! quarantined poison cell — gets `<slug>.attempt2.json`, `.attempt3.json`,
+//! … instead of overwriting the earlier bundle: the sequence of failures is
+//! itself evidence (a flaky cell looks different from a deterministic one),
+//! so every bundle is kept.
+
+use crate::export::Json;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of a repro bundle.
+pub const SCHEMA: &str = "ecl-bench/REPRO/v1";
+
+/// File-name slug for a cell key: path separators and anything non-portable
+/// become `-`.
+pub fn slug(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// The path the next bundle for `key` should be written to: `<slug>.json`
+/// if the cell never failed before, otherwise the first unused
+/// `<slug>.attemptN.json` — earlier bundles are never overwritten.
+pub fn unique_bundle_path(dir: &Path, key: &str) -> PathBuf {
+    let base = slug(key);
+    let first = dir.join(format!("{base}.json"));
+    if !first.exists() {
+        return first;
+    }
+    (2..)
+        .map(|n| dir.join(format!("{base}.attempt{n}.json")))
+        .find(|p| !p.exists())
+        .expect("some attempt suffix is unused")
+}
+
+/// Everything a bundle serializes besides its own path.
+#[derive(Debug, Clone)]
+pub struct Bundle<'a> {
+    /// The cell key `<set>/<input>/<algorithm>/<gpu>`.
+    pub key: &'a str,
+    /// Display form of the typed error.
+    pub error: String,
+    /// Zero-based run index that failed first.
+    pub run: usize,
+    /// The experiment block (seeds, scale, retry policy…).
+    pub experiment: Json,
+    /// Worker argv that reproduces the failing configuration.
+    pub replay_args: Vec<String>,
+}
+
+/// Writes one bundle into `dir` (created if needed) at a collision-free
+/// path and returns that path.
+pub fn write_bundle(dir: &Path, b: &Bundle<'_>) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = unique_bundle_path(dir, b.key);
+    let doc = Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.into())),
+        ("key", Json::Str(b.key.into())),
+        ("error", Json::Str(b.error.clone())),
+        ("run", Json::Num(b.run as f64)),
+        ("experiment", b.experiment.clone()),
+        (
+            "replay",
+            Json::obj(vec![
+                (
+                    "args",
+                    Json::Arr(b.replay_args.iter().cloned().map(Json::Str).collect()),
+                ),
+                (
+                    "cli",
+                    Json::Str(format!(
+                        "cargo run --release -p ecl-bench --bin all_tests -- --replay {}",
+                        path.display()
+                    )),
+                ),
+            ]),
+        ),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ecl-repro-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn bundle(key: &str) -> Bundle<'_> {
+        Bundle {
+            key,
+            error: "worker process died".into(),
+            run: 0,
+            experiment: Json::obj(vec![("seed", Json::Num(1.0))]),
+            replay_args: vec!["--seed".into(), "1".into()],
+        }
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(
+            slug("directed/cage14/SCC/2070 Super"),
+            "directed-cage14-SCC-2070-Super"
+        );
+    }
+
+    #[test]
+    fn repeated_failures_keep_every_bundle() {
+        // Regression: a cell failing again on a resumed or retried run used
+        // to overwrite the earlier bundle at the same path.
+        let dir = scratch("collide");
+        let b = bundle("directed/cage14/SCC/TestTiny");
+        let p1 = write_bundle(&dir, &b).unwrap();
+        let p2 = write_bundle(&dir, &b).unwrap();
+        let p3 = write_bundle(&dir, &b).unwrap();
+        assert_eq!(p1.file_name().unwrap(), "directed-cage14-SCC-TestTiny.json");
+        assert_eq!(
+            p2.file_name().unwrap(),
+            "directed-cage14-SCC-TestTiny.attempt2.json"
+        );
+        assert_eq!(
+            p3.file_name().unwrap(),
+            "directed-cage14-SCC-TestTiny.attempt3.json"
+        );
+        for p in [&p1, &p2, &p3] {
+            let doc = Json::parse(&std::fs::read_to_string(p).unwrap()).unwrap();
+            assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+            // Each bundle's replay line points at its own path.
+            let cli = doc.get("replay").unwrap().get("cli").unwrap();
+            assert!(cli.as_str().unwrap().ends_with(&p.display().to_string()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

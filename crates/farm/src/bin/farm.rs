@@ -1,0 +1,541 @@
+//! The sweep farm daemon.
+//!
+//! ```text
+//! cargo run --release -p ecl-farm --bin farm -- [options]
+//!
+//! --state <dir>        durable state directory        (default ./farm-state)
+//! --workers <n>        worker fleet size              (default 2)
+//! --listen <addr>      also accept jobs on a TCP socket, e.g. 127.0.0.1:0
+//!                      (port 0 = ephemeral; the bound address is announced
+//!                      in a "listening" event line)
+//! --once               exit when stdin is closed and every job is done
+//!                      (exit 1 if any job recorded failures)
+//! --heartbeat-ms <n>   worker heartbeat interval      (default 250)
+//! --deadline-ms <n>    busy-worker silence tolerance  (default 10000)
+//! --max-attempts <n>   worker deaths per cell before quarantine (default 3)
+//! --backoff-ms <n>     first respawn backoff          (default 100)
+//! --backoff-cap-ms <n> respawn backoff ceiling        (default 2000)
+//! --queue-cap <n>      max queued cells (backpressure) (default 4096)
+//! --worker-loop        internal: run as a fleet worker
+//! ```
+//!
+//! Jobs are `ecl-farm/JOB/v1` JSONL lines on stdin or the TCP socket; each
+//! gets one `ecl-farm/ACK/v1` reply on the same channel. Progress events
+//! (`ecl-farm/EVENT/v1`) stream on stdout. State (job store, per-job
+//! journals, reports, repro bundles) lives under `--state`; a daemon killed
+//! at any instant — `kill -9` included — resumes from that directory and
+//! finishes every accepted job with byte-identical reports.
+//!
+//! Signals: the first SIGINT/SIGTERM starts a cooperative drain (new
+//! submissions are rejected, accepted jobs run to completion, exit 0); a
+//! second SIGINT force-quits immediately — exit 130 — after appending a
+//! final note line to every in-flight journal. Nothing is lost either way;
+//! the journals carry the progress.
+
+use ecl_bench::Json;
+use ecl_farm::{api, recovery, ActiveJob, CellQueue, Fleet, FleetConfig, FleetOutcome, JobStore};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Options {
+    state: PathBuf,
+    workers: usize,
+    listen: Option<String>,
+    once: bool,
+    heartbeat_ms: u64,
+    deadline_ms: u64,
+    max_attempts: u32,
+    backoff_ms: u64,
+    backoff_cap_ms: u64,
+    queue_cap: usize,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let num = |flag: &str, default: u64| -> u64 {
+        get(flag).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    Options {
+        state: PathBuf::from(get("--state").unwrap_or_else(|| "farm-state".into())),
+        workers: num("--workers", 2) as usize,
+        listen: get("--listen"),
+        once: args.iter().any(|a| a == "--once"),
+        heartbeat_ms: num("--heartbeat-ms", 250),
+        deadline_ms: num("--deadline-ms", 10_000),
+        max_attempts: num("--max-attempts", 3) as u32,
+        backoff_ms: num("--backoff-ms", 100),
+        backoff_cap_ms: num("--backoff-cap-ms", 2_000),
+        queue_cap: num("--queue-cap", 4_096) as usize,
+    }
+}
+
+enum ReplyTo {
+    Stdout,
+    Chan(Sender<String>),
+}
+
+struct Submission {
+    line: String,
+    reply: ReplyTo,
+}
+
+fn emit(doc: &Json) {
+    println!("{}", doc.render_compact());
+}
+
+fn reply(to: &ReplyTo, ack: &Json) {
+    let line = ack.render_compact();
+    match to {
+        ReplyTo::Stdout => println!("{line}"),
+        ReplyTo::Chan(tx) => {
+            let _ = tx.send(line);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--worker-loop") {
+        let hb = args
+            .iter()
+            .position(|a| a == "--heartbeat-ms")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(250);
+        ecl_farm::worker::run_loop(hb);
+    }
+    let opts = parse_options(&args);
+    std::process::exit(daemon_main(&opts));
+}
+
+fn daemon_main(opts: &Options) -> i32 {
+    ecl_bench::install_interrupt_handler();
+
+    // The force-quit watcher: a second SIGINT appends one final note line
+    // to every in-flight journal (each append is already fsync'd, so this
+    // is bookkeeping, not durability) and exits 130 immediately.
+    let journals: Arc<std::sync::Mutex<Vec<Arc<ecl_bench::JournalWriter>>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let watcher_journals = journals.clone();
+    ecl_bench::spawn_force_quit_watcher(move || {
+        if let Ok(list) = watcher_journals.lock() {
+            for w in list.iter() {
+                let _ = w.append_note("force-quit", w.cells_recorded());
+            }
+        }
+    });
+
+    let (mut store, stored) = match JobStore::open(&opts.state) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("farm: {e}");
+            return 2;
+        }
+    };
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("farm: cannot locate own executable: {e}");
+            return 2;
+        }
+    };
+    let mut fleet = Fleet::new(FleetConfig {
+        workers: opts.workers,
+        exe,
+        heartbeat_ms: opts.heartbeat_ms,
+        deadline_ms: opts.deadline_ms,
+        max_attempts: opts.max_attempts,
+        backoff_base_ms: opts.backoff_ms,
+        backoff_cap_ms: opts.backoff_cap_ms,
+        scratch: recovery::tmp_dir(&opts.state),
+    });
+    let mut queue = CellQueue::new(opts.queue_cap);
+    let mut active: HashMap<String, ActiveJob> = HashMap::new();
+    let mut done_ids: Vec<String> = Vec::new();
+    let mut any_failures = false;
+
+    // Crash recovery: reopen every unfinished stored job, finalize the ones
+    // whose journals are already complete, and re-enqueue the rest. The
+    // queue cap is bypassed — this work was accepted durably.
+    for sj in stored {
+        if sj.done {
+            done_ids.push(sj.spec.id.clone());
+            continue;
+        }
+        let id = sj.spec.id.clone();
+        match ActiveJob::open(&opts.state, sj.spec) {
+            Ok(job) => {
+                emit(&api::event(
+                    "recovered",
+                    vec![
+                        ("id", Json::Str(id.clone())),
+                        ("remaining", Json::Num(job.remaining.len() as f64)),
+                    ],
+                ));
+                journals.lock().unwrap().push(job.journal_writer());
+                let mut keys: Vec<String> = job
+                    .keys
+                    .iter()
+                    .filter(|k| job.remaining.contains(*k))
+                    .cloned()
+                    .collect();
+                keys.sort_by_key(|k| job.keys.iter().position(|x| x == k));
+                queue.push_job_forced(&id, job.spec.priority, &keys);
+                fleet.register_job(job.spec.clone(), job.doc.clone());
+                active.insert(id, job);
+            }
+            Err(e) => {
+                eprintln!("farm: cannot recover job '{id}': {e}");
+                return 2;
+            }
+        }
+    }
+
+    // Intake: stdin always; TCP when asked.
+    let (sub_tx, sub_rx) = std::sync::mpsc::channel::<Submission>();
+    let stdin_eof = Arc::new(AtomicBool::new(false));
+    {
+        let tx = sub_tx.clone();
+        let eof = stdin_eof.clone();
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) if !l.trim().is_empty() => {
+                        if tx
+                            .send(Submission {
+                                line: l,
+                                reply: ReplyTo::Stdout,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            eof.store(true, Ordering::SeqCst);
+        });
+    }
+    if let Some(addr) = &opts.listen {
+        match std::net::TcpListener::bind(addr) {
+            Ok(listener) => {
+                let bound = listener
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| addr.clone());
+                emit(&api::event("listening", vec![("addr", Json::Str(bound))]));
+                let tx = sub_tx.clone();
+                std::thread::spawn(move || {
+                    for conn in listener.incoming() {
+                        let Ok(conn) = conn else { continue };
+                        let tx = tx.clone();
+                        std::thread::spawn(move || {
+                            let mut writer = match conn.try_clone() {
+                                Ok(w) => w,
+                                Err(_) => return,
+                            };
+                            let reader = std::io::BufReader::new(conn);
+                            for line in reader.lines() {
+                                let Ok(line) = line else { break };
+                                if line.trim().is_empty() {
+                                    continue;
+                                }
+                                let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+                                if tx
+                                    .send(Submission {
+                                        line,
+                                        reply: ReplyTo::Chan(ack_tx),
+                                    })
+                                    .is_err()
+                                {
+                                    break;
+                                }
+                                match ack_rx.recv() {
+                                    Ok(ack) => {
+                                        if writeln!(writer, "{ack}").is_err() {
+                                            break;
+                                        }
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            Err(e) => {
+                eprintln!("farm: cannot bind {addr}: {e}");
+                return 2;
+            }
+        }
+    }
+    drop(sub_tx);
+
+    let mut draining = false;
+    loop {
+        // Sample EOF *before* draining the channel: the intake thread sets
+        // the flag only after its last send, so observing it here means
+        // every submission is already drainable below — the `--once` exit
+        // cannot race past a job still in flight.
+        let eof = stdin_eof.load(Ordering::SeqCst);
+        if ecl_bench::interrupted() && !draining {
+            draining = true;
+            emit(&api::event(
+                "draining",
+                vec![
+                    ("active_jobs", Json::Num(active.len() as f64)),
+                    ("queued_cells", Json::Num(queue.len() as f64)),
+                ],
+            ));
+        }
+
+        // Submissions.
+        while let Ok(sub) = sub_rx.try_recv() {
+            handle_submission(
+                &sub,
+                opts,
+                draining,
+                &mut store,
+                &mut queue,
+                &mut fleet,
+                &mut active,
+                &done_ids,
+                &journals,
+            );
+        }
+
+        // Supervision + execution.
+        let outcomes = fleet.tick(&mut queue, true);
+        for outcome in outcomes {
+            apply_outcome(outcome, opts, &mut active, &mut any_failures);
+        }
+
+        // Finalization.
+        let finished: Vec<String> = active
+            .iter()
+            .filter(|(_, j)| j.is_complete())
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in finished {
+            let job = active.remove(&id).expect("job is active");
+            fleet.unregister_job(&id);
+            let failures = job.failures();
+            if failures > 0 {
+                any_failures = true;
+            }
+            match job.finalize(&opts.state) {
+                Ok(path) => {
+                    if let Err(e) = store.record_done(&id, failures) {
+                        eprintln!("farm: {e}");
+                    }
+                    done_ids.push(id.clone());
+                    emit(&api::event(
+                        "job-done",
+                        vec![
+                            ("id", Json::Str(id)),
+                            ("report", Json::Str(path.display().to_string())),
+                            ("failures", Json::Num(failures as f64)),
+                        ],
+                    ));
+                }
+                Err(e) => {
+                    // An incomplete or unusable journal here is a bug, not a
+                    // user error; surface it loudly and abandon the job.
+                    any_failures = true;
+                    eprintln!("farm: cannot finalize job '{id}': {e}");
+                    emit(&api::event(
+                        "job-error",
+                        vec![("id", Json::Str(id)), ("error", Json::Str(e))],
+                    ));
+                }
+            }
+        }
+
+        let idle = active.is_empty() && queue.is_empty() && fleet.busy() == 0;
+        if draining && idle {
+            emit(&api::event("drained", vec![]));
+            fleet.shutdown();
+            return 0;
+        }
+        if opts.once && eof && idle {
+            fleet.shutdown();
+            return if any_failures { 1 } else { 0 };
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_submission(
+    sub: &Submission,
+    opts: &Options,
+    draining: bool,
+    store: &mut JobStore,
+    queue: &mut CellQueue,
+    fleet: &mut Fleet,
+    active: &mut HashMap<String, ActiveJob>,
+    done_ids: &[String],
+    journals: &Arc<std::sync::Mutex<Vec<Arc<ecl_bench::JournalWriter>>>>,
+) {
+    let job = match api::parse_job(&sub.line) {
+        Ok(j) => j,
+        Err(e) => {
+            reply(&sub.reply, &api::ack("?", false, Some(&e), 0));
+            return;
+        }
+    };
+    let id = job.id.clone();
+    if draining {
+        reply(
+            &sub.reply,
+            &api::ack(&id, false, Some("daemon is draining"), 0),
+        );
+        return;
+    }
+    if active.contains_key(&id) || done_ids.iter().any(|d| d == &id) {
+        reply(
+            &sub.reply,
+            &api::ack(&id, false, Some("duplicate job id"), 0),
+        );
+        return;
+    }
+    let keys = job.sweep.cell_keys();
+    if !queue.would_fit(keys.len()) {
+        let reason = format!(
+            "queue full: {} queued + {} new > cap {}",
+            queue.len(),
+            keys.len(),
+            opts.queue_cap
+        );
+        reply(&sub.reply, &api::ack(&id, false, Some(&reason), 0));
+        return;
+    }
+    // Open the journal first (it can fail on a stale identity), then make
+    // acceptance durable BEFORE acking — a daemon killed right after the
+    // fsync resumes the job even though no ack went out; a daemon killed
+    // before it never told anyone yes.
+    let active_job = match ActiveJob::open(&opts.state, job.clone()) {
+        Ok(a) => a,
+        Err(e) => {
+            reply(&sub.reply, &api::ack(&id, false, Some(&e), 0));
+            return;
+        }
+    };
+    if let Err(e) = store.record_accepted(&job) {
+        reply(&sub.reply, &api::ack(&id, false, Some(&e), 0));
+        return;
+    }
+    queue
+        .push_job(&id, job.priority, &keys)
+        .expect("would_fit was checked");
+    journals.lock().unwrap().push(active_job.journal_writer());
+    fleet.register_job(job.clone(), active_job.doc.clone());
+    active.insert(id.clone(), active_job);
+    reply(&sub.reply, &api::ack(&id, true, None, keys.len()));
+    emit(&api::event(
+        "job-accepted",
+        vec![
+            ("id", Json::Str(id)),
+            ("cells", Json::Num(keys.len() as f64)),
+        ],
+    ));
+}
+
+fn apply_outcome(
+    outcome: FleetOutcome,
+    opts: &Options,
+    active: &mut HashMap<String, ActiveJob>,
+    any_failures: &mut bool,
+) {
+    match outcome {
+        FleetOutcome::CellDone { job, key, ok, body } => {
+            let Some(aj) = active.get_mut(&job) else {
+                return;
+            };
+            if !ok {
+                *any_failures = true;
+            }
+            if let Err(e) = aj.record_cell(&key, ok, body) {
+                // A divergent duplicate is a determinism violation — the
+                // one invariant the whole pipeline exists to protect.
+                eprintln!("farm: job '{job}': {e}");
+                emit(&api::event(
+                    "determinism-violation",
+                    vec![
+                        ("id", Json::Str(job)),
+                        ("key", Json::Str(key)),
+                        ("error", Json::Str(e)),
+                    ],
+                ));
+                *any_failures = true;
+            }
+        }
+        FleetOutcome::Quarantined {
+            job,
+            key,
+            body,
+            attempts,
+        } => {
+            *any_failures = true;
+            let Some(aj) = active.get_mut(&job) else {
+                return;
+            };
+            let error = body
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("worker process died")
+                .to_string();
+            let bundle = ecl_bench::repro::Bundle {
+                key: &key,
+                error: error.clone(),
+                run: 0,
+                experiment: aj.doc.get("spec").cloned().unwrap_or(Json::Null),
+                replay_args: vec![
+                    "--scale".into(),
+                    aj.spec.sweep.scale.to_string(),
+                    "--runs".into(),
+                    aj.spec.sweep.runs.to_string(),
+                    "--seed".into(),
+                    aj.spec.sweep.seed.to_string(),
+                    "--retries".into(),
+                    aj.spec.sweep.retries.to_string(),
+                    "--cell-timeout".into(),
+                    aj.spec.sweep.cell_timeout.to_string(),
+                    "--worker-cell".into(),
+                    key.clone(),
+                ],
+            };
+            let bundle_path =
+                ecl_bench::repro::write_bundle(&recovery::repro_dir(&opts.state), &bundle)
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|e| format!("(bundle write failed: {e})"));
+            if let Err(e) = aj.record_cell(&key, false, body) {
+                eprintln!("farm: job '{job}': {e}");
+            }
+            emit(&api::event(
+                "quarantined",
+                vec![
+                    ("id", Json::Str(job)),
+                    ("key", Json::Str(key)),
+                    ("attempts", Json::Num(attempts as f64)),
+                    ("error", Json::Str(error)),
+                    ("repro", Json::Str(bundle_path)),
+                ],
+            ));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The sweep farm: a long-lived daemon executing sweep jobs on a
+//! supervised worker fleet.
+//!
+//! `all_tests --isolate` runs *one* sweep, spawning a worker per cell.
+//! The farm turns that into a *service*: it accepts sweep-specification
+//! jobs over a JSONL API (stdin or TCP), schedules their cells onto a
+//! fixed fleet of persistent worker subprocesses, and survives anything
+//! short of losing the state directory:
+//!
+//! * a worker that panics, aborts, hangs, or is OOM-killed is detected by
+//!   heartbeat, restarted with exponential backoff, and its cell retried;
+//! * a cell that kills its worker [`supervisor::FleetConfig::max_attempts`]
+//!   times is **quarantined** — one typed failure record plus a repro
+//!   bundle — while the rest of the sweep proceeds;
+//! * a daemon that is `kill -9`'d restarts, replays its fsync'd job store
+//!   and per-job journals, and finishes every accepted job with reports
+//!   **byte-identical** to an uninterrupted run.
+//!
+//! The determinism inheritance is the point: cells are measured by the
+//! exact code path `all_tests --worker-cell` uses, journaled in the same
+//! `ecl-bench/JOURNAL/v1` format, and reports are reassembled from journal
+//! bodies in canonical cell order with the experiment's `jobs` pinned
+//! to 1 — so fleet size, scheduling order, worker deaths, and daemon
+//! restarts are all invisible in the output bytes.
+//!
+//! Module map: [`api`] (job schema), [`queue`] (bounded priority queue),
+//! [`supervisor`] (the fleet), [`worker`] (the worker-loop subprocess
+//! side), [`recovery`] (durable job store, journals, report assembly).
+//! The `farm` binary wires them together; see `README.md` for the
+//! quickstart.
+
+pub mod api;
+pub mod queue;
+pub mod recovery;
+pub mod supervisor;
+pub mod worker;
+
+pub use api::{ack, event, job_json, parse_job, JobSpec, SweepSpec};
+pub use queue::{CellQueue, CellTask};
+pub use recovery::{ActiveJob, JobStore, StoredJob};
+pub use supervisor::{Fleet, FleetConfig, FleetOutcome};

@@ -1,0 +1,201 @@
+//! The farm's cell queue: a bounded priority queue of runnable cells.
+//!
+//! Scheduling order is job priority (higher first), then global submission
+//! sequence (earlier first). The sequence is assigned per cell at enqueue
+//! time, so all cells of an earlier job outrank same-priority cells of a
+//! later one, and a requeued cell (its worker died) keeps its original
+//! sequence — it goes back to the *front* of its priority class rather than
+//! behind freshly-submitted work, which keeps retry latency bounded.
+//!
+//! The queue is bounded for backpressure: a job is admitted all-or-nothing,
+//! so a rejected submission leaves no partial residue. Requeues bypass the
+//! cap — they represent work the daemon already accepted and must finish.
+
+use std::collections::BinaryHeap;
+
+/// One runnable cell: the unit the supervisor hands to a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellTask {
+    /// Owning job id.
+    pub job: String,
+    /// Cell key, `set/input/algorithm/gpu`.
+    pub key: String,
+    /// Owning job's priority.
+    pub priority: i64,
+    /// Global enqueue sequence; preserved across requeues.
+    pub seq: u64,
+}
+
+impl Ord for CellTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: greater = scheduled sooner.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for CellTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded priority queue of [`CellTask`]s.
+pub struct CellQueue {
+    heap: BinaryHeap<CellTask>,
+    cap: usize,
+    next_seq: u64,
+}
+
+impl CellQueue {
+    /// An empty queue admitting at most `cap` queued cells.
+    pub fn new(cap: usize) -> CellQueue {
+        CellQueue {
+            heap: BinaryHeap::new(),
+            cap,
+            next_seq: 0,
+        }
+    }
+
+    /// Cells currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether a job of `cells` cells would fit under the cap right now.
+    pub fn would_fit(&self, cells: usize) -> bool {
+        self.heap.len() + cells <= self.cap
+    }
+
+    /// Admits a whole job: every cell key, at `priority`, in the given
+    /// order. All-or-nothing against the cap.
+    ///
+    /// # Errors
+    ///
+    /// A backpressure reason when the job does not fit.
+    pub fn push_job(&mut self, job: &str, priority: i64, keys: &[String]) -> Result<(), String> {
+        if !self.would_fit(keys.len()) {
+            return Err(format!(
+                "queue full: {} queued + {} new > cap {}",
+                self.heap.len(),
+                keys.len(),
+                self.cap
+            ));
+        }
+        for key in keys {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(CellTask {
+                job: job.to_string(),
+                key: key.clone(),
+                priority,
+                seq,
+            });
+        }
+        Ok(())
+    }
+
+    /// Admits a job *bypassing* the cap: recovery re-enqueues work the
+    /// daemon already accepted durably, and backpressure must never turn a
+    /// restart into job loss.
+    pub fn push_job_forced(&mut self, job: &str, priority: i64, keys: &[String]) {
+        for key in keys {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(CellTask {
+                job: job.to_string(),
+                key: key.clone(),
+                priority,
+                seq,
+            });
+        }
+    }
+
+    /// Puts a cell back after a worker death. Bypasses the cap and keeps
+    /// the task's original sequence, so it re-sorts to the front of its
+    /// priority class.
+    pub fn requeue(&mut self, task: CellTask) {
+        self.heap.push(task);
+    }
+
+    /// The highest-priority runnable cell, if any.
+    pub fn pop(&mut self) -> Option<CellTask> {
+        self.heap.pop()
+    }
+
+    /// Drops every queued cell of `job` (used when a job is abandoned).
+    pub fn drop_job(&mut self, job: &str) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<CellTask> = self.heap.drain().filter(|t| t.job != job).collect();
+        self.heap = kept.into();
+        before - self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn priority_then_submission_order() {
+        let mut q = CellQueue::new(16);
+        q.push_job("low", 0, &keys(&["a", "b"])).unwrap();
+        q.push_job("high", 5, &keys(&["c"])).unwrap();
+        q.push_job("low2", 0, &keys(&["d"])).unwrap();
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).map(|t| t.key).collect();
+        assert_eq!(order, ["c", "a", "b", "d"]);
+    }
+
+    #[test]
+    fn requeued_cell_outranks_newer_work_of_equal_priority() {
+        let mut q = CellQueue::new(16);
+        q.push_job("j1", 0, &keys(&["a", "b"])).unwrap();
+        let a = q.pop().unwrap();
+        assert_eq!(a.key, "a");
+        q.push_job("j2", 0, &keys(&["c"])).unwrap();
+        q.requeue(a);
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).map(|t| t.key).collect();
+        assert_eq!(order, ["a", "b", "c"], "retry keeps its place in line");
+    }
+
+    #[test]
+    fn jobs_are_admitted_all_or_nothing() {
+        let mut q = CellQueue::new(3);
+        q.push_job("j1", 0, &keys(&["a", "b"])).unwrap();
+        let err = q.push_job("j2", 9, &keys(&["c", "d"])).unwrap_err();
+        assert!(err.contains("queue full"), "{err}");
+        assert_eq!(q.len(), 2, "rejected job leaves no residue");
+        q.push_job("j3", 0, &keys(&["e"])).unwrap();
+    }
+
+    #[test]
+    fn requeue_bypasses_the_cap() {
+        let mut q = CellQueue::new(1);
+        q.push_job("j1", 0, &keys(&["a"])).unwrap();
+        let a = q.pop().unwrap();
+        q.push_job("j2", 0, &keys(&["b"])).unwrap();
+        q.requeue(a); // 2 > cap 1, but accepted work must finish
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().key, "a");
+    }
+
+    #[test]
+    fn drop_job_removes_only_that_job() {
+        let mut q = CellQueue::new(16);
+        q.push_job("j1", 0, &keys(&["a", "b"])).unwrap();
+        q.push_job("j2", 0, &keys(&["c"])).unwrap();
+        assert_eq!(q.drop_job("j1"), 2);
+        assert_eq!(q.pop().unwrap().key, "c");
+        assert!(q.pop().is_none());
+    }
+}

