@@ -22,7 +22,7 @@ use ecl_core::mis;
 use ecl_core::primitives::{AccessPolicy, Atomic, VolatileReadPlainWrite};
 use ecl_core::suite::{run_algorithm, Algorithm, Variant};
 use ecl_graph::inputs::GraphInput;
-use ecl_simt::{Ctx, DevicePtr, GpuConfig, MemOrder, Scope, StoreVisibility};
+use ecl_simt::{Ctx, DevicePtr, GpuConfig, Hooks, MemOrder, Scope, StoreVisibility};
 
 /// A race-free conversion that uses the expensive `libcu++` *defaults*
 /// (`seq_cst`, device scope) instead of relaxed ordering — what a developer
@@ -36,22 +36,22 @@ impl AccessPolicy for SeqCstAtomic {
     const READ_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
     const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
 
-    fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
+    fn read_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) -> u32 {
         ctx.atomic_load_explicit(p, MemOrder::SeqCst, Scope::Device)
     }
-    fn write_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) {
+    fn write_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) {
         ctx.atomic_store_explicit(p, v, MemOrder::SeqCst, Scope::Device);
     }
-    fn read_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u64 {
+    fn read_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u64 {
         ctx.atomic_load_explicit(p, MemOrder::SeqCst, Scope::Device)
     }
-    fn write_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u64) {
+    fn write_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u64) {
         ctx.atomic_store_explicit(p, v, MemOrder::SeqCst, Scope::Device);
     }
-    fn max_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) -> bool {
+    fn max_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) -> bool {
         ctx.atomic_rmw_explicit(p, MemOrder::SeqCst, Scope::Device, |old| old.max(v)) < v
     }
-    fn read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8 {
+    fn read_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32) -> u8 {
         let words: DevicePtr<u32> = base.cast();
         let w = ctx.atomic_load_explicit(
             words.offset((i / 4) as usize),
@@ -60,7 +60,7 @@ impl AccessPolicy for SeqCstAtomic {
         );
         ((w >> ((i % 4) * 8)) & 0xff) as u8
     }
-    fn write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8) {
+    fn write_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32, v: u8) {
         let words: DevicePtr<u32> = base.cast();
         let ptr = words.offset((i / 4) as usize);
         let shift = (i % 4) * 8;
@@ -68,19 +68,19 @@ impl AccessPolicy for SeqCstAtomic {
             (old & !(0xffu32 << shift)) | ((v as u32) << shift)
         });
     }
-    fn read_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         ctx.atomic_load_explicit(p.cast::<u32>(), MemOrder::SeqCst, Scope::Device)
     }
-    fn read_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         ctx.atomic_load_explicit(p.cast::<u32>().offset(1), MemOrder::SeqCst, Scope::Device)
     }
-    fn max_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         Self::max_u32(ctx, p.cast(), v)
     }
-    fn max_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         Self::max_u32(ctx, p.cast::<u32>().offset(1), v)
     }
-    fn raise_flag(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) {
+    fn raise_flag<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) {
         ctx.atomic_store_explicit(p, 1, MemOrder::SeqCst, Scope::Device);
     }
 }

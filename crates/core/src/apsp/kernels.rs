@@ -5,16 +5,29 @@
 //! the per-`kk` dependency steps exactly like the CUDA original.
 
 use super::{INF, TILE};
-use ecl_simt::{Ctx, DeviceBuffer, Gpu, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo};
+use ecl_simt::{
+    Ctx, DeviceBuffer, FullHooks, Gpu, Hooks, Kernel, LaunchConfig, NoHooks, Step, StoreVisibility,
+    ThreadInfo,
+};
 
 /// Shared-memory byte offset of the second staged tile.
 const TILE_BYTES: u32 = (TILE * TILE * 4) as u32;
 
 /// Runs all rounds of blocked Floyd-Warshall on the padded matrix.
+///
+/// Dispatches to the monomorphized fast path when no hooks are armed.
 pub(super) fn run_on(gpu: &mut Gpu, dist: DeviceBuffer<u32>, padded: usize) {
+    if gpu.fast_path_eligible() {
+        run_on_hooks::<NoHooks>(gpu, dist, padded)
+    } else {
+        run_on_hooks::<FullHooks>(gpu, dist, padded)
+    }
+}
+
+fn run_on_hooks<H: Hooks>(gpu: &mut Gpu, dist: DeviceBuffer<u32>, padded: usize) {
     let tiles = padded / TILE;
     for k in 0..tiles {
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             phase_launch(1),
             Phase1 {
                 dist,
@@ -23,7 +36,7 @@ pub(super) fn run_on(gpu: &mut Gpu, dist: DeviceBuffer<u32>, padded: usize) {
             },
         );
         if tiles > 1 {
-            gpu.launch(
+            gpu.launch_with::<H, _>(
                 phase_launch(2 * (tiles as u32 - 1)),
                 Phase2 {
                     dist,
@@ -32,7 +45,7 @@ pub(super) fn run_on(gpu: &mut Gpu, dist: DeviceBuffer<u32>, padded: usize) {
                     tiles: tiles as u32,
                 },
             );
-            gpu.launch(
+            gpu.launch_with::<H, _>(
                 phase_launch((tiles as u32 - 1) * (tiles as u32 - 1)),
                 Phase3 {
                     dist,
@@ -86,7 +99,14 @@ fn sidx(slot: u32, i: u32, j: u32) -> u32 {
 
 /// Relaxation of one element against the pivot pair, in shared memory.
 #[inline]
-fn relax(ctx: &mut Ctx<'_>, cur: u32, a_slot: u32, b_slot: u32, l: Lane, kk: u32) -> u32 {
+fn relax<H: Hooks>(
+    ctx: &mut Ctx<'_, H>,
+    cur: u32,
+    a_slot: u32,
+    b_slot: u32,
+    l: Lane,
+    kk: u32,
+) -> u32 {
     let via_a: u32 = ctx.shared_read(sidx(a_slot, l.ti, kk));
     let via_b: u32 = ctx.shared_read(sidx(b_slot, kk, l.tj));
     ctx.compute(2);
@@ -100,7 +120,7 @@ struct Phase1 {
     k: u32,
 }
 
-impl Kernel for Phase1 {
+impl<H: Hooks> Kernel<H> for Phase1 {
     type State = Lane;
 
     fn name(&self) -> &str {
@@ -111,7 +131,7 @@ impl Kernel for Phase1 {
         lane(info)
     }
 
-    fn step(&self, l: &mut Lane, ctx: &mut Ctx<'_>) -> Step {
+    fn step(&self, l: &mut Lane, ctx: &mut Ctx<'_, H>) -> Step {
         let stage = l.stage;
         l.stage += 1;
         if stage == 0 {
@@ -159,7 +179,7 @@ impl Phase2 {
     }
 }
 
-impl Kernel for Phase2 {
+impl<H: Hooks> Kernel<H> for Phase2 {
     type State = (Lane, u32);
 
     fn name(&self) -> &str {
@@ -170,7 +190,7 @@ impl Kernel for Phase2 {
         (lane(info), info.block)
     }
 
-    fn step(&self, state: &mut (Lane, u32), ctx: &mut Ctx<'_>) -> Step {
+    fn step(&self, state: &mut (Lane, u32), ctx: &mut Ctx<'_, H>) -> Step {
         let l = state.0;
         let block = state.1;
         let (bi, bj, is_row) = self.tile_of(block);
@@ -220,7 +240,7 @@ impl Phase3 {
     }
 }
 
-impl Kernel for Phase3 {
+impl<H: Hooks> Kernel<H> for Phase3 {
     type State = (Lane, u32);
 
     fn name(&self) -> &str {
@@ -231,7 +251,7 @@ impl Kernel for Phase3 {
         (lane(info), info.block)
     }
 
-    fn step(&self, state: &mut (Lane, u32), ctx: &mut Ctx<'_>) -> Step {
+    fn step(&self, state: &mut (Lane, u32), ctx: &mut Ctx<'_, H>) -> Step {
         let l = state.0;
         let block = state.1;
         let (bi, bj) = self.tile_of(block);

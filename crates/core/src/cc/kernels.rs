@@ -10,14 +10,31 @@
 
 use crate::common::{union_find_hook, union_find_rep, DeviceGraph};
 use crate::primitives::AccessPolicy;
-use ecl_simt::{DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+use ecl_simt::{
+    DeviceBuffer, ForEach, FullHooks, Gpu, Hooks, LaunchConfig, NoHooks, StoreVisibility,
+};
 
 /// Degree above which a vertex's edges are processed edge-parallel rather
 /// than by a single thread (ECL-CC's granularity switch).
 const HEAVY_DEGREE: u32 = 32;
 
 /// Launches the full ECL-CC pipeline; returns the device label array.
+///
+/// Dispatches to the monomorphized fast path when no hooks are armed (see
+/// `Gpu::fast_path_eligible`), otherwise to the fully-hooked interpreter.
 pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u32> {
+    if gpu.fast_path_eligible() {
+        run_on_hooks::<P, NoHooks>(gpu, dg, visibility)
+    } else {
+        run_on_hooks::<P, FullHooks>(gpu, dg, visibility)
+    }
+}
+
+fn run_on_hooks<P: AccessPolicy, H: Hooks>(
     gpu: &mut Gpu,
     dg: &DeviceGraph,
     visibility: StoreVisibility,
@@ -31,9 +48,9 @@ pub(super) fn run_on<P: AccessPolicy>(
 
     // Init: label[v] = the first neighbor smaller than v, else v. This
     // "hooking shortcut" seeds the union-find with cheap initial merges.
-    gpu.launch(
+    gpu.launch_with::<H, _>(
         LaunchConfig::for_items(n).with_visibility(visibility),
-        ForEach::new("cc_init", n, move |ctx, v| {
+        ForEach::with_hooks::<H>("cc_init", n, move |ctx, v| {
             let begin = ctx.load(g.row_offsets.at(v as usize));
             let end = ctx.load(g.row_offsets.at(v as usize + 1));
             let mut label = v;
@@ -51,9 +68,9 @@ pub(super) fn run_on<P: AccessPolicy>(
     // Compute, level 1: light vertices hook their own edges; heavy vertices
     // are deferred to the edge-parallel pass (ECL-CC's load balancing).
     // Processing each undirected edge once (u < v) halves the work.
-    gpu.launch(
+    gpu.launch_with::<H, _>(
         LaunchConfig::for_items(n).with_visibility(visibility),
-        ForEach::new("cc_compute_light", n, move |ctx, v| {
+        ForEach::with_hooks::<H>("cc_compute_light", n, move |ctx, v| {
             let begin = ctx.load(g.row_offsets.at(v as usize));
             let end = ctx.load(g.row_offsets.at(v as usize + 1));
             if end - begin > HEAVY_DEGREE {
@@ -64,7 +81,7 @@ pub(super) fn run_on<P: AccessPolicy>(
             for e in begin..end {
                 let u = ctx.load(g.col_indices.at(e as usize));
                 if u < v {
-                    union_find_hook::<P>(ctx, labels, v, u);
+                    union_find_hook::<P, _>(ctx, labels, v, u);
                 }
             }
         })
@@ -92,9 +109,9 @@ pub(super) fn run_on<P: AccessPolicy>(
         let heavy_offsets = gpu.alloc_named::<u32>(offsets.len(), "heavy_offsets");
         gpu.upload(&heavy_offsets, &offsets);
         let heavy_list = heavy;
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(total_heavy_edges).with_visibility(visibility),
-            ForEach::new("cc_compute_heavy", total_heavy_edges, move |ctx, i| {
+            ForEach::with_hooks::<H>("cc_compute_heavy", total_heavy_edges, move |ctx, i| {
                 // Binary-search the heavy vertex owning edge slot i.
                 let mut lo = 0u32;
                 let mut hi = num_heavy;
@@ -112,7 +129,7 @@ pub(super) fn run_on<P: AccessPolicy>(
                 let begin = ctx.load(g.row_offsets.at(v as usize));
                 let u = ctx.load(g.col_indices.at((begin + local) as usize));
                 if u < v {
-                    union_find_hook::<P>(ctx, labels, v, u);
+                    union_find_hook::<P, _>(ctx, labels, v, u);
                 }
             })
             .with_chunk(8),
@@ -120,10 +137,10 @@ pub(super) fn run_on<P: AccessPolicy>(
     }
 
     // Flatten: every vertex records its final representative.
-    gpu.launch(
+    gpu.launch_with::<H, _>(
         LaunchConfig::for_items(n).with_visibility(visibility),
-        ForEach::new("cc_flatten", n, move |ctx, v| {
-            let r = union_find_rep::<P>(ctx, labels, v);
+        ForEach::with_hooks::<H>("cc_flatten", n, move |ctx, v| {
+            let r = union_find_rep::<P, _>(ctx, labels, v);
             P::write_u32(ctx, labels.at(v as usize), r);
         }),
     );

@@ -3,7 +3,7 @@
 
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{Ctx, DeviceBuffer, FaultPlan, Gpu, GpuConfig};
+use ecl_simt::{Ctx, DeviceBuffer, FaultPlan, Gpu, GpuConfig, Hooks};
 
 /// Simulator-level options threaded through an algorithm run: the watchdog
 /// budget and an optional fault-injection plan. `Default` is a plain run —
@@ -92,8 +92,8 @@ impl DeviceGraph {
 /// Parent links always point to vertices with smaller ids, so concurrent
 /// (even lost) shortening writes keep the structure acyclic.
 #[inline]
-pub fn union_find_rep<P: AccessPolicy>(
-    ctx: &mut Ctx<'_>,
+pub fn union_find_rep<P: AccessPolicy, H: Hooks>(
+    ctx: &mut Ctx<'_, H>,
     parent: DeviceBuffer<u32>,
     v: u32,
 ) -> u32 {
@@ -123,14 +123,14 @@ pub fn union_find_rep<P: AccessPolicy>(
 /// Both the baseline and race-free ECL codes perform the hook itself with
 /// `atomicCAS` — the races are in the reads around it.
 #[inline]
-pub fn union_find_hook<P: AccessPolicy>(
-    ctx: &mut Ctx<'_>,
+pub fn union_find_hook<P: AccessPolicy, H: Hooks>(
+    ctx: &mut Ctx<'_, H>,
     parent: DeviceBuffer<u32>,
     a: u32,
     b: u32,
 ) -> bool {
-    let mut ra = union_find_rep::<P>(ctx, parent, a);
-    let mut rb = union_find_rep::<P>(ctx, parent, b);
+    let mut ra = union_find_rep::<P, H>(ctx, parent, a);
+    let mut rb = union_find_rep::<P, H>(ctx, parent, b);
     loop {
         if ra == rb {
             return false;
@@ -140,8 +140,8 @@ pub fn union_find_hook<P: AccessPolicy>(
             return true;
         }
         // The root moved under us; chase the new representatives.
-        ra = union_find_rep::<P>(ctx, parent, hi);
-        rb = union_find_rep::<P>(ctx, parent, lo);
+        ra = union_find_rep::<P, H>(ctx, parent, hi);
+        rb = union_find_rep::<P, H>(ctx, parent, lo);
     }
 }
 

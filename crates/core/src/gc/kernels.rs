@@ -3,7 +3,9 @@
 use super::NO_COLOR;
 use crate::common::DeviceGraph;
 use crate::primitives::AccessPolicy;
-use ecl_simt::{Ctx, DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+use ecl_simt::{
+    Ctx, DeviceBuffer, ForEach, FullHooks, Gpu, Hooks, LaunchConfig, NoHooks, StoreVisibility,
+};
 
 /// Priority order: largest degree first, vertex id breaking ties.
 #[inline]
@@ -35,15 +37,28 @@ pub(super) fn run_on_with<P: AccessPolicy, Q: AccessPolicy>(
     visibility: StoreVisibility,
     shortcuts: bool,
 ) -> DeviceBuffer<u32> {
+    if gpu.fast_path_eligible() {
+        run_on_hooks::<P, Q, NoHooks>(gpu, dg, visibility, shortcuts)
+    } else {
+        run_on_hooks::<P, Q, FullHooks>(gpu, dg, visibility, shortcuts)
+    }
+}
+
+fn run_on_hooks<P: AccessPolicy, Q: AccessPolicy, H: Hooks>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    visibility: StoreVisibility,
+    shortcuts: bool,
+) -> DeviceBuffer<u32> {
     let n = dg.n;
     let colors = gpu.alloc_named::<u32>(n as usize, "color");
     let minposs = gpu.alloc_named::<u32>(n as usize, "minposs");
     let remaining = gpu.alloc_named::<u32>(1, "remaining");
     let g = *dg;
 
-    gpu.launch(
+    gpu.launch_with::<H, _>(
         LaunchConfig::for_items(n).with_visibility(visibility),
-        ForEach::new("gc_init", n, move |ctx, v| {
+        ForEach::with_hooks::<H>("gc_init", n, move |ctx, v| {
             P::write_u32(ctx, colors.at(v as usize), NO_COLOR);
             Q::write_u32(ctx, minposs.at(v as usize), 0);
         }),
@@ -51,10 +66,10 @@ pub(super) fn run_on_with<P: AccessPolicy, Q: AccessPolicy>(
 
     loop {
         gpu.write_scalar(&remaining, 0, 0u32);
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(n).with_visibility(visibility),
-            ForEach::new("gc_round", n, move |ctx, v| {
-                round_body::<P, Q>(ctx, &g, colors, minposs, remaining, v, shortcuts);
+            ForEach::with_hooks::<H>("gc_round", n, move |ctx, v| {
+                round_body::<P, Q, H>(ctx, &g, colors, minposs, remaining, v, shortcuts);
             })
             .with_chunk(4),
         );
@@ -68,8 +83,8 @@ pub(super) fn run_on_with<P: AccessPolicy, Q: AccessPolicy>(
 
 /// One vertex's work in a coloring round.
 #[allow(clippy::too_many_arguments)]
-fn round_body<P: AccessPolicy, Q: AccessPolicy>(
-    ctx: &mut Ctx<'_>,
+fn round_body<P: AccessPolicy, Q: AccessPolicy, H: Hooks>(
+    ctx: &mut Ctx<'_, H>,
     g: &DeviceGraph,
     colors: DeviceBuffer<u32>,
     minposs: DeviceBuffer<u32>,
@@ -103,7 +118,7 @@ fn round_body<P: AccessPolicy, Q: AccessPolicy>(
     ctx.compute(deg_v.max(1));
     let mut candidate = (!used).trailing_zeros();
     if candidate == 128 || overflow {
-        candidate = probe_candidate::<P>(ctx, g, colors, v, begin, end, candidate);
+        candidate = probe_candidate::<P, H>(ctx, g, colors, v, begin, end, candidate);
     }
 
     // Shortcut check: a higher-priority uncolored neighbor blocks `candidate`
@@ -141,8 +156,8 @@ fn round_body<P: AccessPolicy, Q: AccessPolicy>(
 
 /// Fallback candidate search for vertices whose neighborhood uses more than
 /// 128 colors: probes candidates one by one (O(d²), vanishingly rare).
-fn probe_candidate<P: AccessPolicy>(
-    ctx: &mut Ctx<'_>,
+fn probe_candidate<P: AccessPolicy, H: Hooks>(
+    ctx: &mut Ctx<'_, H>,
     g: &DeviceGraph,
     colors: DeviceBuffer<u32>,
     _v: u32,

@@ -4,12 +4,27 @@ use super::{priority, IN, OUT};
 use crate::common::DeviceGraph;
 use crate::primitives::AccessPolicy;
 use ecl_simt::{
-    Ctx, DeviceBuffer, ForEach, Gpu, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo,
+    Ctx, DeviceBuffer, ForEach, FullHooks, Gpu, Hooks, Kernel, LaunchConfig, NoHooks, Step,
+    StoreVisibility, ThreadInfo,
 };
 use std::marker::PhantomData;
 
 /// Launches init + compute; returns the device status array.
+///
+/// Dispatches to the monomorphized fast path when no hooks are armed.
 pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u8> {
+    if gpu.fast_path_eligible() {
+        run_on_hooks::<P, NoHooks>(gpu, dg, visibility)
+    } else {
+        run_on_hooks::<P, FullHooks>(gpu, dg, visibility)
+    }
+}
+
+fn run_on_hooks<P: AccessPolicy, H: Hooks>(
     gpu: &mut Gpu,
     dg: &DeviceGraph,
     visibility: StoreVisibility,
@@ -20,9 +35,9 @@ pub(super) fn run_on<P: AccessPolicy>(
     let statuses = gpu.alloc_named::<u8>(((n as usize) + 3) & !3, "node_stat");
     let g = *dg;
 
-    gpu.launch(
+    gpu.launch_with::<H, _>(
         LaunchConfig::for_items(n).with_visibility(visibility),
-        ForEach::new("mis_init", n, move |ctx, v| {
+        ForEach::with_hooks::<H>("mis_init", n, move |ctx, v| {
             let begin = ctx.load(g.row_offsets.at(v as usize));
             let end = ctx.load(g.row_offsets.at(v as usize + 1));
             ctx.compute(4);
@@ -42,7 +57,7 @@ pub(super) fn run_on<P: AccessPolicy>(
         shared_bytes: 0,
         exact_geometry: false,
     };
-    gpu.launch(
+    gpu.launch_with::<H, _>(
         compute_launch,
         MisComputeKernel::<P> {
             g,
@@ -64,14 +79,26 @@ pub(super) fn run_synchronous_on<P: AccessPolicy>(
     dg: &DeviceGraph,
     visibility: StoreVisibility,
 ) -> DeviceBuffer<u8> {
+    if gpu.fast_path_eligible() {
+        run_synchronous_hooks::<P, NoHooks>(gpu, dg, visibility)
+    } else {
+        run_synchronous_hooks::<P, FullHooks>(gpu, dg, visibility)
+    }
+}
+
+fn run_synchronous_hooks<P: AccessPolicy, H: Hooks>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u8> {
     let n = dg.n;
     let statuses = gpu.alloc_named::<u8>(((n as usize) + 3) & !3, "node_stat");
     let undecided = gpu.alloc_named::<u32>(1, "undecided");
     let g = *dg;
 
-    gpu.launch(
+    gpu.launch_with::<H, _>(
         LaunchConfig::for_items(n).with_visibility(visibility),
-        ForEach::new("mis_sync_init", n, move |ctx, v| {
+        ForEach::with_hooks::<H>("mis_sync_init", n, move |ctx, v| {
             let begin = ctx.load(g.row_offsets.at(v as usize));
             let end = ctx.load(g.row_offsets.at(v as usize + 1));
             ctx.compute(4);
@@ -81,9 +108,9 @@ pub(super) fn run_synchronous_on<P: AccessPolicy>(
 
     loop {
         gpu.write_scalar(&undecided, 0, 0u32);
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(n).with_visibility(visibility),
-            ForEach::new("mis_sync_round", n, move |ctx, v| {
+            ForEach::with_hooks::<H>("mis_sync_round", n, move |ctx, v| {
                 let sv = P::read_byte(ctx, statuses.as_ptr(), v);
                 if sv < 2 {
                     return;
@@ -119,7 +146,7 @@ struct MisComputeKernel<P> {
     _policy: PhantomData<P>,
 }
 
-impl<P: AccessPolicy> Kernel for MisComputeKernel<P> {
+impl<P: AccessPolicy, H: Hooks> Kernel<H> for MisComputeKernel<P> {
     /// The thread's starting vertex (its grid-stride identity).
     type State = u32;
 
@@ -131,7 +158,7 @@ impl<P: AccessPolicy> Kernel for MisComputeKernel<P> {
         info.global_id
     }
 
-    fn step(&self, first: &mut u32, ctx: &mut Ctx<'_>) -> Step {
+    fn step(&self, first: &mut u32, ctx: &mut Ctx<'_, H>) -> Step {
         let stride = ctx.num_threads();
         let mut undecided_left = false;
         let mut v = *first;
@@ -154,7 +181,7 @@ impl<P: AccessPolicy> Kernel for MisComputeKernel<P> {
 impl<P: AccessPolicy> MisComputeKernel<P> {
     /// Tries to decide vertex `v` (current priority byte `sv`). Returns
     /// `true` if the vertex is now decided.
-    fn try_decide(&self, ctx: &mut Ctx<'_>, v: u32, sv: u8) -> bool {
+    fn try_decide<H: Hooks>(&self, ctx: &mut Ctx<'_, H>, v: u32, sv: u8) -> bool {
         let begin = ctx.load(self.g.row_offsets.at(v as usize));
         let end = ctx.load(self.g.row_offsets.at(v as usize + 1));
         let mut highest = true;

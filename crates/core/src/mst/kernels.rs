@@ -3,7 +3,9 @@
 use crate::common::{union_find_rep, DeviceGraph};
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+use ecl_simt::{
+    DeviceBuffer, ForEach, FullHooks, Gpu, Hooks, LaunchConfig, NoHooks, StoreVisibility,
+};
 
 /// Packs `(weight, edge)` into the `u64` key minimized per component.
 /// 26 bits of edge index keep keys unique for graphs up to 67 M edges.
@@ -19,7 +21,22 @@ fn unpack_edge(key: u64) -> u32 {
 }
 
 /// Launches the Borůvka rounds; returns the per-edge MST membership flags.
+///
+/// Dispatches to the monomorphized fast path when no hooks are armed.
 pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    g: &Csr,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u8> {
+    if gpu.fast_path_eligible() {
+        run_on_hooks::<P, NoHooks>(gpu, dg, g, visibility)
+    } else {
+        run_on_hooks::<P, FullHooks>(gpu, dg, g, visibility)
+    }
+}
+
+fn run_on_hooks<P: AccessPolicy, H: Hooks>(
     gpu: &mut Gpu,
     dg: &DeviceGraph,
     g: &Csr,
@@ -41,9 +58,9 @@ pub(super) fn run_on<P: AccessPolicy>(
     let graph = *dg;
     let weights = dg.weights.expect("weights uploaded");
 
-    gpu.launch(
+    gpu.launch_with::<H, _>(
         LaunchConfig::for_items(n).with_visibility(visibility),
-        ForEach::new("mst_init", n, move |ctx, v| {
+        ForEach::with_hooks::<H>("mst_init", n, move |ctx, v| {
             ctx.store(parent.at(v as usize), v);
             ctx.store(best.at(v as usize), u64::MAX);
         }),
@@ -55,17 +72,17 @@ pub(super) fn run_on<P: AccessPolicy>(
         // Round part 1: every cross-component edge bids for both of its
         // endpoint components' best-edge slots (atomicMin in both variants,
         // as in ECL-MST — the races are in the parent/best *reads*).
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(m).with_visibility(visibility),
-            ForEach::new("mst_find_min", m, move |ctx, e| {
+            ForEach::with_hooks::<H>("mst_find_min", m, move |ctx, e| {
                 let u = ctx.load(edge_src.at(e as usize));
                 let v = ctx.load(graph.col_indices.at(e as usize));
                 if u >= v {
                     // Process each undirected edge once.
                     return;
                 }
-                let ru = union_find_rep::<P>(ctx, parent, u);
-                let rv = union_find_rep::<P>(ctx, parent, v);
+                let ru = union_find_rep::<P, _>(ctx, parent, u);
+                let rv = union_find_rep::<P, _>(ctx, parent, v);
                 if ru == rv {
                     return;
                 }
@@ -78,9 +95,9 @@ pub(super) fn run_on<P: AccessPolicy>(
         );
 
         // Round part 2: each component adopts its best edge and merges.
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(n).with_visibility(visibility),
-            ForEach::new("mst_connect", n, move |ctx, v| {
+            ForEach::with_hooks::<H>("mst_connect", n, move |ctx, v| {
                 let key = P::read_u64(ctx, best.at(v as usize));
                 if key == u64::MAX {
                     return;
@@ -91,8 +108,8 @@ pub(super) fn run_on<P: AccessPolicy>(
                 let a = ctx.load(edge_src.at(e as usize));
                 let b = ctx.load(graph.col_indices.at(e as usize));
                 loop {
-                    let ra = union_find_rep::<P>(ctx, parent, a);
-                    let rb = union_find_rep::<P>(ctx, parent, b);
+                    let ra = union_find_rep::<P, _>(ctx, parent, a);
+                    let rb = union_find_rep::<P, _>(ctx, parent, b);
                     if ra == rb {
                         break;
                     }

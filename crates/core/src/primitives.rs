@@ -12,7 +12,7 @@
 //! - [`Volatile`] — `volatile` accesses, as in the baseline GC/MST codes;
 //! - [`Atomic`] — the race-free conversion.
 
-use ecl_simt::{Ctx, DevicePtr};
+use ecl_simt::{Ctx, DevicePtr, Hooks};
 
 /// How a kernel accesses *shared mutable* data.
 ///
@@ -57,35 +57,35 @@ pub trait AccessPolicy: Copy + Default + Send + Sync + 'static {
     const WRITE_MODE: ecl_simt::AccessMode;
 
     /// Reads a shared `u32`.
-    fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32;
+    fn read_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) -> u32;
     /// Writes a shared `u32`.
-    fn write_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32);
+    fn write_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32);
     /// Reads a shared `u64`.
-    fn read_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u64;
+    fn read_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u64;
     /// Writes a shared `u64`.
-    fn write_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u64);
+    fn write_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u64);
 
     /// Monotonic max-update of a shared `u32`: the baseline codes read, test,
     /// and write back non-atomically (losing updates is "benign" because the
     /// value is re-propagated); the race-free code uses `atomicMax`.
-    fn max_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) -> bool;
+    fn max_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) -> bool;
 
     /// Reads element `i` of a shared byte array (MIS statuses).
-    fn read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8;
+    fn read_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32) -> u8;
     /// Writes element `i` of a shared byte array.
-    fn write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8);
+    fn write_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32, v: u8);
 
     /// Reads the first `u32` of a pair packed in a `u64` (SCC's `int2`).
-    fn read_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32;
+    fn read_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32;
     /// Reads the second `u32` of a packed pair.
-    fn read_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32;
+    fn read_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32;
     /// Monotonic max-update of the first half of a packed pair.
-    fn max_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool;
+    fn max_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool;
     /// Monotonic max-update of the second half of a packed pair.
-    fn max_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool;
+    fn max_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool;
 
     /// Raises a shared flag to 1 (SCC's "repeat" boolean).
-    fn raise_flag(ctx: &mut Ctx<'_>, p: DevicePtr<u32>);
+    fn raise_flag<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>);
 }
 
 /// Pointer to half of a packed pair, as in the paper's Fig. 5.
@@ -110,23 +110,23 @@ impl AccessPolicy for Plain {
     const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Plain;
 
     #[inline]
-    fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
+    fn read_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) -> u32 {
         ctx.load(p)
     }
     #[inline]
-    fn write_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) {
+    fn write_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) {
         ctx.store(p, v);
     }
     #[inline]
-    fn read_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u64 {
+    fn read_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u64 {
         ctx.load(p)
     }
     #[inline]
-    fn write_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u64) {
+    fn write_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u64) {
         ctx.store(p, v);
     }
     #[inline]
-    fn max_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) -> bool {
+    fn max_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) -> bool {
         // Racy read-test-write: concurrent larger writes can be lost; the
         // algorithms re-propagate, so this is the paper's "benign" race.
         if ctx.load(p) < v {
@@ -137,31 +137,31 @@ impl AccessPolicy for Plain {
         }
     }
     #[inline]
-    fn read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8 {
+    fn read_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32) -> u8 {
         ctx.load(base.offset(i as usize))
     }
     #[inline]
-    fn write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8) {
+    fn write_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32, v: u8) {
         ctx.store(base.offset(i as usize), v);
     }
     #[inline]
-    fn read_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         ctx.load(half_ptr(p, false))
     }
     #[inline]
-    fn read_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         ctx.load(half_ptr(p, true))
     }
     #[inline]
-    fn max_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         Self::max_u32(ctx, half_ptr(p, false), v)
     }
     #[inline]
-    fn max_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         Self::max_u32(ctx, half_ptr(p, true), v)
     }
     #[inline]
-    fn raise_flag(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) {
+    fn raise_flag<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) {
         ctx.store(p, 1);
     }
 }
@@ -178,23 +178,23 @@ impl AccessPolicy for Volatile {
     const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Volatile;
 
     #[inline]
-    fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
+    fn read_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) -> u32 {
         ctx.load_volatile(p)
     }
     #[inline]
-    fn write_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) {
+    fn write_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) {
         ctx.store_volatile(p, v);
     }
     #[inline]
-    fn read_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u64 {
+    fn read_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u64 {
         ctx.load_volatile(p)
     }
     #[inline]
-    fn write_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u64) {
+    fn write_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u64) {
         ctx.store_volatile(p, v);
     }
     #[inline]
-    fn max_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) -> bool {
+    fn max_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) -> bool {
         if ctx.load_volatile(p) < v {
             ctx.store_volatile(p, v);
             true
@@ -203,31 +203,31 @@ impl AccessPolicy for Volatile {
         }
     }
     #[inline]
-    fn read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8 {
+    fn read_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32) -> u8 {
         ctx.load_volatile(base.offset(i as usize))
     }
     #[inline]
-    fn write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8) {
+    fn write_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32, v: u8) {
         ctx.store_volatile(base.offset(i as usize), v);
     }
     #[inline]
-    fn read_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         ctx.load_volatile(half_ptr(p, false))
     }
     #[inline]
-    fn read_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         ctx.load_volatile(half_ptr(p, true))
     }
     #[inline]
-    fn max_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         Self::max_u32(ctx, half_ptr(p, false), v)
     }
     #[inline]
-    fn max_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         Self::max_u32(ctx, half_ptr(p, true), v)
     }
     #[inline]
-    fn raise_flag(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) {
+    fn raise_flag<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) {
         ctx.store_volatile(p, 1);
     }
 }
@@ -249,23 +249,23 @@ impl AccessPolicy for VolatileReadPlainWrite {
     const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Plain;
 
     #[inline]
-    fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
+    fn read_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) -> u32 {
         Volatile::read_u32(ctx, p)
     }
     #[inline]
-    fn write_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) {
+    fn write_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) {
         Plain::write_u32(ctx, p, v);
     }
     #[inline]
-    fn read_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u64 {
+    fn read_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u64 {
         Volatile::read_u64(ctx, p)
     }
     #[inline]
-    fn write_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u64) {
+    fn write_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u64) {
         Plain::write_u64(ctx, p, v);
     }
     #[inline]
-    fn max_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) -> bool {
+    fn max_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) -> bool {
         if Volatile::read_u32(ctx, p) < v {
             Plain::write_u32(ctx, p, v);
             true
@@ -274,31 +274,31 @@ impl AccessPolicy for VolatileReadPlainWrite {
         }
     }
     #[inline]
-    fn read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8 {
+    fn read_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32) -> u8 {
         Volatile::read_byte(ctx, base, i)
     }
     #[inline]
-    fn write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8) {
+    fn write_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32, v: u8) {
         Plain::write_byte(ctx, base, i, v);
     }
     #[inline]
-    fn read_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         Volatile::read_pair_first(ctx, p)
     }
     #[inline]
-    fn read_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         Volatile::read_pair_second(ctx, p)
     }
     #[inline]
-    fn max_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         Self::max_u32(ctx, p.cast(), v)
     }
     #[inline]
-    fn max_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         Self::max_u32(ctx, p.cast::<u32>().offset(1), v)
     }
     #[inline]
-    fn raise_flag(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) {
+    fn raise_flag<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) {
         Plain::raise_flag(ctx, p);
     }
 }
@@ -316,52 +316,52 @@ impl AccessPolicy for Atomic {
     const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
 
     #[inline]
-    fn read_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) -> u32 {
+    fn read_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) -> u32 {
         ctx.atomic_load(p)
     }
     #[inline]
-    fn write_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) {
+    fn write_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) {
         ctx.atomic_store(p, v);
     }
     #[inline]
-    fn read_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u64 {
+    fn read_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u64 {
         ctx.atomic_load(p)
     }
     #[inline]
-    fn write_u64(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u64) {
+    fn write_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u64) {
         ctx.atomic_store(p, v);
     }
     #[inline]
-    fn max_u32(ctx: &mut Ctx<'_>, p: DevicePtr<u32>, v: u32) -> bool {
+    fn max_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) -> bool {
         ctx.atomic_max_u32(p, v) < v
     }
     #[inline]
-    fn read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8 {
+    fn read_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32) -> u8 {
         atomic_read_byte(ctx, base, i)
     }
     #[inline]
-    fn write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8) {
+    fn write_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32, v: u8) {
         atomic_write_byte(ctx, base, i, v);
     }
     #[inline]
-    fn read_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         // Fig. 5 `readFirst`: reinterpret the long long as two ints.
         ctx.atomic_load(half_ptr(p, false))
     }
     #[inline]
-    fn read_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>) -> u32 {
+    fn read_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
         ctx.atomic_load(half_ptr(p, true))
     }
     #[inline]
-    fn max_pair_first(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         ctx.atomic_max_u32(half_ptr(p, false), v) < v
     }
     #[inline]
-    fn max_pair_second(ctx: &mut Ctx<'_>, p: DevicePtr<u64>, v: u32) -> bool {
+    fn max_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
         ctx.atomic_max_u32(half_ptr(p, true), v) < v
     }
     #[inline]
-    fn raise_flag(ctx: &mut Ctx<'_>, p: DevicePtr<u32>) {
+    fn raise_flag<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) {
         ctx.atomic_store(p, 1);
     }
 }
@@ -374,7 +374,7 @@ impl AccessPolicy for Atomic {
 /// Panics (in the simulator's bounds checks) if the array base is not
 /// 4-byte aligned; device allocations always are.
 #[inline]
-pub fn atomic_read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8 {
+pub fn atomic_read_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32) -> u8 {
     let words: DevicePtr<u32> = base.cast();
     let word = ctx.atomic_load(words.offset((i / 4) as usize));
     ((word >> ((i % 4) * 8)) & 0xff) as u8
@@ -386,7 +386,7 @@ pub fn atomic_read_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32) -> u8 {
 /// Fig. 4b; other values use an atomic compare-and-swap loop on the
 /// containing `int` (CUDA has no byte-wide atomics).
 #[inline]
-pub fn atomic_write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8) {
+pub fn atomic_write_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32, v: u8) {
     let words: DevicePtr<u32> = base.cast();
     let word_ptr = words.offset((i / 4) as usize);
     let shift = (i % 4) * 8;
@@ -406,13 +406,17 @@ pub fn atomic_write_byte(ctx: &mut Ctx<'_>, base: DevicePtr<u8>, i: u32, v: u8) 
 
 /// The paper's Fig. 2 `atomicRead`: a relaxed atomic load.
 #[inline]
-pub fn atomic_read<T: ecl_simt::DeviceValue>(ctx: &mut Ctx<'_>, p: DevicePtr<T>) -> T {
+pub fn atomic_read<H: Hooks, T: ecl_simt::DeviceValue>(ctx: &mut Ctx<'_, H>, p: DevicePtr<T>) -> T {
     ctx.atomic_load(p)
 }
 
 /// The paper's Fig. 2 `atomicWrite`: a relaxed atomic store.
 #[inline]
-pub fn atomic_write<T: ecl_simt::DeviceValue>(ctx: &mut Ctx<'_>, p: DevicePtr<T>, v: T) {
+pub fn atomic_write<H: Hooks, T: ecl_simt::DeviceValue>(
+    ctx: &mut Ctx<'_, H>,
+    p: DevicePtr<T>,
+    v: T,
+) {
     ctx.atomic_store(p, v);
 }
 

@@ -4,10 +4,27 @@
 use crate::common::DeviceGraph;
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+use ecl_simt::{
+    DeviceBuffer, ForEach, FullHooks, Gpu, Hooks, LaunchConfig, NoHooks, StoreVisibility,
+};
 
 /// Launches the outer settle loop; returns the per-vertex SCC pivot ids.
+///
+/// Dispatches to the monomorphized fast path when no hooks are armed.
 pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    g: &Csr,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u32> {
+    if gpu.fast_path_eligible() {
+        run_on_hooks::<P, NoHooks>(gpu, dg, g, visibility)
+    } else {
+        run_on_hooks::<P, FullHooks>(gpu, dg, g, visibility)
+    }
+}
+
+fn run_on_hooks<P: AccessPolicy, H: Hooks>(
     gpu: &mut Gpu,
     dg: &DeviceGraph,
     g: &Csr,
@@ -34,9 +51,9 @@ pub(super) fn run_on<P: AccessPolicy>(
     let mut unsettled = n;
     while unsettled > 0 {
         // Re-seed every unsettled vertex's pair with its own id.
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(n).with_visibility(visibility),
-            ForEach::new("scc_init", n, move |ctx, v| {
+            ForEach::with_hooks::<H>("scc_init", n, move |ctx, v| {
                 if ctx.load(scc_ids.at(v as usize)) == 0 {
                     let id = (v + 1) as u64;
                     ctx.store(pairs.at(v as usize), (id << 32) | id);
@@ -48,9 +65,9 @@ pub(super) fn run_on<P: AccessPolicy>(
         // monotone max updates are exactly where the baseline races.
         loop {
             gpu.write_scalar(&repeat, 0, 0u32);
-            gpu.launch(
+            gpu.launch_with::<H, _>(
                 LaunchConfig::for_items(m).with_visibility(visibility),
-                ForEach::new("scc_propagate", m, move |ctx, e| {
+                ForEach::with_hooks::<H>("scc_propagate", m, move |ctx, e| {
                     let u = ctx.load(edge_src.at(e as usize));
                     let v = ctx.load(graph.col_indices.at(e as usize));
                     if ctx.load(scc_ids.at(u as usize)) != 0
@@ -79,9 +96,9 @@ pub(super) fn run_on<P: AccessPolicy>(
         // Settle: a vertex whose forward and backward maxima agree belongs
         // to the SCC pivoted by that ID.
         gpu.write_scalar(&settled_count, 0, 0u32);
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(n).with_visibility(visibility),
-            ForEach::new("scc_settle", n, move |ctx, v| {
+            ForEach::with_hooks::<H>("scc_settle", n, move |ctx, v| {
                 if ctx.load(scc_ids.at(v as usize)) != 0 {
                     return;
                 }

@@ -11,12 +11,27 @@
 use crate::common::DeviceGraph;
 use crate::primitives::AccessPolicy;
 use ecl_graph::Csr;
-use ecl_simt::{DeviceBuffer, ForEach, Gpu, LaunchConfig, StoreVisibility};
+use ecl_simt::{
+    DeviceBuffer, ForEach, FullHooks, Gpu, Hooks, LaunchConfig, NoHooks, StoreVisibility,
+};
 
 /// Runs the outer settle loop with worklist-based propagation; returns the
 /// per-vertex SCC pivot ids. Produces exactly the same partition as the
 /// full-scan engine in [`super::kernels`].
 pub(super) fn run_on<P: AccessPolicy>(
+    gpu: &mut Gpu,
+    dg: &DeviceGraph,
+    g: &Csr,
+    visibility: StoreVisibility,
+) -> DeviceBuffer<u32> {
+    if gpu.fast_path_eligible() {
+        run_on_hooks::<P, NoHooks>(gpu, dg, g, visibility)
+    } else {
+        run_on_hooks::<P, FullHooks>(gpu, dg, g, visibility)
+    }
+}
+
+fn run_on_hooks<P: AccessPolicy, H: Hooks>(
     gpu: &mut Gpu,
     dg: &DeviceGraph,
     g: &Csr,
@@ -46,9 +61,9 @@ pub(super) fn run_on<P: AccessPolicy>(
     while unsettled > 0 {
         // Re-seed every unsettled vertex and put it on the worklist.
         gpu.write_scalar(&count_a, 0, 0u32);
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(n).with_visibility(visibility),
-            ForEach::new("scc_wl_init", n, move |ctx, v| {
+            ForEach::with_hooks::<H>("scc_wl_init", n, move |ctx, v| {
                 if ctx.load(scc_ids.at(v as usize)) == 0 {
                     let id = (v + 1) as u64;
                     ctx.store(pairs.at(v as usize), (id << 32) | id);
@@ -73,9 +88,9 @@ pub(super) fn run_on<P: AccessPolicy>(
             }
             gpu.write_scalar(&next_count, 0, 0u32);
             let cap = capacity as u32;
-            gpu.launch(
+            gpu.launch_with::<H, _>(
                 LaunchConfig::for_items(frontier).with_visibility(visibility),
-                ForEach::new("scc_wl_propagate", frontier, move |ctx, i| {
+                ForEach::with_hooks::<H>("scc_wl_propagate", frontier, move |ctx, i| {
                     let v = ctx.load(cur.at(i as usize));
                     if ctx.load(scc_ids.at(v as usize)) != 0 {
                         return;
@@ -121,9 +136,9 @@ pub(super) fn run_on<P: AccessPolicy>(
             let pushed = gpu.read_scalar(&next_count, 0);
             if pushed > cap {
                 gpu.write_scalar(&next_count, 0, 0u32);
-                gpu.launch(
+                gpu.launch_with::<H, _>(
                     LaunchConfig::for_items(n).with_visibility(visibility),
-                    ForEach::new("scc_wl_reseed", n, move |ctx, v| {
+                    ForEach::with_hooks::<H>("scc_wl_reseed", n, move |ctx, v| {
                         if ctx.load(scc_ids.at(v as usize)) == 0 {
                             let slot = ctx.atomic_add_u32(next_count.at(0), 1);
                             ctx.store(next.at(slot as usize), v);
@@ -136,9 +151,9 @@ pub(super) fn run_on<P: AccessPolicy>(
 
         // Settle matching vertices (same kernel as the full-scan engine).
         gpu.write_scalar(&settled_count, 0, 0u32);
-        gpu.launch(
+        gpu.launch_with::<H, _>(
             LaunchConfig::for_items(n).with_visibility(visibility),
-            ForEach::new("scc_wl_settle", n, move |ctx, v| {
+            ForEach::with_hooks::<H>("scc_wl_settle", n, move |ctx, v| {
                 if ctx.load(scc_ids.at(v as usize)) != 0 {
                     return;
                 }

@@ -75,8 +75,55 @@ pub struct ThreadInfo {
     pub thread_in_block: u32,
 }
 
+/// Compile-time selector for the interpreter's hot/slow path split.
+///
+/// The simulator's per-access observation hooks — tracing, fault injection,
+/// contract sanitizing — are `Option` checks on every single memory access
+/// when compiled in. [`Hooks`] lifts that decision to a type parameter
+/// monomorphized once per launch: [`NoHooks`] compiles the hook code out of
+/// the access path entirely (the *fast path*), [`FullHooks`] keeps it (the
+/// *slow path*, and the default everywhere for backward compatibility).
+///
+/// The two paths are bit-identical in results, cycle counts, and cache
+/// stats whenever no hook is armed — hooks only ever observe (tracing),
+/// enforce (sanitizer), or are absent (faults) — which is pinned by the
+/// `fastpath_equivalence` differential test across every algorithm×variant
+/// combination. [`crate::Gpu::fast_path_eligible`] reports whether a launch
+/// may take the fast path.
+pub trait Hooks: Copy + Default + 'static {
+    /// Whether per-access hook code is compiled into the interpreter loop.
+    const HOOKED: bool;
+}
+
+/// The fully-hooked interpreter path: tracing, fault injection, and the
+/// contract sanitizer are honored. This is the default [`Kernel`]
+/// instantiation, so existing `impl Kernel for T` and [`crate::Gpu::launch`]
+/// users get it implicitly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullHooks;
+
+/// The monomorphized fast path: all per-access hook code compiles away.
+/// Only valid when no hook is armed (enforced by
+/// [`crate::Gpu::try_launch_with`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoHooks;
+
+impl Hooks for FullHooks {
+    const HOOKED: bool = true;
+}
+
+impl Hooks for NoHooks {
+    const HOOKED: bool = false;
+}
+
 /// A device kernel: shared code + per-thread plain-data state.
-pub trait Kernel {
+///
+/// The `H` parameter selects the interpreter path the kernel's steps run
+/// on; it defaults to [`FullHooks`] so ordinary `impl Kernel for T` keeps
+/// meaning what it always did. Kernels that want to run on the fast path
+/// implement `Kernel<H>` generically (closure-based [`ForEach`] kernels get
+/// this from a blanket impl).
+pub trait Kernel<H: Hooks = FullHooks> {
     /// Per-thread coroutine state.
     type State;
 
@@ -87,7 +134,7 @@ pub trait Kernel {
     fn init(&self, info: ThreadInfo) -> Self::State;
 
     /// Advances one thread by a bounded amount of work.
-    fn step(&self, state: &mut Self::State, ctx: &mut Ctx<'_>) -> Step;
+    fn step(&self, state: &mut Self::State, ctx: &mut Ctx<'_, H>) -> Step;
 }
 
 /// Launch geometry and compiler model for one kernel launch.
@@ -157,7 +204,30 @@ pub struct ForEach<F> {
 
 impl<F: Fn(&mut Ctx<'_>, u32)> ForEach<F> {
     /// Creates a kernel that calls `f(ctx, i)` for every `i in 0..items`.
+    ///
+    /// The closure is bound to the default fully-hooked context, which is
+    /// what closure parameter inference needs at the construction site. Code
+    /// generic over the interpreter path uses [`ForEach::with_hooks`]
+    /// instead.
     pub fn new(name: &str, items: u32, f: F) -> Self {
+        ForEach {
+            name: name.to_string(),
+            items,
+            chunk: 8,
+            f,
+        }
+    }
+}
+
+impl<F> ForEach<F> {
+    /// Creates a kernel like [`ForEach::new`], but with the closure bound to
+    /// an explicit interpreter path `H` — `ForEach::with_hooks::<H>(...)`
+    /// inside a function generic over `H: Hooks` is how the algorithm crates
+    /// build kernels that monomorphize onto the fast path.
+    pub fn with_hooks<H: Hooks>(name: &str, items: u32, f: F) -> Self
+    where
+        F: Fn(&mut Ctx<'_, H>, u32),
+    {
         ForEach {
             name: name.to_string(),
             items,
@@ -178,7 +248,7 @@ impl<F: Fn(&mut Ctx<'_>, u32)> ForEach<F> {
     }
 }
 
-impl<F: Fn(&mut Ctx<'_>, u32)> Kernel for ForEach<F> {
+impl<H: Hooks, F: Fn(&mut Ctx<'_, H>, u32)> Kernel<H> for ForEach<F> {
     type State = u32;
 
     fn name(&self) -> &str {
@@ -189,7 +259,7 @@ impl<F: Fn(&mut Ctx<'_>, u32)> Kernel for ForEach<F> {
         info.global_id
     }
 
-    fn step(&self, next: &mut u32, ctx: &mut Ctx<'_>) -> Step {
+    fn step(&self, next: &mut u32, ctx: &mut Ctx<'_, H>) -> Step {
         let stride = ctx.num_threads();
         let mut processed = 0;
         while *next < self.items {
@@ -235,12 +305,14 @@ impl StoreBuf {
         }
     }
 
+    #[inline]
     fn overlaps(&self, addr: u32, width: u32) -> bool {
         self.entries
             .iter()
             .any(|e| e.addr < addr + width && addr < e.addr + e.width)
     }
 
+    #[inline]
     fn exact(&self, addr: u32, width: u32) -> Option<u64> {
         self.entries
             .iter()
@@ -251,17 +323,32 @@ impl StoreBuf {
 
 /// Everything a device thread can do during a step: memory accesses,
 /// arithmetic accounting, and identity queries.
-pub struct Ctx<'a> {
+///
+/// `H` selects the interpreter path (see [`Hooks`]); the default keeps
+/// existing `Ctx<'_>` mentions meaning the fully-hooked context.
+///
+/// Cycle and access counters are accumulated *by value* in the context and
+/// flushed to the per-SM / per-launch totals once per block iteration by
+/// the scheduler (batched accounting): the access path touches hot locals
+/// instead of bouncing through `&mut` indirections on every access. The
+/// context itself is likewise built once per block iteration, not per
+/// thread step: per-thread state (`thread`, `sbuf_idx`) is patched in
+/// place, which keeps the ~20-field construction off the hot loop.
+pub struct Ctx<'a, H: Hooks = FullHooks> {
     pub(crate) mem: &'a mut Memory,
     pub(crate) msys: &'a mut MemSystem,
     pub(crate) trace: Option<&'a mut Trace>,
     fault: Option<&'a mut FaultState>,
     sanitizer: Option<&'a mut SanitizerState>,
     kernel: &'a str,
-    sbuf: &'a mut StoreBuf,
+    /// All threads' store buffers; the running thread's is `sbufs[sbuf_idx]`.
+    sbufs: &'a mut [StoreBuf],
+    sbuf_idx: usize,
     shared: &'a mut [u8],
-    cycles: &'a mut u64,
-    counters: &'a mut LaunchCounters,
+    /// Cycles charged during the current step (flushed to the SM's total).
+    cycles: u64,
+    /// Access counters for the current step (flushed to the launch totals).
+    counters: LaunchCounters,
     sm: u32,
     launch: u32,
     block: u32,
@@ -275,9 +362,10 @@ pub struct Ctx<'a> {
     l1_cycles: u32,
     l2_cycles: u32,
     atomic_extra: u32,
+    _hooks: std::marker::PhantomData<H>,
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Copy)]
 struct LaunchCounters {
     plain: u64,
     volatile_: u64,
@@ -286,7 +374,18 @@ struct LaunchCounters {
     steps: u64,
 }
 
-impl<'a> Ctx<'a> {
+impl LaunchCounters {
+    #[inline]
+    fn merge(&mut self, delta: &LaunchCounters) {
+        self.plain += delta.plain;
+        self.volatile_ += delta.volatile_;
+        self.atomic += delta.atomic;
+        self.coalesced += delta.coalesced;
+        self.steps += delta.steps;
+    }
+}
+
+impl<'a, H: Hooks> Ctx<'a, H> {
     /// The thread's global id.
     #[inline]
     pub fn global_id(&self) -> u32 {
@@ -314,7 +413,7 @@ impl<'a> Ctx<'a> {
     /// Charges `units` of arithmetic work.
     #[inline]
     pub fn compute(&mut self, units: u32) {
-        *self.cycles += (units * self.alu_cycles) as u64;
+        self.cycles += (units * self.alu_cycles) as u64;
     }
 
     /// `__threadfence()`: makes this thread's prior writes visible
@@ -323,7 +422,7 @@ impl<'a> Ctx<'a> {
     /// only orders this thread's own accesses.)
     pub fn threadfence(&mut self) {
         self.drain_all();
-        *self.cycles += self.l2_cycles as u64;
+        self.cycles += self.l2_cycles as u64;
     }
 
     #[inline]
@@ -351,6 +450,10 @@ impl<'a> Ctx<'a> {
         scope: Scope,
         order: MemOrder,
     ) {
+        if !H::HOOKED {
+            // Fast path: no observation hooks are compiled in at all.
+            return;
+        }
         if self.sanitizer.is_some() {
             self.sanitize(space, addr, mode, kind);
         }
@@ -397,14 +500,14 @@ impl<'a> Ctx<'a> {
 
     /// Drains store-buffer entries overlapping `[addr, addr+width)`.
     fn drain_overlapping(&mut self, addr: u32, width: u32) {
-        if self.sbuf.entries.is_empty() {
+        if self.sbufs[self.sbuf_idx].entries.is_empty() {
             return;
         }
         let mut i = 0;
-        while i < self.sbuf.entries.len() {
-            let e = self.sbuf.entries[i];
+        while i < self.sbufs[self.sbuf_idx].entries.len() {
+            let e = self.sbufs[self.sbuf_idx].entries[i];
             if e.addr < addr + width && addr < e.addr + e.width {
-                self.sbuf.entries.remove(i);
+                self.sbufs[self.sbuf_idx].entries.remove(i);
                 self.commit_store(e);
             } else {
                 i += 1;
@@ -420,14 +523,14 @@ impl<'a> Ctx<'a> {
             AccessMode::Plain,
             AccessKind::Store,
         );
-        *self.cycles += cost as u64;
+        self.cycles += cost as u64;
         self.mem.write_bits(e.addr, e.width, e.bits);
     }
 
     /// Drains the entire store buffer (yield/done/barrier, per policy).
     fn drain_all(&mut self) {
-        while let Some(e) = self.sbuf.entries.first().copied() {
-            self.sbuf.entries.remove(0);
+        while let Some(e) = self.sbufs[self.sbuf_idx].entries.first().copied() {
+            self.sbufs[self.sbuf_idx].entries.remove(0);
             self.commit_store(e);
         }
     }
@@ -450,6 +553,9 @@ impl<'a> Ctx<'a> {
     /// Applies the armed fault plan (if any) to a load served at `level`.
     #[inline]
     fn maybe_flip(&mut self, bits: u64, width: u32, level: MemLevel) -> u64 {
+        if !H::HOOKED {
+            return bits;
+        }
         match self.fault.as_deref_mut() {
             Some(f) => f.maybe_flip_bits(bits, width, level),
             None => bits,
@@ -459,9 +565,13 @@ impl<'a> Ctx<'a> {
     /// Executes one yield-point drain decision, letting the fault plan drop
     /// a scheduled drain or force an early one.
     fn yield_drain(&mut self, scheduled: bool) {
-        let drain = match self.fault.as_deref_mut() {
-            Some(f) => f.perturb_flush(scheduled),
-            None => scheduled,
+        let drain = if H::HOOKED {
+            match self.fault.as_deref_mut() {
+                Some(f) => f.perturb_flush(scheduled),
+                None => scheduled,
+            }
+        } else {
+            scheduled
         };
         if drain {
             self.drain_all();
@@ -470,7 +580,7 @@ impl<'a> Ctx<'a> {
 
     /// True when the compiler model is currently holding deferred stores.
     fn has_buffered_stores(&self) -> bool {
-        !self.sbuf.entries.is_empty()
+        !self.sbufs[self.sbuf_idx].entries.is_empty()
     }
 
     // ---------------------------------------------------------------- plain
@@ -493,13 +603,17 @@ impl<'a> Ctx<'a> {
             AccessMode::Plain,
             AccessKind::Load,
         );
-        if let Some(bits) = self.sbuf.exact(ptr.addr(), T::WIDTH) {
-            // Store-to-load forwarding: free, served from "registers".
-            *self.cycles += self.alu_cycles as u64;
-            return T::from_bits(bits);
-        }
-        if self.sbuf.overlaps(ptr.addr(), T::WIDTH) {
-            self.drain_overlapping(ptr.addr(), T::WIDTH);
+        // One emptiness check covers both store-buffer scans: empty is the
+        // overwhelmingly common case (Immediate visibility never buffers).
+        if !self.sbufs[self.sbuf_idx].entries.is_empty() {
+            if let Some(bits) = self.sbufs[self.sbuf_idx].exact(ptr.addr(), T::WIDTH) {
+                // Store-to-load forwarding: free, served from "registers".
+                self.cycles += self.alu_cycles as u64;
+                return T::from_bits(bits);
+            }
+            if self.sbufs[self.sbuf_idx].overlaps(ptr.addr(), T::WIDTH) {
+                self.drain_overlapping(ptr.addr(), T::WIDTH);
+            }
         }
         let (cost, level) = self.msys.access(
             self.sm as usize,
@@ -507,7 +621,7 @@ impl<'a> Ctx<'a> {
             AccessMode::Plain,
             AccessKind::Load,
         );
-        *self.cycles += cost as u64;
+        self.cycles += cost as u64;
         let bits = self.mem.read(ptr).to_bits();
         T::from_bits(self.maybe_flip(bits, T::WIDTH, level))
     }
@@ -542,7 +656,7 @@ impl<'a> Ctx<'a> {
                     AccessMode::Plain,
                     AccessKind::Store,
                 );
-                *self.cycles += cost as u64;
+                self.cycles += cost as u64;
                 self.mem.write(ptr, value);
             }
             StoreVisibility::DeferUntilYield | StoreVisibility::DeferUntilDone => {
@@ -566,7 +680,7 @@ impl<'a> Ctx<'a> {
                         AccessMode::Plain,
                         AccessKind::Store,
                     );
-                    *self.cycles += cost as u64;
+                    self.cycles += cost as u64;
                     self.mem.write(ptr, value);
                 }
             }
@@ -574,8 +688,7 @@ impl<'a> Ctx<'a> {
     }
 
     fn buffer_store(&mut self, e: StoreEntry) {
-        if let Some(existing) = self
-            .sbuf
+        if let Some(existing) = self.sbufs[self.sbuf_idx]
             .entries
             .iter_mut()
             .find(|x| x.addr == e.addr && x.width == e.width)
@@ -583,18 +696,18 @@ impl<'a> Ctx<'a> {
             // The compiler coalesces repeated stores to one location.
             existing.bits = e.bits;
             self.counters.coalesced += 1;
-            *self.cycles += self.alu_cycles as u64;
+            self.cycles += self.alu_cycles as u64;
             return;
         }
-        if self.sbuf.overlaps(e.addr, e.width) {
+        if self.sbufs[self.sbuf_idx].overlaps(e.addr, e.width) {
             self.drain_overlapping(e.addr, e.width);
         }
-        if self.sbuf.entries.len() >= STORE_BUF_CAP {
-            let oldest = self.sbuf.entries.remove(0);
+        if self.sbufs[self.sbuf_idx].entries.len() >= STORE_BUF_CAP {
+            let oldest = self.sbufs[self.sbuf_idx].entries.remove(0);
             self.commit_store(oldest);
         }
-        self.sbuf.entries.push(e);
-        *self.cycles += self.alu_cycles as u64;
+        self.sbufs[self.sbuf_idx].entries.push(e);
+        self.cycles += self.alu_cycles as u64;
     }
 
     /// 32-bit half access used by split 64-bit plain/volatile operations.
@@ -604,15 +717,15 @@ impl<'a> Ctx<'a> {
             AccessMode::Plain => {
                 self.counters.plain += 1;
                 self.record(Space::Global, addr, 4, mode, AccessKind::Load);
-                if let Some(bits) = self.sbuf.exact(addr, 4) {
-                    *self.cycles += self.alu_cycles as u64;
+                if let Some(bits) = self.sbufs[self.sbuf_idx].exact(addr, 4) {
+                    self.cycles += self.alu_cycles as u64;
                     return bits as u32;
                 }
                 self.drain_overlapping(addr, 4);
                 let (cost, level) =
                     self.msys
                         .access(self.sm as usize, addr, mode, AccessKind::Load);
-                *self.cycles += cost as u64;
+                self.cycles += cost as u64;
                 let bits = self.mem.read_bits(addr, 4);
                 self.maybe_flip(bits, 4, level) as u32
             }
@@ -623,7 +736,7 @@ impl<'a> Ctx<'a> {
                 let (cost, level) =
                     self.msys
                         .access(self.sm as usize, addr, mode, AccessKind::Load);
-                *self.cycles += cost as u64;
+                self.cycles += cost as u64;
                 let bits = self.mem.read_bits(addr, 4);
                 self.maybe_flip(bits, 4, level) as u32
             }
@@ -643,7 +756,7 @@ impl<'a> Ctx<'a> {
         let (cost, _) = self
             .msys
             .access(self.sm as usize, addr, mode, AccessKind::Store);
-        *self.cycles += cost as u64;
+        self.cycles += cost as u64;
         self.mem.write_bits(addr, 4, value as u64);
     }
 
@@ -670,7 +783,7 @@ impl<'a> Ctx<'a> {
                     let (cost, _) =
                         self.msys
                             .access(self.sm as usize, addr, mode, AccessKind::Store);
-                    *self.cycles += cost as u64;
+                    self.cycles += cost as u64;
                     self.mem.write_bits(addr, 4, value as u64);
                 }
             }
@@ -681,7 +794,7 @@ impl<'a> Ctx<'a> {
                 let (cost, _) = self
                     .msys
                     .access(self.sm as usize, addr, mode, AccessKind::Store);
-                *self.cycles += cost as u64;
+                self.cycles += cost as u64;
                 self.mem.write_bits(addr, 4, value as u64);
             }
         }
@@ -714,7 +827,7 @@ impl<'a> Ctx<'a> {
             AccessMode::Volatile,
             AccessKind::Load,
         );
-        *self.cycles += cost as u64;
+        self.cycles += cost as u64;
         let bits = self.mem.read(ptr).to_bits();
         T::from_bits(self.maybe_flip(bits, T::WIDTH, level))
     }
@@ -744,7 +857,7 @@ impl<'a> Ctx<'a> {
             AccessMode::Volatile,
             AccessKind::Store,
         );
-        *self.cycles += cost as u64;
+        self.cycles += cost as u64;
         self.mem.write(ptr, value);
     }
 
@@ -803,7 +916,7 @@ impl<'a> Ctx<'a> {
         };
         // Ordering fences: each fence costs an L2 round trip.
         let fences = (order.fence_count() * self.l2_cycles) as u64;
-        *self.cycles += base + fences;
+        self.cycles += base + fences;
     }
 
     /// A relaxed atomic load (`cuda::atomic<T>::load(memory_order_relaxed)`,
@@ -953,7 +1066,7 @@ impl<'a> Ctx<'a> {
             AccessMode::Plain,
             AccessKind::Load,
         );
-        *self.cycles += self.l1_cycles as u64;
+        self.cycles += self.l1_cycles as u64;
         T::read_from(self.shared, offset)
     }
 
@@ -971,7 +1084,7 @@ impl<'a> Ctx<'a> {
             AccessMode::Plain,
             AccessKind::Store,
         );
-        *self.cycles += self.l1_cycles as u64;
+        self.cycles += self.l1_cycles as u64;
         value.write_to(self.shared, offset);
     }
 }
@@ -991,7 +1104,7 @@ enum ThreadStatus {
 /// This is crate-internal: user code launches kernels through
 /// [`crate::Gpu::launch`] / [`crate::Gpu::try_launch`].
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_kernel<K: Kernel>(
+pub(crate) fn run_kernel<H: Hooks, K: Kernel<H>>(
     cfg: &GpuConfig,
     mem: &mut Memory,
     msys: &mut MemSystem,
@@ -1102,7 +1215,7 @@ pub(crate) fn run_kernel<K: Kernel>(
 
 /// Runs one resident wave of blocks to completion.
 #[allow(clippy::too_many_arguments)]
-fn run_wave<K: Kernel>(
+fn run_wave<H: Hooks, K: Kernel<H>>(
     cfg: &GpuConfig,
     kernel: &K,
     block_order: &[u32],
@@ -1129,15 +1242,26 @@ fn run_wave<K: Kernel>(
     fault: &mut Option<&mut FaultState>,
     sanitizer: &mut Option<&mut SanitizerState>,
 ) -> Result<(), SimError> {
-    let mut alive: u32 = block_order
-        .iter()
-        .map(|&b| {
-            let first = b * block_threads;
-            (first..first + block_threads)
-                .filter(|&t| statuses[t as usize] == ThreadStatus::Active)
-                .count() as u32
-        })
-        .sum();
+    // Per-block Active / AtBarrier counts, maintained incrementally so the
+    // scheduler can skip fully-finished blocks and release barriers in O(1)
+    // instead of rescanning every thread's status each round. Indexed by
+    // global block id; only this wave's entries are used. Pure bookkeeping:
+    // the order and identity of executed steps is exactly as before (the
+    // skipped iterations were no-ops).
+    let num_blocks = (num_threads / block_threads) as usize;
+    let mut active_cnt = vec![0u32; num_blocks];
+    let mut barrier_cnt = vec![0u32; num_blocks];
+    for &b in block_order {
+        let first = b * block_threads;
+        for t in first..first + block_threads {
+            match statuses[t as usize] {
+                ThreadStatus::Active => active_cnt[b as usize] += 1,
+                ThreadStatus::AtBarrier => barrier_cnt[b as usize] += 1,
+                ThreadStatus::Done => {}
+            }
+        }
+    }
+    let mut alive: u32 = block_order.iter().map(|&b| active_cnt[b as usize]).sum();
     let mut round = 0u64;
     const MAX_ROUNDS: u64 = 4_000_000;
     while alive > 0 {
@@ -1157,13 +1281,19 @@ fn run_wave<K: Kernel>(
         }
         for bi in 0..wave_len {
             let block = block_order[(bi + rot) % wave_len];
+            let b = block as usize;
+            if active_cnt[b] == 0 && barrier_cnt[b] == 0 {
+                // Every thread in the block is Done; nothing to step and no
+                // barrier to release.
+                continue;
+            }
             let sm = sm_of(block);
             let first = block * block_threads;
-            for t in first..first + block_threads {
-                if statuses[t as usize] != ThreadStatus::Active {
-                    continue;
-                }
-                counters.steps += 1;
+            if active_cnt[b] > 0 {
+                // The context is built once per block iteration; only the
+                // per-thread fields are patched inside the loop. All threads
+                // of a block run on the same SM, so cycles and counters can
+                // be flushed once after the loop with an identical sum.
                 let mut ctx = Ctx {
                     mem: &mut *mem,
                     msys: &mut *msys,
@@ -1171,80 +1301,94 @@ fn run_wave<K: Kernel>(
                     fault: fault.as_deref_mut(),
                     sanitizer: sanitizer.as_deref_mut(),
                     kernel: kernel.name(),
-                    sbuf: &mut sbufs[t as usize],
+                    sbufs: &mut *sbufs,
+                    sbuf_idx: 0,
                     shared: &mut shared[block as usize],
-                    cycles: &mut sm_cycles[sm as usize],
-                    counters: &mut *counters,
+                    cycles: 0,
+                    counters: LaunchCounters::default(),
                     sm,
                     launch: launch_id,
                     block,
                     phase: phases[block as usize],
-                    thread: t,
+                    thread: 0,
                     num_threads,
-                    thread_in_block: t - first,
+                    thread_in_block: 0,
                     visibility: launch.store_visibility,
                     native_64bit: cfg.native_64bit,
                     alu_cycles: cfg.alu_cycles,
                     l1_cycles: cfg.l1_cycles,
                     l2_cycles: cfg.l2_cycles,
                     atomic_extra: cfg.atomic_extra_cycles,
+                    _hooks: std::marker::PhantomData,
                 };
-                let step = kernel.step(&mut states[t as usize], &mut ctx);
-                match step {
-                    Step::Yield => {
-                        let scheduled = match launch.store_visibility {
-                            StoreVisibility::DeferUntilYield => true,
-                            StoreVisibility::DeferBounded { every, .. } => {
-                                yields[t as usize] += 1;
-                                yields[t as usize].is_multiple_of(every.max(1))
+                for t in first..first + block_threads {
+                    if statuses[t as usize] != ThreadStatus::Active {
+                        continue;
+                    }
+                    ctx.counters.steps += 1;
+                    ctx.thread = t;
+                    ctx.thread_in_block = t - first;
+                    ctx.sbuf_idx = t as usize;
+                    let step = kernel.step(&mut states[t as usize], &mut ctx);
+                    match step {
+                        Step::Yield => {
+                            let scheduled = match launch.store_visibility {
+                                StoreVisibility::DeferUntilYield => true,
+                                StoreVisibility::DeferBounded { every, .. } => {
+                                    yields[t as usize] += 1;
+                                    yields[t as usize].is_multiple_of(every.max(1))
+                                }
+                                _ => false,
+                            };
+                            // Fault plans only perturb drains that could matter:
+                            // a scheduled one, or an early one with stores held.
+                            if scheduled || ctx.has_buffered_stores() {
+                                ctx.yield_drain(scheduled);
                             }
-                            _ => false,
-                        };
-                        // Fault plans only perturb drains that could matter:
-                        // a scheduled one, or an early one with stores held.
-                        if scheduled || ctx.has_buffered_stores() {
-                            ctx.yield_drain(scheduled);
+                        }
+                        Step::Barrier => {
+                            // __syncthreads makes prior writes visible block-wide
+                            // (and, in our flat arena, device-wide).
+                            ctx.drain_all();
+                            statuses[t as usize] = ThreadStatus::AtBarrier;
+                            active_cnt[b] -= 1;
+                            barrier_cnt[b] += 1;
+                        }
+                        Step::Done => {
+                            ctx.drain_all();
+                            statuses[t as usize] = ThreadStatus::Done;
+                            active_cnt[b] -= 1;
+                            alive -= 1;
                         }
                     }
-                    Step::Barrier => {
-                        // __syncthreads makes prior writes visible block-wide
-                        // (and, in our flat arena, device-wide).
-                        ctx.drain_all();
-                        statuses[t as usize] = ThreadStatus::AtBarrier;
-                    }
-                    Step::Done => {
-                        ctx.drain_all();
-                        statuses[t as usize] = ThreadStatus::Done;
-                        alive -= 1;
-                    }
                 }
+                // Batched accounting: one flush per block iteration instead
+                // of one indirect add per access.
+                sm_cycles[sm as usize] += ctx.cycles;
+                counters.merge(&ctx.counters);
             }
             // Barrier release: when no thread in the block is Active, all
             // waiting threads resume in the next phase.
-            if !block_at_rest(statuses, first, block_threads) {
+            if active_cnt[b] > 0 || barrier_cnt[b] == 0 {
                 continue;
             }
-            let mut released = false;
+            // CUDA requires all-or-none barrier participation: a thread
+            // exiting while its siblings wait at a barrier is undefined
+            // behavior on real hardware, so we fail loudly.
+            if barrier_cnt[b] < block_threads {
+                return Err(SimError::BarrierDivergence {
+                    kernel: kernel.name().to_string(),
+                    block,
+                });
+            }
             for t in first..first + block_threads {
                 if statuses[t as usize] == ThreadStatus::AtBarrier {
                     statuses[t as usize] = ThreadStatus::Active;
-                    released = true;
                 }
             }
-            if released {
-                // CUDA requires all-or-none barrier participation: a thread
-                // exiting while its siblings wait at a barrier is undefined
-                // behavior on real hardware, so we fail loudly.
-                let divergent = (first..first + block_threads)
-                    .any(|t| statuses[t as usize] == ThreadStatus::Done);
-                if divergent {
-                    return Err(SimError::BarrierDivergence {
-                        kernel: kernel.name().to_string(),
-                        block,
-                    });
-                }
-                phases[block as usize] += 1;
-            }
+            active_cnt[b] = barrier_cnt[b];
+            barrier_cnt[b] = 0;
+            phases[block as usize] += 1;
         }
         // The watchdog and the fault budget are checked once per scheduler
         // round — the granularity at which the simulator can interrupt a
@@ -1281,12 +1425,6 @@ fn run_wave<K: Kernel>(
         }
     }
     Ok(())
-}
-
-/// Returns true when no thread in the block is `Active` (all done or at a
-/// barrier).
-fn block_at_rest(statuses: &[ThreadStatus], first: u32, count: u32) -> bool {
-    (first..first + count).all(|t| statuses[t as usize] != ThreadStatus::Active)
 }
 
 fn effective_geometry(cfg: &GpuConfig, launch: &LaunchConfig) -> (u32, u32) {

@@ -5,7 +5,7 @@
 use crate::config::GpuConfig;
 use crate::contract::{KernelContract, SanitizerState};
 use crate::error::{self, catch_sim, SimError};
-use crate::exec::{run_kernel, Kernel, LaunchConfig};
+use crate::exec::{run_kernel, FullHooks, Hooks, Kernel, LaunchConfig};
 use crate::fault::{FaultPlan, FaultReport, FaultState};
 use crate::mem::{DeviceBuffer, DeviceValue, MemSystem, Memory};
 use crate::metrics::{KernelStats, RunStats};
@@ -164,9 +164,18 @@ impl Gpu {
     }
 
     /// Enables access tracing for race detection. Tracing is off by default
-    /// because traces grow with every access.
+    /// because traces grow with every access. The trace holds at most
+    /// [`crate::trace::DEFAULT_EVENT_CAP`] events; past that, events are
+    /// counted as dropped (see [`Trace::truncated`]) instead of exhausting
+    /// memory. Use [`Gpu::enable_tracing_with_cap`] to change the bound.
     pub fn enable_tracing(&mut self) {
         self.trace = Some(Trace::new());
+    }
+
+    /// Enables access tracing with an explicit event cap (`None` =
+    /// unbounded).
+    pub fn enable_tracing_with_cap(&mut self, cap: Option<usize>) {
+        self.trace = Some(Trace::with_event_cap(cap));
     }
 
     /// The recorded trace, if tracing is enabled.
@@ -227,7 +236,7 @@ impl Gpu {
     /// the error's display text, and the typed [`SimError`] is recoverable
     /// with [`crate::catch_sim`].
     pub fn launch<K: Kernel>(&mut self, launch: LaunchConfig, kernel: K) -> &KernelStats {
-        match self.launch_inner(launch, &kernel) {
+        match self.launch_inner::<FullHooks, K>(launch, &kernel) {
             Ok(()) => self.launches.launches.last().unwrap(),
             Err(e) => {
                 error::stash(e.clone());
@@ -246,11 +255,67 @@ impl Gpu {
         launch: LaunchConfig,
         kernel: K,
     ) -> Result<&KernelStats, SimError> {
+        self.launch_inner::<FullHooks, K>(launch, &kernel)?;
+        Ok(self.launches.launches.last().unwrap())
+    }
+
+    /// Whether the next launch may take the monomorphized fast path
+    /// ([`crate::NoHooks`]): true when no per-access hook — tracing, fault
+    /// injection, or the contract sanitizer — is armed. The watchdog and
+    /// wall-clock deadline do not affect eligibility (they are per-round
+    /// checks performed identically on both paths).
+    pub fn fast_path_eligible(&self) -> bool {
+        self.trace.is_none() && self.fault.is_none() && self.sanitizer.is_none()
+    }
+
+    /// [`Gpu::launch`] with an explicit interpreter path `H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the launch failures [`Gpu::try_launch`] lists, and when
+    /// `H` is [`crate::NoHooks`] while a hook is armed (see
+    /// [`Gpu::try_launch_with`]).
+    pub fn launch_with<H: Hooks, K: Kernel<H>>(
+        &mut self,
+        launch: LaunchConfig,
+        kernel: K,
+    ) -> &KernelStats {
+        match self.try_launch_with::<H, K>(launch, kernel) {
+            Ok(_) => self.launches.launches.last().unwrap(),
+            Err(e) => {
+                error::stash(e.clone());
+                panic!("{e}");
+            }
+        }
+    }
+
+    /// [`Gpu::try_launch`] with an explicit interpreter path `H`:
+    /// [`crate::NoHooks`] monomorphizes the per-access hook code away,
+    /// [`FullHooks`] keeps it. Callers pick the path once per launch, e.g.
+    /// `if gpu.fast_path_eligible() { ..NoHooks.. } else { ..FullHooks.. }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `H` is [`crate::NoHooks`] but a hook is armed — silently
+    /// skipping an armed tracer/fault plan/sanitizer would be a correctness
+    /// bug, so the mismatch fails loudly.
+    pub fn try_launch_with<H: Hooks, K: Kernel<H>>(
+        &mut self,
+        launch: LaunchConfig,
+        kernel: K,
+    ) -> Result<&KernelStats, SimError> {
+        assert!(
+            H::HOOKED || self.fast_path_eligible(),
+            "NoHooks launch with a hook armed: tracing={} fault={} sanitizer={}",
+            self.trace.is_some(),
+            self.fault.is_some(),
+            self.sanitizer.is_some(),
+        );
         self.launch_inner(launch, &kernel)?;
         Ok(self.launches.launches.last().unwrap())
     }
 
-    fn launch_inner<K: Kernel>(
+    fn launch_inner<H: Hooks, K: Kernel<H>>(
         &mut self,
         launch: LaunchConfig,
         kernel: &K,

@@ -61,9 +61,12 @@ pub use access::{AccessKind, AccessMode, MemOrder, Scope};
 pub use config::GpuConfig;
 pub use contract::{BenignClass, FootprintEntry, IndexDiscipline, KernelContract, SHARED_BUFFER};
 pub use error::{catch_any, catch_sim, ContractViolationDetail, SimError};
-pub use exec::{Ctx, ForEach, Kernel, LaunchConfig, Step, StoreVisibility, ThreadInfo};
+pub use exec::{
+    Ctx, ForEach, FullHooks, Hooks, Kernel, LaunchConfig, NoHooks, Step, StoreVisibility,
+    ThreadInfo,
+};
 pub use fault::{FaultPlan, FaultReport};
 pub use host::Gpu;
 pub use mem::{DeviceBuffer, DevicePtr, DeviceValue, MemLevel};
 pub use metrics::KernelStats;
-pub use trace::{AccessEvent, Space, Trace};
+pub use trace::{AccessEvent, Space, Trace, DEFAULT_EVENT_CAP};

@@ -83,9 +83,13 @@ impl MemSystem {
                     }
                 }
                 // Write-through no-allocate: stores cost an L2 transaction;
-                // the L1 line is refreshed only if already present.
+                // the L1 line is refreshed only if already present. `touch`
+                // updates the line's recency without allocating or counting
+                // (a `probe` here used to discard the result, so stored-to
+                // lines aged out as if never used — see the
+                // `store_refreshes_resident_line` test).
                 AccessKind::Store | AccessKind::Rmw => {
-                    let _ = self.l1[sm].probe(addr);
+                    self.l1[sm].touch(addr);
                     if self.l2.access(addr) {
                         (self.l2_cycles, MemLevel::L2)
                     } else {
@@ -199,6 +203,33 @@ mod tests {
         let (_, level) = m.access(1, 64, AccessMode::Plain, AccessKind::Load);
         // SM 1's L1 is cold; the access is served by the shared L2.
         assert_eq!(level, MemLevel::L2);
+    }
+
+    #[test]
+    fn store_refreshes_resident_line() {
+        // test_tiny's L1 is 2 KiB, 2-way, 32 B lines -> 32 sets; lines 0,
+        // 32, and 64 (addrs 0, 1024, 2048) all map to set 0.
+        let mut m = sys();
+        m.access(0, 0, AccessMode::Plain, AccessKind::Load); // line 0 resident
+        m.access(0, 1024, AccessMode::Plain, AccessKind::Load); // line 32 MRU
+                                                                // A store to line 0 must refresh its recency (write-through
+                                                                // no-allocate keeps the line hot)...
+        m.access(0, 0, AccessMode::Plain, AccessKind::Store);
+        // ...so a conflicting fill evicts line 32, not the stored-to line.
+        m.access(0, 2048, AccessMode::Plain, AccessKind::Load);
+        let (_, level) = m.access(0, 0, AccessMode::Plain, AccessKind::Load);
+        assert_eq!(level, MemLevel::L1, "stored-to line must survive eviction");
+        let (_, level) = m.access(0, 1024, AccessMode::Plain, AccessKind::Load);
+        assert_ne!(level, MemLevel::L1, "the un-refreshed line is the victim");
+    }
+
+    #[test]
+    fn store_does_not_allocate_in_l1() {
+        let mut m = sys();
+        m.access(0, 64, AccessMode::Plain, AccessKind::Store);
+        // The line was never loaded, so the store must not have allocated.
+        let (_, level) = m.access(0, 64, AccessMode::Plain, AccessKind::Load);
+        assert_ne!(level, MemLevel::L1);
     }
 
     #[test]

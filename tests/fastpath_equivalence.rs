@@ -1,0 +1,202 @@
+//! The fast/slow-path contract: the monomorphized `NoHooks` interpreter and
+//! the fully-hooked interpreter must be **bit-identical** — same kernel
+//! results, same cycle counts, same cache statistics — for every algorithm,
+//! variant, and GPU preset.
+//!
+//! This is the test that makes the hot/slow-path split safe to maintain:
+//! the fast path elides the tracing/fault/sanitizer hook sites entirely
+//! (they are compiled out via the `Hooks` const generic), and tracing is an
+//! append-only observer, so a hooked-but-tracing run must behave exactly
+//! like an unhooked run. Any divergence — a skipped drain, a cache touch in
+//! one path only, a counter updated differently — fails here on the exact
+//! launch where the two paths split.
+
+use ecl_core::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
+use ecl_core::{apsp, cc, gc, mis, mst, scc};
+use ecl_graph::gen::rmat;
+use ecl_graph::Csr;
+use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
+
+/// FNV-1a over raw little-endian bytes: a bit-exact digest of kernel output.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn fnv32(words: &[u32]) -> u64 {
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    fnv(&bytes)
+}
+
+fn fnvb(flags: &[bool]) -> u64 {
+    let bytes: Vec<u8> = flags.iter().map(|&b| b as u8).collect();
+    fnv(&bytes)
+}
+
+/// Runs one algorithm × variant on a caller-provided GPU with the canonical
+/// policy/visibility mapping (the same mapping the differential harness and
+/// sweep matrix use); returns a bit-exact digest of the kernel result.
+fn run_combo(gpu: &mut Gpu, algorithm: &str, race_free: bool, graph: &Csr) -> u64 {
+    let deferred = StoreVisibility::DeferUntilYield;
+    let immediate = StoreVisibility::Immediate;
+    match (algorithm, race_free) {
+        ("apsp", _) => fnv32(&apsp::run_traced(gpu, graph)),
+        ("cc", false) => fnv32(&cc::run_traced::<Plain>(gpu, graph, deferred)),
+        ("cc", true) => fnv32(&cc::run_traced::<Atomic>(gpu, graph, immediate)),
+        ("gc", false) => fnv32(&gc::run_traced::<Volatile, Plain>(gpu, graph, deferred)),
+        ("gc", true) => fnv32(&gc::run_traced::<Atomic, Atomic>(gpu, graph, immediate)),
+        ("mis", false) => fnvb(&mis::run_traced::<VolatileReadPlainWrite>(
+            gpu,
+            graph,
+            StoreVisibility::DeferBounded {
+                every: 2,
+                eighths: 4,
+            },
+        )),
+        ("mis", true) => fnvb(&mis::run_traced::<Atomic>(gpu, graph, immediate)),
+        ("mst", false) => fnvb(&mst::run_traced::<Volatile>(gpu, graph, deferred)),
+        ("mst", true) => fnvb(&mst::run_traced::<Atomic>(gpu, graph, immediate)),
+        ("scc", false) => fnv32(&scc::run_traced::<Plain>(gpu, graph, deferred)),
+        ("scc", true) => fnv32(&scc::run_traced::<Atomic>(gpu, graph, immediate)),
+        _ => unreachable!("unknown combo {algorithm}/{race_free}"),
+    }
+}
+
+/// Runs the combo twice — once untraced (eligible for, and dispatched to,
+/// the `NoHooks` fast path) and once with tracing armed (forced onto the
+/// fully-hooked path) — and asserts bitwise equality of results, elapsed
+/// cycles, and every launch's `KernelStats` (cache hits/misses, DRAM
+/// transactions, access counters, steps).
+fn assert_paths_identical(algorithm: &str, race_free: bool, cfg: &GpuConfig, graph: &Csr) {
+    let label = format!(
+        "{algorithm}/{} on {}",
+        if race_free { "racefree" } else { "baseline" },
+        cfg.name
+    );
+
+    let mut fast = Gpu::new(cfg.clone());
+    fast.set_seed(0x5eed);
+    assert!(
+        fast.fast_path_eligible(),
+        "{label}: fresh GPU must be fast-path eligible"
+    );
+    let fast_digest = run_combo(&mut fast, algorithm, race_free, graph);
+
+    let mut hooked = Gpu::new(cfg.clone());
+    hooked.set_seed(0x5eed);
+    hooked.enable_tracing();
+    assert!(
+        !hooked.fast_path_eligible(),
+        "{label}: tracing GPU must take the hooked path"
+    );
+    let hooked_digest = run_combo(&mut hooked, algorithm, race_free, graph);
+    assert!(
+        !hooked.trace().expect("trace armed").is_empty(),
+        "{label}: the hooked run must actually have traced accesses"
+    );
+
+    assert_eq!(
+        fast_digest, hooked_digest,
+        "{label}: kernel results differ between fast and hooked paths"
+    );
+    assert_eq!(
+        fast.elapsed_cycles(),
+        hooked.elapsed_cycles(),
+        "{label}: cycle counts differ between fast and hooked paths"
+    );
+    assert_eq!(
+        fast.run_stats().launches.len(),
+        hooked.run_stats().launches.len(),
+        "{label}: launch counts differ"
+    );
+    for (i, (f, h)) in fast
+        .run_stats()
+        .launches
+        .iter()
+        .zip(hooked.run_stats().launches.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            f, h,
+            "{label}: launch #{i} ('{}') stats differ between paths",
+            f.name
+        );
+    }
+}
+
+/// The unweighted test graph: a small scale-free (R-MAT) graph with enough
+/// contention to exercise the racy hot paths on every preset.
+fn unit_graph(symmetric: bool) -> Csr {
+    rmat(256, 1024, 0.57, 0.19, 0.19, symmetric, 0x7a57)
+}
+
+fn weighted_graph() -> Csr {
+    unit_graph(true).with_random_weights(1_000, 0xec1)
+}
+
+fn presets() -> Vec<GpuConfig> {
+    GpuConfig::paper_gpus()
+}
+
+#[test]
+fn cc_paths_identical_on_all_presets() {
+    let g = unit_graph(true);
+    for cfg in presets() {
+        assert_paths_identical("cc", false, &cfg, &g);
+        assert_paths_identical("cc", true, &cfg, &g);
+    }
+}
+
+#[test]
+fn gc_paths_identical_on_all_presets() {
+    let g = unit_graph(true);
+    for cfg in presets() {
+        assert_paths_identical("gc", false, &cfg, &g);
+        assert_paths_identical("gc", true, &cfg, &g);
+    }
+}
+
+#[test]
+fn mis_paths_identical_on_all_presets() {
+    let g = unit_graph(true);
+    for cfg in presets() {
+        assert_paths_identical("mis", false, &cfg, &g);
+        assert_paths_identical("mis", true, &cfg, &g);
+    }
+}
+
+#[test]
+fn mst_paths_identical_on_all_presets() {
+    let g = weighted_graph();
+    for cfg in presets() {
+        assert_paths_identical("mst", false, &cfg, &g);
+        assert_paths_identical("mst", true, &cfg, &g);
+    }
+}
+
+#[test]
+fn scc_paths_identical_on_all_presets() {
+    let g = unit_graph(false);
+    for cfg in presets() {
+        assert_paths_identical("scc", false, &cfg, &g);
+        assert_paths_identical("scc", true, &cfg, &g);
+    }
+}
+
+#[test]
+fn apsp_paths_identical_on_all_presets() {
+    // APSP is O(n^3); a smaller weighted graph keeps 4 presets x 2 variants
+    // fast. Both variants run the same (race-free) blocked Floyd-Warshall.
+    let g = rmat(96, 384, 0.57, 0.19, 0.19, true, 0x7a57).with_random_weights(100, 0xec1);
+    for cfg in presets() {
+        assert_paths_identical("apsp", false, &cfg, &g);
+        assert_paths_identical("apsp", true, &cfg, &g);
+    }
+}
