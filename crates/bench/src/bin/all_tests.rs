@@ -369,7 +369,17 @@ fn repro_experiment_json(cfg: &Config) -> Json {
 /// Writes one repro bundle per failed cell and returns the bundle paths.
 /// Paths are collision-free: a cell failing again on a resumed or retried
 /// run gets an `.attemptN` suffix instead of overwriting the first bundle.
-fn write_repro_bundles(cfg: &Config, set: &str, failures: &[CellFailure]) -> Vec<PathBuf> {
+///
+/// A bundle that cannot be written (ENOSPC, EIO, …) is *skipped*, not
+/// fatal: the measurement already completed and the typed failure is in the
+/// report; the skip is warned about and recorded as a journal note so the
+/// operator learns a bundle is missing and why.
+fn write_repro_bundles(
+    cfg: &Config,
+    set: &str,
+    failures: &[CellFailure],
+    journal: Option<&JournalWriter>,
+) -> Vec<PathBuf> {
     let dir = cfg.out_dir.join("repro");
     let mut paths = Vec::new();
     for f in failures {
@@ -384,7 +394,18 @@ fn write_repro_bundles(cfg: &Config, set: &str, failures: &[CellFailure]) -> Vec
             experiment: repro_experiment_json(cfg),
             replay_args,
         };
-        paths.push(ecl_bench::repro::write_bundle(&dir, &bundle).expect("write repro bundle"));
+        match ecl_bench::repro::write_bundle(&dir, &bundle) {
+            Ok(path) => paths.push(path),
+            Err(e) => {
+                eprintln!("warning: repro bundle skipped for '{key}': {e}");
+                if let Some(w) = journal {
+                    let _ = w.append_note(
+                        &format!("repro bundle skipped for '{key}': {e}"),
+                        w.cells_recorded(),
+                    );
+                }
+            }
+        }
     }
     paths
 }
@@ -402,7 +423,7 @@ fn sweep_main(cfg: &Config) {
         );
     }
     let resumed: Option<Journal> = cfg.resume.as_deref().map(|path| {
-        let j = Journal::load(path).unwrap_or_else(|e| die(&e));
+        let j = Journal::load(path).unwrap_or_else(|e| die(&e.to_string()));
         if let Err(e) = j.check_identity(&identity) {
             eprintln!("error: {e}");
             std::process::exit(2);
@@ -522,8 +543,20 @@ fn sweep_main(cfg: &Config) {
         cfg.out_dir.display()
     );
 
-    let mut bundles = write_repro_bundles(cfg, "undirected", &undirected.failures);
-    bundles.extend(write_repro_bundles(cfg, "directed", &directed.failures));
+    let mut bundles =
+        write_repro_bundles(cfg, "undirected", &undirected.failures, writer.as_deref());
+    bundles.extend(write_repro_bundles(
+        cfg,
+        "directed",
+        &directed.failures,
+        writer.as_deref(),
+    ));
+    if let Some(e) = writer.as_deref().and_then(|w| w.degraded()) {
+        eprintln!(
+            "warning: the journal degraded to read-only during this sweep ({e}); \
+             results above are complete but the journal cannot seed a --resume"
+        );
+    }
 
     let failed = undirected.failures.len() + directed.failures.len();
     if failed > 0 {

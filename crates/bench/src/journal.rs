@@ -27,10 +27,9 @@
 
 use crate::export::Json;
 use crate::matrix::Experiment;
+use crate::storage::{DurableFile, Storage, StorageError, StorageErrorKind};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Schema tag of the journal header line.
@@ -91,23 +90,59 @@ pub fn identity_json(e: &Experiment, sets: &[&str]) -> Json {
 }
 
 /// The append side: thread-safe, one fsync'd line per record.
-#[derive(Debug)]
+///
+/// The writer never panics on a storage fault: the first failed append
+/// latches it **read-only** ([`JournalWriter::degraded`] returns the
+/// original error, every later append returns
+/// [`StorageErrorKind::ReadOnly`]). Latching matters for crash
+/// consistency: whatever partial bytes the failed write left behind stay
+/// the *final* line of the file, which the tolerant loader knows how to
+/// drop — writing anything after them would glue onto the corpse and
+/// corrupt a non-final line, which the loader rightly refuses.
 pub struct JournalWriter {
-    file: Mutex<File>,
+    inner: Mutex<WriterInner>,
+    path: PathBuf,
     cells: std::sync::atomic::AtomicUsize,
+}
+
+struct WriterInner {
+    file: Box<dyn DurableFile>,
+    degraded: Option<StorageError>,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("path", &self.path)
+            .field("cells", &self.cells)
+            .finish()
+    }
 }
 
 impl JournalWriter {
     /// Creates (truncating) a journal and writes its header line.
-    pub fn create(path: &Path, identity: &Json) -> std::io::Result<JournalWriter> {
+    pub fn create(path: &Path, identity: &Json) -> Result<JournalWriter, StorageError> {
+        Self::create_on(&Storage::real(), path, identity)
+    }
+
+    /// [`JournalWriter::create`] on an explicit storage backend.
+    pub fn create_on(
+        storage: &Storage,
+        path: &Path,
+        identity: &Json,
+    ) -> Result<JournalWriter, StorageError> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
+                storage.create_dir_all(dir)?;
             }
         }
-        let file = File::create(path)?;
+        let file = storage.create(path)?;
         let w = JournalWriter {
-            file: Mutex::new(file),
+            inner: Mutex::new(WriterInner {
+                file,
+                degraded: None,
+            }),
+            path: path.to_path_buf(),
             cells: std::sync::atomic::AtomicUsize::new(0),
         };
         w.append(&Json::obj(vec![
@@ -123,32 +158,62 @@ impl JournalWriter {
     /// of the kill being resumed from — is truncated away first, so the
     /// records appended now start on a fresh line instead of gluing
     /// themselves onto the corpse and corrupting it.
-    pub fn append_to(path: &Path) -> std::io::Result<JournalWriter> {
-        use std::io::{Seek, SeekFrom};
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut text = String::new();
-        file.read_to_string(&mut text)?;
-        let keep = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
-        file.set_len(keep as u64)?;
-        file.seek(SeekFrom::End(0))?;
+    pub fn append_to(path: &Path) -> Result<JournalWriter, StorageError> {
+        Self::append_to_on(&Storage::real(), path)
+    }
+
+    /// [`JournalWriter::append_to`] on an explicit storage backend.
+    pub fn append_to_on(storage: &Storage, path: &Path) -> Result<JournalWriter, StorageError> {
+        let bytes = storage.read(path)?;
+        let keep = bytes
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        if keep < bytes.len() {
+            storage.truncate(path, keep as u64)?;
+        }
+        let file = storage.open_append(path)?;
         Ok(JournalWriter {
-            file: Mutex::new(file),
+            inner: Mutex::new(WriterInner {
+                file,
+                degraded: None,
+            }),
+            path: path.to_path_buf(),
             cells: std::sync::atomic::AtomicUsize::new(0),
         })
     }
 
-    fn append(&self, line: &Json) -> std::io::Result<()> {
+    /// The storage error that latched this writer read-only, if any.
+    pub fn degraded(&self) -> Option<StorageError> {
+        self.inner.lock().unwrap().degraded.clone()
+    }
+
+    fn append(&self, line: &Json) -> Result<(), StorageError> {
         let mut text = line.render_compact();
         text.push('\n');
-        let mut f = self.file.lock().unwrap();
-        f.write_all(text.as_bytes())?;
+        let mut inner = self.inner.lock().unwrap();
+        if inner.degraded.is_some() {
+            return Err(StorageError {
+                op: "append",
+                path: self.path.clone(),
+                kind: StorageErrorKind::ReadOnly,
+            });
+        }
         // One fsync per cell: a killed sweep loses at most the in-flight
         // line, which the tolerant loader drops.
-        f.sync_data()
+        let result = inner
+            .file
+            .append(text.as_bytes())
+            .and_then(|()| inner.file.sync());
+        if let Err(e) = &result {
+            inner.degraded = Some(e.clone());
+        }
+        result
     }
 
     /// Records one finished cell (measurement or typed failure).
-    pub fn append_cell(&self, key: &str, ok: bool, body: &Json) -> std::io::Result<()> {
+    pub fn append_cell(&self, key: &str, ok: bool, body: &Json) -> Result<(), StorageError> {
         self.append(&Json::obj(vec![
             ("type", Json::Str("cell".into())),
             ("key", Json::Str(key.into())),
@@ -169,7 +234,7 @@ impl JournalWriter {
 
     /// Records a free-form note line (e.g. "interrupted" on SIGINT, with
     /// how many cells had completed).
-    pub fn append_note(&self, text: &str, completed: usize) -> std::io::Result<()> {
+    pub fn append_note(&self, text: &str, completed: usize) -> Result<(), StorageError> {
         self.append(&Json::obj(vec![
             ("type", Json::Str("note".into())),
             ("text", Json::Str(text.into())),
@@ -178,8 +243,44 @@ impl JournalWriter {
     }
 }
 
+/// Why a journal failed to load — each case a distinct recovery decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    /// The backing store failed (missing file, EIO, power loss, …).
+    Storage(StorageError),
+    /// A non-final line is malformed: real corruption, unrecoverable.
+    Corrupt {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The header line carries a different schema tag.
+    WrongSchema,
+    /// No intact header line — the file is empty, or the crash tore the
+    /// header itself. Because the header is line one, this also proves no
+    /// cell record survived, so recreating the journal from the sweep spec
+    /// loses nothing (the recovery rule DESIGN.md §12 documents).
+    NoHeader,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Storage(e) => write!(f, "cannot read journal: {e}"),
+            LoadError::Corrupt { line, reason } => {
+                write!(f, "journal line {line} is corrupt: {reason}")
+            }
+            LoadError::WrongSchema => write!(f, "not a {SCHEMA} journal"),
+            LoadError::NoHeader => write!(f, "journal has no intact header line"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// One journaled cell record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JournalRecord {
     /// `<set>/<input>/<algorithm>/<gpu>`.
     pub key: String,
@@ -193,7 +294,7 @@ pub struct JournalRecord {
 }
 
 /// A parsed journal: the identity header plus every intact cell record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Journal {
     /// The sweep identity the journal was started with.
     pub identity: Json,
@@ -222,11 +323,16 @@ impl Journal {
     /// Loads a journal, tolerating exactly one truncated line at the end
     /// (the kill artifact). A malformed line anywhere else is corruption
     /// and a hard error.
-    pub fn load(path: &Path) -> Result<Journal, String> {
-        let mut text = String::new();
-        File::open(path)
-            .and_then(|mut f| f.read_to_string(&mut text))
-            .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+    pub fn load(path: &Path) -> Result<Journal, LoadError> {
+        Self::load_on(&Storage::real(), path)
+    }
+
+    /// [`Journal::load`] on an explicit storage backend.
+    pub fn load_on(storage: &Storage, path: &Path) -> Result<Journal, LoadError> {
+        let bytes = storage.read(path).map_err(LoadError::Storage)?;
+        // Lossy: a torn tail can split a multi-byte UTF-8 sequence, and the
+        // mangled final line is dropped anyway.
+        let text = String::from_utf8_lossy(&bytes);
         let lines: Vec<&str> = text.split('\n').collect();
         let last_content = lines.iter().rposition(|l| !l.trim().is_empty());
         let mut identity = None;
@@ -241,13 +347,18 @@ impl Journal {
                 // Only the final non-empty line may be partial: everything
                 // before it was written whole and fsync'd.
                 Err(_) if Some(idx) == last_content => break,
-                Err(e) => return Err(format!("journal line {} is corrupt: {e}", idx + 1)),
+                Err(e) => {
+                    return Err(LoadError::Corrupt {
+                        line: idx + 1,
+                        reason: e,
+                    })
+                }
             };
             let kind = parsed.get("type").and_then(Json::as_str).unwrap_or("");
             match kind {
                 "header" => {
                     if parsed.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-                        return Err(format!("not a {SCHEMA} journal"));
+                        return Err(LoadError::WrongSchema);
                     }
                     identity = parsed.get("identity").cloned();
                 }
@@ -257,29 +368,32 @@ impl Journal {
                             .get(k)
                             .and_then(Json::as_str)
                             .map(str::to_string)
-                            .ok_or_else(|| format!("journal line {}: missing '{k}'", idx + 1))
+                            .ok_or(LoadError::Corrupt {
+                                line: idx + 1,
+                                reason: format!("missing '{k}'"),
+                            })
                     };
                     records.push(JournalRecord {
                         key: want("key")?,
                         ok: matches!(parsed.get("ok"), Some(Json::Bool(true))),
                         digest: want("digest")?,
-                        body: parsed
-                            .get("body")
-                            .cloned()
-                            .ok_or_else(|| format!("journal line {}: missing 'body'", idx + 1))?,
+                        body: parsed.get("body").cloned().ok_or(LoadError::Corrupt {
+                            line: idx + 1,
+                            reason: "missing 'body'".to_string(),
+                        })?,
                     });
                 }
                 "note" => {}
                 other => {
-                    return Err(format!(
-                        "journal line {}: unknown record type '{other}'",
-                        idx + 1
-                    ))
+                    return Err(LoadError::Corrupt {
+                        line: idx + 1,
+                        reason: format!("unknown record type '{other}'"),
+                    })
                 }
             }
         }
         Ok(Journal {
-            identity: identity.ok_or("journal has no header line")?,
+            identity: identity.ok_or(LoadError::NoHeader)?,
             records,
         })
     }
@@ -511,6 +625,98 @@ mod tests {
         w.append_note("interrupted", w.cells_recorded()).unwrap();
         assert_eq!(w.cells_recorded(), 2, "notes don't count");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_or_headerless_journal_is_a_typed_no_header() {
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert_eq!(Journal::load(&path), Err(LoadError::NoHeader));
+        // A header torn mid-file (crash between the header write and its
+        // fsync) is the same case: nothing of value survived, recovery may
+        // recreate the journal from the sweep spec.
+        std::fs::write(&path, "{\"schema\":\"ecl-bench/JOURN").unwrap();
+        assert_eq!(Journal::load(&path), Err(LoadError::NoHeader));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn identity_header_truncated_mid_field_never_panics() {
+        // Tear the header line at every byte offset. With no records after
+        // it, every tear must load as the typed NoHeader (or, if the tear
+        // happens to keep the whole line, succeed) — never panic, never a
+        // misparsed identity.
+        let path = tmp("torn-header.jsonl");
+        let identity = Json::obj(vec![
+            ("seed", Json::Num(7.0)),
+            ("scale", Json::Num(0.05)),
+            ("gpus", Json::Arr(vec![Json::Str("A100".into())])),
+        ]);
+        let w = JournalWriter::create(&path, &identity).unwrap();
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        for cut in 0..text.len() - 1 {
+            std::fs::write(&path, &text[..cut]).unwrap();
+            match Journal::load(&path) {
+                Err(LoadError::NoHeader) => {}
+                other => panic!("tear at byte {cut}: expected NoHeader, got {other:?}"),
+            }
+        }
+        // With a record *after* the torn header the journal is genuinely
+        // corrupt (the tear is not the final line): typed, fatal, no panic.
+        let mut mangled = text[..text.len() / 2].to_string();
+        mangled.push('\n');
+        mangled.push_str(
+            "{\"type\":\"cell\",\"key\":\"k\",\"ok\":true,\"digest\":\"0\",\"body\":{}}\n",
+        );
+        std::fs::write(&path, &mangled).unwrap();
+        match Journal::load(&path) {
+            Err(LoadError::Corrupt { line: 1, .. }) => {}
+            other => panic!("expected Corrupt at line 1, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_schema_is_typed() {
+        let path = tmp("wrong-schema.jsonl");
+        std::fs::write(
+            &path,
+            "{\"schema\":\"ecl-bench/OTHER/v9\",\"type\":\"header\",\"identity\":{}}\n",
+        )
+        .unwrap();
+        assert_eq!(Journal::load(&path), Err(LoadError::WrongSchema));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_append_latches_the_writer_read_only() {
+        use crate::storage::{FaultPlan, StorageErrorKind};
+        // Fail the fsync of the second cell: the writer must latch, refuse
+        // further appends with ReadOnly, and leave the file loadable (the
+        // failed line is final, so the tolerant loader drops or keeps it
+        // whole — never a glued corpse).
+        let (storage, fs) = Storage::mem(FaultPlan {
+            seed: 11,
+            fail_fsync: Some(2), // header=0, cell a=1, cell b=2
+            ..FaultPlan::default()
+        });
+        let path = std::path::PathBuf::from("/j.jsonl");
+        let w = JournalWriter::create_on(&storage, &path, &Json::Null).unwrap();
+        assert!(w.degraded().is_none());
+        w.append_cell("a", true, &body(1.0)).unwrap();
+        let err = w.append_cell("b", true, &body(2.0)).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::FsyncFailed);
+        assert_eq!(w.degraded(), Some(err));
+        let err = w.append_cell("c", true, &body(3.0)).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::ReadOnly, "latched read-only");
+        let err = w.append_note("interrupted", 1).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::ReadOnly, "notes refused too");
+        drop(w);
+        fs.power_cycle();
+        let j = Journal::load_on(&storage, &path).expect("journal still loads");
+        assert!(!j.records.is_empty(), "the synced prefix survived");
+        assert_eq!(j.records[0].key, "a");
     }
 
     #[test]

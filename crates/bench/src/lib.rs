@@ -26,6 +26,7 @@ mod matrix;
 pub mod pool;
 pub mod repro;
 mod stats;
+pub mod storage;
 mod tables;
 
 pub use export::{
@@ -36,10 +37,14 @@ pub use interrupt::{
     force_quit_requested, install_interrupt_handler, interrupted, spawn_force_quit_watcher,
 };
 pub use isolate::{cap_tail, IsolateSpec, STDERR_TAIL_BUDGET};
-pub use journal::{Journal, JournalWriter};
+pub use journal::{Journal, JournalWriter, LoadError};
 pub use matrix::{
     cell_key, graph_seed, relative_deviation, sched_seed, set_cell_keys, set_plan, CellFailure,
     Experiment, Matrix, MeasuredCell, MeasuredTable, SweepControl, VariantArg, VariantProfile,
 };
 pub use stats::{geomean, median, pearson};
+pub use storage::{
+    splitmix64, DurableFile, FaultPlan, MemFs, Storage, StorageBackend, StorageError,
+    StorageErrorKind,
+};
 pub use tables::{format_fig6, format_speedup_table, format_table9, to_csv};

@@ -444,8 +444,19 @@ impl Matrix {
             }
 
             if let Some(w) = ctl.journal {
-                w.append_cell(&key, ok, &body)
-                    .unwrap_or_else(|e| panic!("journal write failed for '{key}': {e}"));
+                // A storage fault must not kill a sweep that is otherwise
+                // measuring fine: the writer latches itself read-only on
+                // the first failure (warn once), the sweep continues
+                // unjournaled, and only resumability is lost.
+                if let Err(e) = w.append_cell(&key, ok, &body) {
+                    if !matches!(e.kind, crate::storage::StorageErrorKind::ReadOnly) {
+                        eprintln!(
+                            "warning: journal write failed for '{key}': {e} — the \
+                             journal is now read-only and this sweep can no longer \
+                             be resumed from it"
+                        );
+                    }
+                }
             }
             outcome
         });

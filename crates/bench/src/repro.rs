@@ -14,6 +14,7 @@
 //! so every bundle is kept.
 
 use crate::export::Json;
+use crate::storage::{Storage, StorageError};
 use std::path::{Path, PathBuf};
 
 /// Schema tag of a repro bundle.
@@ -37,14 +38,19 @@ pub fn slug(key: &str) -> String {
 /// if the cell never failed before, otherwise the first unused
 /// `<slug>.attemptN.json` — earlier bundles are never overwritten.
 pub fn unique_bundle_path(dir: &Path, key: &str) -> PathBuf {
+    unique_bundle_path_on(&Storage::real(), dir, key)
+}
+
+/// [`unique_bundle_path`] on an explicit storage backend.
+pub fn unique_bundle_path_on(storage: &Storage, dir: &Path, key: &str) -> PathBuf {
     let base = slug(key);
     let first = dir.join(format!("{base}.json"));
-    if !first.exists() {
+    if !storage.exists(&first) {
         return first;
     }
     (2..)
         .map(|n| dir.join(format!("{base}.attempt{n}.json")))
-        .find(|p| !p.exists())
+        .find(|p| !storage.exists(p))
         .expect("some attempt suffix is unused")
 }
 
@@ -64,10 +70,21 @@ pub struct Bundle<'a> {
 }
 
 /// Writes one bundle into `dir` (created if needed) at a collision-free
-/// path and returns that path.
-pub fn write_bundle(dir: &Path, b: &Bundle<'_>) -> std::io::Result<PathBuf> {
-    std::fs::create_dir_all(dir)?;
-    let path = unique_bundle_path(dir, b.key);
+/// path and returns that path. Failures are typed, never fatal to the
+/// caller's sweep: a bundle is evidence, not a result, so callers skip it
+/// with a journal note and keep going (see `all_tests::write_repro_bundles`).
+pub fn write_bundle(dir: &Path, b: &Bundle<'_>) -> Result<PathBuf, StorageError> {
+    write_bundle_on(&Storage::real(), dir, b)
+}
+
+/// [`write_bundle`] on an explicit storage backend.
+pub fn write_bundle_on(
+    storage: &Storage,
+    dir: &Path,
+    b: &Bundle<'_>,
+) -> Result<PathBuf, StorageError> {
+    storage.create_dir_all(dir)?;
+    let path = unique_bundle_path_on(storage, dir, b.key);
     let doc = Json::obj(vec![
         ("schema", Json::Str(SCHEMA.into())),
         ("key", Json::Str(b.key.into())),
@@ -93,7 +110,9 @@ pub fn write_bundle(dir: &Path, b: &Bundle<'_>) -> std::io::Result<PathBuf> {
     ]);
     let mut text = doc.render();
     text.push('\n');
-    std::fs::write(&path, text)?;
+    // Atomic (tmp + fsync + rename): a half-written bundle that *looks*
+    // replayable is worse than no bundle.
+    storage.write_atomic(&path, text.as_bytes())?;
     Ok(path)
 }
 
@@ -151,5 +170,20 @@ mod tests {
             assert!(cli.as_str().unwrap().ends_with(&p.display().to_string()));
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_disk_is_a_typed_error_not_a_panic() {
+        use crate::storage::{FaultPlan, StorageErrorKind};
+        let (storage, _fs) = Storage::mem(FaultPlan {
+            seed: 2,
+            disk_capacity: Some(16),
+            ..FaultPlan::default()
+        });
+        let dir = PathBuf::from("/repro");
+        let err = write_bundle_on(&storage, &dir, &bundle("set/in/ALG/GPU")).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::Enospc);
+        // And the target path never holds a torn document.
+        assert!(!storage.exists(&dir.join("set-in-ALG-GPU.json")));
     }
 }

@@ -1,0 +1,842 @@
+//! The storage layer every durable writer goes through.
+//!
+//! The sweep journal, the farm job store, repro bundles, and reports all
+//! promise the same thing: once an operation is acknowledged, a `kill -9`
+//! — or a power cut — cannot un-happen it. That promise is only as good as
+//! the write/fsync discipline behind it, and the only way to *test* the
+//! discipline is to make the disk itself fail on purpose. So durable
+//! writers take a [`Storage`] handle with two backends:
+//!
+//! * [`Storage::real`] — the actual filesystem, used in production;
+//! * [`Storage::mem`] — a deterministic in-memory filesystem ([`MemFs`])
+//!   driven by a SplitMix64-seeded [`FaultPlan`]: fail the Nth fsync, tear
+//!   the Nth write at a seed-derived byte, run the device out of space,
+//!   return EIO on the Nth read, or cut power at the Nth mutating
+//!   operation and drop (a seed-derived torn prefix of) everything that
+//!   was never fsynced.
+//!
+//! Every failure is a typed [`StorageError`] naming the operation, the
+//! path, and the [`StorageErrorKind`] — callers degrade (journal goes
+//! read-only, farm NACKs submissions, repro bundles are skipped with a
+//! note) instead of panicking. The same plan and seed always produce the
+//! same fault sequence and the same surviving bytes, which is what lets
+//! `tests/crash_consistency.rs` walk power loss across *every* write
+//! boundary of a sweep and assert recovery invariants at each one.
+//!
+//! ## The power-loss model
+//!
+//! [`MemFs`] keeps two copies of every file: `content` (what reads see —
+//! the page cache) and `durable` (what the last successful fsync pinned).
+//! [`MemFs::power_cycle`] replaces each file's content with its durable
+//! prefix plus a seed-derived *torn prefix* of the un-fsynced suffix —
+//! anywhere from none of it to all of it — modelling partial page-cache
+//! writeback. A failed fsync does **not** advance the durable copy: the
+//! data may still be lost, exactly the ambiguity real fsync failures have.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// SplitMix64 finalizer — the deterministic mixing primitive the fault
+/// plan (and the farm's restart-backoff jitter) derive their streams from.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn mix_path(seed: u64, path: &Path) -> u64 {
+    let mut h = seed;
+    for b in path.as_os_str().as_encoded_bytes() {
+        h = splitmix64(h ^ *b as u64);
+    }
+    h
+}
+
+/// How a storage operation failed, at the device level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageErrorKind {
+    /// The device is out of space (`ENOSPC`).
+    Enospc,
+    /// A low-level I/O error (`EIO`).
+    Eio,
+    /// `fsync` reported failure; the data written since the last successful
+    /// sync may or may not be durable.
+    FsyncFailed,
+    /// The write was applied only partially (`written` bytes) before
+    /// failing — the on-disk tail is torn.
+    TornWrite {
+        /// Bytes that did land before the fault.
+        written: usize,
+    },
+    /// Simulated power loss: the process is considered dead from this
+    /// operation on; every subsequent call fails the same way.
+    PowerLoss,
+    /// The writer latched itself read-only after an earlier failure and is
+    /// refusing new writes (degraded mode, not a device fault).
+    ReadOnly,
+    /// The file does not exist.
+    NotFound,
+    /// Anything else, with the underlying error's message.
+    Other(String),
+}
+
+impl std::fmt::Display for StorageErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageErrorKind::Enospc => write!(f, "no space left on device (ENOSPC)"),
+            StorageErrorKind::Eio => write!(f, "I/O error (EIO)"),
+            StorageErrorKind::FsyncFailed => write!(f, "fsync failed"),
+            StorageErrorKind::TornWrite { written } => {
+                write!(f, "torn write ({written} byte(s) landed)")
+            }
+            StorageErrorKind::PowerLoss => write!(f, "power loss"),
+            StorageErrorKind::ReadOnly => write!(f, "writer is read-only (degraded)"),
+            StorageErrorKind::NotFound => write!(f, "not found"),
+            StorageErrorKind::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// A typed storage failure: which operation, on which path, failed how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageError {
+    /// The operation: `"create"`, `"write"`, `"fsync"`, `"read"`,
+    /// `"truncate"`, `"rename"`, or `"mkdir"`.
+    pub op: &'static str,
+    /// The path the operation targeted.
+    pub path: PathBuf,
+    /// The typed failure.
+    pub kind: StorageErrorKind,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.op, self.path.display(), self.kind)
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl StorageError {
+    fn new(op: &'static str, path: &Path, kind: StorageErrorKind) -> StorageError {
+        StorageError {
+            op,
+            path: path.to_path_buf(),
+            kind,
+        }
+    }
+
+    fn from_io(op: &'static str, path: &Path, e: &std::io::Error) -> StorageError {
+        let kind = match e.raw_os_error() {
+            Some(28) => StorageErrorKind::Enospc, // ENOSPC
+            Some(5) => StorageErrorKind::Eio,     // EIO
+            _ if e.kind() == std::io::ErrorKind::NotFound => StorageErrorKind::NotFound,
+            _ => StorageErrorKind::Other(e.to_string()),
+        };
+        StorageError::new(op, path, kind)
+    }
+}
+
+/// An open file that supports the two operations durability is built from:
+/// append and fsync.
+pub trait DurableFile: Send {
+    /// Appends bytes at the end of the file.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Flushes everything written so far to stable storage.
+    fn sync(&mut self) -> Result<(), StorageError>;
+}
+
+/// The backend contract: the handful of filesystem operations the durable
+/// writers need, each failable with a typed error.
+pub trait StorageBackend: Send + Sync {
+    /// Creates (truncating) a file for appending.
+    fn create(&self, path: &Path) -> Result<Box<dyn DurableFile>, StorageError>;
+    /// Opens a file for appending, creating it if missing.
+    fn open_append(&self, path: &Path) -> Result<Box<dyn DurableFile>, StorageError>;
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError>;
+    /// Truncates the file to `len` bytes (dropping a torn tail).
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError>;
+    /// Writes a whole file atomically: temp file, fsync, rename. Readers
+    /// never observe a partial document at `path`.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Creates a directory and its parents.
+    fn create_dir_all(&self, path: &Path) -> Result<(), StorageError>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// A cloneable handle to one storage backend. All durable writers take one
+/// of these; production code passes [`Storage::real`], the fault harness
+/// passes [`Storage::mem`].
+#[derive(Clone)]
+pub struct Storage(Arc<dyn StorageBackend>);
+
+impl std::fmt::Debug for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Storage(..)")
+    }
+}
+
+impl Storage {
+    /// The real filesystem.
+    pub fn real() -> Storage {
+        Storage(Arc::new(RealFs))
+    }
+
+    /// A deterministic in-memory filesystem with the given fault plan.
+    /// Returns the handle plus the [`MemFs`] itself, for the harness to
+    /// cut power, inspect counters, and read surviving bytes.
+    pub fn mem(plan: FaultPlan) -> (Storage, Arc<MemFs>) {
+        let fs = Arc::new(MemFs::new(plan));
+        (Storage(Arc::new(MemBackend(fs.clone()))), fs)
+    }
+
+    /// See [`StorageBackend::create`].
+    pub fn create(&self, path: &Path) -> Result<Box<dyn DurableFile>, StorageError> {
+        self.0.create(path)
+    }
+    /// See [`StorageBackend::open_append`].
+    pub fn open_append(&self, path: &Path) -> Result<Box<dyn DurableFile>, StorageError> {
+        self.0.open_append(path)
+    }
+    /// See [`StorageBackend::read`].
+    pub fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError> {
+        self.0.read(path)
+    }
+    /// See [`StorageBackend::truncate`].
+    pub fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError> {
+        self.0.truncate(path, len)
+    }
+    /// See [`StorageBackend::write_atomic`].
+    pub fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        self.0.write_atomic(path, bytes)
+    }
+    /// See [`StorageBackend::create_dir_all`].
+    pub fn create_dir_all(&self, path: &Path) -> Result<(), StorageError> {
+        self.0.create_dir_all(path)
+    }
+    /// See [`StorageBackend::exists`].
+    pub fn exists(&self, path: &Path) -> bool {
+        self.0.exists(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem backend.
+// ---------------------------------------------------------------------------
+
+struct RealFs;
+
+struct RealFile {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl DurableFile for RealFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| StorageError::from_io("write", &self.path, &e))
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::from_io("fsync", &self.path, &e))
+    }
+}
+
+impl StorageBackend for RealFs {
+    fn create(&self, path: &Path) -> Result<Box<dyn DurableFile>, StorageError> {
+        let file =
+            std::fs::File::create(path).map_err(|e| StorageError::from_io("create", path, &e))?;
+        Ok(Box::new(RealFile {
+            file,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> Result<Box<dyn DurableFile>, StorageError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StorageError::from_io("create", path, &e))?;
+        Ok(Box::new(RealFile {
+            file,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError> {
+        std::fs::read(path).map_err(|e| StorageError::from_io("read", path, &e))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StorageError::from_io("truncate", path, &e))?;
+        file.set_len(len)
+            .map_err(|e| StorageError::from_io("truncate", path, &e))
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        let tmp = path.with_extension("tmp");
+        let mut file =
+            std::fs::File::create(&tmp).map_err(|e| StorageError::from_io("create", &tmp, &e))?;
+        file.write_all(bytes)
+            .map_err(|e| StorageError::from_io("write", &tmp, &e))?;
+        // fsync before rename: a rename can be durable while the content
+        // it points at is not, which is exactly how torn reports happen.
+        file.sync_data()
+            .map_err(|e| StorageError::from_io("fsync", &tmp, &e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| StorageError::from_io("rename", path, &e))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<(), StorageError> {
+        std::fs::create_dir_all(path).map_err(|e| StorageError::from_io("mkdir", path, &e))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault-injecting in-memory backend.
+// ---------------------------------------------------------------------------
+
+/// The deterministic fault schedule a [`MemFs`] executes. All indices are
+/// zero-based and counted per filesystem, not per file; `seed` drives every
+/// derived choice (torn-write split points, power-loss tear lengths), so
+/// the same plan always produces the same fault sequence and the same
+/// surviving bytes.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for all derived randomness.
+    pub seed: u64,
+    /// Fail the Nth fsync with [`StorageErrorKind::FsyncFailed`]; the
+    /// durable copy is *not* advanced.
+    pub fail_fsync: Option<u64>,
+    /// Tear the Nth write: apply a seed-derived strict prefix, then fail
+    /// with [`StorageErrorKind::TornWrite`].
+    pub tear_write: Option<u64>,
+    /// Device capacity in bytes: a write that would exceed it applies what
+    /// fits and fails with [`StorageErrorKind::Enospc`].
+    pub disk_capacity: Option<u64>,
+    /// Fail the Nth read with [`StorageErrorKind::Eio`].
+    pub fail_read: Option<u64>,
+    /// Cut power at the Nth mutating operation: that operation and every
+    /// later one fail with [`StorageErrorKind::PowerLoss`] until
+    /// [`MemFs::power_cycle`].
+    pub power_loss: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (still seeded, for tear-length derivation on
+    /// an explicit [`MemFs::power_cycle`]).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that cuts power at mutating operation `n`.
+    pub fn power_loss_at(seed: u64, n: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            power_loss: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    /// What reads observe (the page cache).
+    content: Vec<u8>,
+    /// What the last successful fsync made durable.
+    durable: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    files: BTreeMap<PathBuf, MemFile>,
+    plan: FaultPlan,
+    /// Mutating operations performed (create/write/fsync/truncate/rename).
+    ops: u64,
+    writes: u64,
+    fsyncs: u64,
+    reads: u64,
+    bytes_written: u64,
+    /// Latched once power is lost; cleared by [`MemFs::power_cycle`].
+    dead: bool,
+}
+
+/// The deterministic in-memory filesystem. See the module docs for the
+/// power-loss model.
+pub struct MemFs {
+    inner: Mutex<MemInner>,
+}
+
+impl MemFs {
+    fn new(plan: FaultPlan) -> MemFs {
+        MemFs {
+            inner: Mutex::new(MemInner {
+                plan,
+                ..MemInner::default()
+            }),
+        }
+    }
+
+    /// Total mutating operations performed so far — the number of distinct
+    /// power-loss boundaries an identical workload exposes.
+    pub fn ops(&self) -> u64 {
+        self.inner.lock().unwrap().ops
+    }
+
+    /// Total fsyncs performed so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.inner.lock().unwrap().fsyncs
+    }
+
+    /// Whether power has been lost (and not yet cycled).
+    pub fn is_dead(&self) -> bool {
+        self.inner.lock().unwrap().dead
+    }
+
+    /// Simulates the machine coming back up after power loss: every file
+    /// keeps its durable content plus a seed-derived torn prefix of
+    /// whatever was written-but-not-fsynced, faults are disarmed (recovery
+    /// runs on a healthy disk), and counters keep running.
+    pub fn power_cycle(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let seed = inner.plan.seed;
+        for (path, file) in inner.files.iter_mut() {
+            let survived = if file.content.len() >= file.durable.len()
+                && file.content[..file.durable.len()] == file.durable[..]
+            {
+                // Pure appends since the last sync: keep a torn prefix.
+                let suffix = &file.content[file.durable.len()..];
+                let keep = if suffix.is_empty() {
+                    0
+                } else {
+                    (splitmix64(mix_path(seed ^ 0x746f_726e, path)) % (suffix.len() as u64 + 1))
+                        as usize
+                };
+                let mut s = file.durable.clone();
+                s.extend_from_slice(&suffix[..keep]);
+                s
+            } else {
+                // A truncate or rewrite that was never fsynced: the disk
+                // may legitimately come back with the pre-crash image.
+                file.durable.clone()
+            };
+            file.content = survived.clone();
+            file.durable = survived;
+        }
+        inner.dead = false;
+        let seed = inner.plan.seed;
+        inner.plan = FaultPlan::none(seed);
+    }
+
+    /// The surviving content of `path`, bypassing fault injection (for
+    /// harness assertions).
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .files
+            .get(path)
+            .map(|f| f.content.clone())
+    }
+
+    /// Every file currently present, in path order (for harness
+    /// assertions).
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.inner.lock().unwrap().files.keys().cloned().collect()
+    }
+
+    /// One mutating-operation boundary: checks the power latch, counts the
+    /// op, and possibly cuts power *at* this op (the op does not happen).
+    fn gate(inner: &mut MemInner, op: &'static str, path: &Path) -> Result<(), StorageError> {
+        if inner.dead {
+            return Err(StorageError::new(op, path, StorageErrorKind::PowerLoss));
+        }
+        let n = inner.ops;
+        inner.ops += 1;
+        if inner.plan.power_loss == Some(n) {
+            inner.dead = true;
+            return Err(StorageError::new(op, path, StorageErrorKind::PowerLoss));
+        }
+        Ok(())
+    }
+
+    fn create_file(&self, path: &Path) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock().unwrap();
+        Self::gate(&mut inner, "create", path)?;
+        let entry = inner.files.entry(path.to_path_buf()).or_default();
+        entry.content.clear();
+        Ok(())
+    }
+
+    fn open_file(&self, path: &Path) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.dead {
+            return Err(StorageError::new(
+                "create",
+                path,
+                StorageErrorKind::PowerLoss,
+            ));
+        }
+        inner.files.entry(path.to_path_buf()).or_default();
+        Ok(())
+    }
+
+    fn append_file(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock().unwrap();
+        Self::gate(&mut inner, "write", path)?;
+        let w = inner.writes;
+        inner.writes += 1;
+        let seed = inner.plan.seed;
+        if inner.plan.tear_write == Some(w) && !bytes.is_empty() {
+            // Strict prefix: a torn write by definition did not complete.
+            let keep = (splitmix64(seed ^ 0x7465_6172 ^ w) % bytes.len() as u64) as usize;
+            inner.bytes_written += keep as u64;
+            let entry = inner.files.entry(path.to_path_buf()).or_default();
+            entry.content.extend_from_slice(&bytes[..keep]);
+            return Err(StorageError::new(
+                "write",
+                path,
+                StorageErrorKind::TornWrite { written: keep },
+            ));
+        }
+        if let Some(cap) = inner.plan.disk_capacity {
+            let room = cap.saturating_sub(inner.bytes_written) as usize;
+            if room < bytes.len() {
+                inner.bytes_written += room as u64;
+                let entry = inner.files.entry(path.to_path_buf()).or_default();
+                entry.content.extend_from_slice(&bytes[..room]);
+                return Err(StorageError::new("write", path, StorageErrorKind::Enospc));
+            }
+        }
+        inner.bytes_written += bytes.len() as u64;
+        let entry = inner.files.entry(path.to_path_buf()).or_default();
+        entry.content.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock().unwrap();
+        Self::gate(&mut inner, "fsync", path)?;
+        let f = inner.fsyncs;
+        inner.fsyncs += 1;
+        if inner.plan.fail_fsync == Some(f) {
+            // The durable copy is NOT advanced: the unsynced suffix is now
+            // at the mercy of the next power loss.
+            return Err(StorageError::new(
+                "fsync",
+                path,
+                StorageErrorKind::FsyncFailed,
+            ));
+        }
+        if let Some(file) = inner.files.get_mut(path) {
+            file.durable = file.content.clone();
+        }
+        Ok(())
+    }
+}
+
+struct MemBackend(Arc<MemFs>);
+
+struct MemHandle {
+    fs: Arc<MemFs>,
+    path: PathBuf,
+}
+
+impl DurableFile for MemHandle {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.fs.append_file(&self.path, bytes)
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.fs.sync_file(&self.path)
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn create(&self, path: &Path) -> Result<Box<dyn DurableFile>, StorageError> {
+        self.0.create_file(path)?;
+        Ok(Box::new(MemHandle {
+            fs: self.0.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> Result<Box<dyn DurableFile>, StorageError> {
+        self.0.open_file(path)?;
+        Ok(Box::new(MemHandle {
+            fs: self.0.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, StorageError> {
+        let mut inner = self.0.inner.lock().unwrap();
+        if inner.dead {
+            return Err(StorageError::new("read", path, StorageErrorKind::PowerLoss));
+        }
+        let r = inner.reads;
+        inner.reads += 1;
+        if inner.plan.fail_read == Some(r) {
+            return Err(StorageError::new("read", path, StorageErrorKind::Eio));
+        }
+        inner
+            .files
+            .get(path)
+            .map(|f| f.content.clone())
+            .ok_or_else(|| StorageError::new("read", path, StorageErrorKind::NotFound))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), StorageError> {
+        let mut inner = self.0.inner.lock().unwrap();
+        MemFs::gate(&mut inner, "truncate", path)?;
+        match inner.files.get_mut(path) {
+            Some(f) => {
+                f.content.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(StorageError::new(
+                "truncate",
+                path,
+                StorageErrorKind::NotFound,
+            )),
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        let tmp = path.with_extension("tmp");
+        let mut file = self.create(&tmp)?;
+        file.append(bytes)?;
+        file.sync()?;
+        drop(file);
+        let mut inner = self.0.inner.lock().unwrap();
+        MemFs::gate(&mut inner, "rename", path)?;
+        let moved = inner
+            .files
+            .remove(&tmp)
+            .ok_or_else(|| StorageError::new("rename", &tmp, StorageErrorKind::NotFound))?;
+        inner.files.insert(path.to_path_buf(), moved);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.0.inner.lock().unwrap().files.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn real_backend_round_trips_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("ecl-storage-{}", std::process::id()));
+        let storage = Storage::real();
+        storage.create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let mut f = storage.create(&path).unwrap();
+        f.append(b"hello\nwor").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert!(storage.exists(&path));
+        assert_eq!(storage.read(&path).unwrap(), b"hello\nwor");
+        storage.truncate(&path, 6).unwrap();
+        let mut f = storage.open_append(&path).unwrap();
+        f.append(b"again\n").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(storage.read(&path).unwrap(), b"hello\nagain\n");
+        storage.write_atomic(&path, b"whole\n").unwrap();
+        assert_eq!(storage.read(&path).unwrap(), b"whole\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_not_found() {
+        let (storage, _fs) = Storage::mem(FaultPlan::none(1));
+        let err = storage.read(&p("/nope")).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::NotFound);
+        let err = Storage::real()
+            .read(&p("/definitely/not/a/file"))
+            .unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::NotFound);
+    }
+
+    #[test]
+    fn power_loss_drops_unsynced_suffix_deterministically() {
+        // Two identical runs with the same seed must leave identical
+        // surviving bytes; the synced prefix always survives whole.
+        let mut images = Vec::new();
+        for _ in 0..2 {
+            let (storage, fs) = Storage::mem(FaultPlan::none(42));
+            let path = p("/j.jsonl");
+            let mut f = storage.create(&path).unwrap();
+            f.append(b"line1\n").unwrap();
+            f.sync().unwrap();
+            f.append(b"line2-never-synced\n").unwrap();
+            fs.power_cycle();
+            let survived = fs.peek(&path).unwrap();
+            assert!(survived.starts_with(b"line1\n"), "synced prefix survives");
+            assert!(survived.len() <= b"line1\nline2-never-synced\n".len());
+            images.push(survived);
+        }
+        assert_eq!(images[0], images[1], "same seed, same surviving bytes");
+    }
+
+    #[test]
+    fn power_loss_at_op_kills_everything_after() {
+        let (storage, fs) = Storage::mem(FaultPlan::power_loss_at(7, 2));
+        let path = p("/f");
+        let mut f = storage.create(&path).unwrap(); // op 0
+        f.append(b"a\n").unwrap(); // op 1
+        let err = f.sync().unwrap_err(); // op 2: lights out
+        assert_eq!(err.kind, StorageErrorKind::PowerLoss);
+        let err = f.append(b"b\n").unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::PowerLoss);
+        let err = storage.read(&path).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::PowerLoss, "reads die too");
+        assert!(fs.is_dead());
+        fs.power_cycle();
+        assert!(!fs.is_dead());
+        // Nothing was ever synced: the file may be empty or hold a torn
+        // prefix of "a\n", never more.
+        let survived = fs.peek(&path).unwrap();
+        assert!(survived.len() <= 2);
+    }
+
+    #[test]
+    fn nth_fsync_fails_without_advancing_durability() {
+        let (storage, fs) = Storage::mem(FaultPlan {
+            seed: 3,
+            fail_fsync: Some(1),
+            ..FaultPlan::default()
+        });
+        let path = p("/f");
+        let mut f = storage.create(&path).unwrap();
+        f.append(b"first\n").unwrap();
+        f.sync().unwrap(); // fsync 0: fine
+        f.append(b"second\n").unwrap();
+        let err = f.sync().unwrap_err(); // fsync 1: fails
+        assert_eq!(err.kind, StorageErrorKind::FsyncFailed);
+        fs.power_cycle();
+        let survived = fs.peek(&path).unwrap();
+        assert!(survived.starts_with(b"first\n"));
+        assert!(survived.len() < b"first\nsecond\n".len() || survived == b"first\nsecond\n");
+    }
+
+    #[test]
+    fn torn_write_applies_a_strict_prefix() {
+        let (storage, _fs) = Storage::mem(FaultPlan {
+            seed: 9,
+            tear_write: Some(0),
+            ..FaultPlan::default()
+        });
+        let path = p("/f");
+        let mut f = storage.create(&path).unwrap();
+        let err = f.append(b"0123456789").unwrap_err();
+        let StorageErrorKind::TornWrite { written } = err.kind else {
+            panic!("expected TornWrite, got {:?}", err.kind);
+        };
+        assert!(written < 10, "a torn write never completes");
+        let on_disk = storage.read(&path).unwrap();
+        assert_eq!(on_disk, b"0123456789"[..written].to_vec());
+    }
+
+    #[test]
+    fn full_device_returns_enospc() {
+        let (storage, _fs) = Storage::mem(FaultPlan {
+            seed: 1,
+            disk_capacity: Some(8),
+            ..FaultPlan::default()
+        });
+        let path = p("/f");
+        let mut f = storage.create(&path).unwrap();
+        f.append(b"12345").unwrap();
+        let err = f.append(b"67890").unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::Enospc);
+        // And it stays full.
+        let err = f.append(b"x").unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::Enospc);
+    }
+
+    #[test]
+    fn nth_read_returns_eio() {
+        let (storage, _fs) = Storage::mem(FaultPlan {
+            seed: 1,
+            fail_read: Some(1),
+            ..FaultPlan::default()
+        });
+        let path = p("/f");
+        let mut f = storage.create(&path).unwrap();
+        f.append(b"data").unwrap();
+        drop(f);
+        assert_eq!(storage.read(&path).unwrap(), b"data"); // read 0
+        let err = storage.read(&path).unwrap_err(); // read 1
+        assert_eq!(err.kind, StorageErrorKind::Eio);
+        assert_eq!(storage.read(&path).unwrap(), b"data"); // read 2
+    }
+
+    #[test]
+    fn write_atomic_is_all_or_nothing_across_power_loss() {
+        // Crash at any of write_atomic's internal boundaries: the target
+        // either has the complete old content or the complete new content.
+        let full = b"new-document\n".to_vec();
+        for boundary in 0..8 {
+            let (storage, fs) = Storage::mem(FaultPlan::power_loss_at(5, boundary));
+            let path = p("/doc");
+            let setup = storage
+                .create(&path)
+                .and_then(|mut f| f.append(b"old\n").and_then(|_| f.sync()));
+            let replaced = setup.and_then(|_| storage.write_atomic(&path, &full));
+            fs.power_cycle();
+            let survived = fs.peek(&path).unwrap_or_default();
+            if replaced.is_ok() {
+                assert_eq!(survived, full, "boundary {boundary}");
+            } else {
+                // Either the complete new doc (rename landed) or (a prefix
+                // of) the old one — if the crash hit before the *setup's*
+                // fsync, even "old\n" was never durable and may come back
+                // torn. What must never appear is a torn NEW document.
+                assert!(
+                    survived == full || b"old\n".starts_with(&survived[..]),
+                    "boundary {boundary}: torn document {survived:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Pin the stream: fault plans and jitter schedules derive from it,
+        // so silently changing it would silently change every schedule.
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(1), 0x910a2dec89025cc1);
+        assert_ne!(splitmix64(41), splitmix64(42));
+    }
+}

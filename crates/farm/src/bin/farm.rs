@@ -15,6 +15,7 @@
 //! --max-attempts <n>   worker deaths per cell before quarantine (default 3)
 //! --backoff-ms <n>     first respawn backoff          (default 100)
 //! --backoff-cap-ms <n> respawn backoff ceiling        (default 2000)
+//! --jitter-seed <n>    restart-jitter seed (deterministic; default fixed)
 //! --queue-cap <n>      max queued cells (backpressure) (default 4096)
 //! --worker-loop        internal: run as a fleet worker
 //! ```
@@ -52,6 +53,7 @@ struct Options {
     max_attempts: u32,
     backoff_ms: u64,
     backoff_cap_ms: u64,
+    jitter_seed: u64,
     queue_cap: usize,
 }
 
@@ -75,6 +77,7 @@ fn parse_options(args: &[String]) -> Options {
         max_attempts: num("--max-attempts", 3) as u32,
         backoff_ms: num("--backoff-ms", 100),
         backoff_cap_ms: num("--backoff-cap-ms", 2_000),
+        jitter_seed: num("--jitter-seed", 0xec1f_a3a7),
         queue_cap: num("--queue-cap", 4_096) as usize,
     }
 }
@@ -158,6 +161,7 @@ fn daemon_main(opts: &Options) -> i32 {
         max_attempts: opts.max_attempts,
         backoff_base_ms: opts.backoff_ms,
         backoff_cap_ms: opts.backoff_cap_ms,
+        jitter_seed: opts.jitter_seed,
         scratch: recovery::tmp_dir(&opts.state),
     });
     let mut queue = CellQueue::new(opts.queue_cap);
@@ -391,68 +395,52 @@ fn handle_submission(
     done_ids: &[String],
     journals: &Arc<std::sync::Mutex<Vec<Arc<ecl_bench::JournalWriter>>>>,
 ) {
-    let job = match api::parse_job(&sub.line) {
-        Ok(j) => j,
-        Err(e) => {
-            reply(&sub.reply, &api::ack("?", false, Some(&e), 0));
-            return;
+    // The admission contract (ACK only after the record's fsync; typed
+    // NACKs for everything else) lives in `ecl_farm::submit` where the
+    // fault backend can pin it.
+    let admission = ecl_farm::admit(
+        &ecl_bench::Storage::real(),
+        &opts.state,
+        &sub.line,
+        draining,
+        store,
+        |id| active.contains_key(id) || done_ids.iter().any(|d| d == id),
+        |cells| {
+            (!queue.would_fit(cells)).then(|| {
+                format!(
+                    "queue full: {} queued + {cells} new > cap {}",
+                    queue.len(),
+                    opts.queue_cap
+                )
+            })
+        },
+    );
+    match admission {
+        ecl_farm::Admission::Rejected { id, reason } => {
+            reply(&sub.reply, &api::ack(&id, false, Some(&reason), 0));
         }
-    };
-    let id = job.id.clone();
-    if draining {
-        reply(
-            &sub.reply,
-            &api::ack(&id, false, Some("daemon is draining"), 0),
-        );
-        return;
-    }
-    if active.contains_key(&id) || done_ids.iter().any(|d| d == &id) {
-        reply(
-            &sub.reply,
-            &api::ack(&id, false, Some("duplicate job id"), 0),
-        );
-        return;
-    }
-    let keys = job.sweep.cell_keys();
-    if !queue.would_fit(keys.len()) {
-        let reason = format!(
-            "queue full: {} queued + {} new > cap {}",
-            queue.len(),
-            keys.len(),
-            opts.queue_cap
-        );
-        reply(&sub.reply, &api::ack(&id, false, Some(&reason), 0));
-        return;
-    }
-    // Open the journal first (it can fail on a stale identity), then make
-    // acceptance durable BEFORE acking — a daemon killed right after the
-    // fsync resumes the job even though no ack went out; a daemon killed
-    // before it never told anyone yes.
-    let active_job = match ActiveJob::open(&opts.state, job.clone()) {
-        Ok(a) => a,
-        Err(e) => {
-            reply(&sub.reply, &api::ack(&id, false, Some(&e), 0));
-            return;
+        ecl_farm::Admission::Accepted {
+            job,
+            active: active_job,
+        } => {
+            let id = job.id.clone();
+            let keys = job.sweep.cell_keys();
+            queue
+                .push_job(&id, job.priority, &keys)
+                .expect("would_fit was checked");
+            journals.lock().unwrap().push(active_job.journal_writer());
+            fleet.register_job(job.clone(), active_job.doc.clone());
+            active.insert(id.clone(), *active_job);
+            reply(&sub.reply, &api::ack(&id, true, None, keys.len()));
+            emit(&api::event(
+                "job-accepted",
+                vec![
+                    ("id", Json::Str(id)),
+                    ("cells", Json::Num(keys.len() as f64)),
+                ],
+            ));
         }
-    };
-    if let Err(e) = store.record_accepted(&job) {
-        reply(&sub.reply, &api::ack(&id, false, Some(&e), 0));
-        return;
     }
-    queue
-        .push_job(&id, job.priority, &keys)
-        .expect("would_fit was checked");
-    journals.lock().unwrap().push(active_job.journal_writer());
-    fleet.register_job(job.clone(), active_job.doc.clone());
-    active.insert(id.clone(), active_job);
-    reply(&sub.reply, &api::ack(&id, true, None, keys.len()));
-    emit(&api::event(
-        "job-accepted",
-        vec![
-            ("id", Json::Str(id)),
-            ("cells", Json::Num(keys.len() as f64)),
-        ],
-    ));
 }
 
 fn apply_outcome(

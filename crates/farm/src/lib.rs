@@ -24,18 +24,23 @@
 //! restarts are all invisible in the output bytes.
 //!
 //! Module map: [`api`] (job schema), [`queue`] (bounded priority queue),
-//! [`supervisor`] (the fleet), [`worker`] (the worker-loop subprocess
-//! side), [`recovery`] (durable job store, journals, report assembly).
-//! The `farm` binary wires them together; see `README.md` for the
-//! quickstart.
+//! [`submit`] (the admission/ACK contract), [`supervisor`] (the fleet),
+//! [`worker`] (the worker-loop subprocess side), [`recovery`] (durable job
+//! store, journals, report assembly). All durable writes go through
+//! `ecl_bench::storage`, so every path here is exercised under injected
+//! storage faults and simulated power loss (`tests/crash_consistency.rs`);
+//! see DESIGN.md §12 for the durability model. The `farm` binary wires
+//! them together; see `README.md` for the quickstart.
 
 pub mod api;
 pub mod queue;
 pub mod recovery;
+pub mod submit;
 pub mod supervisor;
 pub mod worker;
 
 pub use api::{ack, event, job_json, parse_job, JobSpec, SweepSpec};
 pub use queue::{CellQueue, CellTask};
-pub use recovery::{ActiveJob, JobStore, StoredJob};
-pub use supervisor::{Fleet, FleetConfig, FleetOutcome};
+pub use recovery::{ActiveJob, JobStore, StoreError, StoredJob};
+pub use submit::{admit, Admission};
+pub use supervisor::{restart_backoff_ms, Fleet, FleetConfig, FleetOutcome};

@@ -29,13 +29,43 @@
 //! in-process failures, both of which a resume must preserve, not retry.
 
 use crate::api::{self, JobSpec};
+use ecl_bench::storage::{DurableFile, Storage, StorageError, StorageErrorKind};
 use ecl_bench::{BenchReport, JournalWriter, Json, MeasuredTable};
 use std::collections::{HashMap, HashSet};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Schema tag of the `jobs.jsonl` store.
 pub const STORE_SCHEMA: &str = "ecl-farm/JOBSTORE/v1";
+
+/// Why the job store failed to open — each case a distinct operator action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The backing store failed (EIO, power loss, …).
+    Storage(StorageError),
+    /// A non-final line is malformed or contradictory: real corruption.
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The file carries a different schema tag.
+    WrongSchema,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Storage(e) => write!(f, "job store: {e}"),
+            StoreError::Corrupt { line, reason } => {
+                write!(f, "jobs.jsonl line {line} is corrupt: {reason}")
+            }
+            StoreError::WrongSchema => write!(f, "jobs.jsonl is not a {STORE_SCHEMA} store"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// One job replayed from the store.
 pub struct StoredJob {
@@ -46,54 +76,99 @@ pub struct StoredJob {
 }
 
 /// Append-only fsync'd log of accepted and finished jobs.
+///
+/// Like the journal writer, the store latches itself **degraded** on the
+/// first failed append: the partial line the failure left behind must stay
+/// the final line (the tolerant replay drops it), and the daemon NACKs all
+/// new submissions with the latched error as the explicit reason.
 pub struct JobStore {
-    file: std::fs::File,
+    file: Box<dyn DurableFile>,
+    path: PathBuf,
+    degraded: Option<StorageError>,
 }
 
 impl JobStore {
     /// Opens (or creates) the store under `state`, returning the replayed
     /// jobs in acceptance order. A torn final line (daemon killed
-    /// mid-append) is dropped; since acks follow the fsync, no client saw
-    /// that job accepted.
-    pub fn open(state: &Path) -> Result<(JobStore, Vec<StoredJob>), String> {
-        std::fs::create_dir_all(state)
-            .map_err(|e| format!("cannot create {}: {e}", state.display()))?;
+    /// mid-append) is dropped *and truncated away* — since acks follow the
+    /// fsync, no client saw that job accepted, and truncating keeps the
+    /// next append from gluing onto the partial line. Duplicate `accepted`
+    /// records for one id (the ack-retry artifact) collapse when the job
+    /// documents are identical; divergent duplicates are corruption.
+    pub fn open(state: &Path) -> Result<(JobStore, Vec<StoredJob>), StoreError> {
+        Self::open_on(&Storage::real(), state)
+    }
+
+    /// [`JobStore::open`] on an explicit storage backend.
+    pub fn open_on(
+        storage: &Storage,
+        state: &Path,
+    ) -> Result<(JobStore, Vec<StoredJob>), StoreError> {
+        storage.create_dir_all(state).map_err(StoreError::Storage)?;
         let path = state.join("jobs.jsonl");
         let mut jobs: Vec<StoredJob> = Vec::new();
-        let mut fresh = true;
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            fresh = false;
-            let lines: Vec<&str> = text.split('\n').collect();
-            let last_content = lines.iter().rposition(|l| !l.trim().is_empty());
-            for (idx, line) in lines.iter().enumerate() {
+        let mut saw_header = false;
+        if storage.exists(&path) {
+            let bytes = storage.read(&path).map_err(StoreError::Storage)?;
+            // Drop the kill artifact before appending anything after it: a
+            // write is a whole line + '\n', so "no trailing newline" ⇔ torn.
+            let keep = bytes
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            if keep < bytes.len() {
+                storage
+                    .truncate(&path, keep as u64)
+                    .map_err(StoreError::Storage)?;
+            }
+            let text = String::from_utf8_lossy(&bytes[..keep]);
+            for (idx, line) in text.split('\n').enumerate() {
                 let line = line.trim();
                 if line.is_empty() {
                     continue;
                 }
-                let doc = match Json::parse(line) {
-                    Ok(d) => d,
-                    Err(_) if Some(idx) == last_content => break, // torn tail
-                    Err(e) => return Err(format!("jobs.jsonl line {} is corrupt: {e}", idx + 1)),
-                };
+                let doc = Json::parse(line).map_err(|e| StoreError::Corrupt {
+                    line: idx + 1,
+                    reason: e,
+                })?;
                 match doc.get("type").and_then(Json::as_str) {
                     Some("header") => {
                         if doc.get("schema").and_then(Json::as_str) != Some(STORE_SCHEMA) {
-                            return Err(format!(
-                                "{} is not a {STORE_SCHEMA} store",
-                                path.display()
-                            ));
+                            return Err(StoreError::WrongSchema);
                         }
+                        saw_header = true;
                     }
                     Some("accepted") => {
                         let job = doc
                             .get("job")
                             .map(|j| api::parse_job(&j.render_compact()))
                             .unwrap_or_else(|| Err("accepted record carries no job".into()))
-                            .map_err(|e| format!("jobs.jsonl line {}: {e}", idx + 1))?;
-                        jobs.push(StoredJob {
-                            spec: job,
-                            done: false,
-                        });
+                            .map_err(|e| StoreError::Corrupt {
+                                line: idx + 1,
+                                reason: e,
+                            })?;
+                        match jobs.iter().find(|j| j.spec.id == job.id) {
+                            // A crash between the fsync and the ack can make a
+                            // retrying client resubmit; the daemon records the
+                            // identical job again. Benign — collapse it.
+                            Some(prev)
+                                if api::job_json(&prev.spec).render_compact()
+                                    == api::job_json(&job).render_compact() => {}
+                            Some(_) => {
+                                return Err(StoreError::Corrupt {
+                                    line: idx + 1,
+                                    reason: format!(
+                                        "divergent duplicate 'accepted' record for id '{}'",
+                                        job.id
+                                    ),
+                                })
+                            }
+                            None => jobs.push(StoredJob {
+                                spec: job,
+                                done: false,
+                            }),
+                        }
                     }
                     Some("done") => {
                         let id = doc.get("id").and_then(Json::as_str).unwrap_or("");
@@ -102,39 +177,64 @@ impl JobStore {
                         }
                     }
                     other => {
-                        return Err(format!(
-                            "jobs.jsonl line {}: unknown record type {other:?}",
-                            idx + 1
-                        ))
+                        return Err(StoreError::Corrupt {
+                            line: idx + 1,
+                            reason: format!("unknown record type {other:?}"),
+                        })
                     }
                 }
             }
         }
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
-        if fresh {
-            let header = Json::obj(vec![
-                ("type", Json::Str("header".into())),
-                ("schema", Json::Str(STORE_SCHEMA.into())),
-            ]);
-            writeln!(file, "{}", header.render_compact())
-                .and_then(|_| file.sync_data())
-                .map_err(|e| format!("cannot write store header: {e}"))?;
+        let file = storage.open_append(&path).map_err(StoreError::Storage)?;
+        let mut store = JobStore {
+            file,
+            path,
+            degraded: None,
+        };
+        if !saw_header {
+            // Fresh store — or one whose header line was torn away by a
+            // crash before its fsync (then no record survived either, so
+            // rewriting the header loses nothing).
+            store
+                .append(&Json::obj(vec![
+                    ("type", Json::Str("header".into())),
+                    ("schema", Json::Str(STORE_SCHEMA.into())),
+                ]))
+                .map_err(StoreError::Storage)?;
         }
-        Ok((JobStore { file }, jobs))
+        Ok((store, jobs))
     }
 
-    fn append(&mut self, doc: &Json) -> Result<(), String> {
-        writeln!(self.file, "{}", doc.render_compact())
-            .and_then(|_| self.file.sync_data())
-            .map_err(|e| format!("job store write failed: {e}"))
+    /// The storage error that latched this store degraded, if any. A
+    /// degraded store refuses new records; the daemon surfaces this as the
+    /// NACK reason for every subsequent submission.
+    pub fn degraded(&self) -> Option<&StorageError> {
+        self.degraded.as_ref()
     }
 
-    /// Durably records an accepted job. Call this BEFORE acking the client.
-    pub fn record_accepted(&mut self, job: &JobSpec) -> Result<(), String> {
+    fn append(&mut self, doc: &Json) -> Result<(), StorageError> {
+        if self.degraded.is_some() {
+            return Err(StorageError {
+                op: "append",
+                path: self.path.clone(),
+                kind: StorageErrorKind::ReadOnly,
+            });
+        }
+        let mut text = doc.render_compact();
+        text.push('\n');
+        let result = self
+            .file
+            .append(text.as_bytes())
+            .and_then(|()| self.file.sync());
+        if let Err(e) = &result {
+            self.degraded = Some(e.clone());
+        }
+        result
+    }
+
+    /// Durably records an accepted job. Call this BEFORE acking the client:
+    /// the `ACK/v1` a client trusts is a promise that this fsync succeeded.
+    pub fn record_accepted(&mut self, job: &JobSpec) -> Result<(), StorageError> {
         self.append(&Json::obj(vec![
             ("type", Json::Str("accepted".into())),
             ("job", api::job_json(job)),
@@ -142,7 +242,7 @@ impl JobStore {
     }
 
     /// Durably records a finished job (report written).
-    pub fn record_done(&mut self, id: &str, failures: usize) -> Result<(), String> {
+    pub fn record_done(&mut self, id: &str, failures: usize) -> Result<(), StorageError> {
         self.append(&Json::obj(vec![
             ("type", Json::Str("done".into())),
             ("id", Json::Str(id.into())),
@@ -181,43 +281,63 @@ pub struct ActiveJob {
     /// Keys with no record yet.
     pub remaining: HashSet<String>,
     writer: std::sync::Arc<JournalWriter>,
+    storage: Storage,
 }
 
 impl ActiveJob {
     /// Opens (or creates) the job's journal and loads its progress.
     ///
+    /// A journal with **no intact header** — empty, or torn inside the
+    /// header line — is treated as fresh and recreated: the header is line
+    /// one, so its loss proves no cell record survived, and the identity is
+    /// reproducible from the spec (the crash-between-create-and-fsync case).
+    ///
     /// # Errors
     ///
     /// Identity mismatch (the state dir holds a journal for a *different*
-    /// job with the same id), journal corruption, or I/O failure.
+    /// job with the same id), journal corruption, or storage failure.
     pub fn open(state: &Path, spec: JobSpec) -> Result<ActiveJob, String> {
+        Self::open_on(&Storage::real(), state, spec)
+    }
+
+    /// [`ActiveJob::open`] on an explicit storage backend.
+    pub fn open_on(storage: &Storage, state: &Path, spec: JobSpec) -> Result<ActiveJob, String> {
         let identity = spec.sweep.identity();
         let path = journal_path(state, &spec.id);
         let keys = spec.sweep.cell_keys();
         let mut records = HashMap::new();
-        let writer = if path.exists() {
-            let journal = ecl_bench::Journal::load(&path)?;
-            journal.check_identity(&identity)?;
-            // Duplicate keys (a record landed twice around a crash): identical
-            // bodies collapse; divergence is a determinism violation.
-            for rec in &journal.records {
-                if let Some((_, prev)) = records.get(&rec.key) {
-                    if prev != &rec.body {
-                        return Err(format!(
-                            "determinism violation in {}: cell '{}' recorded twice \
-                             with different bodies",
-                            path.display(),
-                            rec.key
-                        ));
-                    }
-                }
-                records.insert(rec.key.clone(), (rec.ok, rec.body.clone()));
+        let loaded = if storage.exists(&path) {
+            match ecl_bench::Journal::load_on(storage, &path) {
+                Ok(journal) => Some(journal),
+                Err(ecl_bench::LoadError::NoHeader) => None,
+                Err(e) => return Err(e.to_string()),
             }
-            JournalWriter::append_to(&path)
-                .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?
         } else {
-            JournalWriter::create(&path, &identity)
-                .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?
+            None
+        };
+        let writer = match loaded {
+            Some(journal) => {
+                journal.check_identity(&identity)?;
+                // Duplicate keys (a record landed twice around a crash): identical
+                // bodies collapse; divergence is a determinism violation.
+                for rec in &journal.records {
+                    if let Some((_, prev)) = records.get(&rec.key) {
+                        if prev != &rec.body {
+                            return Err(format!(
+                                "determinism violation in {}: cell '{}' recorded twice \
+                                 with different bodies",
+                                path.display(),
+                                rec.key
+                            ));
+                        }
+                    }
+                    records.insert(rec.key.clone(), (rec.ok, rec.body.clone()));
+                }
+                JournalWriter::append_to_on(storage, &path)
+                    .map_err(|e| format!("cannot reopen journal: {e}"))?
+            }
+            None => JournalWriter::create_on(storage, &path, &identity)
+                .map_err(|e| format!("cannot create journal: {e}"))?,
         };
         let remaining = keys
             .iter()
@@ -232,6 +352,7 @@ impl ActiveJob {
             records,
             remaining,
             writer: std::sync::Arc::new(writer),
+            storage: storage.clone(),
         })
     }
 
@@ -298,13 +419,16 @@ impl ActiveJob {
         };
         let path = report_path(state, &self.spec.id);
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)
-                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            self.storage
+                .create_dir_all(dir)
+                .map_err(|e| format!("cannot create report dir: {e}"))?;
         }
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, report.render())
-            .and_then(|_| std::fs::rename(&tmp, &path))
-            .map_err(|e| format!("cannot write report {}: {e}", path.display()))?;
+        // Atomic with an fsync before the rename: previously the rename
+        // could become durable while the report content was not, leaving a
+        // torn REPORT-<id>.json after a power cut.
+        self.storage
+            .write_atomic(&path, report.render().as_bytes())
+            .map_err(|e| format!("cannot write report: {e}"))?;
         Ok(path)
     }
 }
@@ -368,6 +492,116 @@ mod tests {
     }
 
     #[test]
+    fn store_truncates_the_torn_tail_so_appends_never_glue() {
+        // Regression: record A torn mid-append, daemon restarts, records B.
+        // Without truncation B glues onto A's partial line; that corrupt
+        // line is then *final*, so the NEXT replay silently drops B — a
+        // durably-recorded (and possibly ACKed) job vanishes.
+        let state = tmp_state("glue");
+        {
+            let (mut store, _) = JobStore::open(&state).unwrap();
+            store.record_accepted(&job("whole")).unwrap();
+        }
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(state.join("jobs.jsonl"))
+            .unwrap();
+        write!(f, "{{\"type\":\"accepted\",\"job\":{{\"id\":\"to").unwrap();
+        drop(f);
+        {
+            let (mut store, jobs) = JobStore::open(&state).unwrap();
+            assert_eq!(jobs.len(), 1);
+            store.record_accepted(&job("after-crash")).unwrap();
+        }
+        let (_store, jobs) = JobStore::open(&state).unwrap();
+        let ids: Vec<&str> = jobs.iter().map(|j| j.spec.id.as_str()).collect();
+        assert_eq!(ids, ["whole", "after-crash"], "no record glued or lost");
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn duplicate_accepted_records_collapse_or_refuse() {
+        // An ack-retry artifact records the same job twice: benign, one
+        // job. The same id with a *different* spec is corruption — loading
+        // it as either job would silently drop the other's cells.
+        let state = tmp_state("dup-ack");
+        {
+            let (mut store, _) = JobStore::open(&state).unwrap();
+            store.record_accepted(&job("j")).unwrap();
+            store.record_accepted(&job("j")).unwrap();
+        }
+        let (_s, jobs) = JobStore::open(&state).unwrap();
+        assert_eq!(jobs.len(), 1, "identical duplicates collapse");
+
+        let mut divergent = job("j");
+        divergent.sweep.seed = 99;
+        {
+            let (mut store, _) = JobStore::open(&state).unwrap();
+            store.record_accepted(&divergent).unwrap();
+        }
+        match JobStore::open(&state) {
+            Err(StoreError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("divergent duplicate"), "{reason}")
+            }
+            other => panic!(
+                "divergent duplicate accepted: {:?}",
+                other.map(|(_, j)| j.len())
+            ),
+        }
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn headerless_store_heals_and_wrong_schema_is_typed() {
+        // Crash before the header's fsync leaves an empty (or torn) file:
+        // nothing durable was lost, the header is rewritten on open.
+        let state = tmp_state("headerless");
+        std::fs::write(state.join("jobs.jsonl"), "").unwrap();
+        {
+            let (mut store, jobs) = JobStore::open(&state).unwrap();
+            assert!(jobs.is_empty());
+            store.record_accepted(&job("a")).unwrap();
+        }
+        let (_s, jobs) = JobStore::open(&state).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let text = std::fs::read_to_string(state.join("jobs.jsonl")).unwrap();
+        assert!(text.starts_with("{\"type\":\"header\""), "header rewritten");
+
+        std::fs::write(
+            state.join("jobs.jsonl"),
+            "{\"type\":\"header\",\"schema\":\"ecl-farm/OTHER/v9\"}\n",
+        )
+        .unwrap();
+        match JobStore::open(&state) {
+            Err(StoreError::WrongSchema) => {}
+            other => panic!("wrong schema accepted: {:?}", other.map(|(_, j)| j.len())),
+        }
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn failed_store_append_latches_degraded() {
+        use ecl_bench::storage::{FaultPlan, StorageErrorKind};
+        let (storage, _fs) = Storage::mem(FaultPlan {
+            seed: 5,
+            fail_fsync: Some(1), // header=0, first accepted=1
+            ..FaultPlan::default()
+        });
+        let state = PathBuf::from("/state");
+        let (mut store, _) = JobStore::open_on(&storage, &state).unwrap();
+        assert!(store.degraded().is_none());
+        let err = store.record_accepted(&job("a")).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::FsyncFailed);
+        assert_eq!(store.degraded(), Some(&err));
+        // Latched: the next record is refused without touching the file.
+        let err = store.record_accepted(&job("b")).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::ReadOnly);
+        let err = store.record_done("a", 0).unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::ReadOnly);
+    }
+
+    #[test]
     fn active_job_resumes_and_refuses_divergence() {
         let state = tmp_state("active");
         let body = Json::obj(vec![("x", Json::Num(1.0))]);
@@ -401,6 +635,25 @@ mod tests {
             Ok(_) => panic!("identity mismatch was accepted"),
         };
         assert!(err.contains("identity mismatch"), "{err}");
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn headerless_job_journal_is_recreated_not_fatal() {
+        // Crash between journal creation and the header fsync leaves an
+        // empty journal file. The job was possibly already ACKed, so
+        // recovery must not hard-fail: no record existed, recreate fresh.
+        let state = tmp_state("noheader");
+        let jpath = journal_path(&state, "j");
+        std::fs::create_dir_all(jpath.parent().unwrap()).unwrap();
+        std::fs::write(&jpath, "").unwrap();
+        let a = ActiveJob::open(&state, job("j")).expect("empty journal recreated");
+        assert_eq!(a.remaining.len(), 10, "all cells pending");
+        drop(a);
+        // Torn header (no newline): same story.
+        std::fs::write(&jpath, "{\"schema\":\"ecl-ben").unwrap();
+        let a = ActiveJob::open(&state, job("j")).expect("torn header recreated");
+        assert_eq!(a.remaining.len(), 10);
         let _ = std::fs::remove_dir_all(&state);
     }
 }

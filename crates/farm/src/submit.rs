@@ -1,0 +1,225 @@
+//! Job admission: the decision path between a `JOB/v1` line arriving and
+//! the `ACK/v1` leaving.
+//!
+//! Extracted from the daemon loop so the one contract clients build on can
+//! be pinned by unit tests against the fault-injecting storage backend:
+//! **an ACK is only emitted after the job record's fsync succeeded.** Every
+//! failure before that point — parse error, drain, duplicate id, queue
+//! backpressure, a stale journal identity, a degraded store, or the fsync
+//! itself failing — produces a typed NACK with an explicit reason, never a
+//! crash and never a silent acknowledgement the disk doesn't back.
+//!
+//! Order matters and is deliberate: the job journal is opened *before* the
+//! store record is written. The reverse order could durably record a job,
+//! then fail to open its journal and NACK — leaving a store whose replay
+//! resurrects a job the client was told was refused.
+
+use crate::api::{self, JobSpec};
+use crate::recovery::{ActiveJob, JobStore};
+use ecl_bench::storage::Storage;
+use std::path::Path;
+
+/// The outcome of admitting one submission line.
+pub enum Admission {
+    /// NACK: `reason` goes to the client verbatim.
+    Rejected {
+        /// Job id, or `"?"` when the line didn't parse far enough to have one.
+        id: String,
+        /// Why the job was refused.
+        reason: String,
+    },
+    /// ACK: the job record is durable and the journal is open.
+    Accepted {
+        /// The parsed, normalized job.
+        job: JobSpec,
+        /// Its opened execution state (journal created or resumed); boxed
+        /// so a rejection doesn't carry an `ActiveJob`-sized variant.
+        active: Box<ActiveJob>,
+    },
+}
+
+/// Decides one submission. `known` answers "is this id active or done?";
+/// `queue_refusal` returns a backpressure reason if `n` more cells don't
+/// fit. On `Accepted`, the caller enqueues the cells and sends the ACK —
+/// the durable work is already done here, in the order the contract
+/// requires.
+pub fn admit(
+    storage: &Storage,
+    state: &Path,
+    line: &str,
+    draining: bool,
+    store: &mut JobStore,
+    known: impl Fn(&str) -> bool,
+    queue_refusal: impl Fn(usize) -> Option<String>,
+) -> Admission {
+    let reject = |id: &str, reason: String| Admission::Rejected {
+        id: id.to_string(),
+        reason,
+    };
+    let job = match api::parse_job(line) {
+        Ok(j) => j,
+        Err(e) => return reject("?", e),
+    };
+    let id = job.id.clone();
+    if draining {
+        return reject(&id, "daemon is draining".into());
+    }
+    if let Some(e) = store.degraded() {
+        // The store refused an earlier record; nothing can be made durable,
+        // so nothing can be honestly ACKed. Name the root cause.
+        return reject(
+            &id,
+            format!("job store is degraded ({e}); new submissions are refused"),
+        );
+    }
+    if known(&id) {
+        return reject(&id, "duplicate job id".into());
+    }
+    let keys = job.sweep.cell_keys();
+    if let Some(reason) = queue_refusal(keys.len()) {
+        return reject(&id, reason);
+    }
+    // Open the journal first (it can fail on a stale identity), then make
+    // acceptance durable BEFORE acking — a daemon killed right after the
+    // fsync resumes the job even though no ack went out; a daemon killed
+    // before it never told anyone yes.
+    let active = match ActiveJob::open_on(storage, state, job.clone()) {
+        Ok(a) => a,
+        Err(e) => return reject(&id, e),
+    };
+    if let Err(e) = store.record_accepted(&job) {
+        return reject(&id, format!("job not accepted ({e})"));
+    }
+    Admission::Accepted {
+        job,
+        active: Box::new(active),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_bench::storage::FaultPlan;
+    use std::path::PathBuf;
+
+    fn job_line(id: &str) -> String {
+        format!(
+            r#"{{"schema":"ecl-farm/JOB/v1","id":"{id}",
+                "spec":{{"scale":0.05,"runs":1,"seed":1,"gpus":["TestTiny"],"sets":["directed"]}}}}"#
+        )
+    }
+
+    fn no_refusal(_: usize) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn ack_is_emitted_only_after_the_job_record_fsync_succeeds() {
+        let state = PathBuf::from("/state");
+
+        // Dry run on a clean backend to learn which fsync is the job
+        // record's: it is the last one a successful admit performs.
+        let (storage, fs) = Storage::mem(FaultPlan::none(1));
+        let (mut store, _) = JobStore::open_on(&storage, &state).unwrap();
+        let a = admit(
+            &storage,
+            &state,
+            &job_line("j"),
+            false,
+            &mut store,
+            |_| false,
+            no_refusal,
+        );
+        assert!(matches!(a, Admission::Accepted { .. }));
+        let record_fsync = fs.fsyncs() - 1;
+        // The positive direction: after the ACK, the record is durable —
+        // it survives a power cycle and replays.
+        fs.power_cycle();
+        let (_s, jobs) = JobStore::open_on(&storage, &state).unwrap();
+        assert_eq!(jobs.len(), 1, "ACKed job survives power loss");
+        assert_eq!(jobs[0].spec.id, "j");
+
+        // The audited direction: fail exactly that fsync — the client gets
+        // a typed NACK naming the fault, never an ACK.
+        let (storage, _fs) = Storage::mem(FaultPlan {
+            seed: 1,
+            fail_fsync: Some(record_fsync),
+            ..FaultPlan::default()
+        });
+        let (mut store, _) = JobStore::open_on(&storage, &state).unwrap();
+        match admit(
+            &storage,
+            &state,
+            &job_line("j"),
+            false,
+            &mut store,
+            |_| false,
+            no_refusal,
+        ) {
+            Admission::Rejected { id, reason } => {
+                assert_eq!(id, "j");
+                assert!(reason.contains("not accepted"), "{reason}");
+                assert!(reason.contains("fsync failed"), "{reason}");
+            }
+            Admission::Accepted { .. } => panic!("ACK despite a failed fsync"),
+        }
+        // The store is now degraded: the next submission is refused up
+        // front with the latched error as the reason.
+        assert!(store.degraded().is_some());
+        match admit(
+            &storage,
+            &state,
+            &job_line("j2"),
+            false,
+            &mut store,
+            |_| false,
+            no_refusal,
+        ) {
+            Admission::Rejected { id, reason } => {
+                assert_eq!(id, "j2");
+                assert!(reason.contains("degraded"), "{reason}");
+                assert!(reason.contains("fsync failed"), "{reason}");
+            }
+            Admission::Accepted { .. } => panic!("degraded store accepted a job"),
+        }
+    }
+
+    #[test]
+    fn every_refusal_path_is_a_typed_nack() {
+        let state = PathBuf::from("/state");
+        let (storage, _fs) = Storage::mem(FaultPlan::none(1));
+        let (mut store, _) = JobStore::open_on(&storage, &state).unwrap();
+        type Case = (
+            String,
+            bool,
+            fn(&str) -> bool,
+            fn(usize) -> Option<String>,
+            &'static str,
+        );
+        let cases: Vec<Case> = vec![
+            ("not json".into(), false, |_| false, no_refusal, ""),
+            (job_line("j"), true, |_| false, no_refusal, "draining"),
+            (job_line("j"), false, |_| true, no_refusal, "duplicate"),
+            (
+                job_line("j"),
+                false,
+                |_| false,
+                |n| Some(format!("queue full: {n} cells over cap")),
+                "queue full",
+            ),
+        ];
+        for (line, draining, known, refusal, needle) in cases {
+            match admit(
+                &storage, &state, &line, draining, &mut store, known, refusal,
+            ) {
+                Admission::Rejected { reason, .. } => {
+                    assert!(reason.contains(needle), "{reason} !~ {needle}")
+                }
+                Admission::Accepted { .. } => panic!("expected rejection ({needle})"),
+            }
+        }
+        // None of the refusals wrote anything: replay is still empty.
+        let (_s, jobs) = JobStore::open_on(&storage, &state).unwrap();
+        assert!(jobs.is_empty());
+    }
+}

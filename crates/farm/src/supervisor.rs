@@ -51,10 +51,32 @@ pub struct FleetConfig {
     pub max_attempts: u32,
     /// First respawn backoff; doubles per consecutive death of a slot.
     pub backoff_base_ms: u64,
-    /// Backoff ceiling.
+    /// Backoff ceiling (before jitter; see [`restart_backoff_ms`]).
     pub backoff_cap_ms: u64,
+    /// Seed for the deterministic per-slot restart jitter.
+    pub jitter_seed: u64,
     /// Directory for worker stderr capture files.
     pub scratch: PathBuf,
+}
+
+/// The jittered exponential restart backoff, as a pure function so the
+/// schedule can be pinned by tests: `base·2^min(deaths,16)` capped at
+/// `cap`, plus a seed-derived jitter in `[0, exp/2]` mixed from
+/// `(seed, slot, deaths)`.
+///
+/// Without the jitter a fleet whose workers all died together (shared
+/// poison input, machine hiccup) restarts in lockstep and reconverges on
+/// whatever killed it in lockstep too. Deriving the jitter from the slot
+/// index decorrelates the slots; deriving it deterministically keeps farm
+/// runs reproducible — the same seed always yields the same schedule.
+pub fn restart_backoff_ms(base: u64, cap: u64, deaths: u32, seed: u64, slot: u64) -> u64 {
+    let exp = base.saturating_mul(1u64 << deaths.min(16)).min(cap);
+    let span = exp / 2 + 1;
+    let mix = ecl_bench::splitmix64(
+        seed ^ slot.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (deaths as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9),
+    );
+    exp.saturating_add(mix % span)
 }
 
 /// What a tick observed, in observation order.
@@ -233,19 +255,29 @@ impl Fleet {
             Err(e) => {
                 eprintln!("farm: cannot spawn worker slot {idx}: {e}");
                 slot.state = SlotState::Dead {
-                    respawn_at: Instant::now() + Duration::from_millis(self.cfg.backoff_cap_ms),
+                    // Cap-level backoff, jittered like any other restart so
+                    // a fleet-wide spawn failure doesn't retry in lockstep.
+                    respawn_at: Instant::now()
+                        + Duration::from_millis(restart_backoff_ms(
+                            self.cfg.backoff_cap_ms,
+                            self.cfg.backoff_cap_ms,
+                            0,
+                            self.cfg.jitter_seed,
+                            idx as u64,
+                        )),
                 };
             }
         }
     }
 
-    fn backoff(&self, deaths: u32) -> Duration {
-        let ms = self
-            .cfg
-            .backoff_base_ms
-            .saturating_mul(1u64 << deaths.min(16))
-            .min(self.cfg.backoff_cap_ms);
-        Duration::from_millis(ms)
+    fn backoff(&self, deaths: u32, slot: usize) -> Duration {
+        Duration::from_millis(restart_backoff_ms(
+            self.cfg.backoff_base_ms,
+            self.cfg.backoff_cap_ms,
+            deaths,
+            self.cfg.jitter_seed,
+            slot as u64,
+        ))
     }
 
     /// Kills slot `idx`'s worker (if any) and charges the death to the cell
@@ -267,7 +299,7 @@ impl Fleet {
             let _ = child.wait();
         }
         slot.deaths = slot.deaths.saturating_add(1);
-        let backoff = self.backoff(self.slots[idx].deaths - 1);
+        let backoff = self.backoff(self.slots[idx].deaths - 1, idx);
         let prev = std::mem::replace(
             &mut self.slots[idx].state,
             SlotState::Dead {
@@ -478,7 +510,7 @@ impl Fleet {
                         slot.stdin = None;
                         slot.deaths = slot.deaths.saturating_add(1);
                         let deaths = slot.deaths;
-                        let backoff = self.backoff(deaths - 1);
+                        let backoff = self.backoff(deaths - 1, idx);
                         self.slots[idx].state = SlotState::Dead {
                             respawn_at: now + backoff,
                         };
@@ -520,4 +552,62 @@ fn unix_signal(status: &std::process::ExitStatus) -> Option<i32> {
 #[cfg(not(unix))]
 fn unix_signal(_status: &std::process::ExitStatus) -> Option<i32> {
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::restart_backoff_ms;
+
+    #[test]
+    fn restart_backoff_schedule_is_pinned() {
+        // The exact schedule for (base 100ms, cap 2000ms, seed 0xec1fa3a7):
+        // exponential growth is visible, jitter is bounded by exp/2, slots
+        // diverge, and the numbers are frozen — a silent change to the
+        // mixing breaks this test, not production reproducibility.
+        let sched = |slot: u64| -> Vec<u64> {
+            (0..7)
+                .map(|d| restart_backoff_ms(100, 2000, d, 0xec1f_a3a7, slot))
+                .collect()
+        };
+        assert_eq!(sched(0), [114, 221, 547, 834, 2175, 2490, 2035]);
+        assert_eq!(sched(1), [150, 254, 460, 938, 2347, 2546, 2388]);
+        assert_eq!(
+            (0..7)
+                .map(|d| restart_backoff_ms(100, 2000, d, 1, 0))
+                .collect::<Vec<_>>(),
+            [144, 243, 508, 1003, 1810, 2381, 2346]
+        );
+    }
+
+    #[test]
+    fn restart_backoff_is_bounded_and_deterministic() {
+        for deaths in 0..20 {
+            for slot in 0..8u64 {
+                let ms = restart_backoff_ms(100, 2000, deaths, 7, slot);
+                let exp = 100u64.saturating_mul(1 << deaths.min(16)).min(2000);
+                assert!(ms >= exp, "jitter never shortens the backoff");
+                assert!(ms <= exp + exp / 2, "jitter bounded by exp/2");
+                assert_eq!(ms, restart_backoff_ms(100, 2000, deaths, 7, slot));
+            }
+        }
+        // Degenerate configs don't panic or overflow.
+        assert_eq!(restart_backoff_ms(0, 0, 63, 0, 0), 0);
+        let _ = restart_backoff_ms(u64::MAX, u64::MAX, u32::MAX, u64::MAX, u64::MAX);
+    }
+
+    #[test]
+    fn slots_do_not_restart_in_lockstep() {
+        // For any death count, at least some pair of slots must disagree —
+        // the whole point of the jitter.
+        for deaths in 0..6 {
+            let times: Vec<u64> = (0..8)
+                .map(|slot| restart_backoff_ms(100, 2000, deaths, 0xec1f_a3a7, slot))
+                .collect();
+            let first = times[0];
+            assert!(
+                times.iter().any(|&t| t != first),
+                "deaths {deaths}: all slots at {first}ms"
+            );
+        }
+    }
 }

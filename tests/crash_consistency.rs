@@ -1,0 +1,463 @@
+//! Crash-consistency harness: simulated power loss at **every** write
+//! boundary of the two durable-writer protocols.
+//!
+//! The question this file answers is the one a kill -9 or a power cut asks
+//! the state directory: *can recovery always finish the work, and does it
+//! finish it to the same bytes?* The harness runs each workload once on a
+//! clean in-memory disk to learn (a) the total number of mutating storage
+//! operations `T` and (b) the reference report bytes `R`; then, for every
+//! boundary `i in 0..T`, it re-runs the workload on a disk that dies at
+//! operation `i` (un-fsynced data reduced to a seed-derived torn prefix),
+//! power-cycles, and runs recovery on the healthy disk. After recovery:
+//!
+//! * no ACKed job is lost — if the admission path returned `Accepted`, the
+//!   job record replays from the store;
+//! * no cell is double-counted — every journal key appears exactly once;
+//! * torn tails are tolerated — recovery is `Ok`, never a panic;
+//! * the final report is **byte-identical** to the uninterrupted run's.
+//!
+//! Two workloads cover the two protocols:
+//!
+//! * **sweep** — the `all_tests --journal` shape: journal create/resume,
+//!   one fsync'd cell record per cell, atomic report write. Cell *bodies*
+//!   are measured once (a real `Matrix` sweep on the simulator) and
+//!   replayed through the write path at every boundary, which is sound
+//!   because the suite's determinism contract makes re-measurement
+//!   byte-identical — re-measuring at every boundary would only re-verify
+//!   what `fastpath_equivalence.rs` already pins, at ~30x the cost.
+//! * **farm job** — the daemon shape: job store replay, `admit` (journal
+//!   open, job record fsync, then ACK), per-cell journal records, atomic
+//!   report, `done` record.
+//!
+//! `ECL_CRASH_FULL=1` (the CI `crash-consistency` job) widens the sweep to
+//! both cell sets; the default is the 10-cell directed set so `cargo test`
+//! stays fast. Every fault plan is derived from a fixed seed via SplitMix64,
+//! so a failing boundary reproduces exactly. See DESIGN.md §12.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use ecl_bench::{
+    set_cell_keys, table_from_records, BenchReport, FaultPlan, Journal, JournalWriter, Json,
+    LoadError, Matrix, MeasuredTable, MemFs, Storage, SweepControl,
+};
+use ecl_farm::{admit, ActiveJob, Admission, JobSpec, JobStore};
+
+/// Every fault plan in this file derives from this seed.
+const SEED: u64 = 0x0c1f_c0de;
+const JOB_ID: &str = "crash-j";
+const STATE: &str = "/state";
+const SWEEP_JOURNAL: &str = "/state/sweep.jsonl";
+const SWEEP_REPORT: &str = "/state/REPORT-sweep.json";
+
+/// The workload both protocols replay: one job spec plus its cell records
+/// (key, ok, body) in canonical order, measured once per process.
+struct Fixture {
+    job_line: String,
+    records: Vec<(String, bool, Json)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let full = std::env::var("ECL_CRASH_FULL").is_ok_and(|v| v == "1");
+        let sets: &[&str] = if full {
+            &["directed", "undirected"]
+        } else {
+            &["directed"]
+        };
+        let set_list = sets
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        let job_line = format!(
+            r#"{{"schema":"ecl-farm/JOB/v1","id":"{JOB_ID}",
+                "spec":{{"scale":0.05,"runs":1,"seed":1,"gpus":["TestTiny"],"sets":[{set_list}]}}}}"#
+        );
+        let spec = ecl_farm::parse_job(&job_line).unwrap();
+
+        // Measure the cells once, journaling onto a clean in-memory disk;
+        // the loaded journal IS the fixture, in canonical order (jobs=1).
+        let (storage, _fs) = Storage::mem(FaultPlan::none(SEED));
+        let path = PathBuf::from("/fixture.jsonl");
+        let writer = JournalWriter::create_on(&storage, &path, &spec.sweep.identity()).unwrap();
+        let matrix = Matrix::quick()
+            .scale(0.05)
+            .runs(1)
+            .seed(1)
+            .jobs(1)
+            .gpus(spec.sweep.gpus.clone());
+        let ctl = SweepControl {
+            journal: Some(&writer),
+            ..SweepControl::default()
+        };
+        for set in sets {
+            match *set {
+                "directed" => drop(matrix.run_directed_with(&ctl)),
+                _ => drop(matrix.run_undirected_with(&ctl)),
+            }
+        }
+        let journal = Journal::load_on(&storage, &path).unwrap();
+        let records: Vec<(String, bool, Json)> = journal
+            .records
+            .into_iter()
+            .map(|r| (r.key, r.ok, r.body))
+            .collect();
+        let keys: Vec<&str> = records.iter().map(|(k, _, _)| k.as_str()).collect();
+        let canonical = spec.sweep.cell_keys();
+        assert_eq!(keys, canonical, "fixture order is the canonical order");
+        Fixture { job_line, records }
+    })
+}
+
+fn spec(fx: &Fixture) -> JobSpec {
+    ecl_farm::parse_job(&fx.job_line).unwrap()
+}
+
+/// Renders the report exactly the way `ActiveJob::finalize` and the
+/// `all_tests` export path do: tables rebuilt from records in canonical
+/// cell order, so the bytes depend only on what was measured.
+fn render_report(
+    spec: &JobSpec,
+    records: &HashMap<String, (bool, Json)>,
+) -> Result<Vec<u8>, String> {
+    let e = spec.sweep.experiment();
+    let empty = MeasuredTable::default();
+    let mut undirected = None;
+    let mut directed = None;
+    for set in &spec.sweep.sets {
+        let keys = set_cell_keys(&e, set);
+        let table = table_from_records(records, &keys)?;
+        match set.as_str() {
+            "undirected" => undirected = Some(table),
+            _ => directed = Some(table),
+        }
+    }
+    let report = BenchReport {
+        experiment: &e,
+        undirected: undirected.as_ref().unwrap_or(&empty),
+        directed: directed.as_ref().unwrap_or(&empty),
+        timing: None,
+    };
+    Ok(report.render().into_bytes())
+}
+
+/// One attempt at the journaled-sweep protocol (the `all_tests --journal`
+/// shape): open or resume the journal, append every missing cell, write the
+/// report atomically. Any storage fault surfaces as `Err` — a panic anywhere
+/// in here is itself a harness failure.
+fn run_sweep(storage: &Storage, fx: &Fixture) -> Result<Vec<u8>, String> {
+    let spec = spec(fx);
+    let identity = spec.sweep.identity();
+    let path = Path::new(SWEEP_JOURNAL);
+    storage
+        .create_dir_all(Path::new(STATE))
+        .map_err(|e| e.to_string())?;
+    let mut have: HashMap<String, (bool, Json)> = HashMap::new();
+    let writer = if storage.exists(path) {
+        match Journal::load_on(storage, path) {
+            Ok(j) => {
+                j.check_identity(&identity)?;
+                for r in j.records {
+                    if let Some((_, prev)) = have.get(&r.key) {
+                        if prev != &r.body {
+                            return Err(format!("cell '{}' double-counted divergently", r.key));
+                        }
+                    }
+                    have.insert(r.key, (r.ok, r.body));
+                }
+                JournalWriter::append_to_on(storage, path).map_err(|e| e.to_string())?
+            }
+            // The header is line one: no intact header proves no cell record
+            // survived, so recreating from the spec loses nothing.
+            Err(LoadError::NoHeader) => {
+                JournalWriter::create_on(storage, path, &identity).map_err(|e| e.to_string())?
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    } else {
+        JournalWriter::create_on(storage, path, &identity).map_err(|e| e.to_string())?
+    };
+    for (key, ok, body) in &fx.records {
+        if have.contains_key(key) {
+            continue;
+        }
+        writer
+            .append_cell(key, *ok, body)
+            .map_err(|e| e.to_string())?;
+        have.insert(key.clone(), (*ok, body.clone()));
+    }
+    let bytes = render_report(&spec, &have)?;
+    storage
+        .write_atomic(Path::new(SWEEP_REPORT), &bytes)
+        .map_err(|e| e.to_string())?;
+    Ok(bytes)
+}
+
+/// Runs the fixture job's remaining cells to completion and records done —
+/// the tail of one daemon lifetime for one job.
+fn finish_job(active: &mut ActiveJob, store: &mut JobStore, fx: &Fixture) -> Result<(), String> {
+    for (key, ok, body) in &fx.records {
+        if !active.remaining.contains(key) {
+            continue;
+        }
+        active.record_cell(key, *ok, body.clone())?;
+    }
+    active.finalize(Path::new(STATE))?;
+    store
+        .record_done(&active.spec.id, active.failures())
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// One daemon lifetime: replay the job store, resume any unfinished ACKed
+/// job, and if the fixture job is unknown, admit it fresh. `acked` flips to
+/// `true` at the exact moment the real daemon would emit the `ACK/v1` line
+/// (admission returned `Accepted` — the job record's fsync succeeded).
+fn run_daemon(storage: &Storage, fx: &Fixture, acked: &mut bool) -> Result<(), String> {
+    let state = Path::new(STATE);
+    let (mut store, replayed) = JobStore::open_on(storage, state).map_err(|e| e.to_string())?;
+    let mut known = false;
+    for sj in replayed {
+        if sj.spec.id != JOB_ID {
+            continue;
+        }
+        known = true;
+        if sj.done {
+            continue;
+        }
+        let mut active = ActiveJob::open_on(storage, state, sj.spec)?;
+        finish_job(&mut active, &mut store, fx)?;
+    }
+    if !known {
+        match admit(
+            storage,
+            state,
+            &fx.job_line,
+            false,
+            &mut store,
+            |_| false,
+            |_| None,
+        ) {
+            Admission::Rejected { reason, .. } => return Err(format!("NACK: {reason}")),
+            Admission::Accepted { mut active, .. } => {
+                *acked = true;
+                finish_job(&mut active, &mut store, fx)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Asserts the journal at `path` counts every fixture cell exactly once.
+fn assert_no_double_counting(storage: &Storage, path: &Path, fx: &Fixture, boundary: u64) {
+    let journal = Journal::load_on(storage, path)
+        .unwrap_or_else(|e| panic!("boundary {boundary}: recovered journal unloadable: {e}"));
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for r in &journal.records {
+        *seen.entry(r.key.as_str()).or_default() += 1;
+    }
+    for (key, _, _) in &fx.records {
+        assert_eq!(
+            seen.get(key.as_str()),
+            Some(&1),
+            "boundary {boundary}: cell '{key}' counted {:?} times",
+            seen.get(key.as_str()).unwrap_or(&0)
+        );
+    }
+    assert_eq!(
+        journal.records.len(),
+        fx.records.len(),
+        "boundary {boundary}: journal holds records beyond the sweep's cells"
+    );
+}
+
+/// The uninterrupted reference run: total mutating-op count and the bytes
+/// the workload leaves at `report`.
+fn reference(
+    fx: &Fixture,
+    report: &Path,
+    run: impl Fn(&Storage, &Fixture) -> Result<(), String>,
+) -> (u64, Vec<u8>) {
+    let (storage, fs) = Storage::mem(FaultPlan::none(SEED));
+    run(&storage, fx).expect("uninterrupted run succeeds");
+    let bytes = fs
+        .peek(report)
+        .expect("uninterrupted run writes the report");
+    (fs.ops(), bytes)
+}
+
+#[test]
+fn sweep_survives_power_loss_at_every_write_boundary() {
+    let fx = fixture();
+    let report = Path::new(SWEEP_REPORT);
+    let (total, reference_bytes) = reference(fx, report, |s, fx| run_sweep(s, fx).map(|_| ()));
+    assert!(total > 0);
+
+    for i in 0..total {
+        let (storage, fs) = Storage::mem(FaultPlan::power_loss_at(SEED, i));
+        let crashed = run_sweep(&storage, fx);
+        assert!(
+            crashed.is_err(),
+            "boundary {i}: power loss must surface as a typed error"
+        );
+        fs.power_cycle();
+
+        let recovered = run_sweep(&storage, fx)
+            .unwrap_or_else(|e| panic!("boundary {i}: recovery failed: {e}"));
+        assert_eq!(
+            recovered, reference_bytes,
+            "boundary {i}: recovered report differs from the uninterrupted run"
+        );
+        assert_eq!(
+            fs.peek(report).as_deref(),
+            Some(&reference_bytes[..]),
+            "boundary {i}: on-disk report differs"
+        );
+        assert_no_double_counting(&storage, Path::new(SWEEP_JOURNAL), fx, i);
+
+        // A third lifetime finds everything journaled and merely rewrites
+        // the same report — recovery is idempotent.
+        run_sweep(&storage, fx).unwrap_or_else(|e| panic!("boundary {i}: re-run failed: {e}"));
+        assert_eq!(fs.peek(report).as_deref(), Some(&reference_bytes[..]));
+    }
+}
+
+#[test]
+fn farm_job_survives_power_loss_at_every_write_boundary() {
+    let fx = fixture();
+    let state = Path::new(STATE);
+    let report = ecl_farm::recovery::report_path(state, JOB_ID);
+    let journal = ecl_farm::recovery::journal_path(state, JOB_ID);
+    let (total, reference_bytes) = reference(fx, &report, |s, fx| {
+        let mut acked = false;
+        run_daemon(s, fx, &mut acked)?;
+        assert!(acked, "uninterrupted run ACKs the job");
+        Ok(())
+    });
+
+    for i in 0..total {
+        let (storage, fs) = Storage::mem(FaultPlan::power_loss_at(SEED, i));
+        let mut acked = false;
+        let crashed = run_daemon(&storage, fx, &mut acked);
+        assert!(
+            crashed.is_err(),
+            "boundary {i}: power loss must surface as a typed error"
+        );
+        fs.power_cycle();
+
+        // The ACK audit: an emitted ACK promises the job record's fsync
+        // succeeded, so the record must replay after any later power cut.
+        if acked {
+            let (_store, replayed) = JobStore::open_on(&storage, state)
+                .unwrap_or_else(|e| panic!("boundary {i}: store replay failed: {e}"));
+            assert!(
+                replayed.iter().any(|j| j.spec.id == JOB_ID),
+                "boundary {i}: ACKed job lost by the crash"
+            );
+        }
+
+        let mut resumed_ack = false;
+        run_daemon(&storage, fx, &mut resumed_ack)
+            .unwrap_or_else(|e| panic!("boundary {i}: recovery failed: {e}"));
+        assert_eq!(
+            fs.peek(&report).as_deref(),
+            Some(&reference_bytes[..]),
+            "boundary {i}: recovered report differs from the uninterrupted run"
+        );
+        assert_no_double_counting(&storage, &journal, fx, i);
+
+        // The store must now say done: a third lifetime neither re-admits
+        // nor re-runs, and the report bytes stay put.
+        let mut third_ack = false;
+        run_daemon(&storage, fx, &mut third_ack)
+            .unwrap_or_else(|e| panic!("boundary {i}: third lifetime failed: {e}"));
+        assert!(!third_ack, "boundary {i}: finished job re-admitted");
+        let (_store, replayed) = JobStore::open_on(&storage, state).unwrap();
+        let job = replayed.iter().find(|j| j.spec.id == JOB_ID);
+        assert!(
+            job.is_some_and(|j| j.done),
+            "boundary {i}: job not marked done after recovery"
+        );
+        assert_eq!(fs.peek(&report).as_deref(), Some(&reference_bytes[..]));
+    }
+}
+
+/// Full snapshot of the simulated disk, for determinism comparisons.
+fn disk_snapshot(fs: &Arc<MemFs>) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut out: Vec<(PathBuf, Vec<u8>)> = fs
+        .paths()
+        .into_iter()
+        .map(|p| {
+            let bytes = fs.peek(&p).unwrap_or_default();
+            (p, bytes)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn enospc_mid_sweep_is_typed_and_seed_deterministic() {
+    let fx = fixture();
+    let run = || {
+        let (storage, fs) = Storage::mem(FaultPlan {
+            seed: SEED,
+            disk_capacity: Some(700),
+            ..FaultPlan::none(SEED)
+        });
+        let err = run_sweep(&storage, fx).expect_err("the sweep must hit ENOSPC");
+        (err, disk_snapshot(&fs))
+    };
+    let (e1, s1) = run();
+    let (e2, s2) = run();
+    assert!(e1.contains("ENOSPC"), "typed reason, got: {e1}");
+    assert_eq!(e1, e2, "same plan, same typed outcome");
+    assert_eq!(s1, s2, "same plan, same surviving bytes");
+}
+
+#[test]
+fn enospc_mid_farm_job_degrades_without_losing_the_store() {
+    let fx = fixture();
+    let (storage, _fs) = Storage::mem(FaultPlan {
+        seed: SEED,
+        disk_capacity: Some(2_000),
+        ..FaultPlan::none(SEED)
+    });
+    let mut acked = false;
+    let err = run_daemon(&storage, fx, &mut acked).expect_err("the job must hit ENOSPC");
+    assert!(err.contains("ENOSPC"), "typed reason, got: {err}");
+    // Whatever was fsync'd before the device filled still replays — the
+    // full device degraded the run, it did not corrupt the store.
+    let (_store, replayed) = JobStore::open_on(&storage, Path::new(STATE))
+        .expect("a full device must not corrupt the store");
+    if acked {
+        assert!(replayed.iter().any(|j| j.spec.id == JOB_ID));
+    }
+}
+
+#[test]
+fn eio_during_recovery_load_is_a_typed_error() {
+    let fx = fixture();
+    // The writing pass performs no reads, so read #0 is recovery's journal
+    // load: the plan arms EIO precisely there.
+    let (storage, _fs) = Storage::mem(FaultPlan {
+        seed: SEED,
+        fail_read: Some(0),
+        ..FaultPlan::none(SEED)
+    });
+    run_sweep(&storage, fx).expect("the writing pass performs no reads");
+    let err = run_sweep(&storage, fx).expect_err("recovery's load must hit EIO");
+    assert!(err.contains("EIO"), "typed reason, got: {err}");
+
+    // Same seed, same plan: the error reproduces verbatim.
+    let (storage2, _fs2) = Storage::mem(FaultPlan {
+        seed: SEED,
+        fail_read: Some(0),
+        ..FaultPlan::none(SEED)
+    });
+    run_sweep(&storage2, fx).unwrap();
+    assert_eq!(err, run_sweep(&storage2, fx).unwrap_err());
+}
