@@ -13,6 +13,7 @@
 //! confirms it is race-free as published.
 
 mod kernels;
+pub mod native;
 mod verify;
 
 pub use verify::{reference_apsp, verify_apsp};

@@ -1,0 +1,110 @@
+//! ECL-APSP on host threads: row-parallel Floyd-Warshall with a team
+//! barrier per pivot `k`.
+//!
+//! APSP is the suite's one regular code — at pivot step `k`, row `k` and
+//! column `k` are never modified (`dist[k][k] == 0` with non-negative
+//! weights), so every cross-thread read targets data that is stable for the
+//! whole step. The same code therefore serves both "variants"; the
+//! baseline/race-free split is a no-op here, exactly as in the paper
+//! (§IV-A: the published APSP has no data races).
+
+use crate::common::Digest;
+use ecl_graph::Csr;
+use ecl_native::{run_team, NativePolicy, WordArr};
+
+use super::{ApspResult, INF};
+
+/// Runs native Floyd-Warshall on `threads` host threads; `seed` perturbs
+/// only the schedule.
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices, carries no weights, or has more
+/// than 2048 vertices (dense O(n²) matrix).
+pub fn run<P: NativePolicy>(g: &Csr, threads: usize, seed: u64) -> ApspResult {
+    assert!(g.num_vertices() > 0, "empty graph");
+    assert!(
+        g.num_vertices() <= 2048,
+        "APSP is dense: {} vertices would need a {}-entry matrix",
+        g.num_vertices(),
+        g.num_vertices() * g.num_vertices()
+    );
+    let weights = g.weights().expect("APSP needs edge weights");
+    let start = std::time::Instant::now();
+    let n = g.num_vertices();
+
+    // Initial matrix: 0 on the diagonal, min edge weight on edges, INF
+    // elsewhere (duplicate edges keep the lightest parallel edge).
+    let mut init = vec![INF; n * n];
+    for v in 0..n {
+        init[v * n + v] = 0;
+    }
+    for (e, (u, v)) in g.edges().enumerate() {
+        let slot = &mut init[u as usize * n + v as usize];
+        *slot = (*slot).min(weights[e]);
+    }
+    let dist = WordArr::from_fn(n * n, |i| init[i]);
+
+    run_team(threads, seed, |ctx| {
+        for k in 0..n {
+            for i in ctx.my_block(n) {
+                let dik = P::load_u32(dist.at(i * n + k));
+                if dik == INF {
+                    continue;
+                }
+                for j in 0..n {
+                    let dkj = P::load_u32(dist.at(k * n + j));
+                    if dkj == INF {
+                        continue;
+                    }
+                    let through = dik + dkj;
+                    if through < P::load_u32(dist.at(i * n + j)) {
+                        P::store_u32(dist.at(i * n + j), through);
+                    }
+                }
+            }
+            ctx.barrier();
+        }
+    });
+
+    let out = dist.snapshot();
+    let mut digest = Digest::new();
+    for &d in &out {
+        digest.push(d as u64);
+    }
+    ApspResult {
+        n,
+        cycles: start.elapsed().as_nanos() as u64,
+        stats: Default::default(),
+        digest: digest.finish(),
+        dist: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::verify_apsp;
+    use ecl_graph::gen;
+    use ecl_native::{Baseline, RaceFree};
+
+    #[test]
+    fn matches_dijkstra_on_torus() {
+        let g = gen::grid2d_torus(6, 6).with_random_weights(9, 3);
+        let b = run::<Baseline>(&g, 4, 1);
+        let f = run::<RaceFree>(&g, 4, 2);
+        assert!(verify_apsp(&g, &b.dist));
+        assert_eq!(b.digest, f.digest);
+    }
+
+    #[test]
+    fn disconnected_pairs_stay_inf() {
+        let mut bld = ecl_graph::CsrBuilder::new(4).symmetric(true);
+        bld.add_edge(0, 1).add_edge(2, 3);
+        let g = bld.build().with_random_weights(5, 1);
+        let r = run::<RaceFree>(&g, 2, 0);
+        assert_eq!(r.dist[2], INF);
+        assert_ne!(r.dist[1], INF);
+        assert!(verify_apsp(&g, &r.dist));
+    }
+}

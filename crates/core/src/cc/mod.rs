@@ -8,6 +8,7 @@
 //! IV–VII.
 
 mod kernels;
+pub mod native;
 mod verify;
 
 pub use verify::{reference_components, verify_components};

@@ -1,0 +1,191 @@
+//! ECL-CC on host threads: the same union-find pipeline (init shortcut,
+//! degree-dispatched hooking, flatten) with the heavy vertices load-balanced
+//! through the native chunked worklist instead of the device ticket array.
+//!
+//! The connected-components partition of a graph is unique, so the native
+//! result's canonical [`partition_digest`] matches the simulator's for any
+//! thread count and interleaving — that is what `tests/native_differential.rs`
+//! pins.
+
+use crate::common::partition_digest;
+use ecl_graph::Csr;
+use ecl_native::{run_team, NativePolicy, Tickets, WordArr, Worklist};
+
+use super::CcResult;
+
+/// Degree above which a vertex's edges go through the worklist in
+/// edge-range chunks (mirrors the simulator kernels' `HEAVY_DEGREE`).
+const HEAVY_DEGREE: u32 = 32;
+/// Edges per heavy worklist item.
+const HEAVY_CHUNK: u32 = 128;
+
+/// Follows parent links to the representative with intermediate pointer
+/// jumping — the §VI-A hot spot, on host memory.
+#[inline]
+fn rep<P: NativePolicy>(parent: &WordArr, v: u32) -> u32 {
+    let mut cur = P::load_u32(parent.at(v as usize));
+    if cur == v {
+        return v;
+    }
+    let mut prev = v;
+    loop {
+        let next = P::load_u32(parent.at(cur as usize));
+        if next == cur {
+            return cur;
+        }
+        // Path shortening: racy plain write in the baseline, relaxed atomic
+        // in the conversion (monotone toward smaller ids either way).
+        P::store_u32(parent.at(prev as usize), next);
+        prev = cur;
+        cur = next;
+    }
+}
+
+/// Hooks the larger representative under the smaller with a CAS, exactly
+/// once per union. Returns `true` if this call merged two sets.
+#[inline]
+pub(crate) fn hook<P: NativePolicy>(parent: &WordArr, a: u32, b: u32) -> bool {
+    let mut ra = rep::<P>(parent, a);
+    let mut rb = rep::<P>(parent, b);
+    loop {
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+        if P::cas_u32(parent.at(hi as usize), hi, lo) == hi {
+            return true;
+        }
+        ra = rep::<P>(parent, hi);
+        rb = rep::<P>(parent, lo);
+    }
+}
+
+/// Runs native ECL-CC on `threads` host threads. `seed` only perturbs the
+/// schedule (block rotation), never the result.
+pub fn run<P: NativePolicy>(g: &Csr, threads: usize, seed: u64) -> CcResult {
+    assert!(g.num_vertices() > 0, "empty graph");
+    let start = std::time::Instant::now();
+    let n = g.num_vertices();
+    let row = g.row_offsets();
+    let col = g.col_indices();
+
+    let labels = WordArr::new(n, 0);
+    let heavy = Worklist::new(threads);
+    let flatten = Tickets::new(n, 1024);
+
+    run_team(threads, seed, |ctx| {
+        // Init: label[v] = first neighbor smaller than v, else v.
+        for v in ctx.my_block(n) {
+            let (begin, end) = (row[v] as usize, row[v + 1] as usize);
+            let mut label = v as u32;
+            for &u in &col[begin..end] {
+                if u < v as u32 {
+                    label = u;
+                    break;
+                }
+            }
+            P::store_u32(labels.at(v), label);
+        }
+        ctx.barrier();
+
+        // Light vertices hook directly; heavy ones publish edge-range
+        // chunks for the edge-parallel drain below.
+        {
+            let mut h = heavy.handle(ctx.tid);
+            for v in ctx.my_block(n) {
+                let (begin, end) = (row[v], row[v + 1]);
+                let deg = end - begin;
+                if deg > HEAVY_DEGREE {
+                    let mut lo = begin;
+                    while lo < end {
+                        let hi = (lo + HEAVY_CHUNK).min(end);
+                        h.push(((v as u64) << 32) | (lo - begin) as u64);
+                        lo = hi;
+                    }
+                    continue;
+                }
+                for &u in &col[begin as usize..end as usize] {
+                    if u < v as u32 {
+                        hook::<P>(&labels, v as u32, u);
+                    }
+                }
+            }
+            h.flush();
+        }
+        ctx.barrier();
+
+        // Edge-parallel heavy drain: items are (vertex, edge-chunk offset).
+        {
+            let mut h = heavy.handle(ctx.tid);
+            while let Some(chunk) = h.pop_chunk() {
+                for item in chunk {
+                    let v = (item >> 32) as u32;
+                    let off = item as u32;
+                    let begin = row[v as usize] + off;
+                    let end = (begin + HEAVY_CHUNK).min(row[v as usize + 1]);
+                    for &u in &col[begin as usize..end as usize] {
+                        if u < v {
+                            hook::<P>(&labels, v, u);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.barrier();
+
+        // Flatten: every vertex records its final representative.
+        while let Some(range) = flatten.grab() {
+            for v in range {
+                let r = rep::<P>(&labels, v as u32);
+                P::store_u32(labels.at(v), r);
+            }
+        }
+    });
+
+    let host_labels = labels.snapshot();
+    let mut roots = host_labels.clone();
+    roots.sort_unstable();
+    roots.dedup();
+    CcResult {
+        digest: partition_digest(&host_labels),
+        num_components: roots.len(),
+        cycles: start.elapsed().as_nanos() as u64,
+        stats: Default::default(),
+        labels: host_labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{reference_components, verify_components};
+    use ecl_graph::gen;
+    use ecl_native::{Baseline, RaceFree};
+
+    #[test]
+    fn both_policies_find_the_partition() {
+        let g = gen::rmat(512, 2048, 0.57, 0.19, 0.19, true, 3);
+        let reference = reference_components(&g);
+        for threads in [1, 4] {
+            let b = run::<Baseline>(&g, threads, 1);
+            let f = run::<RaceFree>(&g, threads, 2);
+            assert!(verify_components(&g, &b.labels));
+            assert!(verify_components(&g, &f.labels));
+            assert_eq!(b.num_components, reference);
+            assert_eq!(b.digest, f.digest);
+        }
+    }
+
+    #[test]
+    fn hub_graph_exercises_heavy_path() {
+        let n = 5_000;
+        let mut b = ecl_graph::CsrBuilder::new(n).symmetric(true);
+        for v in 1..n as u32 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        let r = run::<RaceFree>(&g, 8, 0);
+        assert_eq!(r.num_components, 1);
+        assert!(verify_components(&g, &r.labels));
+    }
+}

@@ -129,6 +129,16 @@ fn round_body<P: AccessPolicy, Q: AccessPolicy, H: Hooks>(
         let u = ctx.load(g.col_indices.at(e as usize));
         let cu = P::read_u32(ctx, colors.at(u as usize));
         if cu != NO_COLOR {
+            if cu == candidate {
+                // A neighbor took our candidate between the mask pass and
+                // this read: the candidate is stale, recompute next round.
+                // Together with the minposs bound this closes the only
+                // conflicting-write window — a neighbor that has not yet
+                // published `candidate` still has minposs <= candidate, so
+                // the uncolored branch below blocks us instead.
+                blocked = true;
+                break;
+            }
             continue;
         }
         let deg_u =

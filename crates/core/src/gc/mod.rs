@@ -14,6 +14,7 @@
 //! geomean speedups stay within 0.96–1.00.
 
 mod kernels;
+pub mod native;
 mod verify;
 
 pub use verify::verify_coloring;

@@ -14,6 +14,7 @@
 //! helpers) publish decisions immediately.
 
 mod kernels;
+pub mod native;
 mod verify;
 
 pub use verify::verify_mis;

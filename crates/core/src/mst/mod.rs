@@ -12,6 +12,7 @@
 //! MST is deterministic across variants and interleavings.
 
 mod kernels;
+pub mod native;
 mod verify;
 
 pub use verify::{reference_mst_weight, verify_mst};

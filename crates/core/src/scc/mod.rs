@@ -13,6 +13,7 @@
 //! (atomic operations on each `int` half) and converts the flag to an `int`.
 
 mod kernels;
+pub mod native;
 mod verify;
 mod worklist;
 

@@ -7,6 +7,7 @@ use crate::common::SimOptions;
 use crate::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
 use crate::{apsp, cc, gc, mis, mst, scc};
 use ecl_graph::Csr;
+use ecl_native::{Baseline as NativeBaseline, NativePolicy, RaceFree as NativeRaceFree};
 use ecl_simt::{GpuConfig, SimError, StoreVisibility};
 use std::fmt;
 
@@ -324,6 +325,219 @@ pub fn run_algorithm_checked(
             )
         }
     })
+}
+
+/// Runs `algorithm`/`variant` directly on `threads` host threads via the
+/// `ecl-native` access policies — the same codes, real `std::sync::atomic`
+/// concurrency instead of the simulator. `seed` perturbs the schedule
+/// (partition rotation), never the result; `cycles` in the returned
+/// [`RunResult`] holds wall-clock nanoseconds and `stats` is empty (there is
+/// no simulated memory hierarchy to profile).
+///
+/// Missing edge weights are synthesized with the same parameters as
+/// [`run_algorithm`], so native and simulator runs of a catalog graph solve
+/// the identical weighted instance.
+///
+/// # Panics
+///
+/// Panics on empty graphs, for APSP on graphs with more than 2048 vertices,
+/// or for MST on graphs with 2^26 or more edges (packed-key overflow).
+pub fn run_native(
+    algorithm: Algorithm,
+    variant: Variant,
+    graph: &Csr,
+    threads: usize,
+    seed: u64,
+) -> RunResult {
+    match variant {
+        Variant::Baseline => {
+            run_native_policy::<NativeBaseline>(algorithm, variant, graph, threads, seed)
+        }
+        Variant::RaceFree => {
+            run_native_policy::<NativeRaceFree>(algorithm, variant, graph, threads, seed)
+        }
+    }
+}
+
+fn run_native_policy<P: NativePolicy>(
+    algorithm: Algorithm,
+    variant: Variant,
+    graph: &Csr,
+    threads: usize,
+    seed: u64,
+) -> RunResult {
+    let owned;
+    let graph = if algorithm.weighted() && graph.weights().is_none() {
+        owned = graph.clone().with_random_weights(1_000, 0xec1);
+        &owned
+    } else {
+        graph
+    };
+
+    match algorithm {
+        Algorithm::Apsp => {
+            // No races to remove: both variants run the same code (§IV-A).
+            let r = apsp::native::run::<P>(graph, threads, seed);
+            let valid = apsp::verify_apsp(graph, &r.dist);
+            let quality = r
+                .dist
+                .iter()
+                .filter(|&&d| d != apsp::INF)
+                .map(|&d| d as f64)
+                .sum();
+            pack(
+                algorithm, variant, r.cycles, valid, r.digest, quality, r.stats,
+            )
+        }
+        Algorithm::Cc => {
+            let r = cc::native::run::<P>(graph, threads, seed);
+            let valid = cc::verify_components(graph, &r.labels);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_components as f64,
+                r.stats,
+            )
+        }
+        Algorithm::Gc => {
+            let r = gc::native::run::<P>(graph, threads, seed);
+            let valid = gc::verify_coloring(graph, &r.colors);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_colors as f64,
+                r.stats,
+            )
+        }
+        Algorithm::Mis => {
+            let r = mis::native::run::<P>(graph, threads, seed);
+            let valid = mis::verify_mis(graph, &r.in_set);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.set_size as f64,
+                r.stats,
+            )
+        }
+        Algorithm::Mst => {
+            let r = mst::native::run::<P>(graph, threads, seed);
+            let valid = mst::verify_mst(graph, &r.in_mst);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.total_weight as f64,
+                r.stats,
+            )
+        }
+        Algorithm::Scc => {
+            let r = scc::native::run::<P>(graph, threads, seed);
+            let valid = scc::verify_sccs(graph, &r.scc_ids);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_sccs as f64,
+                r.stats,
+            )
+        }
+    }
+}
+
+/// Where a suite run executes: the cycle-accounting GPU simulator or real
+/// host threads. Both backends run the same published codes in the same two
+/// variants and report through the same [`RunResult`]; everything downstream
+/// (verification, digests, sweep plumbing) is backend-agnostic.
+pub trait Backend {
+    /// Short name for logs and JSON (`"sim"`, `"native"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs one algorithm/variant cell on this backend.
+    fn run(
+        &self,
+        algorithm: Algorithm,
+        variant: Variant,
+        graph: &Csr,
+        cfg: &GpuConfig,
+        seed: u64,
+        opts: &SimOptions,
+    ) -> Result<RunResult, SimError>;
+}
+
+/// The default backend: the `ecl-simt` GPU simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatorBackend;
+
+impl Backend for SimulatorBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(
+        &self,
+        algorithm: Algorithm,
+        variant: Variant,
+        graph: &Csr,
+        cfg: &GpuConfig,
+        seed: u64,
+        opts: &SimOptions,
+    ) -> Result<RunResult, SimError> {
+        run_algorithm_checked(algorithm, variant, graph, cfg, seed, opts)
+    }
+}
+
+/// The host-thread backend (`--backend native`). The GPU config and sim
+/// options are ignored — there is no simulated machine; `threads == None`
+/// defers to `ECL_THREADS` or the machine's parallelism
+/// (see [`ecl_native::thread_count`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeBackend {
+    /// Explicit thread count, or `None` for the environment default.
+    pub threads: Option<usize>,
+}
+
+impl NativeBackend {
+    /// A native backend with an explicit thread count (`None` = default).
+    pub fn new(threads: Option<usize>) -> Self {
+        NativeBackend { threads }
+    }
+}
+
+impl Backend for NativeBackend {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn run(
+        &self,
+        algorithm: Algorithm,
+        variant: Variant,
+        graph: &Csr,
+        _cfg: &GpuConfig,
+        seed: u64,
+        _opts: &SimOptions,
+    ) -> Result<RunResult, SimError> {
+        Ok(run_native(
+            algorithm,
+            variant,
+            graph,
+            ecl_native::thread_count(self.threads),
+            seed,
+        ))
+    }
 }
 
 /// Why one sweep cell (a single `run_algorithm`-shaped run) produced no
@@ -892,6 +1106,57 @@ mod tests {
             recovered_somewhere,
             "no base seed in the hunt space recovered; the fault rate no longer \
              exercises the retry path — tune the rate or the seed range"
+        );
+    }
+
+    #[test]
+    fn native_backend_matches_simulator_digests() {
+        let g = gen::rmat(256, 1024, 0.57, 0.19, 0.19, true, 6);
+        let cfg = GpuConfig::test_tiny();
+        let sim = SimulatorBackend;
+        let native = NativeBackend::new(Some(4));
+        let opts = SimOptions::default();
+        for alg in Algorithm::UNDIRECTED {
+            for variant in [Variant::Baseline, Variant::RaceFree] {
+                let s = sim.run(alg, variant, &g, &cfg, 1, &opts).unwrap();
+                let n = native.run(alg, variant, &g, &cfg, 1, &opts).unwrap();
+                assert!(n.valid, "{alg} {variant} native run invalid");
+                assert_eq!(
+                    s.solution_digest, n.solution_digest,
+                    "{alg} {variant}: native and simulator fixpoints differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn native_backend_runs_directed_and_dense_codes() {
+        let cfg = GpuConfig::test_tiny();
+        let native = NativeBackend::new(Some(3));
+        let opts = SimOptions::default();
+        let sim = SimulatorBackend;
+
+        let dg = gen::pref_attach_directed(200, 3, 0.05, 4);
+        let s = sim
+            .run(Algorithm::Scc, Variant::RaceFree, &dg, &cfg, 1, &opts)
+            .unwrap();
+        let n = native
+            .run(Algorithm::Scc, Variant::RaceFree, &dg, &cfg, 1, &opts)
+            .unwrap();
+        assert!(n.valid);
+        assert_eq!(s.solution_digest, n.solution_digest);
+
+        let wg = gen::grid2d_torus(6, 6);
+        let s = sim
+            .run(Algorithm::Apsp, Variant::Baseline, &wg, &cfg, 1, &opts)
+            .unwrap();
+        let n = native
+            .run(Algorithm::Apsp, Variant::Baseline, &wg, &cfg, 1, &opts)
+            .unwrap();
+        assert!(n.valid);
+        assert_eq!(
+            s.solution_digest, n.solution_digest,
+            "weight synthesis must match across backends"
         );
     }
 

@@ -1,0 +1,294 @@
+//! Native access policies: the baseline/race-free split on host atomics.
+//!
+//! The method split mirrors the access *roles* the kernel contracts
+//! declare (see `ecl-core::contracts` and DESIGN.md §13):
+//!
+//! | role                 | contract evidence                          | race-free ordering      |
+//! |----------------------|--------------------------------------------|-------------------------|
+//! | `load`/`store`       | `BenignClass::MonotonicUpdate` /           | `Relaxed`               |
+//! |                      | `RePropagatedLostUpdate` (parents, pairs,  |                         |
+//! |                      | minposs, best keys)                        |                         |
+//! | `observe`/`publish`  | one-shot terminal values peers poll (MIS   | `Acquire` / `Release`   |
+//! |                      | status bytes, colors, settled ids)         |                         |
+//! | `raise_flag`         | `BenignClass::IdempotentWrite` repeat /    | `Release` store         |
+//! |                      | changed flags                              |                         |
+//! | RMWs (`cas`, `min`,  | atomic in the published baselines too      | `Relaxed`               |
+//! | `add`, pair-max)     | (`atomicCAS`/`atomicMin`/tickets)          | (single-cell invariant) |
+//!
+//! `SeqCst` appears nowhere: no kernel relies on a total order across
+//! *different* cells — every cross-thread protocol here is either a
+//! single-cell monotone convergence or a single-cell publication whose
+//! readers tolerate staleness (DESIGN.md §13 gives the per-kernel
+//! argument).
+//!
+//! [`Baseline`] implements the plain-access roles with **volatile raw
+//! pointer accesses** through the atomic cells. This is a deliberate,
+//! genuine data race under the Rust memory model — it is what the paper's
+//! baseline *is*, and what ThreadSanitizer is expected to flag (the CI
+//! lane treats baseline reports as informational). Volatile keeps the
+//! compiler from fusing or hoisting the accesses, which matches the
+//! hardware guarantee the CUDA baselines lean on: every access is one
+//! machine-level load/store of its full width.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// One variant's mapping from access roles to host memory operations.
+pub trait NativePolicy: Send + Sync + 'static {
+    /// Policy name for reports.
+    const NAME: &'static str;
+    /// `true` for the converted (data-race-free) policy.
+    const IS_RACE_FREE: bool;
+
+    /// Plain/monotone read (union-find parents, max-ID pair halves, …).
+    fn load_u32(c: &AtomicU32) -> u32;
+    /// Plain/monotone write.
+    fn store_u32(c: &AtomicU32, v: u32);
+    /// Read side of a publication (polling a peer's decided value).
+    fn observe_u32(c: &AtomicU32) -> u32;
+    /// Write side of a publication (a terminal decided value).
+    fn publish_u32(c: &AtomicU32, v: u32);
+
+    /// Plain/monotone byte read.
+    fn load_u8(c: &AtomicU8) -> u8;
+    /// Plain byte write (init-time stores nobody concurrently reads).
+    fn store_u8(c: &AtomicU8, v: u8);
+    /// Read side of a byte publication.
+    fn observe_u8(c: &AtomicU8) -> u8;
+    /// Write side of a byte publication.
+    fn publish_u8(c: &AtomicU8, v: u8);
+
+    /// Plain 64-bit read (packed pair / best-key slots). On the host this
+    /// is a single machine load either way; the baseline's volatile read
+    /// models the `volatile long long` loads ECL-MST's baseline uses.
+    fn load_u64(c: &AtomicU64) -> u64;
+    /// Plain 64-bit write.
+    fn store_u64(c: &AtomicU64, v: u64);
+
+    /// Raises a repeat/changed flag (idempotent: every writer stores 1).
+    fn raise_flag(c: &AtomicU32) {
+        Self::publish_u32(c, 1);
+    }
+
+    /// `compare_exchange` — atomic in both variants, like `atomicCAS` in
+    /// both published variants. Returns the previous value.
+    #[inline]
+    fn cas_u32(c: &AtomicU32, current: u32, new: u32) -> u32 {
+        match c.compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(prev) | Err(prev) => prev,
+        }
+    }
+
+    /// `fetch_add` ticket counter — atomic in both variants.
+    #[inline]
+    fn fetch_add_u32(c: &AtomicU32, v: u32) -> u32 {
+        c.fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// 64-bit `atomicMin` — atomic in both variants (monotone toward the
+    /// per-component minimum key).
+    #[inline]
+    fn fetch_min_u64(c: &AtomicU64, v: u64) -> u64 {
+        c.fetch_min(v, Ordering::Relaxed)
+    }
+
+    /// Reads the low half of a packed `(first, second)` pair.
+    #[inline]
+    fn read_pair_first(c: &AtomicU64) -> u32 {
+        Self::load_u64(c) as u32
+    }
+
+    /// Reads the high half of a packed `(first, second)` pair.
+    #[inline]
+    fn read_pair_second(c: &AtomicU64) -> u32 {
+        (Self::load_u64(c) >> 32) as u32
+    }
+
+    /// Monotone max on the low pair half (the paper's Fig. 5 per-half
+    /// atomic). Returns `true` if the half grew.
+    #[inline]
+    fn max_pair_first(c: &AtomicU64, v: u32) -> bool {
+        let mut cur = c.load(Ordering::Relaxed);
+        loop {
+            if cur as u32 >= v {
+                return false;
+            }
+            let upd = (cur & 0xffff_ffff_0000_0000) | v as u64;
+            match c.compare_exchange_weak(cur, upd, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Monotone max on the high pair half. Returns `true` if it grew.
+    #[inline]
+    fn max_pair_second(c: &AtomicU64, v: u32) -> bool {
+        let mut cur = c.load(Ordering::Relaxed);
+        loop {
+            if (cur >> 32) as u32 >= v {
+                return false;
+            }
+            let upd = (cur & 0x0000_0000_ffff_ffff) | ((v as u64) << 32);
+            match c.compare_exchange_weak(cur, upd, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// The published codes' access pattern: racy volatile loads/stores for the
+/// plain accesses, atomics only where the CUDA originals already used
+/// `atomicCAS`/`atomicMin`/tickets.
+pub struct Baseline;
+
+impl NativePolicy for Baseline {
+    const NAME: &'static str = "baseline";
+    const IS_RACE_FREE: bool = false;
+
+    #[inline]
+    fn load_u32(c: &AtomicU32) -> u32 {
+        unsafe { c.as_ptr().read_volatile() }
+    }
+    #[inline]
+    fn store_u32(c: &AtomicU32, v: u32) {
+        unsafe { c.as_ptr().write_volatile(v) }
+    }
+    #[inline]
+    fn observe_u32(c: &AtomicU32) -> u32 {
+        unsafe { c.as_ptr().read_volatile() }
+    }
+    #[inline]
+    fn publish_u32(c: &AtomicU32, v: u32) {
+        unsafe { c.as_ptr().write_volatile(v) }
+    }
+    #[inline]
+    fn load_u8(c: &AtomicU8) -> u8 {
+        unsafe { c.as_ptr().read_volatile() }
+    }
+    #[inline]
+    fn store_u8(c: &AtomicU8, v: u8) {
+        unsafe { c.as_ptr().write_volatile(v) }
+    }
+    #[inline]
+    fn observe_u8(c: &AtomicU8) -> u8 {
+        unsafe { c.as_ptr().read_volatile() }
+    }
+    #[inline]
+    fn publish_u8(c: &AtomicU8, v: u8) {
+        unsafe { c.as_ptr().write_volatile(v) }
+    }
+    #[inline]
+    fn load_u64(c: &AtomicU64) -> u64 {
+        unsafe { c.as_ptr().read_volatile() }
+    }
+    #[inline]
+    fn store_u64(c: &AtomicU64, v: u64) {
+        unsafe { c.as_ptr().write_volatile(v) }
+    }
+}
+
+/// The converted codes: every shared access is a real atomic with the
+/// ordering its contract role calls for (module-level table).
+pub struct RaceFree;
+
+impl NativePolicy for RaceFree {
+    const NAME: &'static str = "race-free";
+    const IS_RACE_FREE: bool = true;
+
+    #[inline]
+    fn load_u32(c: &AtomicU32) -> u32 {
+        c.load(Ordering::Relaxed)
+    }
+    #[inline]
+    fn store_u32(c: &AtomicU32, v: u32) {
+        c.store(v, Ordering::Relaxed)
+    }
+    #[inline]
+    fn observe_u32(c: &AtomicU32) -> u32 {
+        c.load(Ordering::Acquire)
+    }
+    #[inline]
+    fn publish_u32(c: &AtomicU32, v: u32) {
+        c.store(v, Ordering::Release)
+    }
+    #[inline]
+    fn load_u8(c: &AtomicU8) -> u8 {
+        c.load(Ordering::Relaxed)
+    }
+    #[inline]
+    fn store_u8(c: &AtomicU8, v: u8) {
+        c.store(v, Ordering::Relaxed)
+    }
+    #[inline]
+    fn observe_u8(c: &AtomicU8) -> u8 {
+        c.load(Ordering::Acquire)
+    }
+    #[inline]
+    fn publish_u8(c: &AtomicU8, v: u8) {
+        c.store(v, Ordering::Release)
+    }
+    #[inline]
+    fn load_u64(c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+    #[inline]
+    fn store_u64(c: &AtomicU64, v: u64) {
+        c.store(v, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<P: NativePolicy>() {
+        let w = AtomicU32::new(5);
+        assert_eq!(P::load_u32(&w), 5);
+        P::store_u32(&w, 7);
+        assert_eq!(P::observe_u32(&w), 7);
+        P::publish_u32(&w, 9);
+        assert_eq!(P::load_u32(&w), 9);
+        assert_eq!(P::cas_u32(&w, 9, 10), 9);
+        assert_eq!(P::cas_u32(&w, 9, 11), 10);
+        assert_eq!(P::fetch_add_u32(&w, 5), 10);
+
+        let b = AtomicU8::new(2);
+        P::store_u8(&b, 3);
+        assert_eq!(P::load_u8(&b), 3);
+        P::publish_u8(&b, 1);
+        assert_eq!(P::load_u8(&b), 1);
+        assert_eq!(P::observe_u8(&b), 1);
+
+        let l = AtomicU64::new(u64::MAX);
+        assert_eq!(P::fetch_min_u64(&l, 42), u64::MAX);
+        assert_eq!(P::load_u64(&l), 42);
+        P::store_u64(&l, 7);
+        assert_eq!(P::load_u64(&l), 7);
+
+        let pair = AtomicU64::new(0);
+        assert!(P::max_pair_first(&pair, 3));
+        assert!(!P::max_pair_first(&pair, 2));
+        assert!(P::max_pair_second(&pair, 8));
+        assert_eq!(P::read_pair_first(&pair), 3);
+        assert_eq!(P::read_pair_second(&pair), 8);
+        assert!(P::max_pair_first(&pair, 5));
+        assert_eq!(P::read_pair_second(&pair), 8, "halves are independent");
+
+        let flag = AtomicU32::new(0);
+        P::raise_flag(&flag);
+        assert_eq!(P::observe_u32(&flag), 1);
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        exercise::<Baseline>();
+        const { assert!(!Baseline::IS_RACE_FREE) };
+    }
+
+    #[test]
+    fn race_free_roundtrips() {
+        exercise::<RaceFree>();
+        const { assert!(RaceFree::IS_RACE_FREE) };
+    }
+}

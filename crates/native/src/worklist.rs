@@ -1,0 +1,324 @@
+//! A lock-free chunked worklist with epoch-based reclamation — the native
+//! analogue of the device worklists the worklist-driven codes use.
+//!
+//! Design (after the classic epoch scheme, specialized to this access
+//! pattern):
+//!
+//! - Producers buffer items in a handle-local `Vec`; a full buffer is
+//!   published as one chunk node onto a global Treiber stack (a single
+//!   release-CAS). Pushing never dereferences another thread's node, so it
+//!   needs no epoch protection — an ABA'd head pointer is still a valid
+//!   head.
+//! - Consumers pop whole chunks. Popping reads `head` and then `head.next`,
+//!   so the node must not be freed (or recycled — the CAS would suffer ABA)
+//!   while any consumer might still hold the pointer. That is what the
+//!   epochs guarantee: a popped node is *retired*, tagged with the global
+//!   epoch, and only freed once the global epoch has advanced far enough
+//!   that no thread can still be pinned in an epoch that could have seen
+//!   the node linked.
+//! - The global epoch only advances when every pinned slot has caught up
+//!   with it, and retired garbage is freed only once `global - tag >= 3`.
+//!   The slack of 3 (rather than the textbook 2) absorbs the one-epoch
+//!   staleness a retirer's tag can have relative to a concurrent pin —
+//!   see the safety comment on [`Worklist::try_advance`].
+//!
+//! Chunk items are written single-threadedly before publication and read
+//! single-threadedly after an exclusive pop, so the items themselves need
+//! no atomics; only the stack spine is contended.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Items a full handle buffer publishes per chunk.
+pub const CHUNK_CAP: usize = 256;
+
+/// Slot value meaning "this handle is not inside a pop".
+const UNPINNED: usize = usize::MAX;
+
+/// Retired garbage is freed once the global epoch is this far past its tag.
+const GRACE: usize = 3;
+
+/// Local garbage list length that triggers an advance/collect attempt.
+const COLLECT_EVERY: usize = 8;
+
+struct Node {
+    next: AtomicPtr<Node>,
+    /// Written before publication, taken (exactly once) by the popping
+    /// winner; the cell arbitrates nothing — exclusivity comes from the
+    /// stack CAS.
+    items: std::cell::UnsafeCell<Vec<u64>>,
+}
+
+/// A multi-producer multi-consumer chunked worklist.
+///
+/// Create one per round (or double-buffer two), hand each team member a
+/// [`WorklistHandle`] via [`Worklist::handle`], and drop all handles before
+/// reading [`Worklist::is_empty`] for the round-termination check.
+pub struct Worklist {
+    head: AtomicPtr<Node>,
+    epoch: AtomicUsize,
+    /// One pin slot per handle index, `UNPINNED` when outside a pop.
+    slots: Box<[AtomicUsize]>,
+    /// Garbage handed back by dropped handles, freed on [`Worklist::drop`].
+    orphans: Mutex<Vec<(usize, *mut Node)>>,
+    nodes_allocated: AtomicUsize,
+    nodes_freed: AtomicUsize,
+}
+
+// The raw node pointers in `orphans` are owned exclusively by the worklist
+// once a handle has surrendered them.
+unsafe impl Send for Worklist {}
+unsafe impl Sync for Worklist {}
+
+impl Worklist {
+    /// A worklist serving handle indices `0..max_handles`.
+    pub fn new(max_handles: usize) -> Worklist {
+        Worklist {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            epoch: AtomicUsize::new(0),
+            slots: (0..max_handles.max(1))
+                .map(|_| AtomicUsize::new(UNPINNED))
+                .collect(),
+            orphans: Mutex::new(Vec::new()),
+            nodes_allocated: AtomicUsize::new(0),
+            nodes_freed: AtomicUsize::new(0),
+        }
+    }
+
+    /// The handle for pin slot `slot`. Each live handle must use a distinct
+    /// slot (use the team member's `tid`); sharing a slot between two live
+    /// handles would let one unpin the other's epoch.
+    pub fn handle(&self, slot: usize) -> WorklistHandle<'_> {
+        assert!(slot < self.slots.len(), "handle slot out of range");
+        debug_assert_eq!(
+            self.slots[slot].load(Ordering::Relaxed),
+            UNPINNED,
+            "slot {slot} already pinned by a live handle"
+        );
+        WorklistHandle {
+            wl: self,
+            slot,
+            local: Vec::new(),
+            garbage: Vec::new(),
+        }
+    }
+
+    /// `true` if no published chunk remains. Handle-local buffers are not
+    /// visible — flush (or drop) all handles before a termination check.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// `(nodes allocated, nodes freed)` — for reclamation tests.
+    pub fn debug_counts(&self) -> (usize, usize) {
+        (
+            self.nodes_allocated.load(Ordering::Relaxed),
+            self.nodes_freed.load(Ordering::Relaxed),
+        )
+    }
+
+    fn publish(&self, items: Vec<u64>) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            items: std::cell::UnsafeCell::new(items),
+        }));
+        self.nodes_allocated.fetch_add(1, Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            unsafe { (*node).next.store(head, Ordering::Relaxed) };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => head = now,
+            }
+        }
+    }
+
+    /// Advances the global epoch if every pinned slot has caught up.
+    ///
+    /// Safety argument for the `GRACE = 3` free rule: a popper pins with a
+    /// store-then-validate loop, so once it proceeds its slot holds the
+    /// then-current epoch `g`. While it stays pinned at `g` the global
+    /// epoch can advance at most once (to `g + 1`: the next advance would
+    /// need the slot to read `g + 1`). Any node the popper can still reach
+    /// was unlinked no earlier than its pin, and the unlinker tags it with
+    /// an epoch it read no staler than `g - 1`. Freeing needs
+    /// `global - tag >= 3`, i.e. global `>= g + 2` — unreachable while the
+    /// popper is pinned. Hence no reachable node is ever freed, and no
+    /// node's address can be recycled into an ABA on the head CAS.
+    fn try_advance(&self) {
+        let g = self.epoch.load(Ordering::SeqCst);
+        for slot in self.slots.iter() {
+            let e = slot.load(Ordering::SeqCst);
+            if e != UNPINNED && e != g {
+                return;
+            }
+        }
+        // A lost race just means someone else advanced — equally good.
+        let _ = self
+            .epoch
+            .compare_exchange(g, g + 1, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    fn free_node(&self, node: *mut Node) {
+        unsafe { drop(Box::from_raw(node)) };
+        self.nodes_freed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Worklist {
+    fn drop(&mut self) {
+        // Exclusive access: free the remaining stack and all orphans.
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
+            self.free_node(cur);
+            cur = next;
+        }
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        for (_, node) in orphans {
+            self.free_node(node);
+        }
+    }
+}
+
+/// One thread's producer/consumer endpoint on a [`Worklist`].
+pub struct WorklistHandle<'a> {
+    wl: &'a Worklist,
+    slot: usize,
+    local: Vec<u64>,
+    garbage: Vec<(usize, *mut Node)>,
+}
+
+impl WorklistHandle<'_> {
+    /// Appends an item; publishes a chunk when the local buffer fills.
+    pub fn push(&mut self, item: u64) {
+        self.local.push(item);
+        if self.local.len() >= CHUNK_CAP {
+            self.flush();
+        }
+    }
+
+    /// Publishes any locally buffered items as a (possibly short) chunk.
+    pub fn flush(&mut self) {
+        if !self.local.is_empty() {
+            let items = std::mem::take(&mut self.local);
+            self.wl.publish(items);
+        }
+    }
+
+    /// Pops one published chunk, or `None` if the stack is (momentarily)
+    /// empty. Locally buffered items of *this* handle are not eligible
+    /// until flushed.
+    pub fn pop_chunk(&mut self) -> Option<Vec<u64>> {
+        self.pin();
+        let popped = loop {
+            let head = self.wl.head.load(Ordering::Acquire);
+            if head.is_null() {
+                break None;
+            }
+            let next = unsafe { (*head).next.load(Ordering::Relaxed) };
+            if self
+                .wl
+                .head
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Exclusive owner of the node's payload now.
+                let items = unsafe { std::mem::take(&mut *(*head).items.get()) };
+                self.retire(head);
+                break Some(items);
+            }
+        };
+        self.unpin();
+        popped
+    }
+
+    fn pin(&self) {
+        // Store-then-validate: the slot must hold the *current* epoch
+        // before we touch the stack (see `Worklist::try_advance`).
+        loop {
+            let e = self.wl.epoch.load(Ordering::SeqCst);
+            self.wl.slots[self.slot].store(e, Ordering::SeqCst);
+            if self.wl.epoch.load(Ordering::SeqCst) == e {
+                return;
+            }
+        }
+    }
+
+    fn unpin(&self) {
+        self.wl.slots[self.slot].store(UNPINNED, Ordering::SeqCst);
+    }
+
+    fn retire(&mut self, node: *mut Node) {
+        let tag = self.wl.epoch.load(Ordering::SeqCst);
+        self.garbage.push((tag, node));
+        if self.garbage.len() >= COLLECT_EVERY {
+            self.wl.try_advance();
+            self.collect();
+        }
+    }
+
+    fn collect(&mut self) {
+        let global = self.wl.epoch.load(Ordering::SeqCst);
+        let mut kept = Vec::with_capacity(self.garbage.len());
+        for (tag, node) in self.garbage.drain(..) {
+            if global.wrapping_sub(tag) >= GRACE {
+                self.wl.free_node(node);
+            } else {
+                kept.push((tag, node));
+            }
+        }
+        self.garbage = kept;
+    }
+}
+
+impl Drop for WorklistHandle<'_> {
+    fn drop(&mut self) {
+        self.flush();
+        self.wl.try_advance();
+        self.collect();
+        if !self.garbage.is_empty() {
+            // Still-unsafe-to-free nodes outlive the handle; the worklist
+            // frees them on drop (or never reuses them — no leak either way).
+            self.wl.orphans.lock().unwrap().append(&mut self.garbage);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let wl = Worklist::new(1);
+        let mut h = wl.handle(0);
+        for i in 0..1000u64 {
+            h.push(i);
+        }
+        h.flush();
+        let mut got = Vec::new();
+        while let Some(chunk) = h.pop_chunk() {
+            got.extend(chunk);
+        }
+        drop(h);
+        got.sort_unstable();
+        assert_eq!(got, (0..1000).collect::<Vec<u64>>());
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn unflushed_items_invisible_until_flush() {
+        let wl = Worklist::new(1);
+        let mut h = wl.handle(0);
+        h.push(7);
+        assert!(wl.is_empty());
+        assert!(h.pop_chunk().is_none());
+        h.flush();
+        assert!(!wl.is_empty());
+        assert_eq!(h.pop_chunk(), Some(vec![7]));
+    }
+}

@@ -1,0 +1,110 @@
+//! Contention tests for the access policies: the atomic RMWs shared by
+//! both variants must be exact under real parallelism, and the race-free
+//! publication pair must transfer data correctly.
+
+use ecl_native::{run_team, ByteArr, LongArr, NativePolicy, RaceFree, Tickets, WordArr};
+use std::sync::atomic::Ordering;
+
+/// Pair-half maxima under heavy contention reduce to the true maximum on
+/// each half independently.
+#[test]
+fn pair_max_reduces_exactly() {
+    const THREADS: usize = 8;
+    const N: usize = 64;
+    let pairs = LongArr::new(N, 0);
+    run_team(THREADS, 0, |ctx| {
+        for round in 0..1_000u32 {
+            for i in 0..N {
+                let v = round.rotate_left((ctx.tid + i) as u32 % 32);
+                RaceFree::max_pair_first(pairs.at(i), v);
+                RaceFree::max_pair_second(pairs.at(i), v ^ 0x5555);
+            }
+        }
+    });
+    // Recompute the expected maxima serially.
+    for i in 0..N {
+        let mut lo = 0u32;
+        let mut hi = 0u32;
+        for tid in 0..THREADS {
+            for round in 0..1_000u32 {
+                let v = round.rotate_left((tid + i) as u32 % 32);
+                lo = lo.max(v);
+                hi = hi.max(v ^ 0x5555);
+            }
+        }
+        assert_eq!(RaceFree::read_pair_first(pairs.at(i)), lo, "slot {i} low");
+        assert_eq!(RaceFree::read_pair_second(pairs.at(i)), hi, "slot {i} high");
+    }
+}
+
+/// `fetch_min_u64` converges to the global minimum key.
+#[test]
+fn min_reduction_is_exact() {
+    const THREADS: usize = 8;
+    let best = LongArr::new(1, u64::MAX);
+    run_team(THREADS, 0, |ctx| {
+        for i in 0..100_000u64 {
+            // Every thread bids a distinct key stream; global min is 1.
+            let key = 1 + ((i * THREADS as u64 + ctx.tid as u64) ^ (i << 7)) % 1_000_000;
+            RaceFree::fetch_min_u64(best.at(0), key);
+        }
+    });
+    let expected = (0..THREADS as u64)
+        .flat_map(|t| (0..100_000u64).map(move |i| 1 + ((i * 8 + t) ^ (i << 7)) % 1_000_000))
+        .min()
+        .unwrap();
+    assert_eq!(best.at(0).load(Ordering::Relaxed), expected);
+}
+
+/// Ticketed claiming plus release-publication: every claimed slot holds
+/// the claimer's payload, none is claimed twice (the claim-discipline the
+/// contracts call `IndexDiscipline::OwnedRange`).
+#[test]
+fn ticketed_claims_are_exclusive() {
+    const THREADS: usize = 8;
+    const N: usize = 10_000;
+    let slots = WordArr::new(N, u32::MAX);
+    let cursor = WordArr::new(1, 0);
+    run_team(THREADS, 0, |ctx| loop {
+        let slot = RaceFree::fetch_add_u32(cursor.at(0), 1) as usize;
+        if slot >= N {
+            break;
+        }
+        RaceFree::publish_u32(slots.at(slot), ctx.tid as u32);
+    });
+    let snap = slots.snapshot();
+    assert!(snap.iter().all(|&v| (v as usize) < THREADS));
+}
+
+/// CAS-based claim (the union-find hook idiom): exactly one thread wins
+/// each cell.
+#[test]
+fn cas_claims_have_one_winner() {
+    const THREADS: usize = 8;
+    const N: usize = 4_096;
+    let cells = WordArr::new(N, u32::MAX);
+    let wins = ByteArr::new(THREADS * N, 0);
+    let tickets = Tickets::new(N * THREADS, 64);
+    run_team(THREADS, 0, |ctx| {
+        while let Some(range) = tickets.grab() {
+            for i in range {
+                let cell = i % N;
+                if RaceFree::cas_u32(cells.at(cell), u32::MAX, ctx.tid as u32) == u32::MAX {
+                    wins.at(ctx.tid * N + cell).store(1, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+    for cell in 0..N {
+        let winners: usize = (0..THREADS)
+            .map(|t| wins.at(t * N + cell).load(Ordering::Relaxed) as usize)
+            .sum();
+        assert_eq!(winners, 1, "cell {cell} claimed {winners} times");
+        let owner = cells.at(cell).load(Ordering::Relaxed) as usize;
+        assert_eq!(
+            wins.at(owner * N + cell).load(Ordering::Relaxed),
+            1,
+            "cell {cell} payload does not match its winner"
+        );
+    }
+}

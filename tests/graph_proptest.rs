@@ -1,0 +1,152 @@
+//! Property-based tests for the graph substrate's edge cases: adversarial
+//! inputs (self-loops, duplicates, out-of-range endpoints, huge ID gaps,
+//! empty and single-vertex graphs) must round-trip through CSR construction
+//! and both serialization formats without panicking, and the CSR invariants
+//! (degree-sum accounting, sortedness, mirror symmetry) must hold on
+//! whatever survives sanitization.
+
+use ecl_graph::{gen, io, mtx, props, Csr, CsrBuilder};
+use proptest::prelude::*;
+
+/// Degree sum over all vertices. Stored edges are directed half-edges (a
+/// mirrored undirected edge counts twice), so this must equal
+/// `num_edges()` exactly; for symmetric graphs that makes it 2x the number
+/// of undirected edges.
+fn degree_sum(g: &Csr) -> usize {
+    (0..g.num_vertices()).map(|v| g.neighbors(v).len()).sum()
+}
+
+/// Strategy: a hostile edge list — self-loops, duplicates, and endpoints
+/// beyond the vertex count are all fair game.
+fn hostile_edges(max_n: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (1..max_n).prop_flat_map(|n| {
+        // Endpoints range past `n` so some edges are out of range.
+        let edges = prop::collection::vec((0..n + 8, 0..n + 8), 0..300);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn hostile_inputs_build_valid_csr((n, edges) in hostile_edges(64)) {
+        let mut b = CsrBuilder::new(n as usize).symmetric(true);
+        b.extend_edges(edges);
+        let g = b.build();
+        // Degree sum counts every stored half-edge exactly once.
+        prop_assert_eq!(degree_sum(&g), g.num_edges());
+        // Symmetric stored edges pair up: degree-sum = 2 * undirected edges.
+        let undirected = g.edges().filter(|&(u, v)| u < v).count();
+        prop_assert_eq!(degree_sum(&g), 2 * undirected);
+        prop_assert!(g.is_symmetric());
+        // Sanitization: no self-loops, no duplicates, nothing out of range.
+        for v in 0..g.num_vertices() {
+            let nb = g.neighbors(v);
+            prop_assert!(!nb.contains(&(v as u32)));
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(nb.iter().all(|&u| (u as usize) < g.num_vertices()));
+        }
+    }
+
+    #[test]
+    fn hostile_inputs_round_trip_both_formats(
+        (n, edges) in hostile_edges(48),
+        weighted in any::<bool>(),
+    ) {
+        let mut b = CsrBuilder::new(n as usize).symmetric(true);
+        b.extend_edges(edges);
+        let mut g = b.build();
+        if weighted {
+            g = g.with_random_weights(500, 11);
+        }
+        // Binary format.
+        let mut buf = Vec::new();
+        io::write_graph(&g, &mut buf).unwrap();
+        prop_assert_eq!(&io::read_graph(&buf[..]).unwrap(), &g);
+        // MatrixMarket text format.
+        let mut text = Vec::new();
+        mtx::write_mtx(&g, &mut text).unwrap();
+        let back = mtx::read_mtx(&text[..]).unwrap();
+        prop_assert_eq!(degree_sum(&back), degree_sum(&g));
+        prop_assert_eq!(back.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn max_id_gap_graphs_survive(gap in 1usize..100_000, weighted in any::<bool>()) {
+        // One edge between vertex 0 and a far-away maximum ID: every vertex
+        // in between is isolated. CSR construction, degree accounting, and
+        // the binary format must all cope with the long empty row run.
+        let n = gap + 1;
+        let mut b = CsrBuilder::new(n).symmetric(true);
+        b.add_edge(0, gap as u32);
+        let mut g = b.build();
+        if weighted {
+            g = g.with_random_weights(9, 3);
+        }
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert_eq!(g.num_edges(), 2);
+        prop_assert_eq!(degree_sum(&g), 2);
+        prop_assert_eq!(g.neighbors(0), &[gap as u32]);
+        prop_assert_eq!(g.neighbors(gap), &[0u32]);
+        prop_assert!((1..gap).all(|v| g.neighbors(v).is_empty()));
+        let mut buf = Vec::new();
+        io::write_graph(&g, &mut buf).unwrap();
+        prop_assert_eq!(&io::read_graph(&buf[..]).unwrap(), &g);
+    }
+
+    #[test]
+    fn generators_tolerate_degenerate_sizes(seed in any::<u64>()) {
+        // The smallest legal requests must not panic and must keep the
+        // degree-sum invariant.
+        for g in [
+            gen::rmat(2, 0, 0.57, 0.19, 0.19, true, seed),
+            gen::rmat(2, 4, 0.57, 0.19, 0.19, true, seed),
+            gen::random_uniform(2, 0, true, seed),
+            gen::random_uniform(2, 3, false, seed),
+        ] {
+            prop_assert_eq!(degree_sum(&g), g.num_edges());
+            let mut buf = Vec::new();
+            io::write_graph(&g, &mut buf).unwrap();
+            prop_assert_eq!(&io::read_graph(&buf[..]).unwrap(), &g);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_lists_collapse(n in 2u32..32, dup_factor in 1usize..8) {
+        // The same few edges repeated many times must collapse to one copy
+        // each, keeping properties consistent with the histogram.
+        let mut b = CsrBuilder::new(n as usize).symmetric(true);
+        for _ in 0..dup_factor {
+            for v in 1..n {
+                b.add_edge(0, v);
+                b.add_edge(v, 0);
+            }
+        }
+        let g = b.build();
+        prop_assert_eq!(g.num_edges(), 2 * (n as usize - 1));
+        prop_assert_eq!(g.neighbors(0).len(), n as usize - 1);
+        let p = props::properties(&g);
+        prop_assert_eq!(p.num_edges, g.num_edges());
+        prop_assert_eq!(p.max_degree, n as usize - 1);
+    }
+}
+
+#[test]
+fn single_vertex_graph_round_trips() {
+    let g = CsrBuilder::new(1).build();
+    assert_eq!(g.num_vertices(), 1);
+    assert_eq!(g.num_edges(), 0);
+    assert_eq!(degree_sum(&g), 0);
+    let mut buf = Vec::new();
+    io::write_graph(&g, &mut buf).unwrap();
+    assert_eq!(io::read_graph(&buf[..]).unwrap(), g);
+}
+
+#[test]
+fn empty_graph_round_trips() {
+    let g = CsrBuilder::new(0).build();
+    assert_eq!(g.num_vertices(), 0);
+    assert_eq!(g.num_edges(), 0);
+    let mut buf = Vec::new();
+    io::write_graph(&g, &mut buf).unwrap();
+    assert_eq!(io::read_graph(&buf[..]).unwrap(), g);
+}

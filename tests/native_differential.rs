@@ -1,0 +1,260 @@
+//! Cross-backend differential harness: the native host-thread backend must
+//! reach the same convergence fixpoints as the GPU simulator — not bit-equal
+//! traces, but identical solution digests — for all 12 algorithm×variant
+//! combos on the full scaled input catalog, and must hold the
+//! algorithm-specific invariants under many genuinely perturbed schedules
+//! (different thread counts and partition-rotation seeds).
+
+use ecl_core::suite::{run_algorithm, run_native, Algorithm, Variant};
+use ecl_core::{apsp, scc};
+use ecl_graph::inputs::{directed_catalog, undirected_catalog};
+use ecl_native::{Baseline, RaceFree};
+use ecl_simt::GpuConfig;
+
+const SCALE: f64 = 0.1;
+const GRAPH_SEED: u64 = 3;
+
+/// ≥16 distinct (threads, schedule-seed) pairs per combo. Thread counts
+/// cover the serial case, odd counts, and oversubscription; seeds rotate
+/// the blocked partition so the interleavings genuinely differ.
+const PERTURBATIONS: [(usize, u64); 16] = [
+    (1, 1),
+    (2, 1),
+    (3, 1),
+    (4, 1),
+    (5, 2),
+    (6, 3),
+    (7, 5),
+    (8, 8),
+    (2, 13),
+    (3, 21),
+    (4, 34),
+    (5, 55),
+    (6, 89),
+    (8, 144),
+    (12, 233),
+    (16, 377),
+];
+
+const VARIANTS: [Variant; 2] = [Variant::Baseline, Variant::RaceFree];
+
+/// One sim run and one native run must agree on the solution digest (for
+/// GC the digest hashes validity, so equality means both colored properly).
+fn check_combo(alg: Algorithm, variant: Variant, g: &ecl_graph::Csr, name: &str) {
+    let sim = run_algorithm(alg, variant, g, &GpuConfig::test_tiny(), 1);
+    assert!(sim.valid, "{alg} {variant} sim run invalid on {name}");
+    let native = run_native(alg, variant, g, 4, 1);
+    assert!(native.valid, "{alg} {variant} native run invalid on {name}");
+    assert_eq!(
+        sim.solution_digest, native.solution_digest,
+        "{alg} {variant} on {name}: native fixpoint differs from simulator"
+    );
+}
+
+#[test]
+fn undirected_matrix_fixpoints_match_simulator() {
+    for input in undirected_catalog() {
+        let g = input.build(SCALE, GRAPH_SEED);
+        for alg in Algorithm::UNDIRECTED {
+            for variant in VARIANTS {
+                check_combo(alg, variant, &g, input.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn directed_matrix_fixpoints_match_simulator() {
+    for input in directed_catalog() {
+        let g = input.build(SCALE, GRAPH_SEED);
+        for variant in VARIANTS {
+            check_combo(Algorithm::Scc, variant, &g, input.name());
+        }
+    }
+}
+
+#[test]
+fn apsp_fixpoints_match_simulator() {
+    // APSP is dense O(n³); exercise it on small multi-tile instances rather
+    // than the full catalog (same policy as the simulator's own tests).
+    let graphs = [
+        (
+            "torus",
+            ecl_graph::gen::grid2d_torus(8, 8).with_random_weights(50, 2),
+        ),
+        (
+            "rmat",
+            ecl_graph::gen::rmat(96, 400, 0.57, 0.19, 0.19, true, 8).with_random_weights(30, 5),
+        ),
+        (
+            "disconnected",
+            ecl_graph::gen::random_uniform(70, 90, true, 4).with_random_weights(20, 6),
+        ),
+    ];
+    for (name, g) in &graphs {
+        for variant in VARIANTS {
+            check_combo(Algorithm::Apsp, variant, g, name);
+        }
+    }
+}
+
+/// Runs every perturbation for both variants and hands each result to the
+/// caller's invariant check alongside the simulator reference.
+fn perturb(
+    alg: Algorithm,
+    g: &ecl_graph::Csr,
+    check: impl Fn(&ecl_core::suite::RunResult, &ecl_core::suite::RunResult, Variant, usize, u64),
+) {
+    for variant in VARIANTS {
+        let sim = run_algorithm(alg, variant, g, &GpuConfig::test_tiny(), 1);
+        assert!(sim.valid);
+        for (threads, seed) in PERTURBATIONS {
+            let native = run_native(alg, variant, g, threads, seed);
+            assert!(
+                native.valid,
+                "{alg} {variant} invalid at threads={threads} seed={seed}"
+            );
+            check(&sim, &native, variant, threads, seed);
+        }
+    }
+}
+
+#[test]
+fn cc_partition_is_schedule_invariant() {
+    let g = ecl_graph::inputs::GraphInput::by_name("internet")
+        .unwrap()
+        .build(SCALE, GRAPH_SEED);
+    perturb(Algorithm::Cc, &g, |sim, native, variant, threads, seed| {
+        assert_eq!(
+            sim.solution_digest, native.solution_digest,
+            "CC {variant} diverged at threads={threads} seed={seed}"
+        );
+        assert_eq!(sim.quality, native.quality, "component count changed");
+    });
+}
+
+#[test]
+fn mis_stays_maximal_and_independent_under_perturbation() {
+    // `valid` is verify_mis (independence + maximality); the digest pins
+    // the unique priority-ordered set.
+    let g = ecl_graph::inputs::GraphInput::by_name("rmat16.sym")
+        .unwrap()
+        .build(SCALE, GRAPH_SEED);
+    perturb(Algorithm::Mis, &g, |sim, native, variant, threads, seed| {
+        assert_eq!(
+            sim.solution_digest, native.solution_digest,
+            "MIS {variant} found a different set at threads={threads} seed={seed}"
+        );
+        assert_eq!(sim.quality, native.quality, "set size changed");
+    });
+}
+
+#[test]
+fn gc_coloring_stays_proper_and_comparable_under_perturbation() {
+    // GC's exact colors are timing-dependent (the ECL-GC shortcuts), so the
+    // invariants are validity plus a quality band around the simulator's
+    // color count.
+    let g = ecl_graph::inputs::GraphInput::by_name("citationCiteseer")
+        .unwrap()
+        .build(SCALE, GRAPH_SEED);
+    perturb(Algorithm::Gc, &g, |sim, native, variant, threads, seed| {
+        assert_eq!(sim.solution_digest, native.solution_digest);
+        assert!(
+            native.quality <= 2.0 * sim.quality + 2.0,
+            "GC {variant} used {} colors vs simulator's {} at threads={threads} seed={seed}",
+            native.quality,
+            sim.quality
+        );
+    });
+}
+
+#[test]
+fn mst_weight_matches_simulator_under_perturbation() {
+    let g = ecl_graph::inputs::GraphInput::by_name("2d-2e20.sym")
+        .unwrap()
+        .build(SCALE, GRAPH_SEED);
+    perturb(Algorithm::Mst, &g, |sim, native, variant, threads, seed| {
+        assert_eq!(
+            sim.solution_digest, native.solution_digest,
+            "MST {variant} diverged at threads={threads} seed={seed}"
+        );
+        assert_eq!(
+            sim.quality, native.quality,
+            "MST total weight changed at threads={threads} seed={seed}"
+        );
+    });
+}
+
+#[test]
+fn scc_components_are_a_permutation_of_the_simulators() {
+    // Beyond the canonical digest: explicitly check the native labels are a
+    // relabeling (bijection) of the simulator's.
+    let g = ecl_graph::inputs::GraphInput::by_name("web-Google")
+        .unwrap()
+        .build(SCALE, GRAPH_SEED);
+    let sim = scc::run::<ecl_core::primitives::Atomic>(
+        &g,
+        &GpuConfig::test_tiny(),
+        1,
+        ecl_simt::StoreVisibility::Immediate,
+    );
+    for (threads, seed) in PERTURBATIONS {
+        for race_free in [false, true] {
+            let native = if race_free {
+                scc::native::run::<RaceFree>(&g, threads, seed)
+            } else {
+                scc::native::run::<Baseline>(&g, threads, seed)
+            };
+            assert_eq!(sim.num_sccs, native.num_sccs);
+            let mut fwd = std::collections::HashMap::new();
+            let mut rev = std::collections::HashMap::new();
+            for (s, n) in sim.scc_ids.iter().zip(&native.scc_ids) {
+                assert_eq!(
+                    *fwd.entry(*s).or_insert(*n),
+                    *n,
+                    "simulator component {s} split in native run (threads={threads} seed={seed})"
+                );
+                assert_eq!(
+                    *rev.entry(*n).or_insert(*s),
+                    *s,
+                    "native component {n} merges simulator components (threads={threads} seed={seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn apsp_triangle_inequality_on_sampled_triples() {
+    let g = ecl_graph::gen::rmat(96, 400, 0.57, 0.19, 0.19, true, 8).with_random_weights(30, 5);
+    let reference = run_algorithm(
+        Algorithm::Apsp,
+        Variant::Baseline,
+        &g,
+        &GpuConfig::test_tiny(),
+        1,
+    );
+    let n = g.num_vertices();
+    for (threads, seed) in PERTURBATIONS {
+        let r = apsp::native::run::<RaceFree>(&g, threads, seed);
+        assert_eq!(reference.solution_digest, r.digest);
+        // d(i,k) <= d(i,j) + d(j,k) on a deterministic triple sample.
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % n as u64) as usize
+        };
+        for _ in 0..500 {
+            let (i, j, k) = (rand(), rand(), rand());
+            let (dij, djk, dik) = (r.dist[i * n + j], r.dist[j * n + k], r.dist[i * n + k]);
+            if dij != apsp::INF && djk != apsp::INF {
+                assert!(
+                    dik <= dij + djk,
+                    "triangle inequality violated: d({i},{k})={dik} > d({i},{j})={dij} + d({j},{k})={djk}"
+                );
+            }
+        }
+    }
+}

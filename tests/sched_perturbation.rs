@@ -1,0 +1,101 @@
+//! Schedule-perturbation stress: every algorithm x variant, driven through
+//! the simulator under 32 distinct scheduler seeds, must reach an identical
+//! convergence fixpoint. `cross_variant.rs` samples three seeds; this is the
+//! wide sweep — 32 genuinely different warp interleavings per combo — that
+//! backs the paper's claim that the baselines' races are *benign*: they
+//! reorder work, they never change the answer.
+
+use ecl_core::suite::{run_algorithm, Algorithm, Variant};
+use ecl_graph::inputs::GraphInput;
+use ecl_simt::GpuConfig;
+
+/// 32 scheduler seeds spread across the u64 space (golden-ratio stride, so
+/// no two low words resemble each other).
+fn seeds() -> [u64; 32] {
+    let mut s = [0u64; 32];
+    for (i, slot) in s.iter_mut().enumerate() {
+        *slot = (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    }
+    s
+}
+
+/// Runs one combo under every seed and checks all runs are valid and agree
+/// on the digest (and quality, where the digest pins the full solution).
+fn check(alg: Algorithm, variant: Variant, g: &ecl_graph::Csr, compare_quality: bool) {
+    let gpu = GpuConfig::test_tiny();
+    let mut reference: Option<(u64, f64)> = None;
+    for seed in seeds() {
+        let r = run_algorithm(alg, variant, g, &gpu, seed);
+        assert!(r.valid, "{alg} {variant} seed {seed:#x} invalid");
+        match reference {
+            None => reference = Some((r.solution_digest, r.quality)),
+            Some((digest, quality)) => {
+                assert_eq!(
+                    digest, r.solution_digest,
+                    "{alg} {variant} seed {seed:#x}: fixpoint changed"
+                );
+                if compare_quality {
+                    assert_eq!(
+                        quality, r.quality,
+                        "{alg} {variant} seed {seed:#x}: quality changed"
+                    );
+                }
+            }
+        }
+    }
+}
+
+const VARIANTS: [Variant; 2] = [Variant::Baseline, Variant::RaceFree];
+
+#[test]
+fn cc_fixpoint_is_seed_invariant() {
+    let g = GraphInput::by_name("internet").unwrap().build(0.1, 3);
+    for variant in VARIANTS {
+        check(Algorithm::Cc, variant, &g, true);
+    }
+}
+
+#[test]
+fn gc_fixpoint_is_seed_invariant() {
+    // The GC digest hashes validity (exact colors are timing-dependent);
+    // color counts may legitimately differ across schedules, so quality is
+    // not compared.
+    let g = GraphInput::by_name("citationCiteseer")
+        .unwrap()
+        .build(0.1, 3);
+    for variant in VARIANTS {
+        check(Algorithm::Gc, variant, &g, false);
+    }
+}
+
+#[test]
+fn mis_fixpoint_is_seed_invariant() {
+    let g = GraphInput::by_name("rmat16.sym").unwrap().build(0.1, 3);
+    for variant in VARIANTS {
+        check(Algorithm::Mis, variant, &g, true);
+    }
+}
+
+#[test]
+fn mst_fixpoint_is_seed_invariant() {
+    let g = GraphInput::by_name("2d-2e20.sym").unwrap().build(0.1, 3);
+    for variant in VARIANTS {
+        check(Algorithm::Mst, variant, &g, true);
+    }
+}
+
+#[test]
+fn scc_fixpoint_is_seed_invariant() {
+    let g = GraphInput::by_name("web-Google").unwrap().build(0.1, 3);
+    for variant in VARIANTS {
+        check(Algorithm::Scc, variant, &g, true);
+    }
+}
+
+#[test]
+fn apsp_fixpoint_is_seed_invariant() {
+    let g = ecl_graph::gen::rmat(96, 400, 0.57, 0.19, 0.19, true, 8).with_random_weights(30, 5);
+    for variant in VARIANTS {
+        check(Algorithm::Apsp, variant, &g, true);
+    }
+}
