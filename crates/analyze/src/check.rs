@@ -395,6 +395,125 @@ mod tests {
         assert!(check_contracts(&[c]).is_empty());
     }
 
+    // Negative cases for the four discharge rules: contracts that *almost*
+    // qualify for a rule must still conflict. Each test perturbs exactly the
+    // condition its rule checks.
+
+    #[test]
+    fn rule1_near_miss_one_atomic_side_is_not_discharged() {
+        // Rule 1 needs *both* sides atomic; an atomic RMW against a plain
+        // load is the paper's mixed-atomic race, not a discharge.
+        use ecl_simt::AccessKind::Rmw;
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Atomic,
+                Rmw,
+                Arbitrary,
+            ))
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Plain,
+                Load,
+                Arbitrary,
+            ));
+        let conflicts = check_contracts(&[c]);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].class, RaceClass::MixedAtomic);
+    }
+
+    #[test]
+    fn rule2_near_miss_same_phase_shared_entries_are_not_discharged() {
+        // Rule 2 needs *different* phase tags: two shared entries that both
+        // carry a tag — but the same one — are in the same barrier epoch.
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::shared(AccessMode::Plain, Store, Arbitrary).phase(1))
+            .entry(FootprintEntry::shared(AccessMode::Plain, Load, Arbitrary).phase(1));
+        let conflicts = check_contracts(&[c]);
+        assert!(
+            conflicts.iter().any(|c| c.class == RaceClass::ReadWrite),
+            "{conflicts:#?}"
+        );
+    }
+
+    #[test]
+    fn rule2_near_miss_one_tagged_side_is_not_discharged() {
+        // Both sides must carry a tag: a tagged store against an untagged
+        // load asserts nothing about their ordering. (The store's tagged
+        // self-pair is a write-write conflict of its own; check the cross
+        // pair specifically.)
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::shared(AccessMode::Plain, Store, Arbitrary).phase(0))
+            .entry(FootprintEntry::shared(AccessMode::Plain, Load, Arbitrary));
+        let conflicts = check_contracts(&[c]);
+        assert!(
+            conflicts.iter().any(|c| c.class == RaceClass::ReadWrite),
+            "{conflicts:#?}"
+        );
+    }
+
+    #[test]
+    fn rule3_near_miss_same_region_tags_are_not_discharged() {
+        // Rule 3 needs *different* region tags: the same tag on both sides
+        // declares they touch the same element set.
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Store, Arbitrary).region("same"))
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Load, Arbitrary).region("same"));
+        let conflicts = check_contracts(&[c]);
+        assert!(
+            conflicts.iter().any(|c| c.class == RaceClass::ReadWrite),
+            "{conflicts:#?}"
+        );
+    }
+
+    #[test]
+    fn rule4_near_miss_owned_read_vs_arbitrary_write_is_not_discharged() {
+        // Rule 4 needs *both* disciplines owned: a thread that writes
+        // arbitrary elements can hit another thread's owned slot.
+        let c = KernelContract::new("k")
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Load, own()))
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Plain,
+                Store,
+                Arbitrary,
+            ));
+        // The cross pair is the read-write race; the arbitrary store's
+        // self-pair also surfaces (write-write), proving neither pair
+        // involving the non-owned side is discharged.
+        let conflicts = check_contracts(&[c]);
+        assert_eq!(conflicts.len(), 2);
+        assert!(conflicts.iter().any(|c| c.class == RaceClass::ReadWrite));
+        assert!(conflicts.iter().any(|c| c.class == RaceClass::WriteWrite));
+    }
+
+    #[test]
+    fn rule4_near_miss_mismatched_owned_strides_still_discharge_only_owned_pairs() {
+        // Owned-by-global-id and owned-range are both owner-disjoint
+        // disciplines, so mixing them *does* discharge — but only while both
+        // sides stay owned. Replacing one with an arbitrary claim flips the
+        // verdict. This pins the rule's boundary exactly at `is_owned`.
+        use ecl_simt::IndexDiscipline::OwnedRange;
+        let owned_pair = KernelContract::new("k")
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Store, own()))
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Plain,
+                Load,
+                OwnedRange { elem_bytes: 4 },
+            ));
+        assert!(check_contracts(&[owned_pair]).is_empty());
+        let broken = KernelContract::new("k")
+            .entry(FootprintEntry::global("b", AccessMode::Plain, Store, own()))
+            .entry(FootprintEntry::global(
+                "b",
+                AccessMode::Plain,
+                Load,
+                Arbitrary,
+            ));
+        assert_eq!(check_contracts(&[broken]).len(), 1);
+    }
+
     #[test]
     fn race_free_variants_prove_clean_and_baselines_classify() {
         let reports = check_suite();

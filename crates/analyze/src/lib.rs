@@ -24,12 +24,20 @@
 //!   ([`ecl_simt::Gpu::install_contracts`]) during full runs, so any access
 //!   outside a declared footprint fails the launch with a typed
 //!   [`ecl_simt::SimError::ContractViolation`].
+//! - [`repair`] is the **automated race repair pass**: it synthesizes a
+//!   race-free variant from detector output by rewriting every flagged
+//!   access op in the baseline kernel IR ([`ecl_simt::KernelIr`]) to a
+//!   relaxed atomic, re-lowers updated contracts and an execution mode
+//!   table, and verifies the result with all three oracles (static proof,
+//!   dynamic racecheck, differential fixpoint match vs the hand-written
+//!   race-free variant) while measuring the perf delta.
 //!
-//! The `analyze_tool` binary in `ecl-bench` drives all three and renders the
-//! Table-II-style race census.
+//! The `analyze_tool` and `repair_tool` binaries in `ecl-bench` drive these
+//! and render the Table-II-style race census and the repair report.
 
 pub mod check;
 pub mod differential;
+pub mod repair;
 pub mod sanitize;
 
 pub use check::{
@@ -39,5 +47,9 @@ pub use check::{
 pub use differential::{
     default_inputs, diff_algorithm, diff_suite, launched_kernels_have_contracts, DiffOutcome,
     Mismatch,
+};
+pub use repair::{
+    synthesize, verify as verify_repair, InputComparison, RepairError, RepairVerification,
+    RepairedVariant, Rewrite,
 };
 pub use sanitize::sanitize_run;

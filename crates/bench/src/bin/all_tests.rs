@@ -163,6 +163,7 @@ impl Config {
                 FaultPlan::new(self.fault_seed).with_bitflips(self.fault_rate, self.fault_level)
             }),
             deadline,
+            mode_table: None,
         }
     }
 

@@ -139,6 +139,7 @@ fn main() {
             watchdog: Some(WATCHDOG),
             fault: (rate > 0.0).then(|| FaultPlan::new(seed).with_bitflips(rate, level)),
             deadline: None,
+            mode_table: None,
         };
         let mut sdc = 0u32;
         let mut crashed = 0u32;

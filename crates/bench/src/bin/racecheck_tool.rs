@@ -7,13 +7,21 @@
 //!     --alg cc --variant baseline --input rmat16.sym [--scale 0.25] \
 //!     [--mtx path/to/graph.mtx] \
 //!     [--mode precise|shared-only|no-launch-barrier|happens-before] \
-//!     [--profile] [--json]
+//!     [--max-pairs N] [--profile] [--json]
 //! ```
 //!
 //! `--json` replaces the human-readable summary with one JSON document
 //! (schema `ecl-bench/RACECHECK/v1`) carrying every deduplicated finding —
 //! the machine-readable form CI jobs and the differential harness diff
 //! against.
+//!
+//! `--max-pairs N` runs the detector in bounded-memory mode: at most N
+//! distinct conflicting access pairs are retained as evidence per finding,
+//! with the overflow counted rather than stored. Findings whose evidence was
+//! cut off appear in a typed `truncated` list in the JSON output (and are
+//! marked in the human summary), so a capped run is never mistaken for a
+//! complete one. The finding set itself is identical to an unbounded run —
+//! only the retained evidence is bounded.
 //!
 //! Exit codes (for CI gating): 0 = no races, 1 = races detected, 2 = usage
 //! or I/O error (unknown algorithm/input/mode, unreadable `--mtx` file).
@@ -22,8 +30,9 @@ use ecl_bench::export::Json;
 use ecl_core::primitives::{Atomic, Plain, Volatile, VolatileReadPlainWrite};
 use ecl_core::{cc, gc, mis, mst, scc};
 use ecl_racecheck::{
-    access_profile, check_races_hb, check_races_with_mode, format_profile, format_summary,
-    DetectorMode, RaceReport, RaceSite,
+    access_profile, check_races_bounded, check_races_hb, check_races_with_mode, format_profile,
+    format_summary, BoundedDetection, BoundedFinding, ConflictPair, DetectorMode, RaceReport,
+    RaceSite,
 };
 use ecl_simt::{Gpu, GpuConfig, StoreVisibility};
 use std::process::ExitCode;
@@ -33,6 +42,31 @@ fn site_json(s: &RaceSite) -> Json {
         ("thread", Json::Num(s.thread as f64)),
         ("mode", Json::Str(format!("{:?}", s.mode))),
         ("kind", Json::Str(format!("{:?}", s.kind))),
+    ])
+}
+
+fn pair_json(p: &ConflictPair) -> Json {
+    Json::obj(vec![
+        ("addr", Json::Num(p.addr as f64)),
+        ("first", site_json(&p.first)),
+        ("second", site_json(&p.second)),
+    ])
+}
+
+fn truncated_json(f: &BoundedFinding) -> Json {
+    Json::obj(vec![
+        ("kernel", Json::Str(f.report.kernel.clone())),
+        (
+            "buffer",
+            match &f.report.allocation_name {
+                Some(n) => Json::Str(n.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("allocation", Json::Num(f.report.allocation as f64)),
+        ("class", Json::Str(format!("{:?}", f.report.class))),
+        ("retained", Json::Num(f.pairs.len() as f64)),
+        ("dropped", Json::Num(f.dropped as f64)),
     ])
 }
 
@@ -81,6 +115,13 @@ fn main() -> ExitCode {
     };
     let mode = get("--mode", "precise");
     let mtx_path = get("--mtx", "");
+    let max_pairs: Option<usize> = match args.iter().position(|a| a == "--max-pairs") {
+        Some(i) => match args.get(i + 1).map(|s| s.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => Some(n),
+            _ => return usage_error("--max-pairs needs a positive integer".into()),
+        },
+        None => None,
+    };
 
     // Input: a real .mtx file when given, else a catalog stand-in.
     let (mut graph, input_label) = if mtx_path.is_empty() {
@@ -137,15 +178,52 @@ fn main() -> ExitCode {
     }
 
     let trace_len = gpu.trace().map(|t| t.len()).unwrap_or(0);
-    let reports = match mode.as_str() {
-        "precise" => check_races_with_mode(&gpu, DetectorMode::Precise),
-        "shared-only" => check_races_with_mode(&gpu, DetectorMode::SharedOnly),
-        "no-launch-barrier" => check_races_with_mode(&gpu, DetectorMode::NoLaunchBarrier),
-        "happens-before" | "hb" => check_races_hb(&gpu),
+    let detector_mode = match mode.as_str() {
+        "precise" => Some(DetectorMode::Precise),
+        "shared-only" => Some(DetectorMode::SharedOnly),
+        "no-launch-barrier" => Some(DetectorMode::NoLaunchBarrier),
+        "happens-before" | "hb" => None,
         other => return usage_error(format!("unknown detector mode '{other}'")),
     };
+    let (reports, bounded): (Vec<RaceReport>, Option<BoundedDetection>) =
+        match (detector_mode, max_pairs) {
+            (Some(m), Some(cap)) => {
+                let detection = check_races_bounded(&gpu, m, cap);
+                (detection.reports(), Some(detection))
+            }
+            (Some(m), None) => (check_races_with_mode(&gpu, m), None),
+            (None, Some(_)) => {
+                return usage_error(
+                    "--max-pairs requires a trace-replay mode (precise|shared-only|\
+                     no-launch-barrier), not happens-before"
+                        .into(),
+                )
+            }
+            (None, None) => (check_races_hb(&gpu), None),
+        };
     if args.iter().any(|a| a == "--json") {
-        let doc = Json::obj(vec![
+        // In bounded mode each report carries its retained pair evidence,
+        // and findings whose evidence was cut off are listed under a typed
+        // `truncated` marker so a capped run reads as capped.
+        let report_docs: Vec<Json> = match &bounded {
+            Some(detection) => detection
+                .findings
+                .iter()
+                .map(|f| {
+                    let Json::Obj(mut fields) = report_json(&f.report) else {
+                        unreachable!("report_json always builds an object");
+                    };
+                    fields.push((
+                        "pairs".into(),
+                        Json::Arr(f.pairs.iter().map(pair_json).collect()),
+                    ));
+                    fields.push(("dropped_pairs".into(), Json::Num(f.dropped as f64)));
+                    Json::Obj(fields)
+                })
+                .collect(),
+            None => reports.iter().map(report_json).collect(),
+        };
+        let mut doc_fields = vec![
             ("schema", Json::Str("ecl-bench/RACECHECK/v1".into())),
             ("alg", Json::Str(alg.clone())),
             ("variant", Json::Str(variant.clone())),
@@ -157,12 +235,23 @@ fn main() -> ExitCode {
                 "occurrences",
                 Json::Num(reports.iter().map(|r| r.occurrences).sum::<u64>() as f64),
             ),
-            (
-                "reports",
-                Json::Arr(reports.iter().map(report_json).collect()),
-            ),
-            ("pass", Json::Bool(reports.is_empty())),
-        ]);
+            ("reports", Json::Arr(report_docs)),
+        ];
+        if let Some(detection) = &bounded {
+            doc_fields.push(("max_pairs", Json::Num(max_pairs.unwrap_or_default() as f64)));
+            doc_fields.push((
+                "truncated",
+                Json::Arr(
+                    detection
+                        .truncated()
+                        .iter()
+                        .map(|f| truncated_json(f))
+                        .collect(),
+                ),
+            ));
+        }
+        doc_fields.push(("pass", Json::Bool(reports.is_empty())));
+        let doc = Json::obj(doc_fields);
         println!("{}", doc.render());
         return if reports.is_empty() {
             ExitCode::SUCCESS
@@ -172,6 +261,30 @@ fn main() -> ExitCode {
     }
     println!("{alg} {variant} on {input_label}: {trace_len} traced accesses\n");
     print!("{}", format_summary(&reports));
+    if let Some(detection) = &bounded {
+        let cut = detection.truncated();
+        if cut.is_empty() {
+            println!(
+                "\nbounded mode (--max-pairs {}): no finding exceeded the cap",
+                max_pairs.unwrap_or_default()
+            );
+        } else {
+            println!(
+                "\nbounded mode (--max-pairs {}): {} finding(s) truncated:",
+                max_pairs.unwrap_or_default(),
+                cut.len()
+            );
+            for f in cut {
+                println!(
+                    "  {} / {}: retained {} pair(s), dropped {}",
+                    f.report.kernel,
+                    f.report.allocation_name.as_deref().unwrap_or("<unnamed>"),
+                    f.pairs.len(),
+                    f.dropped
+                );
+            }
+        }
+    }
     if args.iter().any(|a| a == "--profile") {
         // §VI-C: which shared arrays carry the traffic (and how racy it is).
         println!("\naccess profile:");

@@ -686,6 +686,7 @@ mod tests {
                 watchdog: Some(1),
                 fault: None,
                 deadline: None,
+                mode_table: None,
             });
         let t = matrix.run_directed();
         assert!(t.cells.is_empty());

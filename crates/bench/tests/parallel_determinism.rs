@@ -163,6 +163,7 @@ fn failures_survive_the_pool_in_order() {
                 watchdog: Some(1),
                 fault: None,
                 deadline: None,
+                mode_table: None,
             })
             .run_directed()
     };

@@ -145,6 +145,89 @@ pub fn run_traced(gpu: &mut ecl_simt::Gpu, g: &Csr) -> Vec<u32> {
     out
 }
 
+/// Access-level IR of the blocked Floyd-Warshall kernels. APSP has no
+/// variants and no policy-mediated sites — every op is fixed plain, which
+/// is exactly why the repair pass finds nothing to rewrite (the published
+/// code is race-free, §IV-A).
+pub fn ir() -> Vec<ecl_simt::KernelIr> {
+    use crate::contracts::*;
+    use ecl_simt::{AccessOp, KernelIr, OpWidth};
+
+    // Epoch 0: staging stores before the first block barrier. Epoch 1: the
+    // relaxation steps after it.
+    let stage_store = || {
+        AccessOp::store("shared", OpWidth::B4, AccessMode::Plain, claim4())
+            .shared()
+            .region("elem")
+            .phase(0)
+            .fixed()
+    };
+    let elem_load = || {
+        AccessOp::load("shared", OpWidth::B4, AccessMode::Plain, claim4())
+            .shared()
+            .region("elem")
+            .phase(1)
+            .fixed()
+    };
+    let pivot_load = || {
+        AccessOp::load("shared", OpWidth::B4, AccessMode::Plain, Arbitrary)
+            .shared()
+            .region("pivot-line")
+            .phase(1)
+            .fixed()
+    };
+    let elem_store = || {
+        AccessOp::store("shared", OpWidth::B4, AccessMode::Plain, claim4())
+            .shared()
+            .region("elem")
+            .phase(1)
+            .fixed()
+    };
+    let own_tile_load = || {
+        AccessOp::load("dist", OpWidth::B4, AccessMode::Plain, claim4())
+            .region("own-tile")
+            .fixed()
+    };
+    let own_tile_store = || {
+        AccessOp::store("dist", OpWidth::B4, AccessMode::Plain, claim4())
+            .region("own-tile")
+            .fixed()
+    };
+    let pivot_tile_load = |tag: &'static str| {
+        AccessOp::load("dist", OpWidth::B4, AccessMode::Plain, Arbitrary)
+            .region(tag)
+            .fixed()
+    };
+
+    vec![
+        KernelIr::new("apsp_phase1")
+            .op(own_tile_load())
+            .op(own_tile_store())
+            .op(stage_store())
+            .op(elem_load())
+            .op(pivot_load())
+            .op(elem_store()),
+        // Phase 2 additionally stages and reads the finished diagonal tile,
+        // which it never writes.
+        KernelIr::new("apsp_phase2")
+            .op(own_tile_load())
+            .op(pivot_tile_load("pivot-diag"))
+            .op(own_tile_store())
+            .op(stage_store())
+            .op(elem_load())
+            .op(pivot_load())
+            .op(elem_store()),
+        // Phase 3 stages the pivot row/column tiles (read-shared across
+        // blocks, never written here) and updates only its own tile.
+        KernelIr::new("apsp_phase3")
+            .op(pivot_tile_load("pivot-cross"))
+            .op(own_tile_load())
+            .op(own_tile_store())
+            .op(stage_store())
+            .op(pivot_load()),
+    ]
+}
+
 /// Access contracts for the blocked Floyd-Warshall kernels. APSP has no
 /// variants: the published code is race-free (paper §IV-A), and the
 /// contracts express why — every matrix element and staged tile slot has a

@@ -107,6 +107,43 @@ pub fn run_traced<P: AccessPolicy>(
     gpu.download(&labels)
 }
 
+/// Access-level IR of the ECL-CC kernels under the canonical policy for the
+/// variant. The `label` union-find traffic is policy-mediated (repairable);
+/// the CSR loads, the ticketed `heavy` slot stores, and the hook CAS are
+/// hard-coded in the kernel bodies.
+pub fn ir(race_free: bool) -> Vec<ecl_simt::KernelIr> {
+    use crate::contracts::*;
+    use crate::primitives::{Atomic, Plain};
+    use ecl_simt::{AccessOp, KernelIr, OpWidth};
+
+    fn build<P: AccessPolicy>() -> Vec<KernelIr> {
+        let csr = || ir_csr_loads(&["row_offsets", "col_indices"]);
+        vec![
+            KernelIr::new("cc_init")
+                .ops(csr())
+                .op(ir_word_write::<P>("label", own4())),
+            KernelIr::new("cc_compute_light")
+                .ops(csr())
+                .ops(ir_union_find_hook::<P>("label"))
+                .op(ir_atomic_rmw("heavy_count"))
+                // Each heavy vertex goes to a freshly-ticketed slot.
+                .op(AccessOp::store("heavy", OpWidth::B4, AccessMode::Plain, claim4()).fixed()),
+            KernelIr::new("cc_compute_heavy")
+                .ops(csr())
+                .ops(ir_csr_loads(&["heavy", "heavy_offsets"]))
+                .ops(ir_union_find_hook::<P>("label")),
+            KernelIr::new("cc_flatten")
+                .ops(ir_union_find_rep::<P>("label"))
+                .op(ir_word_write::<P>("label", own4())),
+        ]
+    }
+    if race_free {
+        build::<Atomic>()
+    } else {
+        build::<Plain>()
+    }
+}
+
 /// Access contracts for the ECL-CC kernels under the canonical policy for
 /// the variant ([`crate::primitives::Plain`] baseline,
 /// [`crate::primitives::Atomic`] race-free).

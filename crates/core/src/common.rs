@@ -20,6 +20,11 @@ pub struct SimOptions {
     /// Isolated sweep workers derive this from their cell's wall-clock
     /// budget; it never perturbs runs that finish in time.
     pub deadline: Option<std::time::Instant>,
+    /// Per-(kernel, buffer) access-mode table for runs under the
+    /// [`crate::primitives::IrDriven`] policy: installed on the device before
+    /// any launch so every policy-mediated access resolves its mode from the
+    /// synthesized kernel IR instead of a compile-time policy.
+    pub mode_table: Option<ecl_simt::ModeTable>,
 }
 
 impl SimOptions {
@@ -42,6 +47,9 @@ impl SimOptions {
             // for a fixed (plan seed, run seed) pair.
             plan.seed ^= seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
             gpu.set_fault_plan(plan);
+        }
+        if let Some(table) = &self.mode_table {
+            gpu.install_mode_table(table.clone());
         }
         gpu
     }

@@ -24,7 +24,7 @@ use ecl_simt::IndexDiscipline::{self, OwnedByGlobalId, OwnedRange};
 pub use ecl_simt::AccessKind::{Load, Rmw, Store};
 pub use ecl_simt::AccessMode;
 pub use ecl_simt::IndexDiscipline::Arbitrary;
-pub use ecl_simt::{BenignClass, FootprintEntry, KernelContract};
+pub use ecl_simt::{AccessOp, BenignClass, FootprintEntry, KernelContract, KernelIr, OpWidth};
 
 /// Plain read-only loads of CSR structure arrays (row offsets, column
 /// indices, weights, edge sources): never written after upload, so any
@@ -199,8 +199,109 @@ pub fn claim1() -> IndexDiscipline {
     OwnedRange { elem_bytes: 1 }
 }
 
+// ---------------------------------------------------------------------------
+// IR op builders: the same access shapes as the entry helpers above, but as
+// `ecl_simt::AccessOp`s. Each algorithm module's `ir()` assembles its kernels
+// from these; `contracts()` is the lowering of that IR, and the repair pass
+// in `ecl-analyze` rewrites the IR's repairable ops. The entry helpers above
+// stay as the ground truth the lowering is pinned against (see the
+// `ir_lowering_matches_hand_written_contracts` test).
+
+/// IR ops for plain read-only loads of CSR structure arrays. Hard-coded
+/// plain in the kernel bodies (never policy-mediated), hence fixed.
+pub fn ir_csr_loads(buffers: &[&'static str]) -> Vec<AccessOp> {
+    buffers
+        .iter()
+        .map(|b| AccessOp::load(b, OpWidth::B4, AccessMode::Plain, Arbitrary).fixed())
+        .collect()
+}
+
+/// The IR op for `P::read_u32`.
+pub fn ir_word_read<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> AccessOp {
+    AccessOp::load(buffer, OpWidth::B4, P::READ_MODE, discipline)
+}
+
+/// The IR op for `P::write_u32`.
+pub fn ir_word_write<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> AccessOp {
+    AccessOp::store(buffer, OpWidth::B4, P::WRITE_MODE, discipline)
+}
+
+/// The IR op for `P::read_u64`.
+pub fn ir_word64_read<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> AccessOp {
+    AccessOp::load(buffer, OpWidth::B8, P::READ_MODE, discipline)
+}
+
+/// The IR op for a device-scope atomic read-modify-write.
+pub fn ir_atomic_rmw(buffer: &'static str) -> AccessOp {
+    AccessOp::rmw(buffer)
+}
+
+/// The IR ops for [`crate::common::union_find_rep`] over `buffer`.
+pub fn ir_union_find_rep<P: AccessPolicy>(buffer: &'static str) -> Vec<AccessOp> {
+    vec![
+        ir_word_read::<P>(buffer, Arbitrary).benign(RePropagatedLostUpdate),
+        ir_word_write::<P>(buffer, Arbitrary).benign(RePropagatedLostUpdate),
+    ]
+}
+
+/// The IR ops for [`crate::common::union_find_hook`] over `buffer`.
+pub fn ir_union_find_hook<P: AccessPolicy>(buffer: &'static str) -> Vec<AccessOp> {
+    let mut ops = ir_union_find_rep::<P>(buffer);
+    ops.push(ir_atomic_rmw(buffer));
+    ops
+}
+
+/// The IR op for `P::read_byte`: lowering widens an atomic-mode byte load
+/// to the containing word (Fig. 3b), which is why the race-free contract
+/// entries are `Arbitrary`.
+pub fn ir_byte_read<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> AccessOp {
+    AccessOp::load(buffer, OpWidth::B1, P::READ_MODE, discipline)
+}
+
+/// The IR op for `P::write_byte`: lowering expands an atomic-mode byte
+/// store to the word-wide `atomicAnd`/CAS-loop pair (Fig. 4b).
+pub fn ir_byte_write<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> AccessOp {
+    AccessOp::store(buffer, OpWidth::B1, P::WRITE_MODE, discipline)
+}
+
+/// The IR op for `P::read_pair_first/second` (Fig. 5).
+pub fn ir_pair_read<P: AccessPolicy>(
+    buffer: &'static str,
+    discipline: IndexDiscipline,
+) -> AccessOp {
+    AccessOp::load(buffer, OpWidth::Pair, P::READ_MODE, discipline)
+}
+
+/// The IR op for `P::max_pair_first/second`: the monotone half-word max.
+pub fn ir_pair_max<P: AccessPolicy>(buffer: &'static str) -> AccessOp {
+    AccessOp::update(buffer, OpWidth::Pair, P::WRITE_MODE).benign(MonotonicUpdate)
+}
+
+/// The IR op for `P::raise_flag`.
+pub fn ir_flag_raise<P: AccessPolicy>(buffer: &'static str) -> AccessOp {
+    AccessOp::flag(buffer, P::WRITE_MODE)
+}
+
 /// The full contract set for one algorithm × variant, keyed on the canonical
 /// policy/visibility mapping the suite and the race-detection tools use.
+/// Bit-identical to the lowering of [`ir_for_algorithm`] — pinned by the
+/// `ir_lowering_matches_hand_written_contracts` test, so the IR and the
+/// hand-written declarations can never drift apart silently.
 pub fn for_algorithm(algorithm: Algorithm, variant: Variant) -> Vec<KernelContract> {
     let race_free = variant == Variant::RaceFree;
     match algorithm {
@@ -210,6 +311,20 @@ pub fn for_algorithm(algorithm: Algorithm, variant: Variant) -> Vec<KernelContra
         Algorithm::Mis => crate::mis::contracts(race_free),
         Algorithm::Mst => crate::mst::contracts(race_free),
         Algorithm::Scc => crate::scc::contracts(race_free),
+    }
+}
+
+/// The access-level kernel IR for one algorithm × variant under the same
+/// canonical policy mapping as [`for_algorithm`].
+pub fn ir_for_algorithm(algorithm: Algorithm, variant: Variant) -> Vec<KernelIr> {
+    let race_free = variant == Variant::RaceFree;
+    match algorithm {
+        Algorithm::Apsp => crate::apsp::ir(),
+        Algorithm::Cc => crate::cc::ir(race_free),
+        Algorithm::Gc => crate::gc::ir(race_free),
+        Algorithm::Mis => crate::mis::ir(race_free),
+        Algorithm::Mst => crate::mst::ir(race_free),
+        Algorithm::Scc => crate::scc::ir(race_free),
     }
 }
 
@@ -227,6 +342,52 @@ mod tests {
         assert_eq!(plain.len(), 1);
         assert_eq!(plain[0].kind, Store);
         assert_eq!(plain[0].discipline, own1());
+    }
+
+    #[test]
+    fn ir_lowering_matches_hand_written_contracts() {
+        // The bit-identity pin: for every algorithm × variant, lowering the
+        // access-level IR must reproduce the hand-written contract set
+        // exactly — same kernels, same entries, same order. This is what
+        // lets the repair pass emit trustworthy contracts for synthesized
+        // variants by lowering the repaired IR.
+        for alg in Algorithm::ALL {
+            for variant in [Variant::Baseline, Variant::RaceFree] {
+                let hand = for_algorithm(alg, variant);
+                let lowered = ecl_simt::lower_all(&ir_for_algorithm(alg, variant));
+                assert_eq!(
+                    hand, lowered,
+                    "{alg:?} {variant:?}: IR lowering diverged from the hand-written contracts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repairable_ops_are_exactly_the_policy_mediated_sites() {
+        // An op is repairable iff its mode changes between the baseline and
+        // race-free IRs (policy-mediated), or stays atomic (RMW). Fixed ops
+        // must be mode-identical across variants.
+        for alg in Algorithm::ALL {
+            let base = ir_for_algorithm(alg, Variant::Baseline);
+            let free = ir_for_algorithm(alg, Variant::RaceFree);
+            assert_eq!(base.len(), free.len());
+            for (b, f) in base.iter().zip(&free) {
+                assert_eq!(b.kernel, f.kernel);
+                assert_eq!(b.ops.len(), f.ops.len(), "{alg:?} {}", b.kernel);
+                for (ob, of) in b.ops.iter().zip(&f.ops) {
+                    assert_eq!(ob.buffer, of.buffer);
+                    assert_eq!(ob.repairable, of.repairable);
+                    if !ob.repairable {
+                        assert_eq!(
+                            ob.mode, of.mode,
+                            "{alg:?} {}: fixed op on '{}' changes mode across variants",
+                            b.kernel, ob.buffer
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

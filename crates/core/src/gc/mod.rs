@@ -155,6 +155,39 @@ pub fn run_traced<P: AccessPolicy, Q: AccessPolicy>(
     gpu.download(&colors)
 }
 
+/// Access-level IR of the ECL-GC kernels under the canonical policy pair
+/// for the variant. Both the `color` and `minposs` traffic are
+/// policy-mediated (P and Q respectively), so every non-RMW op is
+/// repairable.
+pub fn ir(race_free: bool) -> Vec<ecl_simt::KernelIr> {
+    use crate::contracts::*;
+    use crate::primitives::{Atomic, Plain, Volatile};
+    use ecl_simt::BenignClass::{MonotonicUpdate, RePropagatedLostUpdate};
+    use ecl_simt::KernelIr;
+
+    fn build<P: AccessPolicy, Q: AccessPolicy>() -> Vec<KernelIr> {
+        vec![
+            KernelIr::new("gc_init")
+                .op(ir_word_write::<P>("color", own4()))
+                .op(ir_word_write::<Q>("minposs", own4())),
+            // `gc_round` is chunked, so the own-vertex writes are first-touch
+            // owned rather than grid-stride owned.
+            KernelIr::new("gc_round")
+                .ops(ir_csr_loads(&["row_offsets", "col_indices"]))
+                .op(ir_word_read::<P>("color", Arbitrary).benign(RePropagatedLostUpdate))
+                .op(ir_word_write::<P>("color", claim4()).benign(RePropagatedLostUpdate))
+                .op(ir_word_read::<Q>("minposs", Arbitrary).benign(MonotonicUpdate))
+                .op(ir_word_write::<Q>("minposs", claim4()).benign(MonotonicUpdate))
+                .op(ir_atomic_rmw("remaining")),
+        ]
+    }
+    if race_free {
+        build::<Atomic, Atomic>()
+    } else {
+        build::<Volatile, Plain>()
+    }
+}
+
 /// Access contracts for the ECL-GC kernels under the canonical policy pair
 /// for the variant (`<Volatile, Plain>` baseline — volatile color polling,
 /// plain shortcut bookkeeping — `<Atomic, Atomic>` race-free).

@@ -160,6 +160,47 @@ pub fn run_traced<P: AccessPolicy>(
     host.iter().map(|&s| s == IN).collect()
 }
 
+/// Access-level IR of the ECL-MIS kernels under the canonical policy for
+/// the variant. All `node_stat` traffic is byte-wide and policy-mediated:
+/// the atomic mode lowers through the paper's Fig. 3–4 typecast-and-mask
+/// transform (word-wide atomic load; `atomicAnd`/CAS-loop store).
+pub fn ir(race_free: bool) -> Vec<ecl_simt::KernelIr> {
+    use crate::contracts::*;
+    use crate::primitives::{Atomic, VolatileReadPlainWrite};
+    use ecl_simt::BenignClass::{IdempotentWrite, RePropagatedLostUpdate};
+    use ecl_simt::{AccessOp, KernelIr};
+
+    fn build<P: AccessPolicy>() -> Vec<KernelIr> {
+        let statuses_poll = || -> Vec<AccessOp> {
+            vec![
+                ir_byte_read::<P>("node_stat", Arbitrary).benign(RePropagatedLostUpdate),
+                ir_byte_write::<P>("node_stat", Arbitrary).benign(IdempotentWrite),
+            ]
+        };
+        let init = |name: &'static str| {
+            KernelIr::new(name)
+                .ops(ir_csr_loads(&["row_offsets"]))
+                .op(ir_byte_write::<P>("node_stat", own1()))
+        };
+        vec![
+            init("mis_init"),
+            init("mis_sync_init"),
+            KernelIr::new("mis_compute")
+                .ops(ir_csr_loads(&["row_offsets", "col_indices"]))
+                .ops(statuses_poll()),
+            KernelIr::new("mis_sync_round")
+                .ops(ir_csr_loads(&["row_offsets", "col_indices"]))
+                .ops(statuses_poll())
+                .op(ir_atomic_rmw("undecided")),
+        ]
+    }
+    if race_free {
+        build::<Atomic>()
+    } else {
+        build::<VolatileReadPlainWrite>()
+    }
+}
+
 /// Access contracts for the ECL-MIS kernels (both the asynchronous
 /// persistent-thread engine and the synchronous round-based ablation) under
 /// the canonical policy for the variant

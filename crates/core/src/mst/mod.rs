@@ -128,6 +128,45 @@ pub fn run_traced<P: AccessPolicy>(
     host.iter().map(|&f| f != 0).collect()
 }
 
+/// Access-level IR of the ECL-MST kernels under the canonical policy for
+/// the variant. The `parent` chasing, the 64-bit `best` reads, the `in_mst`
+/// byte flags, and the `changed` flag are policy-mediated; the launch-ordered
+/// init stores, the owned `best` reset, and the `atomicMin` bid are
+/// hard-coded.
+pub fn ir(race_free: bool) -> Vec<ecl_simt::KernelIr> {
+    use crate::contracts::*;
+    use crate::primitives::{Atomic, Volatile};
+    use ecl_simt::{AccessOp, KernelIr, OpWidth};
+
+    fn build<P: AccessPolicy>() -> Vec<KernelIr> {
+        vec![
+            // Init stores through plain accesses in both variants (no other
+            // thread can observe them before the launch boundary).
+            KernelIr::new("mst_init")
+                .op(AccessOp::store("parent", OpWidth::B4, AccessMode::Plain, own4()).fixed())
+                .op(AccessOp::store("best", OpWidth::B8, AccessMode::Plain, own8()).fixed()),
+            KernelIr::new("mst_find_min")
+                .ops(ir_csr_loads(&["edge_src", "col_indices", "weights"]))
+                .ops(ir_union_find_rep::<P>("parent"))
+                .op(ir_atomic_rmw("best")),
+            // `mst_connect` reads and resets its own component's best slot,
+            // merges via `atomicCAS`, and flags edges/progress.
+            KernelIr::new("mst_connect")
+                .ops(ir_csr_loads(&["edge_src", "col_indices"]))
+                .op(ir_word64_read::<P>("best", claim8()))
+                .op(AccessOp::store("best", OpWidth::B8, AccessMode::Plain, claim8()).fixed())
+                .ops(ir_union_find_hook::<P>("parent"))
+                .op(ir_byte_write::<P>("in_mst", claim1()))
+                .op(ir_flag_raise::<P>("changed")),
+        ]
+    }
+    if race_free {
+        build::<Atomic>()
+    } else {
+        build::<Volatile>()
+    }
+}
+
 /// Access contracts for the ECL-MST kernels under the canonical policy for
 /// the variant ([`crate::primitives::Volatile`] baseline,
 /// [`crate::primitives::Atomic`] race-free). The best-edge bidding is

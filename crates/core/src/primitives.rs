@@ -366,6 +366,159 @@ impl AccessPolicy for Atomic {
     }
 }
 
+/// IR-driven access dispatch: each policy-mediated access looks up its
+/// [`ecl_simt::AccessMode`] in the [`ecl_simt::ModeTable`] installed on the
+/// device ([`ecl_simt::Gpu::install_mode_table`]), keyed by the running
+/// kernel and the accessed buffer. This is how a *synthesized* kernel IR —
+/// e.g. the output of the `ecl-analyze` repair pass — executes on the
+/// existing closure backend without any new kernel code: the closures stay
+/// fixed, the table tells every site which of the three concrete policies'
+/// behavior to exhibit.
+///
+/// A policy-mediated access with no table entry is a bug — the installed IR
+/// does not describe the kernel actually running — and panics with the
+/// kernel/buffer pair rather than silently guessing a mode.
+///
+/// `IS_RACE_FREE` is `false` because race-freedom is a property of the
+/// *installed table*, not of this policy; the repair pipeline's oracles
+/// (static check, dynamic racecheck, differential fixpoint) are what certify
+/// a given table. `READ_MODE`/`WRITE_MODE` are likewise not meaningful here
+/// (contracts for IR-driven runs are lowered from the IR itself, never
+/// built from these constants); they are pinned to `Atomic` arbitrarily.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IrDriven;
+
+impl IrDriven {
+    #[inline]
+    fn modes<H: Hooks>(ctx: &Ctx<'_, H>, addr: u32) -> ecl_simt::ModePair {
+        ctx.dispatch_modes(addr).unwrap_or_else(|| {
+            panic!(
+                "ir-driven access in kernel '{}' at {addr:#x} has no mode-table entry: \
+                 the installed IR is out of sync with the kernel body",
+                ctx.kernel_name()
+            )
+        })
+    }
+}
+
+impl AccessPolicy for IrDriven {
+    const NAME: &'static str = "ir-driven";
+    const IS_RACE_FREE: bool = false;
+    const READ_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
+    const WRITE_MODE: ecl_simt::AccessMode = ecl_simt::AccessMode::Atomic;
+
+    #[inline]
+    fn read_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) -> u32 {
+        match Self::modes(ctx, p.addr()).read {
+            ecl_simt::AccessMode::Plain => Plain::read_u32(ctx, p),
+            ecl_simt::AccessMode::Volatile => Volatile::read_u32(ctx, p),
+            ecl_simt::AccessMode::Atomic => Atomic::read_u32(ctx, p),
+        }
+    }
+    #[inline]
+    fn write_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) {
+        match Self::modes(ctx, p.addr()).write {
+            ecl_simt::AccessMode::Plain => Plain::write_u32(ctx, p, v),
+            ecl_simt::AccessMode::Volatile => Volatile::write_u32(ctx, p, v),
+            ecl_simt::AccessMode::Atomic => Atomic::write_u32(ctx, p, v),
+        }
+    }
+    #[inline]
+    fn read_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u64 {
+        match Self::modes(ctx, p.addr()).read {
+            ecl_simt::AccessMode::Plain => Plain::read_u64(ctx, p),
+            ecl_simt::AccessMode::Volatile => Volatile::read_u64(ctx, p),
+            ecl_simt::AccessMode::Atomic => Atomic::read_u64(ctx, p),
+        }
+    }
+    #[inline]
+    fn write_u64<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u64) {
+        match Self::modes(ctx, p.addr()).write {
+            ecl_simt::AccessMode::Plain => Plain::write_u64(ctx, p, v),
+            ecl_simt::AccessMode::Volatile => Volatile::write_u64(ctx, p, v),
+            ecl_simt::AccessMode::Atomic => Atomic::write_u64(ctx, p, v),
+        }
+    }
+    #[inline]
+    fn max_u32<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>, v: u32) -> bool {
+        let modes = Self::modes(ctx, p.addr());
+        if modes.write == ecl_simt::AccessMode::Atomic {
+            // The repaired form: one atomicMax, as in the paper's conversion.
+            return Atomic::max_u32(ctx, p, v);
+        }
+        // The racy baseline form: mode-dispatched load, test, store.
+        let cur = match modes.read {
+            ecl_simt::AccessMode::Plain => Plain::read_u32(ctx, p),
+            ecl_simt::AccessMode::Volatile => Volatile::read_u32(ctx, p),
+            ecl_simt::AccessMode::Atomic => Atomic::read_u32(ctx, p),
+        };
+        if cur < v {
+            Self::write_u32(ctx, p, v);
+            true
+        } else {
+            false
+        }
+    }
+    #[inline]
+    fn read_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32) -> u8 {
+        match Self::modes(ctx, base.offset(i as usize).addr()).read {
+            ecl_simt::AccessMode::Plain => Plain::read_byte(ctx, base, i),
+            ecl_simt::AccessMode::Volatile => Volatile::read_byte(ctx, base, i),
+            // Fig. 3b typecast-and-mask on the containing word.
+            ecl_simt::AccessMode::Atomic => Atomic::read_byte(ctx, base, i),
+        }
+    }
+    #[inline]
+    fn write_byte<H: Hooks>(ctx: &mut Ctx<'_, H>, base: DevicePtr<u8>, i: u32, v: u8) {
+        match Self::modes(ctx, base.offset(i as usize).addr()).write {
+            ecl_simt::AccessMode::Plain => Plain::write_byte(ctx, base, i, v),
+            ecl_simt::AccessMode::Volatile => Volatile::write_byte(ctx, base, i, v),
+            // Fig. 4b: atomicAnd for zero, CAS loop otherwise.
+            ecl_simt::AccessMode::Atomic => Atomic::write_byte(ctx, base, i, v),
+        }
+    }
+    #[inline]
+    fn read_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
+        match Self::modes(ctx, p.addr()).read {
+            ecl_simt::AccessMode::Plain => Plain::read_pair_first(ctx, p),
+            ecl_simt::AccessMode::Volatile => Volatile::read_pair_first(ctx, p),
+            ecl_simt::AccessMode::Atomic => Atomic::read_pair_first(ctx, p),
+        }
+    }
+    #[inline]
+    fn read_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>) -> u32 {
+        match Self::modes(ctx, p.addr()).read {
+            ecl_simt::AccessMode::Plain => Plain::read_pair_second(ctx, p),
+            ecl_simt::AccessMode::Volatile => Volatile::read_pair_second(ctx, p),
+            ecl_simt::AccessMode::Atomic => Atomic::read_pair_second(ctx, p),
+        }
+    }
+    #[inline]
+    fn max_pair_first<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
+        if Self::modes(ctx, p.addr()).write == ecl_simt::AccessMode::Atomic {
+            Atomic::max_pair_first(ctx, p, v)
+        } else {
+            Self::max_u32(ctx, half_ptr(p, false), v)
+        }
+    }
+    #[inline]
+    fn max_pair_second<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u64>, v: u32) -> bool {
+        if Self::modes(ctx, p.addr()).write == ecl_simt::AccessMode::Atomic {
+            Atomic::max_pair_second(ctx, p, v)
+        } else {
+            Self::max_u32(ctx, half_ptr(p, true), v)
+        }
+    }
+    #[inline]
+    fn raise_flag<H: Hooks>(ctx: &mut Ctx<'_, H>, p: DevicePtr<u32>) {
+        match Self::modes(ctx, p.addr()).write {
+            ecl_simt::AccessMode::Plain => Plain::raise_flag(ctx, p),
+            ecl_simt::AccessMode::Volatile => Volatile::raise_flag(ctx, p),
+            ecl_simt::AccessMode::Atomic => Atomic::raise_flag(ctx, p),
+        }
+    }
+}
+
 /// Atomically reads byte `i` of a byte array by loading the containing `int`
 /// and shifting/masking — the paper's Fig. 3b.
 ///

@@ -140,6 +140,91 @@ pub fn run_traced<P: AccessPolicy>(
     gpu.download(&ids)
 }
 
+/// Access-level IR of the ECL-SCC kernels under the canonical policy for
+/// the variant. The packed-pair `max_id_pair` traffic and the `repeat_flag`
+/// raise are policy-mediated; the owned `scc_id` bookkeeping, the ticketed
+/// worklist slots, and the cursor RMWs are hard-coded.
+pub fn ir(race_free: bool) -> Vec<ecl_simt::KernelIr> {
+    use crate::contracts::*;
+    use crate::primitives::{Atomic, Plain};
+    use ecl_simt::BenignClass::MonotonicUpdate;
+    use ecl_simt::{AccessOp, KernelIr, OpWidth};
+
+    fn build<P: AccessPolicy>() -> Vec<KernelIr> {
+        let pair_traffic = || -> Vec<AccessOp> {
+            vec![
+                ir_pair_read::<P>("max_id_pair", Arbitrary).benign(MonotonicUpdate),
+                ir_pair_max::<P>("max_id_pair"),
+            ]
+        };
+        let settle = |name: &'static str| {
+            KernelIr::new(name)
+                .op(AccessOp::load("scc_id", OpWidth::B4, AccessMode::Plain, own4()).fixed())
+                .op(AccessOp::store("scc_id", OpWidth::B4, AccessMode::Plain, own4()).fixed())
+                .op(ir_pair_read::<P>("max_id_pair", own8()))
+                .op(ir_atomic_rmw("settled_count"))
+        };
+        // A worklist push: ticket from the cursor, store into the fresh
+        // slot. The same kernel runs against either buffer (a/b roles swap
+        // each round), so both names are declared.
+        let wl_push = |ops: &mut Vec<AccessOp>| {
+            for wl in ["worklist_a", "worklist_b"] {
+                ops.push(
+                    AccessOp::store(wl, OpWidth::B4, AccessMode::Plain, claim4())
+                        .region("frontier-write")
+                        .fixed(),
+                );
+            }
+            for count in ["worklist_count_a", "worklist_count_b"] {
+                ops.push(ir_atomic_rmw(count));
+            }
+        };
+        let mut wl_propagate_ops = ir_csr_loads(&["row_offsets", "col_indices"]);
+        wl_propagate_ops.extend([
+            AccessOp::load("worklist_a", OpWidth::B4, AccessMode::Plain, Arbitrary)
+                .region("frontier-read")
+                .fixed(),
+            AccessOp::load("worklist_b", OpWidth::B4, AccessMode::Plain, Arbitrary)
+                .region("frontier-read")
+                .fixed(),
+            AccessOp::load("scc_id", OpWidth::B4, AccessMode::Plain, Arbitrary).fixed(),
+        ]);
+        wl_propagate_ops.extend(pair_traffic());
+        wl_push(&mut wl_propagate_ops);
+
+        let mut wl_init_ops = vec![
+            AccessOp::load("scc_id", OpWidth::B4, AccessMode::Plain, own4()).fixed(),
+            AccessOp::store("max_id_pair", OpWidth::B8, AccessMode::Plain, own8()).fixed(),
+        ];
+        wl_push(&mut wl_init_ops);
+
+        let mut wl_reseed_ops =
+            vec![AccessOp::load("scc_id", OpWidth::B4, AccessMode::Plain, own4()).fixed()];
+        wl_push(&mut wl_reseed_ops);
+
+        vec![
+            KernelIr::new("scc_init")
+                .op(AccessOp::load("scc_id", OpWidth::B4, AccessMode::Plain, own4()).fixed())
+                .op(AccessOp::store("max_id_pair", OpWidth::B8, AccessMode::Plain, own8()).fixed()),
+            KernelIr::new("scc_propagate")
+                .ops(ir_csr_loads(&["edge_src", "col_indices"]))
+                .op(AccessOp::load("scc_id", OpWidth::B4, AccessMode::Plain, Arbitrary).fixed())
+                .ops(pair_traffic())
+                .op(ir_flag_raise::<P>("repeat_flag")),
+            settle("scc_settle"),
+            KernelIr::new("scc_wl_init").ops(wl_init_ops),
+            KernelIr::new("scc_wl_propagate").ops(wl_propagate_ops),
+            KernelIr::new("scc_wl_reseed").ops(wl_reseed_ops),
+            settle("scc_wl_settle"),
+        ]
+    }
+    if race_free {
+        build::<Atomic>()
+    } else {
+        build::<Plain>()
+    }
+}
+
 /// Access contracts for the ECL-SCC kernels — both the full-scan engine and
 /// the data-driven worklist engine — under the canonical policy for the
 /// variant ([`crate::primitives::Plain`] baseline,

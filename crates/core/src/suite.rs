@@ -327,6 +327,127 @@ pub fn run_algorithm_checked(
     })
 }
 
+/// Runs a *synthesized* variant of `algorithm`: the kernels execute under
+/// the [`crate::primitives::IrDriven`] policy, which resolves every
+/// policy-mediated access's mode from `table` — typically
+/// [`ecl_simt::ModeTable::from_ir`] over the repaired IR the `ecl-analyze`
+/// repair pass produced. Store visibility is `Immediate`, matching the
+/// converted codes (an access-by-access repaired kernel is compiled like the
+/// hand-converted one: its shared stores are not deferrable).
+///
+/// The returned [`RunResult`] is tagged [`Variant::RaceFree`]: a verified
+/// synthesized variant *is* a race-free flavor of the code, just machine-
+/// derived rather than hand-written, and downstream consumers (verification,
+/// digests, perf tables) treat it as such.
+///
+/// APSP has no policy-mediated sites (both variants are the same code), so
+/// its synthesized run is the ordinary run; the installed table is never
+/// consulted.
+pub fn run_synthesized(
+    algorithm: Algorithm,
+    table: &ecl_simt::ModeTable,
+    graph: &Csr,
+    cfg: &GpuConfig,
+    seed: u64,
+    opts: &SimOptions,
+) -> Result<RunResult, SimError> {
+    use crate::primitives::IrDriven;
+
+    let owned;
+    let graph = if algorithm.weighted() && graph.weights().is_none() {
+        owned = graph.clone().with_random_weights(1_000, 0xec1);
+        &owned
+    } else {
+        graph
+    };
+    let mut opts = opts.clone();
+    opts.mode_table = Some(table.clone());
+    let opts = &opts;
+    let immediate = StoreVisibility::Immediate;
+    let variant = Variant::RaceFree;
+
+    Ok(match algorithm {
+        Algorithm::Apsp => {
+            let r = apsp::run_checked(graph, cfg, seed, opts)?;
+            let valid = apsp::verify_apsp(graph, &r.dist);
+            let quality = r
+                .dist
+                .iter()
+                .filter(|&&d| d != apsp::INF)
+                .map(|&d| d as f64)
+                .sum();
+            pack(
+                algorithm, variant, r.cycles, valid, r.digest, quality, r.stats,
+            )
+        }
+        Algorithm::Cc => {
+            let r = cc::run_checked::<IrDriven>(graph, cfg, seed, immediate, opts)?;
+            let valid = cc::verify_components(graph, &r.labels);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_components as f64,
+                r.stats,
+            )
+        }
+        Algorithm::Gc => {
+            let r = gc::run_checked::<IrDriven, IrDriven>(graph, cfg, seed, immediate, opts)?;
+            let valid = gc::verify_coloring(graph, &r.colors);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_colors as f64,
+                r.stats,
+            )
+        }
+        Algorithm::Mis => {
+            let r = mis::run_checked::<IrDriven>(graph, cfg, seed, immediate, opts)?;
+            let valid = mis::verify_mis(graph, &r.in_set);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.set_size as f64,
+                r.stats,
+            )
+        }
+        Algorithm::Mst => {
+            let r = mst::run_checked::<IrDriven>(graph, cfg, seed, immediate, opts)?;
+            let valid = mst::verify_mst(graph, &r.in_mst);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.total_weight as f64,
+                r.stats,
+            )
+        }
+        Algorithm::Scc => {
+            let r = scc::run_checked::<IrDriven>(graph, cfg, seed, immediate, opts)?;
+            let valid = scc::verify_sccs(graph, &r.scc_ids);
+            pack(
+                algorithm,
+                variant,
+                r.cycles,
+                valid,
+                r.digest,
+                r.num_sccs as f64,
+                r.stats,
+            )
+        }
+    })
+}
+
 /// Runs `algorithm`/`variant` directly on `threads` host threads via the
 /// `ecl-native` access policies — the same codes, real `std::sync::atomic`
 /// concurrency instead of the simulator. `seed` perturbs the schedule
@@ -887,6 +1008,7 @@ mod tests {
             watchdog: Some(2_000_000),
             fault: Some(ecl_simt::FaultPlan::new(7).with_bitflips(0.05, ecl_simt::MemLevel::Dram)),
             deadline: None,
+            mode_table: None,
         };
         let mut attempts = Vec::new();
         let outcome = run_resilient_observed(
@@ -923,6 +1045,7 @@ mod tests {
             watchdog: Some(1),
             fault: None,
             deadline: None,
+            mode_table: None,
         };
         let outcome = run_resilient(
             Algorithm::Mis,
@@ -949,6 +1072,7 @@ mod tests {
             watchdog: Some(1),
             fault: None,
             deadline: None,
+            mode_table: None,
         };
         let r = run_algorithm_checked(
             Algorithm::Gc,
@@ -983,6 +1107,7 @@ mod tests {
             watchdog: Some(1),
             fault: None,
             deadline: None,
+            mode_table: None,
         };
         let r = run_cell(
             Algorithm::Gc,
@@ -1023,6 +1148,7 @@ mod tests {
                 ecl_simt::FaultPlan::new(0xFA17).with_bitflips(0.01, ecl_simt::MemLevel::Dram),
             ),
             deadline: None,
+            mode_table: None,
         };
         let cfg = GpuConfig::test_tiny();
         let armed = |run_seed: u64| {
@@ -1066,6 +1192,7 @@ mod tests {
                         .with_bitflips(0.002, ecl_simt::MemLevel::L2),
                 ),
                 deadline: None,
+                mode_table: None,
             };
             let mut observed = Vec::new();
             let outcome = run_resilient_observed(

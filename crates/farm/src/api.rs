@@ -87,6 +87,7 @@ impl SweepSpec {
                     .fault
                     .map(|(rate, level, seed)| FaultPlan::new(seed).with_bitflips(rate, level)),
                 deadline: None,
+                mode_table: None,
             },
             retry: RetryPolicy {
                 max_attempts: self.retries.max(1),

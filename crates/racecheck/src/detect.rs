@@ -37,6 +37,59 @@ struct AccessRec {
 /// non-conflicting locations (e.g. all-atomic counters).
 const RECS_PER_BYTE: usize = 64;
 
+/// One retained conflicting access pair (bounded mode keeps up to a caller
+/// cap of these per finding instead of a single example).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictPair {
+    /// The byte address the two accesses collided on.
+    pub addr: u32,
+    /// One side of the pair.
+    pub first: RaceSite,
+    /// The other side.
+    pub second: RaceSite,
+}
+
+/// One deduplicated finding with its retained pair evidence.
+#[derive(Debug, Clone)]
+pub struct BoundedFinding {
+    /// The deduplicated report (identical to unbounded detection's).
+    pub report: RaceReport,
+    /// Up to `max_pairs` distinct conflicting pairs, in discovery order.
+    pub pairs: Vec<ConflictPair>,
+    /// Conflicting pairs observed beyond the cap and not retained. Non-zero
+    /// means `pairs` is a prefix, not the full evidence set.
+    pub dropped: u64,
+}
+
+impl BoundedFinding {
+    /// `true` when the pair cap cut evidence off.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+/// Result of [`check_races_bounded`]: deduplicated findings with per-buffer
+/// pair evidence retained up to a fixed cap — detection whose memory use is
+/// `O(findings × max_pairs)` regardless of how racy the trace is.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedDetection {
+    /// All findings, sorted like [`check_races`]'s output.
+    pub findings: Vec<BoundedFinding>,
+}
+
+impl BoundedDetection {
+    /// The findings whose evidence was cut off by the cap — the typed
+    /// truncation marker tools export.
+    pub fn truncated(&self) -> Vec<&BoundedFinding> {
+        self.findings.iter().filter(|f| f.truncated()).collect()
+    }
+
+    /// The plain reports, for callers that do not need pair evidence.
+    pub fn reports(&self) -> Vec<RaceReport> {
+        self.findings.iter().map(|f| f.report.clone()).collect()
+    }
+}
+
 /// Runs [`DetectorMode::Precise`] detection over the GPU's recorded trace.
 ///
 /// # Panics
@@ -53,6 +106,26 @@ pub fn check_races(gpu: &Gpu) -> Vec<RaceReport> {
 ///
 /// Panics if tracing was not enabled on the GPU.
 pub fn check_races_with_mode(gpu: &Gpu, mode: DetectorMode) -> Vec<RaceReport> {
+    detect(gpu, mode, 1)
+        .findings
+        .into_iter()
+        .map(|f| f.report)
+        .collect()
+}
+
+/// Bounded-memory detection: like [`check_races_with_mode`] but retaining up
+/// to `max_pairs` distinct conflicting pairs per finding as evidence, with a
+/// typed per-finding `dropped` count once the cap cuts off. `max_pairs` of 0
+/// is treated as 1 (a finding with no example pair is useless).
+///
+/// # Panics
+///
+/// Panics if tracing was not enabled on the GPU.
+pub fn check_races_bounded(gpu: &Gpu, mode: DetectorMode, max_pairs: usize) -> BoundedDetection {
+    detect(gpu, mode, max_pairs.max(1))
+}
+
+fn detect(gpu: &Gpu, mode: DetectorMode, max_pairs: usize) -> BoundedDetection {
     let trace = gpu
         .trace()
         .expect("race checking needs a trace: call Gpu::enable_tracing() before launching");
@@ -61,8 +134,8 @@ pub fn check_races_with_mode(gpu: &Gpu, mode: DetectorMode) -> Vec<RaceReport> {
     // block index is part of a shared location's identity.
     type LocKey = (Space, u32, u32, u32); // (space, byte, block-or-0, launch-or-0)
     let mut locations: HashMap<LocKey, Vec<AccessRec>> = HashMap::new();
-    // Deduplicated findings.
-    let mut reports: HashMap<(String, Space, u32, RaceClass), RaceReport> = HashMap::new();
+    // Deduplicated findings, each with up to `max_pairs` retained pairs.
+    let mut reports: HashMap<(String, Space, u32, RaceClass), BoundedFinding> = HashMap::new();
 
     for e in trace.events() {
         if mode == DetectorMode::SharedOnly && e.space != Space::Global {
@@ -107,27 +180,45 @@ pub fn check_races_with_mode(gpu: &Gpu, mode: DetectorMode) -> Vec<RaceReport> {
                         ),
                         Space::Shared => (byte, None),
                     };
+                    let pair = ConflictPair {
+                        addr: byte,
+                        first: RaceSite {
+                            thread: prev.thread,
+                            mode: prev.mode,
+                            kind: prev.kind,
+                        },
+                        second: RaceSite {
+                            thread: rec.thread,
+                            mode: rec.mode,
+                            kind: rec.kind,
+                        },
+                    };
                     reports
                         .entry((kernel.clone(), e.space, allocation, class))
-                        .and_modify(|r| r.occurrences += 1)
-                        .or_insert_with(|| RaceReport {
-                            kernel,
-                            space: e.space,
-                            allocation,
-                            allocation_name,
-                            example_addr: byte,
-                            class,
-                            first: RaceSite {
-                                thread: prev.thread,
-                                mode: prev.mode,
-                                kind: prev.kind,
+                        .and_modify(|f| {
+                            f.report.occurrences += 1;
+                            if f.pairs.contains(&pair) {
+                                // Already retained: nothing new to keep or drop.
+                            } else if f.pairs.len() < max_pairs {
+                                f.pairs.push(pair.clone());
+                            } else {
+                                f.dropped += 1;
+                            }
+                        })
+                        .or_insert_with(|| BoundedFinding {
+                            report: RaceReport {
+                                kernel,
+                                space: e.space,
+                                allocation,
+                                allocation_name,
+                                example_addr: byte,
+                                class,
+                                first: pair.first,
+                                second: pair.second,
+                                occurrences: 1,
                             },
-                            second: RaceSite {
-                                thread: rec.thread,
-                                mode: rec.mode,
-                                kind: rec.kind,
-                            },
-                            occurrences: 1,
+                            pairs: vec![pair],
+                            dropped: 0,
                         });
                     break;
                 }
@@ -138,11 +229,15 @@ pub fn check_races_with_mode(gpu: &Gpu, mode: DetectorMode) -> Vec<RaceReport> {
         }
     }
 
-    let mut out: Vec<RaceReport> = reports.into_values().collect();
-    out.sort_by(|a, b| {
-        (&a.kernel, a.allocation, a.example_addr).cmp(&(&b.kernel, b.allocation, b.example_addr))
+    let mut findings: Vec<BoundedFinding> = reports.into_values().collect();
+    findings.sort_by(|a, b| {
+        (&a.report.kernel, a.report.allocation, a.report.example_addr).cmp(&(
+            &b.report.kernel,
+            b.report.allocation,
+            b.report.example_addr,
+        ))
     });
-    out
+    BoundedDetection { findings }
 }
 
 /// Two accesses to the same byte conflict and are unordered.
@@ -440,5 +535,51 @@ mod tests {
     fn untraced_gpu_panics() {
         let gpu = Gpu::new(GpuConfig::test_tiny());
         let _ = check_races(&gpu);
+    }
+
+    #[test]
+    fn bounded_mode_caps_pairs_and_counts_dropped() {
+        // 32 threads hammering one counter produce far more than 2 distinct
+        // conflicting pairs per finding: the cap must cut off with a
+        // truncation marker, while occurrences still count everything.
+        let gpu = racy_gpu();
+        let bounded = check_races_bounded(&gpu, DetectorMode::Precise, 2);
+        assert!(!bounded.findings.is_empty());
+        for f in &bounded.findings {
+            assert!(f.pairs.len() <= 2);
+            assert!(!f.pairs.is_empty());
+        }
+        let truncated = bounded.truncated();
+        assert!(
+            !truncated.is_empty(),
+            "a 32-thread pileup must exceed a 2-pair cap"
+        );
+        for f in &truncated {
+            assert!(f.dropped > 0);
+            assert!(
+                f.report.occurrences > f.pairs.len() as u64,
+                "occurrences must keep counting past the cap"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_mode_reports_match_unbounded_detection() {
+        // The cap bounds retained *evidence*, never the finding set: the
+        // deduplicated reports are identical to unbounded detection's.
+        let gpu = racy_gpu();
+        let unbounded = check_races(&gpu);
+        let bounded = check_races_bounded(&gpu, DetectorMode::Precise, 3);
+        assert_eq!(bounded.reports(), unbounded);
+    }
+
+    #[test]
+    fn bounded_mode_with_ample_cap_truncates_nothing() {
+        let gpu = racy_gpu();
+        let bounded = check_races_bounded(&gpu, DetectorMode::Precise, 1_000_000);
+        assert!(bounded.truncated().is_empty());
+        for f in &bounded.findings {
+            assert_eq!(f.dropped, 0);
+        }
     }
 }

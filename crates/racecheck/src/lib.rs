@@ -45,7 +45,10 @@ mod hb;
 mod profile;
 mod report;
 
-pub use detect::{check_races, check_races_with_mode, DetectorMode};
+pub use detect::{
+    check_races, check_races_bounded, check_races_with_mode, BoundedDetection, BoundedFinding,
+    ConflictPair, DetectorMode,
+};
 pub use hb::check_races_hb;
 pub use profile::{access_profile, format_profile, AllocationProfile};
 pub use report::{format_summary, RaceClass, RaceReport, RaceSite};

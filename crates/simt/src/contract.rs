@@ -278,20 +278,25 @@ impl SanitizerState {
         mem: &Memory,
     ) -> Result<(), SimError> {
         let SanitizerState { set, owners } = self;
-        let actual = format!("{mode:?} {kind:?} by thread {thread}");
-        let violation = |buffer: &str, declared: String| SimError::ContractViolation {
-            kernel: kernel.to_string(),
-            detail: Box::new(crate::error::ContractViolationDetail {
-                thread,
-                addr,
-                buffer: buffer.to_string(),
-                declared,
-                actual: actual.clone(),
-            }),
-        };
+        let violation =
+            |buffer: &str, offset: Option<u32>, declared: String| SimError::ContractViolation {
+                kernel: kernel.to_string(),
+                detail: Box::new(crate::error::ContractViolationDetail {
+                    kernel: kernel.to_string(),
+                    thread,
+                    addr,
+                    buffer: buffer.to_string(),
+                    space,
+                    mode,
+                    kind,
+                    offset,
+                    declared,
+                }),
+            };
         let Some(contract) = set.get(kernel) else {
             return Err(violation(
                 "?",
+                None,
                 "no contract declared for this kernel".into(),
             ));
         };
@@ -300,11 +305,16 @@ impl SanitizerState {
             Space::Shared => (SHARED_BUFFER, 0u32, block),
             Space::Global => {
                 let Some((alloc_base, _)) = mem.allocation_of(addr) else {
-                    return Err(violation("?", "address outside any allocation".into()));
+                    return Err(violation(
+                        "?",
+                        None,
+                        "address outside any allocation".into(),
+                    ));
                 };
                 let Some(name) = mem.allocation_name(addr) else {
                     return Err(violation(
                         "<unnamed>",
+                        Some(addr - alloc_base),
                         "allocation has no name; contracts require named buffers".into(),
                     ));
                 };
@@ -329,7 +339,7 @@ impl SanitizerState {
             } else {
                 declared.join(", ")
             };
-            return Err(violation(buffer, declared));
+            return Err(violation(buffer, Some(addr - base), declared));
         }
         // Stateless disciplines first; first-touch claims happen only when
         // nothing else admits the access.
@@ -366,6 +376,7 @@ impl SanitizerState {
             .join(", ");
         Err(violation(
             buffer,
+            Some(addr - base),
             format!("{declared}; element not owned by thread {thread}"),
         ))
     }

@@ -91,19 +91,49 @@ pub enum SimError {
     },
 }
 
-/// The payload of a [`SimError::ContractViolation`].
+/// The payload of a [`SimError::ContractViolation`]: everything needed to
+/// act on a sanitizer failure without a debugger — which kernel, which
+/// buffer, and the offending access as typed fields (space, mode, kind,
+/// element offset) rather than a pre-baked string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContractViolationDetail {
+    /// Kernel the violating access occurred in.
+    pub kernel: String,
     /// The faulting thread's global id.
     pub thread: u32,
     /// The faulting byte address (a byte offset for shared memory).
     pub addr: u32,
     /// Name of the buffer touched (or `?` when unresolvable).
     pub buffer: String,
+    /// Address space of the access.
+    pub space: crate::trace::Space,
+    /// Access mode the faulting operation issued.
+    pub mode: crate::access::AccessMode,
+    /// What the faulting operation did (load/store/RMW).
+    pub kind: AccessKind,
+    /// Byte offset of the access within the buffer, when the address
+    /// resolved to a named allocation (`None` for stray addresses).
+    pub offset: Option<u32>,
     /// The declared footprint the access was checked against.
     pub declared: String,
-    /// What the access actually was (mode, kind, thread).
-    pub actual: String,
+}
+
+impl std::fmt::Display for ContractViolationDetail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kernel '{}': {:?} {:?} on {:?} '{}' at {:#x}",
+            self.kernel, self.mode, self.kind, self.space, self.buffer, self.addr
+        )?;
+        if let Some(off) = self.offset {
+            write!(f, " (byte offset {off})")?;
+        }
+        write!(
+            f,
+            " by thread {}, but the declared footprint is: {}",
+            self.thread, self.declared
+        )
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -144,12 +174,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "kernel '{kernel}': host wall-clock deadline expired mid-launch: killed"
             ),
-            SimError::ContractViolation { kernel, detail } => write!(
-                f,
-                "kernel '{kernel}': access contract violation on '{}' at {:#x}: \
-                 {}, but thread {}'s declared footprint is: {}",
-                detail.buffer, detail.addr, detail.actual, detail.thread, detail.declared
-            ),
+            SimError::ContractViolation { detail, .. } => {
+                write!(f, "access contract violation: {detail}")
+            }
         }
     }
 }
@@ -301,14 +328,32 @@ mod tests {
         let e = SimError::ContractViolation {
             kernel: "c".into(),
             detail: Box::new(ContractViolationDetail {
+                kernel: "c".into(),
                 thread: 3,
                 addr: 0x100,
                 buffer: "label".into(),
+                space: crate::trace::Space::Global,
+                mode: crate::access::AccessMode::Volatile,
+                kind: AccessKind::Store,
+                offset: Some(256),
                 declared: "Plain Store label [arbitrary]".into(),
-                actual: "Volatile Store by thread 3".into(),
             }),
         };
-        assert!(e.to_string().contains("contract violation"));
+        let text = e.to_string();
+        assert!(text.contains("contract violation"));
+        // The payload's own Display carries the actionable fields: kernel,
+        // buffer, and the offending access (space, mode, kind, offset).
+        for needle in [
+            "kernel 'c'",
+            "'label'",
+            "Global",
+            "Volatile",
+            "Store",
+            "byte offset 256",
+            "thread 3",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in: {text}");
+        }
     }
 
     #[test]

@@ -416,6 +416,24 @@ impl<'a, H: Hooks> Ctx<'a, H> {
         self.cycles += (units * self.alu_cycles) as u64;
     }
 
+    /// The name of the kernel this thread is executing.
+    #[inline]
+    pub fn kernel_name(&self) -> &str {
+        self.kernel
+    }
+
+    /// IR-driven mode dispatch: resolves `addr` to its named allocation and
+    /// looks up the access modes the installed [`crate::ir::ModeTable`]
+    /// prescribes for this kernel and that buffer. `None` when no table is
+    /// installed, the address has no named allocation, or the table has no
+    /// entry for the group. Host-side bookkeeping only — charges no
+    /// simulated cycles.
+    pub fn dispatch_modes(&self, addr: u32) -> Option<crate::ir::ModePair> {
+        let table = self.mem.mode_table()?;
+        let name = self.mem.allocation_name(addr)?;
+        table.get(self.kernel, name)
+    }
+
     /// `__threadfence()`: makes this thread's prior writes visible
     /// device-wide. Drains the compiler model's deferred stores and charges
     /// an L2 round trip. (A fence does NOT make racy code race-free — it

@@ -158,6 +158,20 @@ impl Gpu {
         self.sanitizer = None;
     }
 
+    /// Installs an IR-derived access-mode dispatch table (see
+    /// [`crate::ir::ModeTable`]): kernels running through the `IrDriven`
+    /// access policy will issue each policy-mediated access with the mode
+    /// the table prescribes for its `(kernel, buffer)` group. This is how a
+    /// synthesized (repaired) kernel IR executes without new kernel code.
+    pub fn install_mode_table(&mut self, table: crate::ir::ModeTable) {
+        self.memory.set_mode_table(Some(table));
+    }
+
+    /// Removes the installed mode table.
+    pub fn clear_mode_table(&mut self) {
+        self.memory.set_mode_table(None);
+    }
+
     /// True when the contract sanitizer is armed.
     pub fn sanitizer_armed(&self) -> bool {
         self.sanitizer.is_some()

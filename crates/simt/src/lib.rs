@@ -53,6 +53,7 @@ pub mod error;
 pub mod exec;
 pub mod fault;
 pub mod host;
+pub mod ir;
 pub mod mem;
 pub mod metrics;
 pub mod trace;
@@ -67,6 +68,7 @@ pub use exec::{
 };
 pub use fault::{FaultPlan, FaultReport};
 pub use host::Gpu;
+pub use ir::{lower_all, AccessOp, KernelIr, ModePair, ModeTable, OpKind, OpWidth};
 pub use mem::{DeviceBuffer, DevicePtr, DeviceValue, MemLevel};
 pub use metrics::KernelStats;
 pub use trace::{AccessEvent, Space, Trace, DEFAULT_EVENT_CAP};

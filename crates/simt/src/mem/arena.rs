@@ -197,6 +197,10 @@ pub struct Memory {
     bytes: Vec<u8>,
     next: u32,
     allocations: Vec<Allocation>,
+    /// Per-`(kernel, buffer)` access-mode dispatch for IR-driven execution
+    /// (see [`crate::ir::ModeTable`]). Lives here so kernel closures can
+    /// reach it through the `Ctx` they already hold.
+    mode_table: Option<crate::ir::ModeTable>,
 }
 
 #[derive(Debug)]
@@ -213,7 +217,18 @@ impl Memory {
             bytes: Vec::new(),
             next: 0,
             allocations: Vec::new(),
+            mode_table: None,
         }
+    }
+
+    /// Installs (or clears) the IR-derived access-mode dispatch table.
+    pub fn set_mode_table(&mut self, table: Option<crate::ir::ModeTable>) {
+        self.mode_table = table;
+    }
+
+    /// The installed mode table, if any.
+    pub fn mode_table(&self) -> Option<&crate::ir::ModeTable> {
+        self.mode_table.as_ref()
     }
 
     /// Allocates `len` elements of `T`, zero-initialized.

@@ -142,6 +142,7 @@ fn resilient_runner_contains_aggressive_faults() {
         watchdog: Some(20_000_000),
         fault: Some(FaultPlan::new(0xbad).with_bitflips(0.001, MemLevel::L2)),
         deadline: None,
+        mode_table: None,
     };
     let policy = RetryPolicy {
         max_attempts: 2,
